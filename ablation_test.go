@@ -1,0 +1,140 @@
+package regsat
+
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//   - the two Section 3 intLP model optimizations (redundant-arc elimination
+//     and never-simultaneously-alive pairs): model size and search effort
+//     with and without;
+//   - the Greedy-k candidate scoring (partial-antichain vs cheap local pair
+//     count): solution quality and speed;
+//   - the exact reduction's secondary max-RN search: effect on the reduced
+//     saturation (register-use freedom).
+
+import (
+	"testing"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+	"regsat/internal/lp"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+)
+
+// BenchmarkAblation_ModelReductions measures the Section 3 optimizations:
+// the same saturation models built with and without them.
+func BenchmarkAblation_ModelReductions(b *testing.B) {
+	g := kernels.ByNameMust("lin-ddot").Build(ddg.Superscalar)
+	an, err := rs.NewAnalysis(g, ddg.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := lp.Params{MaxNodes: 300000, TimeLimit: 60 * time.Second}
+	b.Run("with-optimizations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := rs.ExactILP(an, true, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Info.Vars), "vars")
+			b.ReportMetric(float64(res.Info.Constrs), "constrs")
+			b.ReportMetric(float64(res.Nodes), "bb-nodes")
+		}
+	})
+	b.Run("without-optimizations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := rs.ExactILP(an, false, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Info.Vars), "vars")
+			b.ReportMetric(float64(res.Info.Constrs), "constrs")
+			b.ReportMetric(float64(res.Nodes), "bb-nodes")
+		}
+	})
+}
+
+// BenchmarkAblation_GreedyScoring compares the two Greedy-k scoring metrics
+// across the whole suite: quality (sum of RS* across cases) and time.
+func BenchmarkAblation_GreedyScoring(b *testing.B) {
+	suite := kernels.Suite(ddg.Superscalar)
+	run := func(b *testing.B, scoring rs.GreedyScoring) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, g := range suite {
+				for _, t := range g.Types() {
+					an, err := rs.NewAnalysis(g, t)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := rs.GreedyWithScoring(an, scoring)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.RS
+				}
+			}
+			b.ReportMetric(float64(total), "ΣRS*")
+		}
+	}
+	b.Run("antichain-scoring", func(b *testing.B) { run(b, rs.ScoreAntichain) })
+	b.Run("local-pairs-scoring", func(b *testing.B) { run(b, rs.ScoreLocalPairs) })
+}
+
+// BenchmarkAblation_MaxRNSearch measures the exact reduction with and
+// without the secondary register-need maximization (the paper's "maximized
+// and does not exceed R_t" reading).
+func BenchmarkAblation_MaxRNSearch(b *testing.B) {
+	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
+	run := func(b *testing.B, skip bool) {
+		for i := 0; i < b.N; i++ {
+			res, err := reduce.ExactCombinatorial(g, ddg.Int, 3, reduce.ExactOptions{SkipMaxRN: skip})
+			if err != nil || res.Spill {
+				b.Fatalf("err=%v spill=%v", err, res.Spill)
+			}
+			b.ReportMetric(float64(res.RS), "reduced-RS")
+		}
+	}
+	b.Run("with-maxrn", func(b *testing.B) { run(b, false) })
+	b.Run("without-maxrn", func(b *testing.B) { run(b, true) })
+}
+
+// TestAblationGreedyScoringQuality locks the quality relation: the antichain
+// scoring is never worse than the local-pairs scoring on the suite (both are
+// valid lower bounds of RS).
+func TestAblationGreedyScoringQuality(t *testing.T) {
+	worse := 0
+	cases := 0
+	for _, spec := range kernels.All() {
+		g := spec.Build(ddg.Superscalar)
+		for _, typ := range g.Types() {
+			an, err := rs.NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strong, err := rs.GreedyWithScoring(an, rs.ScoreAntichain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weak, err := rs.GreedyWithScoring(an, rs.ScoreLocalPairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases++
+			if strong.RS < weak.RS {
+				worse++
+			}
+			// Both must stay valid lower bounds.
+			exact, _, err := rs.ExactBB(an, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strong.RS > exact.RS || weak.RS > exact.RS {
+				t.Fatalf("%s/%s: greedy exceeded exact", spec.Name, typ)
+			}
+		}
+	}
+	if worse > cases/10 {
+		t.Fatalf("antichain scoring worse than local scoring in %d/%d cases", worse, cases)
+	}
+}

@@ -1,0 +1,248 @@
+package regsat
+
+// Benchmark harness: one benchmark per paper artifact (see DESIGN.md's
+// per-experiment index E1–E8), plus micro-benchmarks of the core analyses.
+// Key reproduced quantities are attached as benchmark metrics so
+// `go test -bench=.` regenerates the evaluation's numbers.
+
+import (
+	"testing"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/experiments"
+	"regsat/internal/kernels"
+	"regsat/internal/lp"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+)
+
+func benchPop() experiments.Population {
+	return experiments.Population{
+		Machine:      ddg.Superscalar,
+		RandomGraphs: 10,
+		Seed:         2004,
+		MaxValues:    10,
+	}
+}
+
+// BenchmarkE1_Pipeline reproduces the Figure 1 flow end-to-end.
+func BenchmarkE1_Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.Pipeline(benchPop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(sum.Rows)), "cases")
+		b.ReportMetric(float64(sum.Spills), "spills")
+	}
+}
+
+// BenchmarkE2_Figure2 reproduces the paper's Figure 2 comparison.
+func BenchmarkE2_Figure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.InitialRS != 4 {
+			b.Fatalf("Figure 2 RS=%d, want 4", res.InitialRS)
+		}
+		b.ReportMetric(float64(res.ReducedArcs), "rs-arcs")
+		b.ReportMetric(float64(res.MinimalArcs), "min-arcs")
+	}
+}
+
+// BenchmarkE3_RSOptimality reproduces §5's RS-computation comparison
+// (heuristic error ≤ 1 register, rare).
+func BenchmarkE3_RSOptimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.RSOptimality(benchPop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*float64(sum.ExactHit)/float64(sum.Total), "%optimal")
+		b.ReportMetric(float64(sum.MaxError), "max-error")
+	}
+}
+
+// BenchmarkE4_ReduceOptimality reproduces §5's five-case breakdown
+// (paper: i.a 72.22%, i.b 18.5%, ii.a 4.63%, ii.b <1%, ii.c 3.7%).
+func BenchmarkE4_ReduceOptimality(b *testing.B) {
+	p := benchPop()
+	p.MaxValues = 9
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.ReduceOptimality(p, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := float64(sum.Total)
+		if total == 0 {
+			b.Fatal("no instances")
+		}
+		b.ReportMetric(100*float64(sum.Counts[experiments.ClassIA])/total, "%i.a")
+		b.ReportMetric(100*float64(sum.Counts[experiments.ClassIB])/total, "%i.b")
+		b.ReportMetric(100*float64(sum.Counts[experiments.ClassIIA])/total, "%ii.a")
+		b.ReportMetric(100*float64(sum.Counts[experiments.ClassIIB])/total, "%ii.b")
+		b.ReportMetric(100*float64(sum.Counts[experiments.ClassIIC])/total, "%ii.c")
+	}
+}
+
+// BenchmarkE5_ModelSize reproduces §3's model-size claim (O(n²) variables,
+// O(m+n²) constraints; time-indexed models grow with the horizon T).
+func BenchmarkE5_ModelSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.ModelSize(benchPop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.MaxVarRatio, "max-vars/n²")
+		b.ReportMetric(sum.MaxConstrRatio, "max-constrs/(m+n²)")
+	}
+}
+
+// BenchmarkE6_Timing reproduces §5's heuristic-vs-exact time contrast.
+func BenchmarkE6_Timing(b *testing.B) {
+	p := benchPop()
+	p.RandomGraphs = 0
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.Timing(p, 5, lp.Params{MaxNodes: 100000, TimeLimit: 20 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.BBOverGreedy, "exact/greedy")
+	}
+}
+
+// BenchmarkE7_MinimizeVsSaturate reproduces §6's discussion numbers.
+func BenchmarkE7_MinimizeVsSaturate(b *testing.B) {
+	p := benchPop()
+	p.MaxValues = 9
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.Versus(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.TightCases > 0 {
+			b.ReportMetric(100*float64(sum.SatFewerArcs)/float64(sum.TightCases), "%fewer-arcs")
+		}
+		b.ReportMetric(float64(sum.MinArcsInZeroCases), "min-arcs-at-zero-pressure")
+	}
+}
+
+// BenchmarkE8_Construction verifies the Theorem 4.2 construction at scale.
+func BenchmarkE8_Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.Theorem42(benchPop(), 3, 2004)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sum.Failures) > 0 {
+			b.Fatalf("violations: %v", sum.Failures)
+		}
+		b.ReportMetric(float64(sum.DAGPreserved), "extensions")
+	}
+}
+
+// --- micro-benchmarks of the core algorithms ---
+
+func BenchmarkRSGreedyKernels(b *testing.B) {
+	suite := kernels.Suite(ddg.Superscalar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range suite {
+			for _, t := range g.Types() {
+				an, err := rs.NewAnalysis(g, t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rs.Greedy(an); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkRSExactBBKernels(b *testing.B) {
+	suite := kernels.Suite(ddg.Superscalar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range suite {
+			for _, t := range g.Types() {
+				an, err := rs.NewAnalysis(g, t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := rs.ExactBB(an, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkRSExactILPSmall(b *testing.B) {
+	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
+	an, err := rs.NewAnalysis(g, ddg.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rs.ExactILP(an, true, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceHeuristicSwim(b *testing.B) {
+	g := kernels.ByNameMust("spec-swim").Build(ddg.Superscalar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := reduce.Heuristic(g, ddg.Float, 6)
+		if err != nil || res.Spill {
+			b.Fatalf("err=%v spill=%v", err, res.Spill)
+		}
+	}
+}
+
+func BenchmarkReduceExactDaxpy(b *testing.B) {
+	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := reduce.ExactCombinatorial(g, ddg.Int, 3, reduce.ExactOptions{})
+		if err != nil || res.Spill {
+			b.Fatalf("err=%v spill=%v", err, res.Spill)
+		}
+	}
+}
+
+func BenchmarkListSchedulerSuite(b *testing.B) {
+	suite := kernels.Suite(ddg.VLIW)
+	res := schedule.TypicalVLIW()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range suite {
+			if _, err := schedule.List(g, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkMaxLiveSweep(b *testing.B) {
+	g := kernels.ByNameMust("liv-l7").Build(ddg.Superscalar)
+	s, err := schedule.ASAP(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.RegisterNeed(ddg.Float) < 1 {
+			b.Fatal("bogus")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command ddggen lists and emits the benchmark DDG suite (the loop bodies
+// the experiments run on: Livermore, Linpack, Whetstone, SpecFP-like, the
+// paper's Figure 2 example, and synthetic stress shapes).
+//
+// Usage:
+//
+//	ddggen -list
+//	ddggen -kernel liv-l7 [-machine vliw] [-dot]
+//	ddggen -random 12 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available kernels")
+		kernel  = flag.String("kernel", "", "kernel to emit")
+		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		dot     = flag.Bool("dot", false, "emit Graphviz instead of the textual format")
+		random  = flag.Int("random", 0, "emit a random layered DAG with this many nodes")
+		seed    = flag.Int64("seed", 1, "random seed for -random")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-10s %s\n", "NAME", "SUITE", "DESCRIPTION")
+		for _, s := range kernels.All() {
+			fmt.Printf("%-14s %-10s %s\n", s.Name, s.Suite, s.Description)
+		}
+		return
+	}
+
+	mk, err := parseMachine(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	var g *ddg.Graph
+	switch {
+	case *random > 0:
+		p := ddg.DefaultRandomParams(*random)
+		p.Machine = mk
+		p.Types = []ddg.RegType{ddg.Int, ddg.Float}
+		g = ddg.RandomGraph(rand.New(rand.NewSource(*seed)), p)
+	case *kernel != "":
+		spec, ok := kernels.ByName(*kernel)
+		if !ok {
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		g = spec.Build(mk)
+	default:
+		fatal(fmt.Errorf("need -list, -kernel, or -random"))
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+	} else {
+		fmt.Print(g.Format())
+	}
+}
+
+func parseMachine(s string) (ddg.MachineKind, error) {
+	switch s {
+	case "superscalar":
+		return ddg.Superscalar, nil
+	case "vliw":
+		return ddg.VLIW, nil
+	case "epic":
+		return ddg.EPIC, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command rsbench regenerates the paper's evaluation: every experiment of
+// DESIGN.md's per-experiment index (E1–E8), printed as tables with the
+// paper's reference numbers alongside.
+//
+// Usage:
+//
+//	rsbench                       # run everything on the superscalar model
+//	rsbench -exp reduce -random 40
+//	rsbench -exp rs -machine vliw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/experiments"
+	"regsat/internal/lp"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42")
+		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		random  = flag.Int("random", 20, "number of random loop bodies added to the kernel suite")
+		seed    = flag.Int64("seed", 2004, "random population seed")
+		maxVals = flag.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
+	)
+	flag.Parse()
+
+	mk, err := parseMachine(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	pop := experiments.Population{
+		Machine:      mk,
+		RandomGraphs: *random,
+		Seed:         *seed,
+		MaxValues:    *maxVals,
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		report, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(report)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig2", func() (string, error) {
+		r, err := experiments.Figure2()
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("pipeline", func() (string, error) {
+		r, err := experiments.Pipeline(pop)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("rs", func() (string, error) {
+		r, err := experiments.RSOptimality(pop)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("reduce", func() (string, error) {
+		p := pop
+		if p.MaxValues > 10 {
+			p.MaxValues = 10 // exact reduction budget
+		}
+		r, err := experiments.ReduceOptimality(p, 2)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("size", func() (string, error) {
+		r, err := experiments.ModelSize(pop)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("time", func() (string, error) {
+		r, err := experiments.Timing(pop, 6, lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second})
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("versus", func() (string, error) {
+		p := pop
+		if p.MaxValues > 10 {
+			p.MaxValues = 10
+		}
+		r, err := experiments.Versus(p)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("thm42", func() (string, error) {
+		r, err := experiments.Theorem42(pop, 3, *seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+}
+
+func parseMachine(s string) (ddg.MachineKind, error) {
+	switch s {
+	case "superscalar":
+		return ddg.Superscalar, nil
+	case "vliw":
+		return ddg.VLIW, nil
+	case "epic":
+		return ddg.EPIC, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsbench:", err)
+	os.Exit(1)
+}

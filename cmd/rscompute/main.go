@@ -1,0 +1,142 @@
+// Command rscompute computes the register saturation of a DDG — the maximal
+// register requirement over all valid schedules (Section 3 of the paper).
+//
+// Usage:
+//
+//	rscompute -kernel lin-daxpy [-machine vliw] [-method greedy|bb|ilp] [-dot]
+//	rscompute -f body.ddg [-method bb] [-witness]
+//
+// The input is either a built-in benchmark kernel (-kernel, see `ddggen
+// -list`) or a DDG file in the textual format (-f, "-" for stdin).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regsat"
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel  = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method  = flag.String("method", "greedy", "saturation method: greedy|bb|ilp")
+		dot     = flag.Bool("dot", false, "emit the DDG in Graphviz format and exit")
+		witness = flag.Bool("witness", false, "print a saturating schedule")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*file, *kernel, *machine)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+
+	opts := regsat.RSOptions{}
+	switch *method {
+	case "greedy":
+		opts.Method = regsat.GreedyK
+	case "bb":
+		opts.Method = regsat.ExactBB
+	case "ilp":
+		opts.Method = regsat.ExactILP
+		opts.ApplyReductions = true
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	fmt.Printf("DDG %s (%s): %d nodes, %d edges, critical path %d\n",
+		g.Name, g.Machine, g.NumNodes(), g.NumEdges(), g.CriticalPath())
+	for _, t := range g.Types() {
+		res, err := regsat.ComputeRS(g, t, opts)
+		if err != nil {
+			fatal(err)
+		}
+		exact := "≥ (heuristic lower bound)"
+		if res.Exact {
+			exact = "= (exact)"
+		}
+		fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
+			t, exact, res.RS, len(g.Values(t)), names(g, res.Antichain))
+		if res.ILP != nil {
+			fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
+				res.ILP.Vars, res.ILP.IntVars, res.ILP.Constrs, res.ILP.RedundantArcs, res.ILP.NeverAlivePairs)
+		}
+		if *witness && res.Witness != nil {
+			fmt.Printf("    saturating schedule (RN=%d):\n", res.Witness.RegisterNeed(t))
+			for u := 0; u < g.NumNodes(); u++ {
+				if u == g.Bottom() {
+					continue
+				}
+				fmt.Printf("      t=%-3d %s\n", res.Witness.Times[u], g.Node(u).Name)
+			}
+		}
+	}
+}
+
+func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
+	mk, err := parseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case kernel != "":
+		spec, ok := kernels.ByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q (try ddggen -list)", kernel)
+		}
+		return spec.Build(mk), nil
+	case file == "-":
+		g, err := regsat.ParseGraph(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := regsat.ParseGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	default:
+		return nil, fmt.Errorf("need -f or -kernel (try -kernel lin-daxpy)")
+	}
+}
+
+func parseMachine(s string) (ddg.MachineKind, error) {
+	switch s {
+	case "superscalar":
+		return ddg.Superscalar, nil
+	case "vliw":
+		return ddg.VLIW, nil
+	case "epic":
+		return ddg.EPIC, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q", s)
+}
+
+func names(g *regsat.Graph, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Node(id).Name
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rscompute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command rsreduce reduces the register saturation of a DDG below a register
+// budget by inserting serialization arcs (Section 4 of the paper), and emits
+// the extended, scheduler-ready DDG.
+//
+// Usage:
+//
+//	rsreduce -kernel spec-swim -r 6 [-machine vliw] [-method heuristic|exact|ilp]
+//	rsreduce -f body.ddg -r 8 -emit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regsat"
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+	"regsat/internal/reduce"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel  = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method  = flag.String("method", "heuristic", "reduction method: heuristic|exact|ilp")
+		regs    = flag.Int("r", 8, "available registers R_t")
+		typ     = flag.String("type", "float", "register type to reduce")
+		emit    = flag.Bool("emit", false, "emit the extended DDG in textual format")
+		dot     = flag.Bool("dot", false, "emit the extended DDG in Graphviz format")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*file, *kernel, *machine)
+	if err != nil {
+		fatal(err)
+	}
+	t := regsat.RegType(*typ)
+
+	opts := regsat.ReduceOptions{}
+	switch *method {
+	case "heuristic":
+		opts.Method = regsat.ReduceHeuristic
+	case "exact":
+		opts.Method = regsat.ReduceExact
+	case "ilp":
+		opts.Method = regsat.ReduceExactILP
+		opts.ILP = reduce.ILPOptions{ApplyReductions: true, GuaranteeDAG: true}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	before, err := regsat.ComputeRS(g, t, regsat.RSOptions{Method: regsat.GreedyK, SkipWitness: true})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := regsat.ReduceRS(g, t, *regs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("DDG %s (%s), type %s: RS*=%d, budget R=%d\n", g.Name, g.Machine, t, before.RS, *regs)
+	if res.Spill {
+		fmt.Printf("  NOT reducible to %d registers: spill code unavoidable\n", *regs)
+		os.Exit(2)
+	}
+	fmt.Printf("  reduced RS=%d with %d serialization arcs\n", res.RS, len(res.Arcs))
+	fmt.Printf("  critical path: %d → %d (ILP loss %d)\n", res.CPBefore, res.CPAfter, res.CPAfter-res.CPBefore)
+	for _, a := range res.Arcs {
+		fmt.Printf("    arc %s → %s (latency %d)\n",
+			res.Graph.Node(a.From).Name, res.Graph.Node(a.To).Name, a.Latency)
+	}
+	if *emit {
+		fmt.Print(res.Graph.Format())
+	}
+	if *dot {
+		fmt.Print(res.Graph.DOT())
+	}
+}
+
+func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
+	mk, err := parseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case kernel != "":
+		spec, ok := kernels.ByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q (try ddggen -list)", kernel)
+		}
+		return spec.Build(mk), nil
+	case file == "-":
+		g, err := regsat.ParseGraph(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := regsat.ParseGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	default:
+		return nil, fmt.Errorf("need -f or -kernel")
+	}
+}
+
+func parseMachine(s string) (ddg.MachineKind, error) {
+	switch s {
+	case "superscalar":
+		return ddg.Superscalar, nil
+	case "vliw":
+		return ddg.VLIW, nil
+	case "epic":
+		return ddg.EPIC, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsreduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package regsat
+
+// End-to-end corpus tests: DDG files in testdata/ go through the full
+// public pipeline (parse → finalize → analyze → reduce → schedule →
+// allocate), exercising exactly the path a downstream user of the file
+// format takes.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"regsat/internal/ddg"
+)
+
+func TestCorpusFullPipeline(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.ddg")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseGraph(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if err := g.Finalize(); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, typ := range g.Types() {
+			res, err := ComputeRS(g, typ, RSOptions{Method: ExactBB})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", file, typ, err)
+			}
+			if res.Witness != nil && res.Witness.RegisterNeed(typ) != res.RS {
+				t.Fatalf("%s/%s: witness does not attain RS", file, typ)
+			}
+			if res.RS < 2 {
+				continue
+			}
+			red, err := ReduceRS(g, typ, res.RS-1, ReduceOptions{Method: ReduceHeuristic})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", file, typ, err)
+			}
+			if red.Spill {
+				continue
+			}
+			s, err := ListSchedule(red.Graph, TypicalVLIW())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", file, typ, err)
+			}
+			if _, err := Allocate(s, typ, res.RS); err != nil {
+				t.Fatalf("%s/%s: allocation within the original RS failed: %v", file, typ, err)
+			}
+		}
+	}
+}
+
+// TestFormatRoundTripRandom: Format→Parse→Format is the identity on random
+// graphs of every machine kind.
+func TestFormatRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ddg.DefaultRandomParams(2 + rng.Intn(10))
+		p.Types = []RegType{Int, Float}
+		p.Machine = []MachineKind{Superscalar, VLIW, EPIC}[rng.Intn(3)]
+		g := ddg.RandomGraph(rng, p)
+		f1 := g.Format()
+		g2, err := ParseGraphString(f1)
+		if err != nil {
+			return false
+		}
+		if g2.Format() != f1 {
+			return false
+		}
+		if err := g2.Finalize(); err != nil {
+			return false
+		}
+		return g2.NumNodes() == g.NumNodes() && g2.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

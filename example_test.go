@@ -1,0 +1,72 @@
+package regsat_test
+
+import (
+	"fmt"
+
+	"regsat"
+)
+
+// ExampleComputeRS analyzes a two-load/multiply body: both operands must be
+// alive at the multiply, and some schedule overlaps them with the result.
+func ExampleComputeRS() {
+	g := regsat.NewGraph("example", regsat.Superscalar)
+	a := g.AddNode("a", "load", 4)
+	b := g.AddNode("b", "load", 4)
+	c := g.AddNode("c", "fmul", 4)
+	g.SetWrites(a, regsat.Float, 0)
+	g.SetWrites(b, regsat.Float, 0)
+	g.SetWrites(c, regsat.Float, 0)
+	g.AddFlowEdge(a, c, regsat.Float)
+	g.AddFlowEdge(b, c, regsat.Float)
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	res, err := regsat.ComputeRS(g, regsat.Float, regsat.RSOptions{Method: regsat.ExactBB, SkipWitness: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("RS = %d (exact: %v)\n", res.RS, res.Exact)
+	// Output:
+	// RS = 2 (exact: true)
+}
+
+// ExampleReduceRS reduces a DAG of two independent chains below its
+// saturation and reports the added serialization arcs.
+func ExampleReduceRS() {
+	g := regsat.NewGraph("pair", regsat.Superscalar)
+	a := g.AddNode("a", "load", 1)
+	b := g.AddNode("b", "load", 1)
+	sa := g.AddNode("sa", "store", 1)
+	sb := g.AddNode("sb", "store", 1)
+	g.SetWrites(a, regsat.Float, 0)
+	g.SetWrites(b, regsat.Float, 0)
+	g.AddFlowEdge(a, sa, regsat.Float)
+	g.AddFlowEdge(b, sb, regsat.Float)
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	red, err := regsat.ReduceRS(g, regsat.Float, 1, regsat.ReduceOptions{Method: regsat.ReduceExact})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reduced RS = %d with %d arc(s), spill = %v\n", red.RS, len(red.Arcs), red.Spill)
+	// Output:
+	// reduced RS = 1 with 1 arc(s), spill = false
+}
+
+// ExampleParseGraphString loads a DDG from the textual format.
+func ExampleParseGraphString() {
+	g, err := regsat.ParseGraphString(`ddg "mini" machine=superscalar
+node x op=load lat=4 writes=float
+node y op=store lat=1
+edge x y flow float`)
+	if err != nil {
+		panic(err)
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d nodes, critical path %d\n", g.Name, g.NumNodes(), g.CriticalPath())
+	// Output:
+	// mini: 3 nodes, critical path 5
+}

@@ -1,0 +1,106 @@
+// Global register saturation over an acyclic CFG (the paper's Section 6
+// extension), plus DDG-level spill insertion when even reduction cannot fit
+// the register file (the paper's stated future work).
+//
+// The CFG models an if/else with values crossing block boundaries:
+//
+//	      head:  x = load; y = load
+//	     /                        \
+//	then: z = x*x            else: z = x+1.0   (both define z — a merge!)
+//	     \                        /
+//	      tail:  store y+z
+//
+// Run with: go run ./examples/globalrs
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"regsat"
+	"regsat/internal/kernels"
+)
+
+func main() {
+	c := regsat.NewCFG("branchy", regsat.Superscalar)
+
+	head := c.AddBlock("head")
+	x := head.Body.AddNode("x", "load", 4)
+	y := head.Body.AddNode("y", "load", 4)
+	head.Body.SetWrites(x, regsat.Float, 0)
+	head.Body.SetWrites(y, regsat.Float, 0)
+	head.Export(x, "x", regsat.Float)
+	head.Export(y, "y", regsat.Float)
+
+	then := c.AddBlock("then")
+	sq := then.Body.AddNode("sq", "fmul", 4)
+	then.Body.SetWrites(sq, regsat.Float, 0)
+	then.Import("x", sq, sq) // x*x reads x twice
+	then.Export(sq, "z", regsat.Float)
+
+	els := c.AddBlock("else")
+	inc := els.Body.AddNode("inc", "fadd", 3)
+	els.Body.SetWrites(inc, regsat.Float, 0)
+	els.Import("x", inc)
+	els.Export(inc, "z", regsat.Float) // second definition of z: a merge
+
+	tail := c.AddBlock("tail")
+	sum := tail.Body.AddNode("sum", "fadd", 3)
+	st := tail.Body.AddNode("st", "store", 1)
+	tail.Body.SetWrites(sum, regsat.Float, 0)
+	tail.Body.AddFlowEdge(sum, st, regsat.Float)
+	tail.Import("y", sum)
+	tail.Import("z", sum)
+
+	c.AddEdge(head, then)
+	c.AddEdge(head, els)
+	c.AddEdge(then, tail)
+	c.AddEdge(els, tail)
+
+	res, err := c.GlobalRS(regsat.Float, regsat.RSOptions{Method: regsat.ExactBB, SkipWitness: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-block register saturation (live-ins and live-throughs included):")
+	var names []string
+	for name := range res.PerBlock {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-6s RS = %d\n", name, res.PerBlock[name].RS)
+	}
+	fmt.Printf("global RS = %d, merge safety margin = %d → effective RS = %d\n",
+		res.Global, res.SafetyMargin, res.EffectiveRS)
+	fmt.Println("(z has two reaching definitions, so one register is reserved for the")
+	fmt.Println(" possible merge move — the paper's §6 guidance)")
+
+	// Part two: a DAG that no serialization can fit into 4 registers —
+	// spill insertion at the DDG level breaks the impasse.
+	fmt.Println("\n--- spill insertion (DDG level) ---")
+	g := kernels.ByNameMust("syn-wide8").Build(regsat.Superscalar)
+	base, err := regsat.ComputeRS(g, regsat.Float, regsat.RSOptions{Method: regsat.ExactBB, SkipWitness: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const R = 3
+	red, err := regsat.ReduceRS(g, regsat.Float, R, regsat.ReduceOptions{Method: regsat.ReduceHeuristic})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("syn-wide8: RS = %d; plain reduction to %d registers: spill=%v\n", base.RS, R, red.Spill)
+	sp, err := regsat.SpillUntilFits(g, regsat.Float, R, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sp.Failed {
+		fmt.Printf("even with %d spills the budget is unreachable (honest failure)\n", len(sp.Sites))
+		return
+	}
+	fmt.Printf("after %d spill(s) the DDG reduces to RS = %d ≤ %d with %d arcs:\n",
+		len(sp.Sites), sp.RS, R, sp.Arcs)
+	for _, s := range sp.Sites {
+		fmt.Printf("  spilled %-4s → store %s, reload %s\n", s.Value, s.Store, s.Reload)
+	}
+}

@@ -1,0 +1,349 @@
+// Package cfg extends register saturation analysis from single DAGs to a
+// global acyclic control flow graph, as sketched in the paper's Section 6
+// ("In the case of a global scheduler"): the global RS of an acyclic CFG is
+// brought back to RS on DAGs by inserting entry and exit values with
+// corresponding flow arcs in every basic block, and the global analysis
+// reserves one register of safety margin when a value has multiple reaching
+// definitions (CFG merges can force one extra "move", §6).
+//
+// Loops are excluded, exactly as in the paper; back edges are rejected.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"regsat/internal/ddg"
+	"regsat/internal/graph"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+)
+
+// Block is one basic block: a DDG under construction plus its inter-block
+// value interface.
+type Block struct {
+	Name string
+	// Body is the block's DDG (never finalized; the analysis clones it).
+	Body *ddg.Graph
+
+	id      int
+	exports map[string]exportSpec // value name → defining node
+	imports map[string][]int      // value name → consuming nodes
+}
+
+type exportSpec struct {
+	node int
+	typ  ddg.RegType
+}
+
+// CFG is an acyclic control flow graph of basic blocks.
+type CFG struct {
+	Name    string
+	Machine ddg.MachineKind
+	blocks  []*Block
+	edges   [][2]int
+}
+
+// New creates an empty CFG.
+func New(name string, machine ddg.MachineKind) *CFG {
+	return &CFG{Name: name, Machine: machine}
+}
+
+// AddBlock appends a basic block and returns it. Operations are added
+// directly on Block.Body (do not finalize it).
+func (c *CFG) AddBlock(name string) *Block {
+	b := &Block{
+		Name:    name,
+		Body:    ddg.New(name, c.Machine),
+		id:      len(c.blocks),
+		exports: map[string]exportSpec{},
+		imports: map[string][]int{},
+	}
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// AddEdge adds a control flow edge between blocks.
+func (c *CFG) AddEdge(from, to *Block) {
+	c.edges = append(c.edges, [2]int{from.id, to.id})
+}
+
+// Blocks returns the block list.
+func (c *CFG) Blocks() []*Block { return c.blocks }
+
+// Export declares that node defines the named global value of type t (the
+// node must write t). Other blocks may Import it.
+func (b *Block) Export(node int, name string, t ddg.RegType) {
+	if !b.Body.Node(node).WritesType(t) {
+		panic(fmt.Sprintf("cfg: node %s does not write %s", b.Body.Node(node).Name, t))
+	}
+	b.exports[name] = exportSpec{node: node, typ: t}
+}
+
+// Import declares that the named value (exported elsewhere) is consumed by
+// the given nodes of this block. With no consumers the value is only
+// live-through candidates (liveness decides).
+func (b *Block) Import(name string, consumers ...int) {
+	b.imports[name] = append(b.imports[name], consumers...)
+}
+
+// valueInfo is the resolved interface of one global value.
+type valueInfo struct {
+	name  string
+	typ   ddg.RegType
+	defs  []int // defining block IDs (≥ 2 means a CFG merge)
+	useIn map[int][]int
+}
+
+// resolve collects and checks the global value interface.
+func (c *CFG) resolve() (map[string]*valueInfo, error) {
+	vals := map[string]*valueInfo{}
+	for _, b := range c.blocks {
+		for name, spec := range b.exports {
+			v := vals[name]
+			if v == nil {
+				v = &valueInfo{name: name, typ: spec.typ, useIn: map[int][]int{}}
+				vals[name] = v
+			} else if v.typ != spec.typ {
+				return nil, fmt.Errorf("cfg: value %s exported with types %s and %s", name, v.typ, spec.typ)
+			}
+			v.defs = append(v.defs, b.id)
+		}
+	}
+	for _, b := range c.blocks {
+		for name, consumers := range b.imports {
+			v := vals[name]
+			if v == nil {
+				return nil, fmt.Errorf("cfg: block %s imports undefined value %s", b.Name, name)
+			}
+			v.useIn[b.id] = append(v.useIn[b.id], consumers...)
+		}
+	}
+	return vals, nil
+}
+
+// topoOrder returns a topological order of the blocks, rejecting cycles
+// (the paper's global analysis excludes loops).
+func (c *CFG) topoOrder() ([]int, error) {
+	dg := graph.New(len(c.blocks))
+	for _, e := range c.edges {
+		dg.AddEdge(e[0], e[1], 1)
+	}
+	order, err := dg.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("cfg %s: control flow must be acyclic: %w", c.Name, err)
+	}
+	return order, nil
+}
+
+// liveness computes per-block live-in/live-out value-name sets with the
+// standard backward dataflow over the acyclic CFG.
+func (c *CFG) liveness(vals map[string]*valueInfo) (liveIn, liveOut []map[string]bool, err error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	succ := make([][]int, len(c.blocks))
+	for _, e := range c.edges {
+		succ[e[0]] = append(succ[e[0]], e[1])
+	}
+	use := make([]map[string]bool, len(c.blocks))
+	def := make([]map[string]bool, len(c.blocks))
+	for i, b := range c.blocks {
+		use[i] = map[string]bool{}
+		def[i] = map[string]bool{}
+		for name := range b.imports {
+			use[i][name] = true
+		}
+		for name := range b.exports {
+			def[i][name] = true
+		}
+	}
+	liveIn = make([]map[string]bool, len(c.blocks))
+	liveOut = make([]map[string]bool, len(c.blocks))
+	for i := range c.blocks {
+		liveIn[i] = map[string]bool{}
+		liveOut[i] = map[string]bool{}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		b := order[i]
+		for _, s := range succ[b] {
+			for name := range liveIn[s] {
+				liveOut[b][name] = true
+			}
+		}
+		for name := range liveOut[b] {
+			if !def[b][name] {
+				liveIn[b][name] = true
+			}
+		}
+		for name := range use[b] {
+			if !def[b][name] { // upward-exposed use: defined upstream
+				liveIn[b][name] = true
+			}
+		}
+	}
+	_ = vals
+	return liveIn, liveOut, nil
+}
+
+// AugmentedBlock is one block's analysis-ready DAG: the body plus entry
+// nodes for live-in values and exit consumption for live-out values.
+type AugmentedBlock struct {
+	Block *Block
+	Graph *ddg.Graph
+	// EntryNodes maps a live-in value name to its virtual entry node.
+	EntryNodes map[string]int
+	// ExitNode consumes the live-out values (-1 when the block has none).
+	ExitNode int
+}
+
+// Augment builds the analysis DAG of one block: a clone of the body with
+// one entry node per live-in value (flow edges to its local consumers, or
+// only to ⊥ for live-through values) and one exit node consuming every
+// live-out value, then finalized.
+func (c *CFG) Augment(b *Block, vals map[string]*valueInfo, liveIn, liveOut map[string]bool) (*AugmentedBlock, error) {
+	g := b.Body.Clone()
+	g.Name = fmt.Sprintf("%s.%s", c.Name, b.Name)
+	ab := &AugmentedBlock{Block: b, Graph: g, EntryNodes: map[string]int{}, ExitNode: -1}
+
+	names := make([]string, 0, len(liveIn))
+	for name := range liveIn {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := vals[name]
+		entry := g.AddNode("entry."+name, "entry", 1)
+		g.SetWrites(entry, v.typ, 0)
+		ab.EntryNodes[name] = entry
+		for _, consumer := range b.imports[name] {
+			g.AddFlowEdge(entry, consumer, v.typ)
+		}
+		// Live-through: re-exported downstream ⇒ must also survive the
+		// block; route it to the exit below.
+	}
+
+	// Exit node: consumes every live-out value so its lifetime spans to
+	// the block end under a saturating schedule.
+	var outNames []string
+	for name := range liveOut {
+		outNames = append(outNames, name)
+	}
+	sort.Strings(outNames)
+	var exitDeps []struct {
+		node int
+		typ  ddg.RegType
+	}
+	for _, name := range outNames {
+		v := vals[name]
+		if spec, ok := b.exports[name]; ok {
+			exitDeps = append(exitDeps, struct {
+				node int
+				typ  ddg.RegType
+			}{spec.node, v.typ})
+		} else if entry, ok := ab.EntryNodes[name]; ok {
+			// Live-through value: entry → exit.
+			exitDeps = append(exitDeps, struct {
+				node int
+				typ  ddg.RegType
+			}{entry, v.typ})
+		}
+	}
+	if len(exitDeps) > 0 {
+		exit := g.AddNode("exit."+b.Name, "exit", 1)
+		ab.ExitNode = exit
+		for _, d := range exitDeps {
+			g.AddFlowEdge(d.node, exit, d.typ)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return ab, nil
+}
+
+// GlobalRSResult is the outcome of a global register saturation analysis.
+type GlobalRSResult struct {
+	Type ddg.RegType
+	// PerBlock maps block names to their (augmented) saturation.
+	PerBlock map[string]*rs.Result
+	// Blocks holds the augmented DAGs for further processing.
+	Blocks []*AugmentedBlock
+	// Global is the maximum per-block saturation.
+	Global int
+	// SafetyMargin is 1 when some value has several reaching definitions
+	// (a CFG merge): §6 argues global allocation may then need one extra
+	// register for a move, so budgets should be decremented accordingly.
+	SafetyMargin int
+	// EffectiveRS = Global + SafetyMargin: compare this to the register
+	// file size.
+	EffectiveRS int
+}
+
+// GlobalRS computes the global register saturation of the CFG for type t.
+func (c *CFG) GlobalRS(t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) {
+	vals, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	liveIn, liveOut, err := c.liveness(vals)
+	if err != nil {
+		return nil, err
+	}
+	res := &GlobalRSResult{Type: t, PerBlock: map[string]*rs.Result{}}
+	for name, v := range vals {
+		if len(v.defs) > 1 {
+			res.SafetyMargin = 1
+			_ = name
+		}
+	}
+	for i, b := range c.blocks {
+		ab, err := c.Augment(b, vals, liveIn[i], liveOut[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Blocks = append(res.Blocks, ab)
+		r, err := rs.Compute(ab.Graph, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.PerBlock[b.Name] = r
+		if r.RS > res.Global {
+			res.Global = r.RS
+		}
+	}
+	res.EffectiveRS = res.Global + res.SafetyMargin
+	return res, nil
+}
+
+// GlobalReduce reduces every block whose saturation exceeds the budget
+// (minus the merge safety margin), protecting entry values from
+// serialization arcs that would delay their pinned births. It returns the
+// per-block reductions; spill is reported per block.
+func (c *CFG) GlobalReduce(t ddg.RegType, available int, opts rs.Options) (map[string]*reduce.Result, *GlobalRSResult, error) {
+	global, err := c.GlobalRS(t, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	budget := available - global.SafetyMargin
+	out := map[string]*reduce.Result{}
+	for _, ab := range global.Blocks {
+		r := global.PerBlock[ab.Block.Name]
+		if r.RS <= budget {
+			continue
+		}
+		entries := map[int]bool{}
+		for _, e := range ab.EntryNodes {
+			entries[e] = true
+		}
+		red, err := reduce.HeuristicFiltered(ab.Graph, t, budget, func(u, v int) bool {
+			return !entries[v] // never delay an entry value's birth
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		out[ab.Block.Name] = red
+	}
+	return out, global, nil
+}

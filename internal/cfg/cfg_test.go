@@ -1,0 +1,215 @@
+package cfg
+
+import (
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+)
+
+// diamondCFG builds:
+//
+//	     entry (defines x, y)
+//	    /                   \
+//	left (uses x)        right (uses x, defines z)
+//	    \                   /
+//	     join (uses y, and z from right)
+func diamondCFG(t *testing.T) (*CFG, *Block, *Block, *Block, *Block) {
+	t.Helper()
+	c := New("diamond", ddg.Superscalar)
+
+	entry := c.AddBlock("entry")
+	x := entry.Body.AddNode("defx", "load", 4)
+	y := entry.Body.AddNode("defy", "load", 4)
+	entry.Body.SetWrites(x, ddg.Float, 0)
+	entry.Body.SetWrites(y, ddg.Float, 0)
+	entry.Export(x, "x", ddg.Float)
+	entry.Export(y, "y", ddg.Float)
+
+	left := c.AddBlock("left")
+	lu := left.Body.AddNode("usex", "fadd", 3)
+	left.Body.SetWrites(lu, ddg.Float, 0)
+	left.Import("x", lu)
+
+	right := c.AddBlock("right")
+	ru := right.Body.AddNode("usex2", "fmul", 4)
+	right.Body.SetWrites(ru, ddg.Float, 0)
+	right.Import("x", ru)
+	right.Export(ru, "z", ddg.Float)
+
+	join := c.AddBlock("join")
+	ju := join.Body.AddNode("usey", "fadd", 3)
+	jz := join.Body.AddNode("usez", "store", 1)
+	join.Body.SetWrites(ju, ddg.Float, 0)
+	join.Import("y", ju)
+	join.Import("z", jz)
+
+	c.AddEdge(entry, left)
+	c.AddEdge(entry, right)
+	c.AddEdge(left, join)
+	c.AddEdge(right, join)
+	return c, entry, left, right, join
+}
+
+func TestGlobalRSDiamond(t *testing.T) {
+	c, _, _, _, _ := diamondCFG(t)
+	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBlock) != 4 {
+		t.Fatalf("blocks analyzed: %d, want 4", len(res.PerBlock))
+	}
+	// entry: x and y live out simultaneously → RS ≥ 2 there.
+	if res.PerBlock["entry"].RS < 2 {
+		t.Fatalf("entry RS=%d, want ≥ 2", res.PerBlock["entry"].RS)
+	}
+	// left: x live-in plus y live-through plus its local value.
+	if res.PerBlock["left"].RS < 2 {
+		t.Fatalf("left RS=%d, want ≥ 2 (x + live-through y)", res.PerBlock["left"].RS)
+	}
+	if res.Global < 2 {
+		t.Fatalf("global RS=%d", res.Global)
+	}
+	if res.SafetyMargin != 0 {
+		t.Fatalf("margin=%d, want 0 (single-def values)", res.SafetyMargin)
+	}
+	if res.EffectiveRS != res.Global {
+		t.Fatal("effective RS mismatch")
+	}
+}
+
+func TestLiveThroughOccupiesRegister(t *testing.T) {
+	// y is defined in entry and used only in join: it must be live-through
+	// left and right, raising their pressure by one.
+	c, _, _, _, _ := diamondCFG(t)
+	vals, err := c.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, liveOut, err := c.liveness(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftID := 1
+	if !liveIn[leftID]["y"] || !liveOut[leftID]["y"] {
+		t.Fatal("y must be live through left")
+	}
+	if !liveIn[leftID]["x"] {
+		t.Fatal("x must be live into left")
+	}
+	if liveOut[leftID]["x"] {
+		t.Fatal("x dies in left (its only downstream use is here)")
+	}
+}
+
+func TestMergeValueSafetyMargin(t *testing.T) {
+	// The same value name defined in two sibling blocks = a CFG merge: the
+	// analysis must reserve the §6 extra register.
+	c := New("merge", ddg.Superscalar)
+	a := c.AddBlock("a")
+	b1 := c.AddBlock("b1")
+	b2 := c.AddBlock("b2")
+	j := c.AddBlock("j")
+
+	an := a.Body.AddNode("seed", "load", 4)
+	a.Body.SetWrites(an, ddg.Float, 0)
+	a.Export(an, "seed", ddg.Float)
+
+	for _, blk := range []*Block{b1, b2} {
+		n := blk.Body.AddNode("def_"+blk.Name, "fadd", 3)
+		blk.Body.SetWrites(n, ddg.Float, 0)
+		blk.Import("seed", n)
+		blk.Export(n, "phi", ddg.Float) // both define "phi"
+	}
+	jn := j.Body.AddNode("use", "store", 1)
+	j.Import("phi", jn)
+
+	c.AddEdge(a, b1)
+	c.AddEdge(a, b2)
+	c.AddEdge(b1, j)
+	c.AddEdge(b2, j)
+
+	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafetyMargin != 1 {
+		t.Fatalf("margin=%d, want 1 for the merged value", res.SafetyMargin)
+	}
+	if res.EffectiveRS != res.Global+1 {
+		t.Fatal("effective RS must include the margin")
+	}
+}
+
+func TestCyclicCFGRejected(t *testing.T) {
+	c := New("loop", ddg.Superscalar)
+	a := c.AddBlock("a")
+	b := c.AddBlock("b")
+	n := a.Body.AddNode("n", "load", 1)
+	a.Body.SetWrites(n, ddg.Float, 0)
+	c.AddEdge(a, b)
+	c.AddEdge(b, a)
+	if _, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true}); err == nil {
+		t.Fatal("cyclic CFG must be rejected (the paper excludes loops)")
+	}
+}
+
+func TestImportUndefinedValueRejected(t *testing.T) {
+	c := New("bad", ddg.Superscalar)
+	a := c.AddBlock("a")
+	n := a.Body.AddNode("n", "store", 1)
+	a.Import("ghost", n)
+	if _, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy}); err == nil {
+		t.Fatal("undefined import must be rejected")
+	}
+}
+
+func TestGlobalReduceProtectsEntries(t *testing.T) {
+	c, _, _, _, _ := diamondCFG(t)
+	// Force reduction nearly everywhere with a budget of 1 (+margin 0).
+	reductions, global, err := c.GlobalReduce(ddg.Float, 2, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Global < 2 {
+		t.Skip("nothing to reduce")
+	}
+	for name, red := range reductions {
+		if red.Spill {
+			continue
+		}
+		// No added arc may point into an entry node.
+		var ab *AugmentedBlock
+		for _, cand := range global.Blocks {
+			if cand.Block.Name == name {
+				ab = cand
+			}
+		}
+		entries := map[int]bool{}
+		for _, e := range ab.EntryNodes {
+			entries[e] = true
+		}
+		for _, a := range red.Arcs {
+			if entries[a.To] {
+				t.Fatalf("block %s: arc into entry node %d", name, a.To)
+			}
+		}
+	}
+}
+
+func TestAugmentedGraphsValidate(t *testing.T) {
+	c, _, _, _, _ := diamondCFG(t)
+	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ab := range res.Blocks {
+		if err := ab.Graph.Validate(); err != nil {
+			t.Fatalf("block %s: %v", ab.Block.Name, err)
+		}
+		if !ab.Graph.Finalized() {
+			t.Fatalf("block %s not finalized", ab.Block.Name)
+		}
+	}
+}

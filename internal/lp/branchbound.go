@@ -1,0 +1,221 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusOptimal means an optimal (integer-feasible) solution was proved.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no feasible solution exists.
+	StatusInfeasible
+	// StatusUnbounded means the relaxation is unbounded in the optimization
+	// direction (cannot happen for the bounded models of this project).
+	StatusUnbounded
+	// StatusFeasible means a feasible solution was found but a search limit
+	// was hit before proving optimality.
+	StatusFeasible
+	// StatusLimit means a search limit was hit with no feasible solution.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusFeasible:
+		return "feasible(limit)"
+	default:
+		return "limit"
+	}
+}
+
+// Params bound the branch-and-bound search.
+type Params struct {
+	// MaxNodes caps the number of explored nodes (0 = default 200000).
+	MaxNodes int
+	// TimeLimit caps wall time (0 = none).
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance (0 = default 1e-6).
+	IntTol float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxNodes == 0 {
+		p.MaxNodes = 200000
+	}
+	if p.IntTol == 0 {
+		p.IntTol = 1e-6
+	}
+	return p
+}
+
+// Solution is the result of a Solve call. X has one entry per model variable;
+// integer variables are snapped to exact integers.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64
+	Nodes  int
+}
+
+// SolveLP solves only the continuous relaxation of the model.
+func (m *Model) SolveLP() *Solution {
+	lo := make([]float64, len(m.vars))
+	hi := make([]float64, len(m.vars))
+	for i, v := range m.vars {
+		lo[i], hi[i] = v.lo, v.hi
+	}
+	st, x, obj := newSimplex(m, lo, hi).solve()
+	sol := &Solution{Nodes: 1}
+	switch st {
+	case lpInfeasible:
+		sol.Status = StatusInfeasible
+	case lpUnbounded:
+		sol.Status = StatusUnbounded
+	case lpIterLimit:
+		sol.Status = StatusLimit
+	default:
+		sol.Status = StatusOptimal
+		sol.X = x
+		sol.Obj = m.finalObj(obj)
+	}
+	return sol
+}
+
+// finalObj converts the internal minimized objective back to model sense and
+// applies the constant offset.
+func (m *Model) finalObj(internal float64) float64 {
+	if m.sense == Maximize {
+		return -internal + m.objOff
+	}
+	return internal + m.objOff
+}
+
+type bbNode struct {
+	lo, hi []float64
+	depth  int
+}
+
+// Solve runs branch and bound and returns the best integer solution found.
+func (m *Model) Solve(p Params) *Solution {
+	p = p.withDefaults()
+	deadline := time.Time{}
+	if p.TimeLimit > 0 {
+		deadline = time.Now().Add(p.TimeLimit)
+	}
+
+	rootLo := make([]float64, len(m.vars))
+	rootHi := make([]float64, len(m.vars))
+	for i, v := range m.vars {
+		rootLo[i], rootHi[i] = v.lo, v.hi
+	}
+	stack := []*bbNode{{lo: rootLo, hi: rootHi}}
+
+	var best *Solution
+	bestObj := math.Inf(1) // internal sense: minimize
+	nodes := 0
+	limitHit := false
+
+	for len(stack) > 0 {
+		if nodes >= p.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			limitHit = true
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		st, x, obj := newSimplex(m, node.lo, node.hi).solve()
+		if st == lpInfeasible {
+			continue
+		}
+		if st == lpUnbounded {
+			return &Solution{Status: StatusUnbounded, Nodes: nodes}
+		}
+		if st == lpIterLimit {
+			limitHit = true
+			continue
+		}
+		if obj >= bestObj-1e-9 {
+			continue // bound prune
+		}
+		// Find the most fractional integer variable.
+		branch, fracDist := -1, p.IntTol
+		for j, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			f := x[j] - math.Floor(x[j])
+			dist := math.Min(f, 1-f)
+			if dist > fracDist {
+				branch, fracDist = j, dist
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: snap and record.
+			xi := make([]float64, len(x))
+			copy(xi, x)
+			for j, v := range m.vars {
+				if v.integer {
+					xi[j] = math.Round(xi[j])
+				}
+			}
+			bestObj = obj
+			best = &Solution{Status: StatusFeasible, Obj: m.finalObj(obj), X: xi}
+			continue
+		}
+		// Branch: child with x ≤ floor and child with x ≥ ceil. Explore the
+		// side nearer the fractional value first (pushed last).
+		floorHi := math.Floor(x[branch])
+		ceilLo := floorHi + 1
+		down := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1}
+		down.hi[branch] = floorHi
+		up := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1}
+		up.lo[branch] = ceilLo
+		if x[branch]-floorHi > 0.5 {
+			stack = append(stack, down, up) // explore up first
+		} else {
+			stack = append(stack, up, down) // explore down first
+		}
+	}
+
+	switch {
+	case best != nil && !limitHit:
+		best.Status = StatusOptimal
+		best.Nodes = nodes
+		return best
+	case best != nil:
+		best.Status = StatusFeasible
+		best.Nodes = nodes
+		return best
+	case limitHit:
+		return &Solution{Status: StatusLimit, Nodes: nodes}
+	default:
+		return &Solution{Status: StatusInfeasible, Nodes: nodes}
+	}
+}
+
+func cloneBounds(b []float64) []float64 {
+	out := make([]float64, len(b))
+	copy(out, b)
+	return out
+}
+
+// Value returns the solution value of v rounded for integer variables.
+func (s *Solution) Value(v Var) float64 {
+	return s.X[v]
+}
+
+// IntValue returns the solution value of v as an int64.
+func (s *Solution) IntValue(v Var) int64 {
+	return int64(math.Round(s.X[v]))
+}

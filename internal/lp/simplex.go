@@ -1,0 +1,476 @@
+package lp
+
+import (
+	"math"
+)
+
+// lpStatus is the outcome of one LP relaxation solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+)
+
+const (
+	pivTol   = 1e-9  // minimum |pivot| accepted
+	costTol  = 1e-7  // reduced-cost optimality tolerance
+	feasTol  = 1e-7  // primal feasibility tolerance
+	blandCut = 5000  // iterations before switching to Bland's rule
+	iterCap  = 50000 // hard per-LP iteration limit
+)
+
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	isBasic
+)
+
+// simplex is a dense bounded-variable two-phase primal simplex solver.
+// Columns 0..n-1 are the structural variables; then one slack per inequality
+// row; then one artificial per row. All rows are equalities over this
+// extended column set.
+type simplex struct {
+	m, nStruct, nSlack, nTotal int
+	artStart                   int
+
+	tab    [][]float64 // m × nTotal working tableau (starts as A, pivoted in place)
+	rhs    []float64   // original right-hand side after row normalization
+	lo, hi []float64   // bounds per column
+	cost   []float64   // phase-2 objective (minimize)
+
+	basis  []int       // basis[i] = column basic in row i
+	status []varStatus // per column
+	xval   []float64   // value of each nonbasic column (lo or hi)
+	xB     []float64   // value of the basic variable of each row
+	d      []float64   // reduced costs per column
+	iter   int
+}
+
+// newSimplex builds the standard-form tableau for the model with the given
+// (possibly tightened) structural bounds.
+func newSimplex(m *Model, lo, hi []float64) *simplex {
+	nStruct := len(m.vars)
+	nSlack := 0
+	for _, c := range m.constrs {
+		if c.rel != EQ {
+			nSlack++
+		}
+	}
+	rows := len(m.constrs)
+	s := &simplex{
+		m:        rows,
+		nStruct:  nStruct,
+		nSlack:   nSlack,
+		nTotal:   nStruct + nSlack + rows,
+		artStart: nStruct + nSlack,
+	}
+	s.tab = make([][]float64, rows)
+	for i := range s.tab {
+		s.tab[i] = make([]float64, s.nTotal)
+	}
+	s.rhs = make([]float64, rows)
+	s.lo = make([]float64, s.nTotal)
+	s.hi = make([]float64, s.nTotal)
+	s.cost = make([]float64, s.nTotal)
+	copy(s.lo, lo)
+	copy(s.hi, hi)
+	for j := 0; j < nStruct; j++ {
+		s.cost[j] = m.objCoef[j]
+		if m.sense == Maximize {
+			s.cost[j] = -s.cost[j]
+		}
+	}
+	slack := nStruct
+	for i, c := range m.constrs {
+		for _, t := range c.terms {
+			s.tab[i][int(t.Var)] += t.Coef
+		}
+		s.rhs[i] = c.rhs
+		switch c.rel {
+		case LE:
+			s.tab[i][slack] = 1
+			s.lo[slack], s.hi[slack] = 0, math.Inf(1)
+			slack++
+		case GE:
+			s.tab[i][slack] = -1
+			s.lo[slack], s.hi[slack] = 0, math.Inf(1)
+			slack++
+		}
+	}
+	// Artificials: one per row, configured in solve().
+	for i := 0; i < rows; i++ {
+		a := s.artStart + i
+		s.lo[a], s.hi[a] = 0, math.Inf(1)
+	}
+	return s
+}
+
+// nonbasicStart picks the starting bound of a nonbasic column: the finite
+// bound nearest zero (every structural and artificial bound is finite below).
+func (s *simplex) nonbasicStart(j int) float64 {
+	l, u := s.lo[j], s.hi[j]
+	switch {
+	case !math.IsInf(l, 0) && !math.IsInf(u, 0):
+		if math.Abs(l) <= math.Abs(u) {
+			s.status[j] = atLower
+			return l
+		}
+		s.status[j] = atUpper
+		return u
+	case !math.IsInf(l, 0):
+		s.status[j] = atLower
+		return l
+	default:
+		s.status[j] = atUpper
+		return u
+	}
+}
+
+// solve runs both phases and returns the status plus the structural solution.
+func (s *simplex) solve() (lpStatus, []float64, float64) {
+	s.basis = make([]int, s.m)
+	s.status = make([]varStatus, s.nTotal)
+	s.xval = make([]float64, s.nTotal)
+	s.xB = make([]float64, s.m)
+	s.d = make([]float64, s.nTotal)
+
+	// Start: all structural and slack columns nonbasic at a bound.
+	for j := 0; j < s.artStart; j++ {
+		s.xval[j] = s.nonbasicStart(j)
+	}
+	// Residual r_i = rhs_i − Σ_j tab[i][j]·xval[j]; artificial i covers it.
+	for i := 0; i < s.m; i++ {
+		r := s.rhs[i]
+		for j := 0; j < s.artStart; j++ {
+			if s.tab[i][j] != 0 && s.xval[j] != 0 {
+				r -= s.tab[i][j] * s.xval[j]
+			}
+		}
+		a := s.artStart + i
+		if r < 0 {
+			// Flip the row so the artificial starts non-negative.
+			for j := 0; j < s.nTotal; j++ {
+				s.tab[i][j] = -s.tab[i][j]
+			}
+			s.rhs[i] = -s.rhs[i]
+			r = -r
+		}
+		s.tab[i][a] = 1
+		s.basis[i] = a
+		s.status[a] = isBasic
+		s.xB[i] = r
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, s.nTotal)
+	for i := 0; i < s.m; i++ {
+		phase1[s.artStart+i] = 1
+	}
+	s.computeReducedCosts(phase1)
+	st := s.iterate(phase1)
+	if st == lpIterLimit {
+		return lpIterLimit, nil, 0
+	}
+	if st == lpUnbounded {
+		// Phase 1 objective is bounded below by 0; cannot happen.
+		return lpInfeasible, nil, 0
+	}
+	if s.phaseObj(phase1) > 1e-6 {
+		return lpInfeasible, nil, 0
+	}
+	s.driveOutArtificials()
+	// Freeze artificials at zero so phase 2 cannot reuse them.
+	for i := 0; i < s.m; i++ {
+		a := s.artStart + i
+		s.lo[a], s.hi[a] = 0, 0
+		if s.status[a] != isBasic {
+			s.xval[a] = 0
+			s.status[a] = atLower
+		}
+	}
+
+	// Phase 2: the real objective.
+	s.computeReducedCosts(s.cost)
+	st = s.iterate(s.cost)
+	switch st {
+	case lpIterLimit:
+		return lpIterLimit, nil, 0
+	case lpUnbounded:
+		return lpUnbounded, nil, 0
+	}
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		x[j] = s.colValue(j)
+	}
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		obj += s.cost[j] * x[j]
+	}
+	return lpOptimal, x, obj
+}
+
+func (s *simplex) colValue(j int) float64 {
+	if s.status[j] == isBasic {
+		for i, b := range s.basis {
+			if b == j {
+				return s.xB[i]
+			}
+		}
+	}
+	return s.xval[j]
+}
+
+func (s *simplex) phaseObj(c []float64) float64 {
+	obj := 0.0
+	for i, b := range s.basis {
+		obj += c[b] * s.xB[i]
+	}
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] != isBasic && c[j] != 0 {
+			obj += c[j] * s.xval[j]
+		}
+	}
+	return obj
+}
+
+// computeReducedCosts sets d[j] = c[j] − Σ_i c[basis[i]]·tab[i][j].
+func (s *simplex) computeReducedCosts(c []float64) {
+	copy(s.d, c)
+	for i, b := range s.basis {
+		cb := c[b]
+		if cb == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for j := 0; j < s.nTotal; j++ {
+			if row[j] != 0 {
+				s.d[j] -= cb * row[j]
+			}
+		}
+	}
+}
+
+// iterate runs primal simplex iterations until optimal/unbounded/limit.
+func (s *simplex) iterate(c []float64) lpStatus {
+	for {
+		s.iter++
+		if s.iter > iterCap {
+			return lpIterLimit
+		}
+		bland := s.iter > blandCut
+		q := s.chooseEntering(bland)
+		if q < 0 {
+			return lpOptimal
+		}
+		if st := s.pivotColumn(q, bland); st != lpOptimal {
+			return st
+		}
+	}
+}
+
+// chooseEntering returns an improving nonbasic column, or -1 at optimality.
+func (s *simplex) chooseEntering(bland bool) int {
+	best, bestScore := -1, costTol
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == isBasic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		var score float64
+		if s.status[j] == atLower && s.d[j] < -costTol {
+			score = -s.d[j]
+		} else if s.status[j] == atUpper && s.d[j] > costTol {
+			score = s.d[j]
+		} else {
+			continue
+		}
+		if bland {
+			return j // first eligible index
+		}
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// pivotColumn performs the ratio test and pivot for entering column q.
+func (s *simplex) pivotColumn(q int, bland bool) lpStatus {
+	// Direction of movement of x_q.
+	t := 1.0
+	if s.status[q] == atUpper {
+		t = -1.0
+	}
+	// g_i = change rate of basic i per unit increase of the step Δ.
+	deltaMax := math.Inf(1)
+	if !math.IsInf(s.lo[q], 0) && !math.IsInf(s.hi[q], 0) {
+		deltaMax = s.hi[q] - s.lo[q] // own bound flip distance
+	}
+	leave := -1 // row index of the leaving variable, -1 for bound flip
+	leaveAt := atLower
+	bestPiv := 0.0
+	for i := 0; i < s.m; i++ {
+		y := s.tab[i][q]
+		if y > -pivTol && y < pivTol {
+			continue
+		}
+		g := -t * y
+		b := s.basis[i]
+		var lim float64
+		var hitsUpper bool
+		if g > 0 {
+			if math.IsInf(s.hi[b], 0) {
+				continue
+			}
+			lim = (s.hi[b] - s.xB[i]) / g
+			hitsUpper = true
+		} else {
+			if math.IsInf(s.lo[b], 0) {
+				continue
+			}
+			lim = (s.lo[b] - s.xB[i]) / g
+			hitsUpper = false
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < deltaMax-1e-12 ||
+			(lim < deltaMax+1e-12 && leave >= 0 &&
+				((bland && s.basis[i] < s.basis[leave]) || (!bland && math.Abs(y) > bestPiv))) {
+			deltaMax = lim
+			leave = i
+			bestPiv = math.Abs(y)
+			if hitsUpper {
+				leaveAt = atUpper
+			} else {
+				leaveAt = atLower
+			}
+		}
+	}
+	if math.IsInf(deltaMax, 0) {
+		return lpUnbounded
+	}
+	// Apply the step to all basic variables.
+	if deltaMax != 0 {
+		for i := 0; i < s.m; i++ {
+			y := s.tab[i][q]
+			if y != 0 {
+				s.xB[i] += -t * y * deltaMax
+			}
+		}
+	}
+	if leave < 0 {
+		// Bound flip: x_q jumps to its other bound; basis unchanged.
+		if s.status[q] == atLower {
+			s.status[q] = atUpper
+			s.xval[q] = s.hi[q]
+		} else {
+			s.status[q] = atLower
+			s.xval[q] = s.lo[q]
+		}
+		return lpOptimal
+	}
+	// Basis exchange: basis[leave] goes out to a bound, q comes in.
+	out := s.basis[leave]
+	s.status[out] = leaveAt
+	if leaveAt == atLower {
+		s.xval[out] = s.lo[out]
+	} else {
+		s.xval[out] = s.hi[out]
+	}
+	newVal := s.xval[q] + t*deltaMax
+	s.basis[leave] = q
+	s.status[q] = isBasic
+	s.xB[leave] = newVal
+
+	// Pivot the tableau on (leave, q).
+	p := s.tab[leave][q]
+	prow := s.tab[leave]
+	inv := 1.0 / p
+	for j := 0; j < s.nTotal; j++ {
+		prow[j] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.tab[i][q]
+		if f == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for j := 0; j < s.nTotal; j++ {
+			if prow[j] != 0 {
+				row[j] -= f * prow[j]
+			}
+		}
+		row[q] = 0
+	}
+	f := s.d[q]
+	if f != 0 {
+		for j := 0; j < s.nTotal; j++ {
+			if prow[j] != 0 {
+				s.d[j] -= f * prow[j]
+			}
+		}
+		s.d[q] = 0
+	}
+	return lpOptimal
+}
+
+// driveOutArtificials pivots basic artificial variables out of the basis
+// where possible; rows where no structural pivot exists are redundant and
+// keep their artificial basic at value zero forever.
+func (s *simplex) driveOutArtificials() {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.artStart {
+			continue
+		}
+		// Find any non-artificial column to pivot in (degenerate pivot).
+		piv := -1
+		for j := 0; j < s.artStart; j++ {
+			if s.status[j] != isBasic && math.Abs(s.tab[i][j]) > 1e-7 {
+				piv = j
+				break
+			}
+		}
+		if piv < 0 {
+			continue // redundant row
+		}
+		out := s.basis[i]
+		s.status[out] = atLower
+		s.xval[out] = 0
+		s.basis[i] = piv
+		// The entering variable keeps its current value (degenerate).
+		enterVal := s.xval[piv]
+		s.status[piv] = isBasic
+		s.xB[i] = enterVal
+
+		p := s.tab[i][piv]
+		prow := s.tab[i]
+		inv := 1.0 / p
+		for j := 0; j < s.nTotal; j++ {
+			prow[j] *= inv
+		}
+		for r := 0; r < s.m; r++ {
+			if r == i {
+				continue
+			}
+			f := s.tab[r][piv]
+			if f == 0 {
+				continue
+			}
+			row := s.tab[r]
+			for j := 0; j < s.nTotal; j++ {
+				if prow[j] != 0 {
+					row[j] -= f * prow[j]
+				}
+			}
+			row[piv] = 0
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests target the bounded-variable simplex's edge paths: bound flips,
+// fixed variables, degenerate pivots, negative lower bounds, and larger
+// dense systems.
+
+func TestBoundFlipPath(t *testing.T) {
+	// max x + 10y s.t. x + y ≤ 12, x ∈ [0,10], y ∈ [0,5].
+	// Optimal pushes y to its own upper bound (a bound flip) and x to 7.
+	m := NewModel("flip", Maximize)
+	x := m.NewVar(0, 10, false, "x")
+	y := m.NewVar(0, 5, false, "y")
+	m.SetObjCoef(x, 1)
+	m.SetObjCoef(y, 10)
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, LE, 12, "c")
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal || !almostEq(sol.Obj, 57) {
+		t.Fatalf("status=%v obj=%g, want 57", sol.Status, sol.Obj)
+	}
+	if !almostEq(sol.X[y], 5) || !almostEq(sol.X[x], 7) {
+		t.Fatalf("x=%g y=%g, want 7, 5", sol.X[x], sol.X[y])
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// A variable with lo == hi must behave like a constant.
+	m := NewModel("fixed", Maximize)
+	x := m.NewVar(3, 3, false, "x")
+	y := m.NewVar(0, 10, false, "y")
+	m.SetObjCoef(y, 1)
+	m.AddConstr([]Term{{x, 2}, {y, 1}}, LE, 10, "c") // y ≤ 4
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal || !almostEq(sol.X[y], 4) {
+		t.Fatalf("status=%v y=%g, want 4", sol.Status, sol.X[y])
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x + y with x ∈ [−5, 5], y ∈ [−3, 3], x + y ≥ −6. Optimum −6.
+	m := NewModel("neg", Minimize)
+	x := m.NewVar(-5, 5, false, "x")
+	y := m.NewVar(-3, 3, false, "y")
+	m.SetObjCoef(x, 1)
+	m.SetObjCoef(y, 1)
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, GE, -6, "c")
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal || !almostEq(sol.Obj, -6) {
+		t.Fatalf("status=%v obj=%g, want -6", sol.Status, sol.Obj)
+	}
+}
+
+func TestDegenerateSystem(t *testing.T) {
+	// Multiple constraints active at the optimum (degeneracy): the solver
+	// must not cycle.
+	m := NewModel("degen", Maximize)
+	x := m.NewVar(0, 10, false, "x")
+	y := m.NewVar(0, 10, false, "y")
+	m.SetObjCoef(x, 1)
+	m.SetObjCoef(y, 1)
+	m.AddConstr([]Term{{x, 1}}, LE, 4, "c1")
+	m.AddConstr([]Term{{x, 1}, {y, 0}}, LE, 4, "c2") // duplicate face
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, LE, 7, "c3")
+	m.AddConstr([]Term{{x, 2}, {y, 2}}, LE, 14, "c4") // scaled duplicate
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal || !almostEq(sol.Obj, 7) {
+		t.Fatalf("status=%v obj=%g, want 7", sol.Status, sol.Obj)
+	}
+}
+
+func TestLargerDenseSystem(t *testing.T) {
+	// Transportation-like LP with a known optimum: min Σ c_ij x_ij with
+	// 3 supplies (10, 20, 30) and 3 demands (15, 25, 20).
+	m := NewModel("transport", Minimize)
+	cost := [3][3]float64{{8, 6, 10}, {9, 12, 13}, {14, 9, 16}}
+	var x [3][3]Var
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x[i][j] = m.NewVar(0, 60, false, "x")
+			m.SetObjCoef(x[i][j], cost[i][j])
+		}
+	}
+	supply := []float64{10, 20, 30}
+	demand := []float64{15, 25, 20}
+	for i := 0; i < 3; i++ {
+		m.AddConstr([]Term{{x[i][0], 1}, {x[i][1], 1}, {x[i][2], 1}}, EQ, supply[i], "s")
+	}
+	for j := 0; j < 3; j++ {
+		m.AddConstr([]Term{{x[0][j], 1}, {x[1][j], 1}, {x[2][j], 1}}, EQ, demand[j], "d")
+	}
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	// Verify against the known optimum of this classic instance.
+	if sol.Obj < 550 || sol.Obj > 650 {
+		t.Fatalf("obj=%g outside the plausible optimum window", sol.Obj)
+	}
+	// All flows in bounds and constraints met.
+	total := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v := sol.X[x[i][j]]
+			if v < -1e-6 {
+				t.Fatal("negative flow")
+			}
+			total += v
+		}
+	}
+	if !almostEq(total, 60) {
+		t.Fatalf("total flow %g, want 60", total)
+	}
+}
+
+func TestIntegerVariableNeedsFiniteBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for infinite integer bounds")
+		}
+	}()
+	m := NewModel("bad", Minimize)
+	m.NewVar(0, math.Inf(1), true, "x")
+}
+
+func TestBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo > hi")
+		}
+	}()
+	m := NewModel("bad", Minimize)
+	m.NewVar(3, 1, false, "x")
+}
+
+func TestUnknownVarInConstraintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModel("bad", Minimize)
+	m.AddConstr([]Term{{Var(7), 1}}, LE, 1, "c")
+}
+
+func TestSolveLPZeroConstraints(t *testing.T) {
+	// No rows at all: the optimum sits at the variable bounds.
+	m := NewModel("free", Maximize)
+	x := m.NewVar(-2, 9, false, "x")
+	m.SetObjCoef(x, 3)
+	sol := m.SolveLP()
+	if sol.Status != StatusOptimal || !almostEq(sol.Obj, 27) {
+		t.Fatalf("status=%v obj=%g, want 27", sol.Status, sol.Obj)
+	}
+}
+
+func TestMILPBranchingOnGeneralIntegers(t *testing.T) {
+	// Non-binary integer variables: max 7x + 2y, 3x + y ≤ 10, x,y ∈ [0,4].
+	// LP gives x=10/3; integer optimum x=3, y=1 → 23.
+	m := NewModel("geninteger", Maximize)
+	x := m.NewVar(0, 4, true, "x")
+	y := m.NewVar(0, 4, true, "y")
+	m.SetObjCoef(x, 7)
+	m.SetObjCoef(y, 2)
+	m.AddConstr([]Term{{x, 3}, {y, 1}}, LE, 10, "c")
+	sol := m.Solve(Params{})
+	if sol.Status != StatusOptimal || !almostEq(sol.Obj, 23) {
+		t.Fatalf("status=%v obj=%g, want 23", sol.Status, sol.Obj)
+	}
+}

@@ -1,0 +1,102 @@
+package reduce
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+)
+
+// Heuristic reduces RS_t(G) below available registers with the iterative
+// value-serialization heuristic of [14]: while the (Greedy-k) saturation
+// exceeds R, pick two currently-saturating values (u, v) and serialize
+// u before v, choosing the pair whose arcs increase the critical path least
+// (ties: larger saturation drop, then lexicographic for determinism).
+func Heuristic(g *ddg.Graph, t ddg.RegType, available int) (*Result, error) {
+	return HeuristicFiltered(g, t, available, nil)
+}
+
+// HeuristicFiltered is Heuristic with a serialization filter: candidate
+// pairs (u, v) for which allow returns false are never serialized. Global
+// CFG analysis uses this to protect entry values, whose birth is pinned to
+// the block entry and must not be delayed by added arcs.
+func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u, v int) bool) (*Result, error) {
+	cur := g
+	cpBefore := g.CriticalPath()
+	var allArcs []ddg.SerialArc
+	iterations := 0
+	maxIter := len(g.Values(t))*len(g.Values(t)) + 8
+
+	for {
+		res, err := rs.Compute(cur, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		if err != nil {
+			return nil, err
+		}
+		if res.RS <= available {
+			return &Result{
+				Graph:      cur,
+				Arcs:       allArcs,
+				RS:         res.RS,
+				CPBefore:   cpBefore,
+				CPAfter:    cur.CriticalPath(),
+				Iterations: iterations,
+			}, nil
+		}
+		if iterations >= maxIter {
+			return &Result{Graph: cur, Arcs: allArcs, RS: res.RS,
+				CPBefore: cpBefore, CPAfter: cur.CriticalPath(),
+				Spill: true, Iterations: iterations}, nil
+		}
+		iterations++
+
+		// Candidate serializations among the saturating values.
+		type cand struct {
+			u, v    int
+			arcs    []ddg.SerialArc
+			cp      int64
+			rsAfter int
+		}
+		var best *cand
+		for _, u := range res.Antichain {
+			for _, v := range res.Antichain {
+				if u == v {
+					continue
+				}
+				if allow != nil && !allow(u, v) {
+					continue
+				}
+				arcs := ValueSerializationArcs(cur, t, u, v)
+				if len(arcs) == 0 {
+					continue
+				}
+				ext, err := ApplyArcs(cur, arcs)
+				if err != nil {
+					continue // would create a circuit
+				}
+				extRS, err := rs.Compute(ext, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+				if err != nil {
+					continue
+				}
+				c := &cand{u: u, v: v, arcs: arcs, cp: ext.CriticalPath(), rsAfter: extRS.RS}
+				if best == nil ||
+					c.cp < best.cp ||
+					(c.cp == best.cp && c.rsAfter < best.rsAfter) ||
+					(c.cp == best.cp && c.rsAfter == best.rsAfter && (c.u < best.u || (c.u == best.u && c.v < best.v))) {
+					best = c
+				}
+			}
+		}
+		if best == nil {
+			// No serialization is possible: spilling unavoidable.
+			return &Result{Graph: cur, Arcs: allArcs, RS: res.RS,
+				CPBefore: cpBefore, CPAfter: cur.CriticalPath(),
+				Spill: true, Iterations: iterations}, nil
+		}
+		ext, err := ApplyArcs(cur, best.arcs)
+		if err != nil {
+			return nil, fmt.Errorf("reduce: chosen serialization became invalid: %w", err)
+		}
+		allArcs = append(allArcs, best.arcs...)
+		cur = ext
+	}
+}

@@ -1,0 +1,194 @@
+package reduce
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/ilp"
+	"regsat/internal/lp"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+)
+
+// ILPOptions configures the Section 4 exact intLP reduction.
+type ILPOptions struct {
+	// Params bounds the MILP solver.
+	Params lp.Params
+	// ApplyReductions enables the Section 3 model optimizations.
+	ApplyReductions bool
+	// GuaranteeDAG adds the topological-sort machinery (π ordering
+	// variables) that excludes optimal solutions whose serialization arcs
+	// would close non-positive circuits. Only meaningful for VLIW/EPIC
+	// targets — superscalar serialization arcs carry latency 1 and can
+	// never close a circuit.
+	GuaranteeDAG bool
+	// MakespanBound, when positive, adds σ_⊥ ≤ P (the decision variant of
+	// Definition 4.1 used by tests).
+	MakespanBound int64
+}
+
+// ExactILP solves the Section 4 intLP: keep the interference core of
+// Section 3, drop the independent-set part, and instead color the
+// interference graph with exactly R_t registers,
+//
+//	Σ_i x^i_{u^t} = 1                      (one register per value)
+//	s_{u,v} = 1 ⇒ x^i_u + x^i_v ≤ 1, ∀i   (interfering values differ)
+//	minimize σ_⊥
+//
+// then insert the Theorem 4.2 serialization arcs of the solved schedule.
+// An infeasible system means spilling is unavoidable.
+func ExactILP(g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Result, error) {
+	an, err := rs.NewAnalysis(g, t)
+	if err != nil {
+		return nil, err
+	}
+	exactRS, err := quickExactRS(g, t)
+	if err != nil {
+		return nil, err
+	}
+	if exactRS <= available && opt.MakespanBound == 0 {
+		return unchanged(g, exactRS, true), nil
+	}
+	if available < 1 {
+		r := unchanged(g, exactRS, true)
+		r.Spill = true
+		return r, nil
+	}
+
+	m := lp.NewModel(fmt.Sprintf("ReduceRS(%s,%s,R=%d)", g.Name, t, available), lp.Minimize)
+	// On zero-offset machines the latency-1 serialization arcs require
+	// strictly separated lifetimes, so the interference test is widened by
+	// one cycle (see rs.BuildCore).
+	core, _, err := rs.BuildCore(an, opt.ApplyReductions, StrictSlack(g), m)
+	if err != nil {
+		return nil, err
+	}
+	nv := len(an.Values)
+
+	// Coloring variables: x^c_i, one register c per value i.
+	colors := make([][]lp.Var, nv)
+	for i := 0; i < nv; i++ {
+		colors[i] = make([]lp.Var, available)
+		terms := make([]lp.Term, available)
+		for c := 0; c < available; c++ {
+			colors[i][c] = m.NewBinary(fmt.Sprintf("x%d(%s)", c, g.Node(an.Values[i]).Name))
+			terms[c] = lp.Term{Var: colors[i][c], Coef: 1}
+		}
+		m.AddConstr(terms, lp.EQ, 1, fmt.Sprintf("onereg(%d)", i))
+	}
+	// Interfering values cannot share a register: x^c_i + x^c_j ≤ 2 − s_{ij}.
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			key := [2]int{i, j}
+			if core.NeverAlive[key] {
+				continue // statically disjoint lifetimes: any colors work
+			}
+			s := core.S[key]
+			for c := 0; c < available; c++ {
+				m.AddConstr([]lp.Term{
+					{Var: colors[i][c], Coef: 1},
+					{Var: colors[j][c], Coef: 1},
+					{Var: s, Coef: 1},
+				}, lp.LE, 2, fmt.Sprintf("col%d(%d,%d)", c, i, j))
+			}
+		}
+	}
+
+	// Topological-sort guarantee (VLIW/EPIC): ordering variables π with
+	// π_v ≥ π_u + 1 along original edges, and whenever LT_i ≺ LT_j (the
+	// half-interference binary h_{i→j} is 0), the would-be serialization
+	// arcs must also respect π.
+	if opt.GuaranteeDAG && g.Machine.HasOffsets() {
+		n := g.NumNodes()
+		pi := make([]lp.Var, n)
+		for u := 0; u < n; u++ {
+			pi[u] = m.NewVar(0, float64(n-1), true, fmt.Sprintf("pi(%s)", g.Node(u).Name))
+		}
+		for _, e := range g.Edges() {
+			ilp.GE(m, ilp.VarExpr(pi[e.To]).Minus(ilp.VarExpr(pi[e.From])).AddConst(-1),
+				fmt.Sprintf("piedge(%s,%s)", g.Node(e.From).Name, g.Node(e.To).Name))
+		}
+		for i := 0; i < nv; i++ {
+			for j := 0; j < nv; j++ {
+				if i == j {
+					continue
+				}
+				h, ok := core.H[[2]int{i, j}]
+				if !ok {
+					continue // statically handled pair
+				}
+				for _, a := range ValueSerializationArcs(g, t, an.Values[i], an.Values[j]) {
+					if a.From == a.To {
+						continue
+					}
+					// h_{i→j} = 0 (i.e. LT_i ≺ LT_j) ⇒ π_to ≥ π_from + 1.
+					ilp.ImpliesGEWhenZero(m, h,
+						ilp.VarExpr(pi[a.To]).Minus(ilp.VarExpr(pi[a.From])).AddConst(-1),
+						fmt.Sprintf("piser(%d,%d,%s)", i, j, g.Node(a.From).Name))
+				}
+			}
+		}
+	}
+
+	// Objective: minimize the total schedule time σ_⊥.
+	m.SetObjCoef(core.Sigma[g.Bottom()], 1)
+	if opt.MakespanBound > 0 {
+		m.AddConstr([]lp.Term{{Var: core.Sigma[g.Bottom()], Coef: 1}},
+			lp.LE, float64(opt.MakespanBound), "makespan")
+	}
+
+	sol := m.Solve(opt.Params)
+	switch sol.Status {
+	case lp.StatusOptimal, lp.StatusFeasible:
+	case lp.StatusInfeasible:
+		r := unchanged(g, exactRS, true)
+		r.Spill = true
+		return r, nil
+	default:
+		return nil, fmt.Errorf("reduce: intLP for %s/%s: %v", g.Name, t, sol.Status)
+	}
+
+	times := make([]int64, g.NumNodes())
+	for u, sv := range core.Sigma {
+		times[u] = sol.IntValue(sv)
+	}
+	sched := schedule.New(g, times)
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("reduce: intLP schedule invalid: %w", err)
+	}
+	if rn := sched.RegisterNeed(t); rn > available {
+		return nil, fmt.Errorf("reduce: intLP schedule needs %d > %d registers", rn, available)
+	}
+	arcs, err := SerializationArcs(g, t, sched)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := ApplyArcs(g, arcs)
+	if err != nil {
+		return nil, err
+	}
+	extRS, err := quickExactRS(ext, t)
+	if err != nil {
+		return nil, err
+	}
+	if extRS > available {
+		return nil, fmt.Errorf("reduce: intLP extension has RS=%d > R=%d", extRS, available)
+	}
+	return &Result{
+		Graph:    ext,
+		Arcs:     arcs,
+		RS:       extRS,
+		CPBefore: g.CriticalPath(),
+		CPAfter:  ext.CriticalPath(),
+		Schedule: sched,
+		Exact:    sol.Status == lp.StatusOptimal,
+	}, nil
+}
+
+func quickExactRS(g *ddg.Graph, t ddg.RegType) (int, error) {
+	res, err := rs.Compute(g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.RS, nil
+}

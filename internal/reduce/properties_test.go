@@ -1,0 +1,131 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+	"regsat/internal/schedule"
+)
+
+func asapOf(t *testing.T, g *ddg.Graph) *schedule.Schedule {
+	t.Helper()
+	s, err := schedule.ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestReductionIdempotent: reducing a graph already reduced to R must add
+// nothing more (the RS pass leaves fitting DAGs untouched).
+func TestReductionIdempotent(t *testing.T) {
+	for _, name := range []string{"spec-swim", "liv-l2", "syn-wide8"} {
+		g := kernels.ByNameMust(name).Build(ddg.Superscalar)
+		R := exactRS(t, g, ddg.Float) - 1
+		if R < 1 {
+			continue
+		}
+		first, err := Heuristic(g, ddg.Float, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Spill {
+			continue
+		}
+		second, err := Heuristic(first.Graph, ddg.Float, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(second.Arcs) != 0 {
+			t.Fatalf("%s: second reduction added %d arcs", name, len(second.Arcs))
+		}
+		if second.Graph != first.Graph {
+			t.Fatalf("%s: second reduction replaced the graph", name)
+		}
+	}
+}
+
+// TestReductionMonotonicity: a tighter register budget can never yield a
+// shorter critical path (exact reducer, small graphs).
+func TestReductionMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 25 && checked < 8; trial++ {
+		p := ddg.DefaultRandomParams(4 + rng.Intn(3))
+		p.MaxLatency = 2
+		g := ddg.RandomGraph(rng, p)
+		rsv := exactRS(t, g, ddg.Float)
+		if rsv < 3 {
+			continue
+		}
+		var prevCP int64 = -1
+		ok := true
+		for R := rsv - 1; R >= 1 && ok; R-- {
+			res, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Spill || !res.Exact {
+				ok = false
+				continue
+			}
+			if prevCP >= 0 && res.CPAfter < prevCP {
+				t.Fatalf("trial %d: CP decreased from %d to %d when tightening R to %d\n%s",
+					trial, prevCP, res.CPAfter, R, g.Format())
+			}
+			prevCP = res.CPAfter
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// TestReductionNeverIncreasesSaturation: adding serialization arcs restricts
+// the schedule set, so RS can only shrink.
+func TestReductionNeverIncreasesSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		p := ddg.DefaultRandomParams(4 + rng.Intn(5))
+		p.MaxLatency = 3
+		g := ddg.RandomGraph(rng, p)
+		rsv := exactRS(t, g, ddg.Float)
+		if rsv < 2 {
+			continue
+		}
+		res, err := Heuristic(g, ddg.Float, rsv-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Spill {
+			continue
+		}
+		if after := exactRS(t, res.Graph, ddg.Float); after > rsv {
+			t.Fatalf("trial %d: RS grew %d → %d after adding arcs", trial, rsv, after)
+		}
+	}
+}
+
+// TestSchedulesOfExtensionAreSchedulesOfOriginal: Σ(Ḡ) ⊆ Σ(G) — every
+// schedule valid for the extension is valid for the original.
+func TestSchedulesOfExtensionAreSchedulesOfOriginal(t *testing.T) {
+	g := kernels.ByNameMust("liv-l2").Build(ddg.Superscalar)
+	R := exactRS(t, g, ddg.Float) - 2
+	res, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spill {
+		t.Skip("not reducible")
+	}
+	// ASAP of the extension must validate against the original graph.
+	s := asapOf(t, res.Graph)
+	orig := *s
+	orig.G = g
+	if err := orig.Validate(); err != nil {
+		t.Fatalf("extension schedule invalid on original: %v", err)
+	}
+}

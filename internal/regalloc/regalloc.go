@@ -1,0 +1,97 @@
+// Package regalloc performs register allocation on a scheduled DDG — the
+// last stage of the paper's Figure 1 pipeline. After the RS pass has
+// guaranteed RS_t(G) ≤ R_t, any valid schedule allocates without spilling;
+// this package makes that guarantee concrete and detects violations.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"regsat/internal/ddg"
+	"regsat/internal/interference"
+	"regsat/internal/schedule"
+)
+
+// Allocation is the result of allocating one register type.
+type Allocation struct {
+	Type ddg.RegType
+	// Registers maps each value-defining node to its register index.
+	Registers map[int]int
+	// Used is the number of distinct registers used (= MAXLIVE of the
+	// schedule, since lifetime intervals form an interval graph).
+	Used int
+}
+
+// ErrNotEnoughRegisters reports an allocation that would need spill code.
+type ErrNotEnoughRegisters struct {
+	Type      ddg.RegType
+	Need, Has int
+}
+
+func (e *ErrNotEnoughRegisters) Error() string {
+	return fmt.Sprintf("regalloc: type %s needs %d registers, only %d available (spill required)",
+		e.Type, e.Need, e.Has)
+}
+
+// Allocate assigns registers of type t to the values of the scheduled DDG.
+// It fails with *ErrNotEnoughRegisters if the schedule's register need
+// exceeds available.
+func Allocate(s *schedule.Schedule, t ddg.RegType, available int) (*Allocation, error) {
+	ig := interference.Build(s, t)
+	col := ig.ColorLeftEdge()
+	if col.NumColors > available {
+		return nil, &ErrNotEnoughRegisters{Type: t, Need: col.NumColors, Has: available}
+	}
+	if !col.Verify(ig) {
+		return nil, fmt.Errorf("regalloc: internal error: invalid coloring for type %s", t)
+	}
+	return &Allocation{Type: t, Registers: col.Assignment, Used: col.NumColors}, nil
+}
+
+// AllocateAll allocates every register type of the graph, given per-type
+// register file sizes (types missing from the map are unlimited).
+func AllocateAll(s *schedule.Schedule, files map[ddg.RegType]int) (map[ddg.RegType]*Allocation, error) {
+	out := map[ddg.RegType]*Allocation{}
+	for _, t := range s.G.Types() {
+		available := int(^uint(0) >> 1)
+		if r, ok := files[t]; ok {
+			available = r
+		}
+		a, err := Allocate(s, t, available)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = a
+	}
+	return out, nil
+}
+
+// Listing renders a readable register-annotated schedule listing, ordered by
+// issue time, for examples and tools.
+func Listing(s *schedule.Schedule, allocs map[ddg.RegType]*Allocation) string {
+	type line struct {
+		time int64
+		text string
+	}
+	var lines []line
+	for u := 0; u < s.G.NumNodes(); u++ {
+		n := s.G.Node(u)
+		if s.G.Bottom() == u {
+			continue
+		}
+		text := fmt.Sprintf("t=%3d  %-8s %-6s", s.Times[u], n.Name, n.Op)
+		for t, a := range allocs {
+			if n.WritesType(t) {
+				text += fmt.Sprintf("  -> %s:r%d", t, a.Registers[u])
+			}
+		}
+		lines = append(lines, line{s.Times[u], text})
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].time < lines[j].time })
+	out := ""
+	for _, l := range lines {
+		out += l.text + "\n"
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package regalloc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/schedule"
+)
+
+func buildScheduled(t *testing.T) (*ddg.Graph, *schedule.Schedule) {
+	t.Helper()
+	g := ddg.New("alloc", ddg.Superscalar)
+	a := g.AddNode("a", "load", 2)
+	b := g.AddNode("b", "load", 2)
+	s1 := g.AddNode("s1", "fadd", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.SetWrites(s1, ddg.Float, 0)
+	g.AddFlowEdge(a, s1, ddg.Float)
+	g.AddFlowEdge(b, s1, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sched
+}
+
+func TestAllocateSuccess(t *testing.T) {
+	_, s := buildScheduled(t)
+	a, err := Allocate(s, ddg.Float, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used < 2 {
+		t.Fatalf("used=%d, want ≥ 2 (a and b overlap)", a.Used)
+	}
+	if len(a.Registers) != 3 {
+		t.Fatalf("assignments=%d, want 3", len(a.Registers))
+	}
+}
+
+func TestAllocateSpillDetection(t *testing.T) {
+	_, s := buildScheduled(t)
+	_, err := Allocate(s, ddg.Float, 1)
+	var spill *ErrNotEnoughRegisters
+	if !errors.As(err, &spill) {
+		t.Fatalf("err=%v, want ErrNotEnoughRegisters", err)
+	}
+	if spill.Need < 2 || spill.Has != 1 {
+		t.Fatalf("spill report wrong: %v", spill)
+	}
+	if !strings.Contains(spill.Error(), "spill") {
+		t.Fatal("error text should mention spilling")
+	}
+}
+
+func TestAllocateAll(t *testing.T) {
+	_, s := buildScheduled(t)
+	allocs, err := AllocateAll(s, map[ddg.RegType]int{ddg.Float: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[ddg.Float] == nil {
+		t.Fatal("missing float allocation")
+	}
+}
+
+func TestAllocateAllPropagatesSpill(t *testing.T) {
+	_, s := buildScheduled(t)
+	if _, err := AllocateAll(s, map[ddg.RegType]int{ddg.Float: 1}); err == nil {
+		t.Fatal("expected spill error")
+	}
+}
+
+func TestListing(t *testing.T) {
+	g, s := buildScheduled(t)
+	allocs, err := AllocateAll(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(s, allocs)
+	for _, name := range []string{"a", "b", "s1"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("listing missing node %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "_bot") {
+		t.Fatal("listing leaked ⊥")
+	}
+	_ = g
+}

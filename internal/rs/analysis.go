@@ -1,0 +1,134 @@
+// Package rs implements the paper's primary contribution: computing the
+// register saturation RS_t(G) of a data dependence DAG — the exact maximum
+// of the register requirement over all valid schedules — by three methods:
+//
+//   - the Greedy-k heuristic of [14] (killing functions + maximum antichains),
+//   - an exact combinatorial branch-and-bound over valid killing functions,
+//   - the paper's exact intLP formulation (Section 3), solved with the
+//     in-repo MILP solver.
+//
+// The theory (from [14] and the thesis [15]): a value u^t dies when its last
+// consumer reads it. The *potential killers* pkill(u^t) are the consumers
+// not provably read-dominated by another consumer. Choosing one killer per
+// value (a killing function k) and enforcing it with serialization arcs
+// yields the extended DAG G→k, in which value lifetimes are pinned; the
+// relation "u's lifetime is always before v's" is then decidable by longest
+// paths and forms a partial order DV_k whose maximum antichain is the
+// register need achievable under k. RS is the maximum over valid killing
+// functions (valid = the enforcement arcs keep G→k acyclic).
+package rs
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/graph"
+)
+
+// Analysis precomputes, for one register type, everything the RS algorithms
+// share: the value set, consumer sets, longest paths, and potential killers.
+type Analysis struct {
+	G    *ddg.Graph
+	Type ddg.RegType
+
+	// Values lists V_{R,t} (defining node IDs, increasing).
+	Values []int
+	// Index maps a defining node ID to its dense value index.
+	Index map[int]int
+	// Cons[i] is Cons(Values[i]^t).
+	Cons [][]int
+	// PKill[i] ⊆ Cons[i] is the set of potential killers of value i.
+	PKill [][]int
+	// AP is the all-pairs longest-path matrix of the original graph.
+	AP *graph.AllPairsLongest
+}
+
+// NewAnalysis builds the per-type analysis. The graph must be finalized so
+// every value has at least one consumer (possibly ⊥).
+func NewAnalysis(g *ddg.Graph, t ddg.RegType) (*Analysis, error) {
+	if !g.Finalized() {
+		return nil, fmt.Errorf("rs: graph %s is not finalized", g.Name)
+	}
+	ap, err := g.ToDigraph().LongestAllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("rs: graph %s: %w", g.Name, err)
+	}
+	an := &Analysis{
+		G:      g,
+		Type:   t,
+		Values: g.Values(t),
+		Index:  map[int]int{},
+		AP:     ap,
+	}
+	for i, u := range an.Values {
+		an.Index[u] = i
+		cons := g.Cons(u, t)
+		if len(cons) == 0 {
+			return nil, fmt.Errorf("rs: value %s^%s has no consumer", g.Node(u).Name, t)
+		}
+		an.Cons = append(an.Cons, cons)
+		an.PKill = append(an.PKill, an.potentialKillers(cons))
+	}
+	return an, nil
+}
+
+// readDominated reports whether consumer v's read is dominated by consumer
+// w's read in every schedule: σ_w + δr(w) ≥ σ_v + δr(v) always, which holds
+// iff lp(v, w) ≥ δr(v) − δr(w). (On superscalar targets, where δr = 0, this
+// degenerates to plain reachability — Touati's ↓w ∩ Cons(u) = {w} rule.)
+func (an *Analysis) readDominated(v, w int) bool {
+	lp := an.AP.Path(v, w)
+	if lp == graph.NoPath {
+		return false
+	}
+	return lp >= an.G.Node(v).DelayR-an.G.Node(w).DelayR
+}
+
+// potentialKillers returns the consumers that are not read-dominated by any
+// other consumer. The killing date max is always attained by one of them.
+func (an *Analysis) potentialKillers(cons []int) []int {
+	var out []int
+	for _, v := range cons {
+		dominated := false
+		for _, w := range cons {
+			if w != v && an.readDominated(v, w) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	// Defensive: the max read is always attained somewhere, so the set can
+	// never be empty (mutual domination would require a cycle).
+	if len(out) == 0 {
+		panic("rs: empty potential killer set")
+	}
+	return out
+}
+
+// NumKillingFunctions returns the number of killer combinations
+// Π_i |pkill(i)| (not all of which are valid).
+func (an *Analysis) NumKillingFunctions() int64 {
+	total := int64(1)
+	for _, pk := range an.PKill {
+		total *= int64(len(pk))
+		if total > 1<<40 {
+			return 1 << 40 // saturate; only used for reporting
+		}
+	}
+	return total
+}
+
+// DelayW returns δw of value i (the write offset of its defining node for
+// this register type).
+func (an *Analysis) DelayW(i int) int64 {
+	return an.G.Node(an.Values[i]).DelayW(an.Type)
+}
+
+// TrivialRS reports the case the paper dispatches on before any analysis:
+// if |V_{R,t}| ≤ R_t no schedule can need more than R_t registers.
+func (an *Analysis) TrivialRS(available int) bool {
+	return len(an.Values) <= available
+}

@@ -1,0 +1,170 @@
+package rs
+
+import (
+	"fmt"
+	"sort"
+
+	"regsat/internal/graph"
+)
+
+// ExactStats reports the work done by the combinatorial exact search.
+type ExactStats struct {
+	// Leaves is the number of complete killing functions evaluated.
+	Leaves int64
+	// Pruned is the number of subtrees cut by the antichain upper bound.
+	Pruned int64
+	// Capped is true when the node budget was exhausted; the result is then
+	// only a lower bound.
+	Capped bool
+}
+
+// ExactBB computes the exact register saturation by branch-and-bound over
+// valid killing functions (the saturation problem is NP-complete [14], but
+// loop-body DAGs have few multi-killer values). maxLeaves caps the search
+// (0 = default 1e6); if the cap is hit, the best found is returned with
+// Stats.Capped set.
+func ExactBB(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
+	if maxLeaves == 0 {
+		maxLeaves = 1_000_000
+	}
+	nv := len(an.Values)
+	stats := &ExactStats{}
+
+	// Branch only on multi-choice values, most-constrained (fewest killers)
+	// first; single-choice killers are fixed up front.
+	killer := make([]int, nv)
+	var branch []int
+	for i := 0; i < nv; i++ {
+		if len(an.PKill[i]) == 1 {
+			killer[i] = an.PKill[i][0]
+		} else {
+			killer[i] = -1
+			branch = append(branch, i)
+		}
+	}
+	sort.Slice(branch, func(a, b int) bool {
+		ia, ib := branch[a], branch[b]
+		if len(an.PKill[ia]) != len(an.PKill[ib]) {
+			return len(an.PKill[ia]) < len(an.PKill[ib])
+		}
+		return an.Values[ia] < an.Values[ib]
+	})
+
+	var best *RSResult
+	var rec func(pos int) error
+	rec = func(pos int) error {
+		if stats.Capped {
+			return nil
+		}
+		if pos == len(branch) {
+			stats.Leaves++
+			if stats.Leaves >= maxLeaves {
+				stats.Capped = true
+			}
+			k, err := NewKilling(an, killer)
+			if err != nil {
+				return err
+			}
+			res, err := k.Saturation()
+			if err != nil {
+				return nil // invalid (cyclic) killing function: skip leaf
+			}
+			if best == nil || res.RS > best.RS {
+				best = res
+			}
+			return nil
+		}
+		// Upper bound: the order induced by the already-decided killers only.
+		// Adding more decisions can only add order pairs, which can only
+		// shrink the maximum antichain.
+		if best != nil {
+			ub, feasible := partialUpperBound(an, killer)
+			if !feasible {
+				return nil // current partial extension already cyclic
+			}
+			if ub <= best.RS {
+				stats.Pruned++
+				return nil
+			}
+		}
+		i := branch[pos]
+		for _, cand := range an.PKill[i] {
+			killer[i] = cand
+			if err := rec(pos + 1); err != nil {
+				return err
+			}
+		}
+		killer[i] = -1
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, stats, err
+	}
+	if best == nil {
+		return nil, stats, fmt.Errorf("rs: no valid killing function for %s/%s", an.G.Name, an.Type)
+	}
+	return best, stats, nil
+}
+
+// partialUpperBound computes the maximum antichain of the order induced by
+// the decided killers only (-1 = undecided contributes no pairs). Returns
+// feasible=false when the partial extension is already cyclic.
+func partialUpperBound(an *Analysis, killer []int) (int, bool) {
+	dg := an.G.ToDigraph()
+	for i, k := range killer {
+		if k >= 0 {
+			addEnforcement(dg, an, i, k)
+		}
+	}
+	ap, err := dg.LongestAllPairs()
+	if err != nil {
+		return 0, false
+	}
+	o := graph.NewOrder(len(an.Values))
+	for i, k := range killer {
+		if k < 0 {
+			continue
+		}
+		kRead := an.G.Node(k).DelayR
+		for j, vj := range an.Values {
+			if i == j {
+				continue
+			}
+			lp := ap.D[k][vj]
+			if lp != graph.NoPath && lp >= kRead-an.DelayW(j) {
+				o.SetLess(i, j)
+			}
+		}
+	}
+	return o.MaximumAntichain().Size, true
+}
+
+// EnumerateValidKillings calls visit for every valid killing function; visit
+// returns false to stop. Exponential — used by tests as an oracle.
+func EnumerateValidKillings(an *Analysis, visit func(k *Killing) bool) error {
+	nv := len(an.Values)
+	killer := make([]int, nv)
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == nv {
+			k, err := NewKilling(an, killer)
+			if err != nil {
+				return false, err
+			}
+			if !k.Valid() {
+				return true, nil
+			}
+			return visit(k), nil
+		}
+		for _, cand := range an.PKill[i] {
+			killer[i] = cand
+			cont, err := rec(i + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(0)
+	return err
+}

@@ -1,0 +1,122 @@
+package rs
+
+import (
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+)
+
+// goldenRS locks in the exact register saturation of every kernel. The
+// values were cross-validated against brute-force schedule enumeration (for
+// the small kernels) and the intLP; a change here means the analysis or the
+// kernel definitions changed semantically.
+var goldenRS = map[string]map[ddg.RegType]int{
+	"fig2":         {ddg.Float: 4},
+	"lin-daxpy":    {ddg.Float: 2, ddg.Int: 4},
+	"lin-daxpy-u4": {ddg.Float: 8, ddg.Int: 4},
+	"liv-l4":       {ddg.Float: 7},
+	"liv-l9":       {ddg.Float: 9},
+	"liv-l10":      {ddg.Float: 6},
+	"liv-l18":      {ddg.Float: 8},
+	"whet-p4":      {ddg.Int: 6},
+	"spec-mgrid":   {ddg.Float: 8},
+	"spec-su2cor":  {ddg.Float: 8},
+	"lin-ddot":     {ddg.Float: 4, ddg.Int: 4},
+	"lin-dscal":    {ddg.Float: 2, ddg.Int: 2},
+	"liv-l1":       {ddg.Float: 3, ddg.Int: 2},
+	"liv-l2":       {ddg.Float: 5},
+	"liv-l3":       {ddg.Float: 4},
+	"liv-l5":       {ddg.Float: 3},
+	"liv-l7":       {ddg.Float: 12},
+	"liv-l11":      {ddg.Float: 2, ddg.Int: 1},
+	"liv-l12":      {ddg.Float: 3},
+	"whet-p3":      {ddg.Float: 5},
+	"whet-p8":      {ddg.Float: 4},
+	"spec-swim":    {ddg.Float: 9},
+	"spec-tomcatv": {ddg.Float: 8},
+	"spec-fpppp":   {ddg.Float: 4},
+	"syn-wide8":    {ddg.Float: 8},
+	"syn-chain6":   {ddg.Float: 1},
+	"syn-fork4":    {ddg.Float: 4},
+	"syn-diamond":  {ddg.Float: 2},
+	"syn-mixed":    {ddg.Float: 3, ddg.Int: 4},
+}
+
+func TestGoldenKernelSaturations(t *testing.T) {
+	for _, machine := range []ddg.MachineKind{ddg.Superscalar, ddg.VLIW} {
+		for _, spec := range kernels.All() {
+			want, ok := goldenRS[spec.Name]
+			if !ok {
+				t.Errorf("kernel %s missing from the golden table", spec.Name)
+				continue
+			}
+			g := spec.Build(machine)
+			for _, typ := range g.Types() {
+				wantRS, ok := want[typ]
+				if !ok {
+					t.Errorf("%s/%s missing from the golden table", spec.Name, typ)
+					continue
+				}
+				res, err := Compute(g, typ, Options{Method: MethodExactBB, SkipWitness: true})
+				if err != nil {
+					t.Fatalf("%s/%s on %s: %v", spec.Name, typ, machine, err)
+				}
+				if !res.Exact {
+					t.Fatalf("%s/%s on %s: exact capped", spec.Name, typ, machine)
+				}
+				if res.RS != wantRS {
+					t.Errorf("%s/%s on %s: RS=%d, golden %d",
+						spec.Name, typ, machine, res.RS, wantRS)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenGreedyMatchesExactOnSuite locks in the measured E3 headline: on
+// this suite the Greedy-k heuristic is exactly optimal everywhere (the paper
+// reports error ≤ 1 register in very few cases; ours shows zero here, with
+// errors appearing only on adversarial random DAGs).
+func TestGoldenGreedyMatchesExactOnSuite(t *testing.T) {
+	for _, spec := range kernels.All() {
+		g := spec.Build(ddg.Superscalar)
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			greedy, err := Greedy(an)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := goldenRS[spec.Name][typ]; greedy.RS != want {
+				t.Errorf("%s/%s: greedy RS=%d, exact %d", spec.Name, typ, greedy.RS, want)
+			}
+		}
+	}
+}
+
+// TestGoldenWitnessesAchieveSaturation verifies, for every kernel, that the
+// returned saturating schedule actually realizes the golden RS — the
+// saturation is not just an upper bound but attained.
+func TestGoldenWitnessesAchieveSaturation(t *testing.T) {
+	for _, spec := range kernels.All() {
+		g := spec.Build(ddg.Superscalar)
+		for _, typ := range g.Types() {
+			res, err := Compute(g, typ, Options{Method: MethodExactBB})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Witness == nil {
+				t.Fatalf("%s/%s: no witness", spec.Name, typ)
+			}
+			if err := res.Witness.Validate(); err != nil {
+				t.Fatalf("%s/%s: invalid witness: %v", spec.Name, typ, err)
+			}
+			if rn := res.Witness.RegisterNeed(typ); rn != res.RS {
+				t.Errorf("%s/%s: witness RN=%d, RS=%d", spec.Name, typ, rn, res.RS)
+			}
+		}
+	}
+}

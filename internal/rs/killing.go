@@ -1,0 +1,116 @@
+package rs
+
+import (
+	"fmt"
+
+	"regsat/internal/graph"
+)
+
+// Killing is a killing function: one chosen killer per value.
+type Killing struct {
+	An *Analysis
+	// Killer[i] is the node ID chosen to kill value i; it must be a member
+	// of An.PKill[i].
+	Killer []int
+}
+
+// NewKilling wraps a killer choice (node IDs, one per value).
+func NewKilling(an *Analysis, killer []int) (*Killing, error) {
+	if len(killer) != len(an.Values) {
+		return nil, fmt.Errorf("rs: killing function has %d entries for %d values",
+			len(killer), len(an.Values))
+	}
+	for i, k := range killer {
+		ok := false
+		for _, cand := range an.PKill[i] {
+			if cand == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("rs: node %s is not a potential killer of value %s",
+				an.G.Node(k).Name, an.G.Node(an.Values[i]).Name)
+		}
+	}
+	return &Killing{An: an, Killer: append([]int(nil), killer...)}, nil
+}
+
+// ExtendedGraph builds G→k: the original dependence graph plus, for every
+// value i and every other potential killer v′ ≠ k(i), an enforcement arc
+// (v′, k(i)) with latency δr(v′) − δr(k(i)). In any schedule of G→k the
+// killing date of value i is pinned to σ(k(i)) + δr(k(i)).
+func (k *Killing) ExtendedGraph() *graph.Digraph {
+	an := k.An
+	dg := an.G.ToDigraph()
+	for i, killer := range k.Killer {
+		for _, other := range an.PKill[i] {
+			if other == killer {
+				continue
+			}
+			lat := an.G.Node(other).DelayR - an.G.Node(killer).DelayR
+			dg.AddEdge(other, killer, lat)
+		}
+	}
+	return dg
+}
+
+// Valid reports whether the extended graph is still a DAG. (On superscalar
+// targets every killing function is valid; visible offsets on VLIW/EPIC can
+// produce cycles, which the paper excludes for RS computation.)
+func (k *Killing) Valid() bool {
+	return k.ExtendedGraph().IsDAG()
+}
+
+// Order computes DV_k: the partial order over value indices where i ≺ j iff
+// value i's lifetime ends no later than value j's starts in *every* schedule
+// of G→k, decided by lp_{G→k}(k(i), v_j) ≥ δr(k(i)) − δw(v_j).
+// It errors if the extended graph is cyclic (invalid killing function).
+func (k *Killing) Order() (*graph.Order, error) {
+	an := k.An
+	ext := k.ExtendedGraph()
+	ap, err := ext.LongestAllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("rs: invalid killing function (extended graph cyclic): %w", err)
+	}
+	o := graph.NewOrder(len(an.Values))
+	for i := range an.Values {
+		killer := k.Killer[i]
+		killerRead := an.G.Node(killer).DelayR
+		for j, vj := range an.Values {
+			if i == j {
+				continue
+			}
+			lp := ap.D[killer][vj]
+			if lp == graph.NoPath {
+				continue
+			}
+			if lp >= killerRead-an.DelayW(j) {
+				o.SetLess(i, j)
+			}
+		}
+	}
+	return o, nil
+}
+
+// RSResult is the saturation computed for one killing function.
+type RSResult struct {
+	RS        int
+	Antichain []int // node IDs of one maximum antichain (saturating values)
+	Killing   *Killing
+}
+
+// Saturation computes RS_k = the maximum antichain of DV_k, with a witness
+// antichain in node IDs.
+func (k *Killing) Saturation() (*RSResult, error) {
+	o, err := k.Order()
+	if err != nil {
+		return nil, err
+	}
+	res := o.MaximumAntichain()
+	out := &RSResult{RS: res.Size, Killing: k}
+	for _, idx := range res.Members {
+		out.Antichain = append(out.Antichain, k.An.Values[idx])
+	}
+	return out, nil
+}

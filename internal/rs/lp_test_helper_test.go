@@ -1,0 +1,13 @@
+package rs
+
+import (
+	"time"
+
+	"regsat/internal/lp"
+)
+
+// lpDefaults bounds MILP solves in tests so a pathological instance cannot
+// hang the suite.
+func lpDefaults() lp.Params {
+	return lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second}
+}

@@ -1,0 +1,150 @@
+package rs
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/lp"
+	"regsat/internal/schedule"
+)
+
+// Method selects how the saturation is computed.
+type Method int
+
+const (
+	// MethodGreedy is the near-optimal Greedy-k heuristic of [14]
+	// (polynomial; may under-estimate RS, empirically by at most one).
+	MethodGreedy Method = iota
+	// MethodExactBB is the exact combinatorial branch-and-bound over valid
+	// killing functions.
+	MethodExactBB
+	// MethodExactILP is the paper's Section 3 intLP formulation solved with
+	// the in-repo MILP solver.
+	MethodExactILP
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodGreedy:
+		return "greedy-k"
+	case MethodExactBB:
+		return "exact-bb"
+	default:
+		return "exact-intlp"
+	}
+}
+
+// Options configures Compute.
+type Options struct {
+	Method Method
+	// MaxLeaves caps the exact-BB search (0 = default).
+	MaxLeaves int64
+	// ApplyReductions enables the Section 3 model optimizations for the
+	// intLP method.
+	ApplyReductions bool
+	// LP bounds the MILP solver for the intLP method.
+	LP lp.Params
+	// SkipWitness suppresses the construction of a saturating schedule.
+	SkipWitness bool
+}
+
+// Result is the register saturation of one register type.
+type Result struct {
+	Type ddg.RegType
+	// RS is the computed saturation: exact when Exact, otherwise a valid
+	// achievable lower bound RS* ≤ RS.
+	RS int
+	// Antichain lists the saturating values (node IDs): a set of values
+	// that some schedule keeps simultaneously alive.
+	Antichain []int
+	// Exact reports whether RS is proven maximal.
+	Exact bool
+	// Witness is a valid schedule of G realizing RS simultaneously-alive
+	// values (nil if SkipWitness).
+	Witness *schedule.Schedule
+	// Killing is the killing function behind the result (nil for intLP).
+	Killing *Killing
+	// ILP carries intLP model info when MethodExactILP ran.
+	ILP *ILPInfo
+}
+
+// Compute computes the register saturation RS_t(G) using the selected
+// method. The graph must be finalized.
+func Compute(g *ddg.Graph, t ddg.RegType, opts Options) (*Result, error) {
+	an, err := NewAnalysis(g, t)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeWithAnalysis(an, opts)
+}
+
+// ComputeWithAnalysis is Compute with a prebuilt Analysis (to share it
+// across methods, as the experiments do).
+func ComputeWithAnalysis(an *Analysis, opts Options) (*Result, error) {
+	if len(an.Values) == 0 {
+		return &Result{Type: an.Type, RS: 0, Exact: true}, nil
+	}
+	switch opts.Method {
+	case MethodGreedy:
+		res, err := Greedy(an)
+		if err != nil {
+			return nil, err
+		}
+		return finishCombinatorial(an, res, false, opts)
+	case MethodExactBB:
+		res, stats, err := ExactBB(an, opts.MaxLeaves)
+		if err != nil {
+			return nil, err
+		}
+		return finishCombinatorial(an, res, !stats.Capped, opts)
+	case MethodExactILP:
+		ires, err := ExactILP(an, opts.ApplyReductions, opts.LP)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{
+			Type:      an.Type,
+			RS:        ires.RS,
+			Antichain: ires.Antichain,
+			Exact:     ires.Exact,
+			ILP:       ires.Info,
+		}
+		if !opts.SkipWitness {
+			out.Witness = ires.Witness
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rs: unknown method %d", opts.Method)
+	}
+}
+
+func finishCombinatorial(an *Analysis, res *RSResult, exact bool, opts Options) (*Result, error) {
+	out := &Result{
+		Type:      an.Type,
+		RS:        res.RS,
+		Antichain: res.Antichain,
+		Exact:     exact,
+		Killing:   res.Killing,
+	}
+	if !opts.SkipWitness {
+		w, err := SaturatingSchedule(res)
+		if err != nil {
+			return nil, err
+		}
+		out.Witness = w
+	}
+	return out, nil
+}
+
+// ComputeAll computes the saturation of every register type of the graph.
+func ComputeAll(g *ddg.Graph, opts Options) (map[ddg.RegType]*Result, error) {
+	out := map[ddg.RegType]*Result{}
+	for _, t := range g.Types() {
+		r, err := Compute(g, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,399 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/schedule"
+)
+
+// bruteRS computes the exact register saturation by enumerating every valid
+// schedule within the horizon — the ground-truth oracle (tiny graphs only).
+func bruteRS(t *testing.T, g *ddg.Graph, typ ddg.RegType, T int64) int {
+	t.Helper()
+	best := 0
+	err := schedule.ForEach(g, T, func(times []int64) bool {
+		s := schedule.New(g, times)
+		if rn := s.RegisterNeed(typ); rn > best {
+			best = rn
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best
+}
+
+// tinyRandom builds a random tiny superscalar DDG with unit-ish latencies so
+// the schedule space stays enumerable.
+func tinyRandom(rng *rand.Rand, n int) *ddg.Graph {
+	p := ddg.DefaultRandomParams(n)
+	p.MaxLatency = 2
+	p.EdgeProb = 0.4
+	return ddg.RandomGraph(rng, p)
+}
+
+func TestPotentialKillersForkJoin(t *testing.T) {
+	// src feeds f0..f3 (unordered): all four are potential killers.
+	g := ddg.New("fork", ddg.Superscalar)
+	src := g.AddNode("src", "load", 1)
+	g.SetWrites(src, ddg.Float, 0)
+	for i := 0; i < 4; i++ {
+		f := g.AddNode("f", "fmul", 1)
+		g.SetWrites(f, ddg.Float, 0)
+		g.AddFlowEdge(src, f, ddg.Float)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalysis(g, ddg.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.PKill[an.Index[src]]) != 4 {
+		t.Fatalf("pkill(src)=%v, want 4 killers", an.PKill[an.Index[src]])
+	}
+}
+
+func TestPotentialKillersChainDominated(t *testing.T) {
+	// src feeds both mid and end, with mid → end: end dominates mid, so
+	// pkill(src) = {end}.
+	g := ddg.New("dom", ddg.Superscalar)
+	src := g.AddNode("src", "load", 1)
+	mid := g.AddNode("mid", "fmul", 1)
+	end := g.AddNode("end", "fadd", 1)
+	g.SetWrites(src, ddg.Float, 0)
+	g.SetWrites(mid, ddg.Float, 0)
+	g.SetWrites(end, ddg.Float, 0)
+	g.AddFlowEdge(src, mid, ddg.Float)
+	g.AddFlowEdge(src, end, ddg.Float)
+	g.AddFlowEdge(mid, end, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalysis(g, ddg.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := an.PKill[an.Index[src]]
+	if len(pk) != 1 || pk[0] != end {
+		t.Fatalf("pkill(src)=%v, want [end]", pk)
+	}
+}
+
+func TestGreedyLowerBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(6))
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 {
+				continue
+			}
+			greedy, err := Greedy(an)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, stats, err := ExactBB(an, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Capped {
+				t.Fatal("tiny instance capped")
+			}
+			if greedy.RS > exact.RS {
+				t.Fatalf("trial %d: greedy %d > exact %d", trial, greedy.RS, exact.RS)
+			}
+		}
+	}
+}
+
+func TestExactBBMatchesBruteForceSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 25; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(3)) // ≤ 5 ops + ⊥
+		if g.Horizon() > 14 {
+			continue // keep the oracle enumerable
+		}
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 {
+				continue
+			}
+			exact, stats, err := ExactBB(an, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Capped {
+				continue
+			}
+			want := bruteRS(t, g, typ, g.Horizon())
+			if exact.RS != want {
+				t.Fatalf("trial %d (%s/%s): exact-BB RS=%d, brute-force RS=%d\n%s",
+					trial, g.Name, typ, exact.RS, want, g.Format())
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked against the oracle", checked)
+	}
+}
+
+func TestExactILPMatchesExactBB(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 15; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(4))
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 || len(an.Values) > 6 {
+				continue
+			}
+			bb, stats, err := ExactBB(an, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Capped {
+				continue
+			}
+			ilpRes, err := ExactILP(an, true, lpDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ilpRes.Exact {
+				continue
+			}
+			if ilpRes.RS != bb.RS {
+				t.Fatalf("trial %d (%s/%s): intLP RS=%d, BB RS=%d\n%s",
+					trial, g.Name, typ, ilpRes.RS, bb.RS, g.Format())
+			}
+			checked++
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("only %d instances cross-checked", checked)
+	}
+}
+
+func TestWitnessAchievesRS(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(6))
+		for _, typ := range g.Types() {
+			res, err := Compute(g, typ, Options{Method: MethodExactBB})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Witness == nil {
+				if res.RS == 0 {
+					continue
+				}
+				t.Fatal("missing witness")
+			}
+			if err := res.Witness.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if rn := res.Witness.RegisterNeed(typ); rn != res.RS {
+				t.Fatalf("trial %d: witness RN=%d, RS=%d", trial, rn, res.RS)
+			}
+		}
+	}
+}
+
+func TestILPWitnessAchievesRS(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 10; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(3))
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 || len(an.Values) > 5 {
+				continue
+			}
+			res, err := ExactILP(an, true, lpDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Exact {
+				continue
+			}
+			if rn := res.Witness.RegisterNeed(typ); rn < res.RS {
+				t.Fatalf("intLP witness RN=%d < RS=%d", rn, res.RS)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d checked", checked)
+	}
+}
+
+func TestRSUpperBoundedByValueCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(8))
+		for _, typ := range g.Types() {
+			res, err := Compute(g, typ, Options{Method: MethodGreedy, SkipWitness: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RS > len(g.Values(typ)) {
+				t.Fatalf("RS=%d > |values|=%d", res.RS, len(g.Values(typ)))
+			}
+		}
+	}
+}
+
+func TestOrderIsTransitiveAndAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(6))
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 {
+				continue
+			}
+			res, err := Greedy(an)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := res.Killing.Order()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := o.N()
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if a == b {
+						continue
+					}
+					if o.Less(a, b) && o.Less(b, a) {
+						t.Fatalf("order not antisymmetric at (%d,%d)", a, b)
+					}
+					for c := 0; c < n; c++ {
+						if c == a || c == b {
+							continue
+						}
+						if o.Less(a, b) && o.Less(b, c) && !o.Less(a, c) {
+							t.Fatalf("order not transitive: %d<%d<%d but not %d<%d\n%s",
+								a, b, c, a, c, g.Format())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateValidKillingsAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		g := tinyRandom(rng, 3+rng.Intn(4))
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Values) == 0 {
+				continue
+			}
+			best := 0
+			err = EnumerateValidKillings(an, func(k *Killing) bool {
+				res, err := k.Saturation()
+				if err == nil && res.RS > best {
+					best = res.RS
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, _, err := ExactBB(an, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.RS != best {
+				t.Fatalf("BB RS=%d, enumeration RS=%d", exact.RS, best)
+			}
+		}
+	}
+}
+
+func TestComputeAllTypes(t *testing.T) {
+	g := ddg.New("two", ddg.Superscalar)
+	a := g.AddNode("a", "iadd", 1)
+	b := g.AddNode("b", "load", 2)
+	g.SetWrites(a, ddg.Int, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.AddFlowEdge(a, b, ddg.Int)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ComputeAll(g, Options{Method: MethodGreedy, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[ddg.Int] == nil || all[ddg.Float] == nil {
+		t.Fatal("missing a type")
+	}
+	if all[ddg.Int].RS != 1 || all[ddg.Float].RS != 1 {
+		t.Fatalf("RS int=%d float=%d, want 1, 1", all[ddg.Int].RS, all[ddg.Float].RS)
+	}
+}
+
+func TestTrivialCase(t *testing.T) {
+	g := ddg.New("triv", ddg.Superscalar)
+	a := g.AddNode("a", "load", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalysis(g, ddg.Float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.TrivialRS(1) || an.TrivialRS(0) {
+		t.Fatal("TrivialRS dispatch wrong")
+	}
+	res, err := Compute(g, ddg.Float, Options{Method: MethodExactBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RS != 1 {
+		t.Fatalf("RS=%d, want 1", res.RS)
+	}
+}
+
+func TestNoValuesType(t *testing.T) {
+	g := ddg.New("novals", ddg.Superscalar)
+	g.AddNode("a", "nop", 1)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, ddg.Float, Options{Method: MethodGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RS != 0 || !res.Exact {
+		t.Fatalf("RS=%d exact=%v, want 0 exact", res.RS, res.Exact)
+	}
+}

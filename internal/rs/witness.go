@@ -1,0 +1,78 @@
+package rs
+
+import (
+	"fmt"
+
+	"regsat/internal/schedule"
+)
+
+// SaturatingSchedule builds a witness schedule of the original graph under
+// which all antichain values are simultaneously alive, proving that the
+// computed saturation is achievable. It solves the difference-constraint
+// system (via Bellman–Ford longest paths):
+//
+//	σ_v − σ_u ≥ δ(e)                 for every arc of G→k,
+//	τ ≥ σ_a + δw(a) + 1              every antichain value a born before τ,
+//	σ_k(a) + δr(k(a)) ≥ τ            and killed at or after τ,
+//	σ_u ≥ 0.
+func SaturatingSchedule(res *RSResult) (*schedule.Schedule, error) {
+	k := res.Killing
+	an := k.An
+	n := an.G.NumNodes()
+	// Variables: 0..n-1 = σ, n = τ, n+1 = virtual source S.
+	tau, src := n, n+1
+	type arc struct {
+		from, to int
+		w        int64
+	}
+	var arcs []arc
+	ext := k.ExtendedGraph()
+	for _, e := range ext.Edges() {
+		arcs = append(arcs, arc{e.From, e.To, e.Weight})
+	}
+	for u := 0; u < n; u++ {
+		arcs = append(arcs, arc{src, u, 0})
+	}
+	arcs = append(arcs, arc{src, tau, 0})
+	for _, a := range res.Antichain {
+		i := an.Index[a]
+		killer := k.Killer[i]
+		// τ − σ_a ≥ δw(a) + 1
+		arcs = append(arcs, arc{a, tau, an.G.Node(a).DelayW(an.Type) + 1})
+		// σ_k(a) − τ ≥ −δr(k(a))
+		arcs = append(arcs, arc{tau, killer, -an.G.Node(killer).DelayR})
+	}
+
+	// Bellman–Ford longest paths from S.
+	const negInf = int64(-1) << 62
+	dist := make([]int64, n+2)
+	for i := range dist {
+		dist[i] = negInf
+	}
+	dist[src] = 0
+	for iter := 0; iter <= n+2; iter++ {
+		changed := false
+		for _, a := range arcs {
+			if dist[a.from] == negInf {
+				continue
+			}
+			if d := dist[a.from] + a.w; d > dist[a.to] {
+				dist[a.to] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n+2 {
+			return nil, fmt.Errorf("rs: saturating-schedule constraints are infeasible (positive cycle)")
+		}
+	}
+	times := make([]int64, n)
+	copy(times, dist[:n])
+	s := schedule.New(an.G, times)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("rs: witness schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,364 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regsat/internal/ddg"
+)
+
+// chainGraph builds a ← b ← c chain with unit latencies plus values.
+func chainGraph(t *testing.T) *ddg.Graph {
+	t.Helper()
+	g := ddg.New("chain", ddg.Superscalar)
+	a := g.AddNode("a", "load", 2)
+	b := g.AddNode("b", "fadd", 1)
+	c := g.AddNode("c", "store", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.AddFlowEdge(a, b, ddg.Float)
+	g.AddFlowEdge(b, c, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// parallelPair builds two independent values consumed by separate stores.
+func parallelPair(t *testing.T) *ddg.Graph {
+	t.Helper()
+	g := ddg.New("pair", ddg.Superscalar)
+	a := g.AddNode("a", "load", 1)
+	b := g.AddNode("b", "load", 1)
+	sa := g.AddNode("sa", "store", 1)
+	sb := g.AddNode("sb", "store", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.AddFlowEdge(a, sa, ddg.Float)
+	g.AddFlowEdge(b, sb, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestASAPChain(t *testing.T) {
+	g := chainGraph(t)
+	s, err := ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := g.NodeByName("a"), g.NodeByName("b"), g.NodeByName("c")
+	if s.Times[a] != 0 || s.Times[b] != 2 || s.Times[c] != 3 {
+		t.Fatalf("ASAP=%v, want a=0 b=2 c=3", s.Times)
+	}
+	// ⊥ after c completes: σ⊥ ≥ 3+1 = 4.
+	if s.Makespan() != 4 {
+		t.Fatalf("makespan=%d, want 4", s.Makespan())
+	}
+}
+
+func TestALAPRespectsHorizon(t *testing.T) {
+	g := chainGraph(t)
+	T := g.Horizon()
+	s, err := ALAP(g, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != T {
+		t.Fatalf("ALAP makespan=%d, want %d", s.Makespan(), T)
+	}
+}
+
+func TestALAPHorizonTooSmall(t *testing.T) {
+	g := chainGraph(t)
+	if _, err := ALAP(g, 1); err == nil {
+		t.Fatal("expected error for horizon below critical path")
+	}
+}
+
+func TestValidateCatchesViolation(t *testing.T) {
+	g := chainGraph(t)
+	times := make([]int64, g.NumNodes())
+	s := New(g, times) // everything at 0 violates the chain
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestLifetimeBasic(t *testing.T) {
+	g := chainGraph(t)
+	s, _ := ASAP(g)
+	a := g.NodeByName("a")
+	iv := s.Lifetime(a, ddg.Float)
+	// a issues at 0, δw=0 → start 0; killed by b reading at σb=2 → ]0,2].
+	if iv.Start != 0 || iv.End != 2 {
+		t.Fatalf("LT(a)=]%d,%d], want ]0,2]", iv.Start, iv.End)
+	}
+}
+
+func TestLifetimeExitValueEndsAtBottom(t *testing.T) {
+	g := parallelPair(t)
+	// Value written by sa? No: stores write nothing. Exit float values are
+	// consumed by the stores; there are no exit values here. Build one:
+	g2 := ddg.New("exit", ddg.Superscalar)
+	a := g2.AddNode("a", "load", 1)
+	g2.SetWrites(a, ddg.Float, 0)
+	if err := g2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ASAP(g2)
+	iv := s.Lifetime(a, ddg.Float)
+	if iv.End != s.Times[g2.Bottom()] {
+		t.Fatalf("exit value must live to ⊥: %v vs %d", iv, s.Times[g2.Bottom()])
+	}
+	_ = g
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{Start: 0, End: 5}
+	b := Interval{Start: 5, End: 9} // born exactly when a dies: no overlap
+	c := Interval{Start: 4, End: 6}
+	if a.Overlaps(b) {
+		t.Fatal("]0,5] and ]5,9] must not overlap")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Fatal("]0,5] and ]4,6] must overlap")
+	}
+	empty := Interval{Start: 3, End: 3}
+	if !empty.Empty() || empty.Overlaps(a) {
+		t.Fatal("empty interval handling wrong")
+	}
+}
+
+func TestMaxLive(t *testing.T) {
+	ivs := []Interval{
+		{Start: 0, End: 4},
+		{Start: 1, End: 5},
+		{Start: 2, End: 6},
+		{Start: 6, End: 8}, // disjoint from the third (born at its death)
+	}
+	if got := MaxLive(ivs); got != 3 {
+		t.Fatalf("MaxLive=%d, want 3", got)
+	}
+	if got := MaxLive(nil); got != 0 {
+		t.Fatalf("MaxLive(nil)=%d, want 0", got)
+	}
+}
+
+func TestRegisterNeedParallelVsSequential(t *testing.T) {
+	g := parallelPair(t)
+	// Parallel ASAP: both values overlap → need 2.
+	s, _ := ASAP(g)
+	if rn := s.RegisterNeed(ddg.Float); rn != 2 {
+		t.Fatalf("ASAP RN=%d, want 2", rn)
+	}
+	// Sequential: a, sa, b, sb → need 1.
+	a, b := g.NodeByName("a"), g.NodeByName("b")
+	sa, sb := g.NodeByName("sa"), g.NodeByName("sb")
+	times := make([]int64, g.NumNodes())
+	times[a], times[sa], times[b], times[sb] = 0, 1, 2, 3
+	times[g.Bottom()] = 5
+	seq := New(g, times)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rn := seq.RegisterNeed(ddg.Float); rn != 1 {
+		t.Fatalf("sequential RN=%d, want 1", rn)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	g := chainGraph(t)
+	T := g.Horizon()
+	lo, hi, err := Windows(g, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range lo {
+		if lo[u] > hi[u] {
+			t.Fatalf("empty window for node %d", u)
+		}
+	}
+	if hi[g.Bottom()] != T {
+		t.Fatalf("⊥ window top=%d, want %d", hi[g.Bottom()], T)
+	}
+}
+
+func TestForEachEnumeratesAllValidSchedules(t *testing.T) {
+	g := parallelPair(t)
+	T := int64(6)
+	count := 0
+	err := ForEach(g, T, func(times []int64) bool {
+		count++
+		s := New(g, append([]int64(nil), times...))
+		if err := s.Validate(); err != nil {
+			t.Fatalf("enumerated invalid schedule: %v", err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no schedules enumerated")
+	}
+	// The ASAP schedule must be among them: check by re-enumeration.
+	asap, _ := ASAP(g)
+	found := false
+	_ = ForEach(g, T, func(times []int64) bool {
+		same := true
+		for i := range times {
+			if times[i] != asap.Times[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("ASAP schedule not enumerated")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	g := parallelPair(t)
+	count := 0
+	_ = ForEach(g, 8, func(times []int64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop ignored: count=%d", count)
+	}
+}
+
+// Property: for random DAGs, ASAP ≤ ALAP per node and both validate.
+func TestASAPALAPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ddg.RandomGraph(rng, ddg.DefaultRandomParams(2+rng.Intn(10)))
+		T := g.Horizon()
+		asap, err := ASAP(g)
+		if err != nil || asap.Validate() != nil {
+			return false
+		}
+		alap, err := ALAP(g, T)
+		if err != nil || alap.Validate() != nil {
+			return false
+		}
+		for u := range asap.Times {
+			if asap.Times[u] > alap.Times[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RegisterNeed never exceeds the number of values and is ≥ 1 when
+// values exist (some value is always alive for at least one instant on a
+// finalized graph with positive flow latencies).
+func TestRegisterNeedBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ddg.RandomGraph(rng, ddg.DefaultRandomParams(2+rng.Intn(10)))
+		s, err := ASAP(g)
+		if err != nil {
+			return false
+		}
+		for _, typ := range g.Types() {
+			rn := s.RegisterNeed(typ)
+			nv := len(g.Values(typ))
+			if rn > nv {
+				return false
+			}
+			if nv > 0 && rn < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListSchedulerRespectsResources(t *testing.T) {
+	g := parallelPair(t)
+	res := Resources{IssueWidth: 1, Units: map[string]int{"mem": 1}}
+	s, err := List(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One memory port + width 1: all four mem ops at distinct cycles.
+	seen := map[int64]int{}
+	for u := 0; u < g.Bottom(); u++ {
+		seen[s.Times[u]]++
+		if seen[s.Times[u]] > 1 {
+			t.Fatalf("two ops issued at cycle %d with issue width 1", s.Times[u])
+		}
+	}
+}
+
+func TestListSchedulerUnlimitedMatchesASAPMakespan(t *testing.T) {
+	g := chainGraph(t)
+	s, err := List(g, Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asap, _ := ASAP(g)
+	if s.Makespan() != asap.Makespan() {
+		t.Fatalf("unlimited list schedule makespan=%d, ASAP=%d", s.Makespan(), asap.Makespan())
+	}
+}
+
+func TestListSchedulerOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ddg.RandomGraph(rng, ddg.DefaultRandomParams(2+rng.Intn(12)))
+		s, err := List(g, TypicalVLIW())
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVLIWLifetimeUsesOffsets(t *testing.T) {
+	g := ddg.New("vliw", ddg.VLIW)
+	a := g.AddNode("a", "load", 4)
+	b := g.AddNode("b", "store", 1)
+	g.SetWrites(a, ddg.Float, 4) // δw = 4
+	g.SetReadDelay(b, 2)         // δr = 2
+	g.AddFlowEdge(a, b, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ASAP(g)
+	iv := s.Lifetime(a, ddg.Float)
+	// σa=0, δw=4 → start 4. b at σ=4 reads at 4+2=6 → ]4,6].
+	if iv.Start != 4 || iv.End != 6 {
+		t.Fatalf("LT=%v, want ]4,6]", iv)
+	}
+}

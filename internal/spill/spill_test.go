@@ -1,0 +1,203 @@
+package spill
+
+import (
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/kernels"
+	"regsat/internal/rs"
+)
+
+func exactRS(t *testing.T, g *ddg.Graph, typ ddg.RegType) int {
+	t.Helper()
+	res, err := rs.Compute(g, typ, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.RS
+}
+
+func TestNoSpillWhenReducible(t *testing.T) {
+	g := kernels.Figure2(ddg.Superscalar)
+	res, err := UntilFits(g, ddg.Float, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || len(res.Sites) != 0 {
+		t.Fatalf("failed=%v sites=%d — Figure 2 reduces to 3 without spilling",
+			res.Failed, len(res.Sites))
+	}
+	if res.RS > 3 {
+		t.Fatalf("RS=%d", res.RS)
+	}
+}
+
+// wideProducers builds a DAG whose minimum schedulable register need exceeds
+// small budgets: one consumer reads four long-lived values at once.
+func wideProducers(t *testing.T) *ddg.Graph {
+	t.Helper()
+	g := ddg.New("wide4", ddg.Superscalar)
+	var vals []int
+	for i := 0; i < 4; i++ {
+		v := g.AddNode(string(rune('a'+i)), "load", 4)
+		g.SetWrites(v, ddg.Float, 0)
+		vals = append(vals, v)
+	}
+	s1 := g.AddNode("s1", "fadd", 3)
+	g.SetWrites(s1, ddg.Float, 0)
+	for _, v := range vals {
+		g.AddFlowEdge(v, s1, ddg.Float)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpillBreaksIrreducible(t *testing.T) {
+	g := wideProducers(t)
+	// Four operands of s1 must be alive at its issue: no serialization can
+	// reach 3 registers, but spilling can't help either — a reload still
+	// has to be live at s1. Spilling helps only when consumers differ.
+	// Here we check the loop terminates and reports honestly.
+	res, err := UntilFits(g, ddg.Float, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		// If it succeeded, the resulting graph must genuinely fit.
+		if got := exactRS(t, res.Graph, ddg.Float); got > 3 {
+			t.Fatalf("claimed success but RS=%d", got)
+		}
+	}
+}
+
+// splitConsumers: the value x is consumed early by c1 and very late by c2 —
+// the classic case where a spill shortens the register lifetime.
+func splitConsumers(t *testing.T) *ddg.Graph {
+	t.Helper()
+	g := ddg.New("split", ddg.Superscalar)
+	x := g.AddNode("x", "load", 4)
+	g.SetWrites(x, ddg.Float, 0)
+	c1 := g.AddNode("c1", "fadd", 3)
+	g.SetWrites(c1, ddg.Float, 0)
+	g.AddFlowEdge(x, c1, ddg.Float)
+	// A long chain between the two uses keeps x alive across everything.
+	prev := c1
+	for i := 0; i < 4; i++ {
+		n := g.AddNode(string(rune('p'+i)), "fmul", 4)
+		g.SetWrites(n, ddg.Float, 0)
+		g.AddFlowEdge(prev, n, ddg.Float)
+		prev = n
+	}
+	c2 := g.AddNode("c2", "fadd", 3)
+	g.SetWrites(c2, ddg.Float, 0)
+	g.AddFlowEdge(x, c2, ddg.Float)
+	g.AddFlowEdge(prev, c2, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpillInsertionTransformsGraph(t *testing.T) {
+	g := splitConsumers(t)
+	next, site, err := insertSpill(g, ddg.Float, g.NodeByName("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// x now flows only into its store.
+	x := next.NodeByName("x")
+	cons := next.Cons(x, ddg.Float)
+	if len(cons) != 1 || next.Node(cons[0]).Name != site.Store {
+		t.Fatalf("x's consumers after spill: %v", cons)
+	}
+	// The reload feeds the original consumers.
+	ld := next.NodeByName(site.Reload)
+	if ld < 0 {
+		t.Fatal("reload missing")
+	}
+	ldCons := next.Cons(ld, ddg.Float)
+	if len(ldCons) != 2 {
+		t.Fatalf("reload consumers: %v, want c1 and c2", ldCons)
+	}
+	// Spilling must not increase the saturation.
+	if before, after := exactRS(t, g, ddg.Float), exactRS(t, next, ddg.Float); after > before {
+		t.Fatalf("spill increased RS %d → %d", before, after)
+	}
+}
+
+func TestUntilFitsOnSuite(t *testing.T) {
+	// Drive every kernel to a harsh budget; every success claim must hold
+	// (validated graph, honest saturation), and failures must be honest.
+	for _, spec := range kernels.All() {
+		g := spec.Build(ddg.Superscalar)
+		for _, typ := range g.Types() {
+			rsv := exactRS(t, g, typ)
+			if rsv < 3 {
+				continue
+			}
+			R := 2
+			res, err := UntilFits(g, typ, R, 3)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, typ, err)
+			}
+			if err := res.Graph.Validate(); err != nil {
+				t.Fatalf("%s/%s: invalid graph after spilling: %v", spec.Name, typ, err)
+			}
+			if !res.Failed && res.RS > R {
+				t.Fatalf("%s/%s: claimed success with RS=%d > %d", spec.Name, typ, res.RS, R)
+			}
+		}
+	}
+}
+
+func TestSpillBreaksReductionTree(t *testing.T) {
+	// syn-wide8 is a balanced reduction tree: its Sethi–Ullman register
+	// need is 4, so no serialization reaches 3 — but spilling one inner
+	// node does. This is the paper's future-work scenario: spill decisions
+	// taken at the DDG level, breaking the schedule-then-spill iteration.
+	g := kernels.ByNameMust("syn-wide8").Build(ddg.Superscalar)
+	res, err := UntilFits(g, ddg.Float, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("spilling must reach 3 registers on the reduction tree")
+	}
+	if len(res.Sites) == 0 || len(res.Sites) > 3 {
+		t.Fatalf("sites=%d, want a small number (1 suffices)", len(res.Sites))
+	}
+	if res.Sites[0].Value == "" || res.Graph.NodeByName(res.Sites[0].Store) < 0 {
+		t.Fatal("spill site malformed")
+	}
+	// The chosen candidate must be an inner node, not a load.
+	for _, s := range res.Sites {
+		orig := g.NodeByName(s.Value)
+		if orig >= 0 && g.Node(orig).Op == "load" {
+			t.Fatalf("spilled a load (%s) — useless rematerialization", s.Value)
+		}
+	}
+	if got := exactRS(t, res.Graph, ddg.Float); got > 3 {
+		t.Fatalf("true RS after spilling = %d > 3", got)
+	}
+}
+
+func TestSpillSiteNaming(t *testing.T) {
+	g := splitConsumers(t)
+	res, err := UntilFits(g, ddg.Float, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sites {
+		if s.Store == "" || s.Reload == "" || s.Value == "" {
+			t.Fatalf("incomplete site %+v", s)
+		}
+		if res.Graph.NodeByName(s.Store) < 0 || res.Graph.NodeByName(s.Reload) < 0 {
+			t.Fatalf("site nodes missing from final graph: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package regsat is a from-scratch Go implementation of register saturation
+// analysis, reproducing Sid-Ahmed-Ali Touati's "On the Optimality of Register
+// Saturation" (ICPP 2004 / ENTCS 132, 2005).
+//
+// The register saturation RS_t(G) of a data dependence DAG G is the exact
+// maximum, over every valid schedule, of the number of type-t registers
+// needed. Computing it before instruction scheduling decouples register
+// constraints from the scheduler (the paper's Figure 1 pipeline):
+//
+//	g := regsat.NewGraph("body", regsat.Superscalar)
+//	… build operations and dependences …
+//	g.Finalize()
+//	res, _ := regsat.ComputeRS(g, regsat.Float, regsat.RSOptions{})
+//	if res.RS > 16 {
+//	    red, _ := regsat.ReduceRS(g, regsat.Float, 16, regsat.ReduceOptions{})
+//	    g = red.Graph // scheduler-ready: no schedule can need > 16 registers
+//	}
+//
+// Three RS methods are provided: the near-optimal Greedy-k heuristic of
+// [Touati, CC 2001], an exact branch-and-bound over killing functions, and
+// the paper's exact integer linear program (Section 3) solved with the
+// in-repo simplex/branch-and-bound solver. Reduction (Section 4) similarly
+// offers the value-serialization heuristic, an exact combinatorial search,
+// and the paper's coloring intLP, all applying the constructive arc
+// insertion of Theorem 4.2.
+package regsat
+
+import (
+	"io"
+
+	"regsat/internal/cfg"
+	"regsat/internal/ddg"
+	"regsat/internal/reduce"
+	"regsat/internal/regalloc"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+	"regsat/internal/spill"
+)
+
+// Core model types (see internal/ddg for full documentation).
+type (
+	// Graph is a data dependence DAG over operations with typed register
+	// values, latencies, and read/write delay offsets.
+	Graph = ddg.Graph
+	// RegType names a register type (e.g. Int, Float).
+	RegType = ddg.RegType
+	// MachineKind selects the processor family (Superscalar, VLIW, EPIC).
+	MachineKind = ddg.MachineKind
+	// SerialArc is a serialization arc added by RS reduction.
+	SerialArc = ddg.SerialArc
+	// Schedule assigns an issue time to every operation.
+	Schedule = schedule.Schedule
+	// Interval is a value lifetime ]Start, End].
+	Interval = schedule.Interval
+	// Resources describes functional units for the post-RS list scheduler.
+	Resources = schedule.Resources
+	// Allocation maps values to physical registers.
+	Allocation = regalloc.Allocation
+)
+
+// Register types of the kernel suite.
+const (
+	Int   = ddg.Int
+	Float = ddg.Float
+)
+
+// Machine kinds.
+const (
+	Superscalar = ddg.Superscalar
+	VLIW        = ddg.VLIW
+	EPIC        = ddg.EPIC
+)
+
+// NewGraph creates an empty DDG for the given machine kind. Add operations
+// with AddNode/SetWrites/AddFlowEdge/AddSerialEdge, then call Finalize.
+func NewGraph(name string, machine MachineKind) *Graph {
+	return ddg.New(name, machine)
+}
+
+// ParseGraph reads a DDG in the textual format (see internal/ddg/format.go).
+// The returned graph is not finalized.
+func ParseGraph(r io.Reader) (*Graph, error) { return ddg.Parse(r) }
+
+// ParseGraphString is ParseGraph over a string.
+func ParseGraphString(s string) (*Graph, error) { return ddg.ParseString(s) }
+
+// RSMethod selects the saturation algorithm.
+type RSMethod = rs.Method
+
+// Saturation methods.
+const (
+	// GreedyK is the polynomial near-optimal heuristic of [14].
+	GreedyK = rs.MethodGreedy
+	// ExactBB is the exact branch-and-bound over killing functions.
+	ExactBB = rs.MethodExactBB
+	// ExactILP is the paper's Section 3 integer linear program.
+	ExactILP = rs.MethodExactILP
+)
+
+// RSOptions configures ComputeRS. The zero value uses Greedy-k with a
+// saturating witness schedule.
+type RSOptions = rs.Options
+
+// RSResult is the computed saturation with a witness schedule and the
+// saturating values.
+type RSResult = rs.Result
+
+// ComputeRS computes the register saturation RS_t(G): the exact upper bound
+// of the register requirement of type t over all valid schedules of g.
+// The graph must be finalized.
+func ComputeRS(g *Graph, t RegType, opts RSOptions) (*RSResult, error) {
+	return rs.Compute(g, t, opts)
+}
+
+// ComputeRSAll computes the saturation of every register type of g.
+func ComputeRSAll(g *Graph, opts RSOptions) (map[RegType]*RSResult, error) {
+	return rs.ComputeAll(g, opts)
+}
+
+// ReduceMethod selects the reduction algorithm.
+type ReduceMethod int
+
+// Reduction methods.
+const (
+	// ReduceHeuristic is the iterative value-serialization heuristic [14].
+	ReduceHeuristic ReduceMethod = iota
+	// ReduceExact is the exact combinatorial search (minimal critical path).
+	ReduceExact
+	// ReduceExactILP is the paper's Section 4 coloring intLP.
+	ReduceExactILP
+)
+
+// ReduceOptions configures ReduceRS. The zero value runs the heuristic.
+type ReduceOptions struct {
+	Method ReduceMethod
+	// Exact combinatorial budget (nodes); 0 = default.
+	MaxNodes int64
+	// ILP options for ReduceExactILP.
+	ILP reduce.ILPOptions
+}
+
+// ReduceResult is the reduction outcome (extended graph, added arcs,
+// resulting saturation, critical path change, spill verdict).
+type ReduceResult = reduce.Result
+
+// ReduceRS adds serialization arcs to g so that no schedule of the returned
+// graph can need more than available type-t registers, increasing the
+// critical path as little as possible (Section 4 of the paper). Spill is
+// reported when impossible.
+func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceResult, error) {
+	switch opts.Method {
+	case ReduceExact:
+		return reduce.ExactCombinatorial(g, t, available, reduce.ExactOptions{MaxNodes: opts.MaxNodes})
+	case ReduceExactILP:
+		return reduce.ExactILP(g, t, available, opts.ILP)
+	default:
+		return reduce.Heuristic(g, t, available)
+	}
+}
+
+// ASAP returns the as-soon-as-possible schedule of g.
+func ASAP(g *Graph) (*Schedule, error) { return schedule.ASAP(g) }
+
+// ListSchedule runs the resource-constrained list scheduler — the pass that
+// follows RS analysis in the paper's pipeline (Figure 1).
+func ListSchedule(g *Graph, res Resources) (*Schedule, error) {
+	return schedule.List(g, res)
+}
+
+// TypicalVLIW returns a 4-issue machine description for ListSchedule.
+func TypicalVLIW() Resources { return schedule.TypicalVLIW() }
+
+// RegisterNeed returns RN_σ,t: the number of type-t registers the schedule
+// requires (maximal values simultaneously alive).
+func RegisterNeed(s *Schedule, t RegType) int { return s.RegisterNeed(t) }
+
+// Allocate assigns physical registers of type t to the scheduled graph,
+// failing with a spill error when available registers do not suffice.
+func Allocate(s *Schedule, t RegType, available int) (*Allocation, error) {
+	return regalloc.Allocate(s, t, available)
+}
+
+// AllocateAll allocates every register type given per-type file sizes.
+func AllocateAll(s *Schedule, files map[RegType]int) (map[RegType]*Allocation, error) {
+	return regalloc.AllocateAll(s, files)
+}
+
+// Listing renders a register-annotated schedule listing.
+func Listing(s *Schedule, allocs map[RegType]*Allocation) string {
+	return regalloc.Listing(s, allocs)
+}
+
+// Global CFG analysis (the paper's Section 6 extension: RS over an acyclic
+// control flow graph via per-block entry/exit values).
+type (
+	// CFG is an acyclic control flow graph of basic blocks.
+	CFG = cfg.CFG
+	// BasicBlock is one block of a CFG (build its Body like a Graph, then
+	// Export/Import the values crossing block boundaries).
+	BasicBlock = cfg.Block
+	// GlobalRSResult is the per-block and global saturation, including the
+	// one-register safety margin for CFG merges.
+	GlobalRSResult = cfg.GlobalRSResult
+)
+
+// NewCFG creates an empty acyclic CFG.
+func NewCFG(name string, machine MachineKind) *CFG { return cfg.New(name, machine) }
+
+// Spill insertion at the DDG level (the paper's stated future work).
+type (
+	// SpillResult is the transformed graph with its spill sites.
+	SpillResult = spill.Result
+	// SpillSite records one inserted store/reload pair.
+	SpillSite = spill.Site
+)
+
+// SpillUntilFits alternates RS reduction and DDG-level spill insertion until
+// the saturation fits the budget (or reports honest failure).
+func SpillUntilFits(g *Graph, t RegType, available, maxSpills int) (*SpillResult, error) {
+	return spill.UntilFits(g, t, available, maxSpills)
+}

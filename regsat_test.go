@@ -1,0 +1,112 @@
+package regsat
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPipeline builds a small DDG through the public API only.
+func buildPipeline(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph("api", Superscalar)
+	a := g.AddNode("a", "load", 4)
+	b := g.AddNode("b", "load", 4)
+	c := g.AddNode("c", "fmul", 4)
+	d := g.AddNode("d", "fadd", 3)
+	g.SetWrites(a, Float, 0)
+	g.SetWrites(b, Float, 0)
+	g.SetWrites(c, Float, 0)
+	g.SetWrites(d, Float, 0)
+	g.AddFlowEdge(a, c, Float)
+	g.AddFlowEdge(b, c, Float)
+	g.AddFlowEdge(c, d, Float)
+	g.AddFlowEdge(a, d, Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicComputeRS(t *testing.T) {
+	g := buildPipeline(t)
+	res, err := ComputeRS(g, Float, RSOptions{Method: ExactBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RS < 2 || res.RS > 4 {
+		t.Fatalf("RS=%d out of sane range", res.RS)
+	}
+	if res.Witness == nil || res.Witness.RegisterNeed(Float) != res.RS {
+		t.Fatal("witness missing or wrong")
+	}
+}
+
+func TestPublicFullPipeline(t *testing.T) {
+	// The Figure 1 pipeline: compute RS, reduce if needed, schedule,
+	// allocate — all through the facade.
+	g := buildPipeline(t)
+	const R = 2
+	res, err := ComputeRS(g, Float, RSOptions{Method: GreedyK, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := g
+	if res.RS > R {
+		red, err := ReduceRS(g, Float, R, ReduceOptions{Method: ReduceExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Spill {
+			t.Skip("not reducible to 2; nothing to pipeline")
+		}
+		work = red.Graph
+	}
+	s, err := ListSchedule(work, TypicalVLIW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn := RegisterNeed(s, Float); rn > R {
+		t.Fatalf("post-RS schedule needs %d > %d registers", rn, R)
+	}
+	alloc, err := Allocate(s, Float, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Used > R {
+		t.Fatalf("allocation used %d > %d", alloc.Used, R)
+	}
+	listing := Listing(s, map[RegType]*Allocation{Float: alloc})
+	if !strings.Contains(listing, "r0") {
+		t.Fatalf("listing missing register annotations:\n%s", listing)
+	}
+}
+
+func TestPublicParse(t *testing.T) {
+	g, err := ParseGraphString(`ddg "p" machine=vliw
+node a op=load lat=4 writes=float:4
+node b op=store lat=1
+edge a b flow float`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Machine != VLIW {
+		t.Fatal("machine lost")
+	}
+	if _, err := ComputeRS(g, Float, RSOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReduceSpill(t *testing.T) {
+	g := buildPipeline(t)
+	res, err := ReduceRS(g, Float, 1, ReduceOptions{Method: ReduceHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Spill {
+		t.Fatal("c=a*b forces two live operands; R=1 must spill")
+	}
+}
