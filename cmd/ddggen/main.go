@@ -1,12 +1,14 @@
 // Command ddggen lists and emits the benchmark DDG suite (the loop bodies
 // the experiments run on: Livermore, Linpack, Whetstone, SpecFP-like, the
-// paper's Figure 2 example, and synthetic stress shapes).
+// paper's Figure 2 example, and synthetic stress shapes), and generates the
+// committed testdata corpus the batch engine and tests consume.
 //
 // Usage:
 //
 //	ddggen -list
 //	ddggen -kernel liv-l7 [-machine vliw] [-dot]
 //	ddggen -random 12 -seed 7
+//	ddggen -corpus -out testdata [-count 8] [-seed 2004]
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
+	"regsat/internal/batch"
 	"regsat/internal/ddg"
 	"regsat/internal/kernels"
 )
@@ -26,14 +30,39 @@ func main() {
 		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		dot     = flag.Bool("dot", false, "emit Graphviz instead of the textual format")
 		random  = flag.Int("random", 0, "emit a random layered DAG with this many nodes")
-		seed    = flag.Int64("seed", 1, "random seed for -random")
+		seed    = flag.Int64("seed", 1, "random seed for -random and -corpus")
+		corpus  = flag.Bool("corpus", false, "emit the full .ddg corpus into -out")
+		out     = flag.String("out", "", "output directory for -corpus")
+		count   = flag.Int("count", 8, "number of random graphs in the corpus")
 	)
 	flag.Parse()
+
+	randomSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "random" {
+			randomSet = true
+		}
+	})
+	if randomSet && *random <= 0 {
+		fatal(fmt.Errorf("-random node count must be positive (got %d)", *random))
+	}
 
 	if *list {
 		fmt.Printf("%-14s %-10s %s\n", "NAME", "SUITE", "DESCRIPTION")
 		for _, s := range kernels.All() {
 			fmt.Printf("%-14s %-10s %s\n", s.Name, s.Suite, s.Description)
+		}
+		return
+	}
+	if *corpus {
+		if *out == "" {
+			fatal(fmt.Errorf("-corpus needs -out <dir>"))
+		}
+		if *count < 0 {
+			fatal(fmt.Errorf("-count must be non-negative (got %d)", *count))
+		}
+		if err := emitCorpus(*out, *count, *seed); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -44,11 +73,11 @@ func main() {
 	}
 	var g *ddg.Graph
 	switch {
-	case *random > 0:
-		p := ddg.DefaultRandomParams(*random)
-		p.Machine = mk
-		p.Types = []ddg.RegType{ddg.Int, ddg.Float}
-		g = ddg.RandomGraph(rand.New(rand.NewSource(*seed)), p)
+	case randomSet:
+		g, err = randomGraph(*random, *seed, mk)
+		if err != nil {
+			fatal(err)
+		}
 	case *kernel != "":
 		spec, ok := kernels.ByName(*kernel)
 		if !ok {
@@ -56,13 +85,102 @@ func main() {
 		}
 		g = spec.Build(mk)
 	default:
-		fatal(fmt.Errorf("need -list, -kernel, or -random"))
+		fatal(fmt.Errorf("need -list, -kernel, -random, or -corpus"))
 	}
 	if *dot {
 		fmt.Print(g.DOT())
 	} else {
 		fmt.Print(g.Format())
 	}
+}
+
+// randomGraph draws a two-type random DAG, rejecting degenerate outputs
+// (graphs that define no register value are useless to every analysis).
+func randomGraph(nodes int, seed int64, mk ddg.MachineKind) (*ddg.Graph, error) {
+	p := ddg.DefaultRandomParams(nodes)
+	p.Machine = mk
+	p.Types = []ddg.RegType{ddg.Int, ddg.Float}
+	g := ddg.RandomGraph(rand.New(rand.NewSource(seed)), p)
+	if len(g.Types()) == 0 {
+		return nil, fmt.Errorf("seed %d yields a degenerate graph (no register values); pick another seed", seed)
+	}
+	return g, nil
+}
+
+// corpusKernels is the curated kernel × machine matrix of the committed
+// corpus: every machine kind, both register types, small enough that the
+// exact analyses of the corpus test stay fast.
+var corpusKernels = []struct {
+	kernel  string
+	machine ddg.MachineKind
+}{
+	{"fig2", ddg.Superscalar},
+	{"lin-daxpy", ddg.Superscalar},
+	{"lin-ddot", ddg.Superscalar},
+	{"liv-l1", ddg.Superscalar},
+	{"liv-l7", ddg.Superscalar},
+	{"spec-swim", ddg.Superscalar},
+	{"syn-mixed", ddg.Superscalar},
+	{"whet-p3", ddg.Superscalar},
+	{"lin-daxpy", ddg.VLIW},
+	{"liv-l3", ddg.VLIW},
+	{"spec-tomcatv", ddg.VLIW},
+	{"syn-fork4", ddg.VLIW},
+	{"fig2", ddg.EPIC},
+	{"lin-dscal", ddg.EPIC},
+	{"liv-l5", ddg.EPIC},
+	{"syn-diamond", ddg.EPIC},
+	{"whet-p4", ddg.EPIC},
+}
+
+// emitCorpus writes the kernel matrix plus `count` random graphs as .ddg
+// files. Every emitted graph is fingerprinted; two random seeds that
+// collapse to the same structure are a seed collision and abort the run
+// rather than silently committing duplicate (or degenerate) corpus files.
+func emitCorpus(dir string, count int, seedBase int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	seen := map[string]string{} // fingerprint → file that owns it
+	emit := func(name string, g *ddg.Graph) error {
+		fp := batch.Fingerprint(g)
+		if owner, dup := seen[fp]; dup {
+			return fmt.Errorf("corpus collision: %s is structurally identical to %s", name, owner)
+		}
+		seen[fp] = name
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(g.Format()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d nodes, %d edges, machine %s)\n", path, g.NumNodes(), g.NumEdges(), g.Machine)
+		return nil
+	}
+	for _, ck := range corpusKernels {
+		spec, ok := kernels.ByName(ck.kernel)
+		if !ok {
+			return fmt.Errorf("unknown corpus kernel %q", ck.kernel)
+		}
+		g := spec.Build(ck.machine)
+		if err := emit(fmt.Sprintf("%s-%s.ddg", ck.machine, ck.kernel), g); err != nil {
+			return err
+		}
+	}
+	machines := []ddg.MachineKind{ddg.Superscalar, ddg.VLIW, ddg.EPIC}
+	for i := 0; i < count; i++ {
+		seed := seedBase + int64(i)
+		nodes := 8 + i%6
+		mk := machines[i%len(machines)]
+		g, err := randomGraph(nodes, seed, mk)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("random-%s-%02dn-s%d.ddg", mk, nodes, seed)
+		if err := emit(name, g); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d corpus files in %s\n", len(seen), dir)
+	return nil
 }
 
 func parseMachine(s string) (ddg.MachineKind, error) {

@@ -7,26 +7,34 @@
 //	rsbench                       # run everything on the superscalar model
 //	rsbench -exp reduce -random 40
 //	rsbench -exp rs -machine vliw
+//	rsbench -exp corpus -dir testdata -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
+	"regsat/internal/batch"
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
 	"regsat/internal/lp"
+	"regsat/internal/rs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42")
-		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		random  = flag.Int("random", 20, "number of random loop bodies added to the kernel suite")
-		seed    = flag.Int64("seed", 2004, "random population seed")
-		maxVals = flag.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
+		exp      = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus (needs -dir; not part of all)")
+		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		random   = flag.Int("random", 20, "number of random loop bodies added to the kernel suite")
+		seed     = flag.Int64("seed", 2004, "random population seed")
+		maxVals  = flag.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
+		dir      = flag.String("dir", "testdata", "DDG corpus directory for -exp corpus")
+		parallel = flag.Int("parallel", 0, "worker count for -exp corpus (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -118,6 +126,77 @@ func main() {
 		}
 		return r.Report(), nil
 	})
+	// The corpus experiment reads -dir from disk, so it only runs when asked
+	// for explicitly: a plain `rsbench` must keep working from any directory.
+	if *exp == "corpus" {
+		start := time.Now()
+		report, err := corpusReport(*dir, *parallel)
+		if err != nil {
+			fatal(fmt.Errorf("corpus: %w", err))
+		}
+		fmt.Println(report)
+		fmt.Printf("[corpus completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// corpusReport shards exact RS analysis of every corpus file across the
+// batch engine, once sequentially and once with the requested parallelism,
+// and reports per-file saturations plus the wall-clock speedup and memo
+// behavior of the parallel run.
+func corpusReport(dir string, parallel int) (string, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	rsOpts := rs.Options{Method: rs.MethodExactBB, SkipWitness: true}
+	runOnce := func(workers int) ([]batch.Result, batch.Stats, time.Duration, error) {
+		src, err := batch.Dir(dir)
+		if err != nil {
+			return nil, batch.Stats{}, 0, err
+		}
+		eng := batch.New(batch.Options{Parallel: workers, RS: rsOpts})
+		start := time.Now()
+		results, err := eng.Collect(context.Background(), src)
+		return results, eng.Stats(), time.Since(start), err
+	}
+	seqResults, _, seqTime, err := runOnce(1)
+	if err != nil {
+		return "", err
+	}
+	parResults, stats, parTime, err := runOnce(parallel)
+	if err != nil {
+		return "", err
+	}
+
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("Corpus batch analysis: %s (%d files, method %s)\n", dir, len(parResults), rsOpts.Method)
+	add("%-40s %-8s %s\n", "FILE", "NODES", "RS per type")
+	for _, res := range parResults {
+		if res.Err != nil {
+			add("%-40s %v\n", res.Name, res.Err)
+			continue
+		}
+		types := make([]string, 0, len(res.RS))
+		for t := range res.RS {
+			types = append(types, string(t))
+		}
+		sort.Strings(types)
+		line := ""
+		for _, t := range types {
+			line += fmt.Sprintf("%s=%d ", t, res.RS[ddg.RegType(t)].RS)
+		}
+		add("%-40s %-8d %s\n", res.Name, res.Graph.NumNodes(), line)
+	}
+	add("sequential: %v   parallel(%d): %v   speedup %.2fx\n",
+		seqTime.Round(time.Millisecond), parallel, parTime.Round(time.Millisecond),
+		float64(seqTime)/float64(parTime))
+	add("memo: %d hits, %d misses across %d RS computations\n",
+		stats.Hits, stats.Misses, stats.Hits+stats.Misses)
+	if len(seqResults) != len(parResults) {
+		add("WARNING: sequential and parallel runs disagree on result count (%d vs %d)\n",
+			len(seqResults), len(parResults))
+	}
+	return string(b), nil
 }
 
 func parseMachine(s string) (ddg.MachineKind, error) {

@@ -1,16 +1,21 @@
-// Command rscompute computes the register saturation of a DDG — the maximal
+// Command rscompute computes the register saturation of DDGs — the maximal
 // register requirement over all valid schedules (Section 3 of the paper).
+// Multiple files and directories are analyzed concurrently by the batch
+// engine, with deterministic output order.
 //
 // Usage:
 //
-//	rscompute -kernel lin-daxpy [-machine vliw] [-method greedy|bb|ilp] [-dot]
+//	rscompute -kernel lin-daxpy [-machine vliw] [-method greedy|bb|ilp]
 //	rscompute -f body.ddg [-method bb] [-witness]
+//	rscompute -parallel 8 testdata/ extra.ddg
 //
-// The input is either a built-in benchmark kernel (-kernel, see `ddggen
-// -list`) or a DDG file in the textual format (-f, "-" for stdin).
+// The input is a built-in benchmark kernel (-kernel, see `ddggen -list`), a
+// DDG file in the textual format (-f, "-" for stdin), or any mix of .ddg
+// files and directories as positional arguments.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,25 +27,17 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
-		kernel  = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
-		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		method  = flag.String("method", "greedy", "saturation method: greedy|bb|ilp")
-		dot     = flag.Bool("dot", false, "emit the DDG in Graphviz format and exit")
-		witness = flag.Bool("witness", false, "print a saturating schedule")
+		file     = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel   = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method   = flag.String("method", "greedy", "saturation method: greedy|bb|ilp")
+		dot      = flag.Bool("dot", false, "emit the DDG in Graphviz format and exit (single input)")
+		witness  = flag.Bool("witness", false, "print a saturating schedule")
+		parallel = flag.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*file, *kernel, *machine)
-	if err != nil {
-		fatal(err)
-	}
-	if *dot {
-		fmt.Print(g.DOT())
-		return
-	}
-
-	opts := regsat.RSOptions{}
+	opts := regsat.RSOptions{SkipWitness: !*witness}
 	switch *method {
 	case "greedy":
 		opts.Method = regsat.GreedyK
@@ -53,36 +50,105 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	fmt.Printf("DDG %s (%s): %d nodes, %d edges, critical path %d\n",
-		g.Name, g.Machine, g.NumNodes(), g.NumEdges(), g.CriticalPath())
-	for _, t := range g.Types() {
-		res, err := regsat.ComputeRS(g, t, opts)
+	if *dot {
+		g, err := loadDotGraph(*file, *kernel, *machine, flag.Args())
 		if err != nil {
 			fatal(err)
 		}
-		exact := "≥ (heuristic lower bound)"
-		if res.Exact {
-			exact = "= (exact)"
+		fmt.Print(g.DOT())
+		return
+	}
+	src, err := buildSource(*file, *kernel, *machine, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	ch, err := regsat.AnalyzeAll(context.Background(), []regsat.GraphSource{src},
+		regsat.BatchOptions{Parallel: *parallel, RS: opts})
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for res := range ch {
+		if res.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "rscompute: %s: %v\n", res.Name, res.Err)
+			continue
 		}
-		fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
-			t, exact, res.RS, len(g.Values(t)), names(g, res.Antichain))
-		if res.ILP != nil {
-			fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
-				res.ILP.Vars, res.ILP.IntVars, res.ILP.Constrs, res.ILP.RedundantArcs, res.ILP.NeverAlivePairs)
-		}
-		if *witness && res.Witness != nil {
-			fmt.Printf("    saturating schedule (RN=%d):\n", res.Witness.RegisterNeed(t))
-			for u := 0; u < g.NumNodes(); u++ {
-				if u == g.Bottom() {
-					continue
+		g := res.Graph
+		fmt.Printf("DDG %s (%s): %d nodes, %d edges, critical path %d\n",
+			g.Name, g.Machine, g.NumNodes(), g.NumEdges(), g.CriticalPath())
+		for _, t := range g.Types() {
+			r := res.RS[t]
+			if r == nil {
+				continue
+			}
+			exact := "≥ (heuristic lower bound)"
+			if r.Exact {
+				exact = "= (exact)"
+			}
+			fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
+				t, exact, r.RS, len(g.Values(t)), names(g, r.Antichain))
+			if r.ILP != nil {
+				fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
+					r.ILP.Vars, r.ILP.IntVars, r.ILP.Constrs, r.ILP.RedundantArcs, r.ILP.NeverAlivePairs)
+			}
+			if *witness && r.Witness != nil {
+				fmt.Printf("    saturating schedule (RN=%d):\n", r.Witness.RegisterNeed(t))
+				for u := 0; u < g.NumNodes(); u++ {
+					if u == g.Bottom() {
+						continue
+					}
+					fmt.Printf("      t=%-3d %s\n", r.Witness.Times[u], g.Node(u).Name)
 				}
-				fmt.Printf("      t=%-3d %s\n", res.Witness.Times[u], g.Node(u).Name)
 			}
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
-func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
+// buildSource assembles the input stream: a kernel, stdin ("-f -"), and any
+// mix of files and directories, analyzed in the order given.
+func buildSource(file, kernel, machine string, args []string) (regsat.GraphSource, error) {
+	mk, err := parseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case kernel != "":
+		spec, ok := kernels.ByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q (try ddggen -list)", kernel)
+		}
+		return regsat.SourceGraphs(spec.Build(mk)), nil
+	case file == "-":
+		g, err := loadStdin()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return regsat.SourceGraphs(g), nil
+		}
+		rest, err := regsat.SourcePaths(args...)
+		if err != nil {
+			return nil, err
+		}
+		return regsat.SourceConcat(regsat.SourceGraphs(g), rest), nil
+	case file != "" || len(args) > 0:
+		paths := args
+		if file != "" {
+			paths = append([]string{file}, args...)
+		}
+		return regsat.SourcePaths(paths...)
+	default:
+		return nil, fmt.Errorf("need -f, -kernel, or input paths (try -kernel lin-daxpy)")
+	}
+}
+
+// loadDotGraph resolves the single graph -dot renders.
+func loadDotGraph(file, kernel, machine string, args []string) (*regsat.Graph, error) {
 	mk, err := parseMachine(machine)
 	if err != nil {
 		return nil, err
@@ -94,26 +160,36 @@ func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
 			return nil, fmt.Errorf("unknown kernel %q (try ddggen -list)", kernel)
 		}
 		return spec.Build(mk), nil
-	case file == "-":
-		g, err := regsat.ParseGraph(os.Stdin)
-		if err != nil {
-			return nil, err
-		}
-		return g, g.Finalize()
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		g, err := regsat.ParseGraph(f)
-		if err != nil {
-			return nil, err
-		}
-		return g, g.Finalize()
+	case file == "-" && len(args) == 0:
+		return loadStdin()
+	case file != "" && len(args) == 0:
+		return loadSingle(file)
+	case file == "" && len(args) == 1:
+		return loadSingle(args[0])
 	default:
-		return nil, fmt.Errorf("need -f or -kernel (try -kernel lin-daxpy)")
+		return nil, fmt.Errorf("-dot needs a single input (-kernel, -f, or one file)")
 	}
+}
+
+func loadStdin() (*regsat.Graph, error) {
+	g, err := regsat.ParseGraph(os.Stdin)
+	if err != nil {
+		return nil, err
+	}
+	return g, g.Finalize()
+}
+
+func loadSingle(path string) (*regsat.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := regsat.ParseGraph(f)
+	if err != nil {
+		return nil, err
+	}
+	return g, g.Finalize()
 }
 
 func parseMachine(s string) (ddg.MachineKind, error) {

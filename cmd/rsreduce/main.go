@@ -1,14 +1,18 @@
-// Command rsreduce reduces the register saturation of a DDG below a register
+// Command rsreduce reduces the register saturation of DDGs below a register
 // budget by inserting serialization arcs (Section 4 of the paper), and emits
-// the extended, scheduler-ready DDG.
+// the extended, scheduler-ready DDG. Multiple files and directories are
+// processed concurrently by the batch engine, with deterministic output
+// order.
 //
 // Usage:
 //
 //	rsreduce -kernel spec-swim -r 6 [-machine vliw] [-method heuristic|exact|ilp]
 //	rsreduce -f body.ddg -r 8 -emit
+//	rsreduce -r 4 -type float -parallel 8 testdata/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,23 +25,19 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
-		kernel  = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
-		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		method  = flag.String("method", "heuristic", "reduction method: heuristic|exact|ilp")
-		regs    = flag.Int("r", 8, "available registers R_t")
-		typ     = flag.String("type", "float", "register type to reduce")
-		emit    = flag.Bool("emit", false, "emit the extended DDG in textual format")
-		dot     = flag.Bool("dot", false, "emit the extended DDG in Graphviz format")
+		file     = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel   = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method   = flag.String("method", "heuristic", "reduction method: heuristic|exact|ilp")
+		regs     = flag.Int("r", 8, "available registers R_t")
+		typ      = flag.String("type", "float", "register type to reduce")
+		emit     = flag.Bool("emit", false, "emit the extended DDG in textual format (single input)")
+		dot      = flag.Bool("dot", false, "emit the extended DDG in Graphviz format (single input)")
+		parallel = flag.Int("parallel", 0, "worker count for multi-file reduction (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*file, *kernel, *machine)
-	if err != nil {
-		fatal(err)
-	}
 	t := regsat.RegType(*typ)
-
 	opts := regsat.ReduceOptions{}
 	switch *method {
 	case "heuristic":
@@ -51,34 +51,72 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	before, err := regsat.ComputeRS(g, t, regsat.RSOptions{Method: regsat.GreedyK, SkipWitness: true})
+	src, err := buildSource(*file, *kernel, *machine, flag.Args())
 	if err != nil {
 		fatal(err)
 	}
-	res, err := regsat.ReduceRS(g, t, *regs, opts)
+	batchOpts := regsat.BatchOptions{
+		Parallel: *parallel,
+		RS:       regsat.RSOptions{Method: regsat.GreedyK, SkipWitness: true},
+		Types:    []regsat.RegType{t},
+		Reduce: &regsat.BatchReduce{
+			Budget: *regs,
+			Run: func(g *regsat.Graph, rt regsat.RegType, budget int) (*regsat.ReduceResult, error) {
+				return regsat.ReduceRS(g, rt, budget, opts)
+			},
+			Key: fmt.Sprintf("%s|mn%d|ilp%+v", *method, opts.MaxNodes, opts.ILP),
+		},
+	}
+	ch, err := regsat.AnalyzeAll(context.Background(), []regsat.GraphSource{src}, batchOpts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("DDG %s (%s), type %s: RS*=%d, budget R=%d\n", g.Name, g.Machine, t, before.RS, *regs)
-	if res.Spill {
-		fmt.Printf("  NOT reducible to %d registers: spill code unavoidable\n", *regs)
+	failed, spilled := false, false
+	for res := range ch {
+		if res.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "rsreduce: %s: %v\n", res.Name, res.Err)
+			continue
+		}
+		g := res.Graph
+		before := res.RS[t]
+		if before == nil {
+			fmt.Printf("DDG %s (%s): writes no %s values\n", g.Name, g.Machine, t)
+			continue
+		}
+		fmt.Printf("DDG %s (%s), type %s: RS*=%d, budget R=%d\n", g.Name, g.Machine, t, before.RS, *regs)
+		red := res.Reductions[t]
+		if red == nil {
+			fmt.Printf("  already within budget, no reduction needed\n")
+			continue
+		}
+		if red.Spill {
+			spilled = true
+			fmt.Printf("  NOT reducible to %d registers: spill code unavoidable\n", *regs)
+			continue
+		}
+		fmt.Printf("  reduced RS=%d with %d serialization arcs\n", red.RS, len(red.Arcs))
+		fmt.Printf("  critical path: %d → %d (ILP loss %d)\n", red.CPBefore, red.CPAfter, red.CPAfter-red.CPBefore)
+		for _, a := range red.Arcs {
+			fmt.Printf("    arc %s → %s (latency %d)\n",
+				red.Graph.Node(a.From).Name, red.Graph.Node(a.To).Name, a.Latency)
+		}
+		if *emit {
+			fmt.Print(red.Graph.Format())
+		}
+		if *dot {
+			fmt.Print(red.Graph.DOT())
+		}
+	}
+	switch {
+	case failed:
+		os.Exit(1)
+	case spilled:
 		os.Exit(2)
-	}
-	fmt.Printf("  reduced RS=%d with %d serialization arcs\n", res.RS, len(res.Arcs))
-	fmt.Printf("  critical path: %d → %d (ILP loss %d)\n", res.CPBefore, res.CPAfter, res.CPAfter-res.CPBefore)
-	for _, a := range res.Arcs {
-		fmt.Printf("    arc %s → %s (latency %d)\n",
-			res.Graph.Node(a.From).Name, res.Graph.Node(a.To).Name, a.Latency)
-	}
-	if *emit {
-		fmt.Print(res.Graph.Format())
-	}
-	if *dot {
-		fmt.Print(res.Graph.DOT())
 	}
 }
 
-func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
+func buildSource(file, kernel, machine string, args []string) (regsat.GraphSource, error) {
 	mk, err := parseMachine(machine)
 	if err != nil {
 		return nil, err
@@ -89,26 +127,31 @@ func loadGraph(file, kernel, machine string) (*regsat.Graph, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown kernel %q (try ddggen -list)", kernel)
 		}
-		return spec.Build(mk), nil
+		return regsat.SourceGraphs(spec.Build(mk)), nil
 	case file == "-":
 		g, err := regsat.ParseGraph(os.Stdin)
 		if err != nil {
 			return nil, err
 		}
-		return g, g.Finalize()
-	case file != "":
-		f, err := os.Open(file)
+		if err := g.Finalize(); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return regsat.SourceGraphs(g), nil
+		}
+		rest, err := regsat.SourcePaths(args...)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		g, err := regsat.ParseGraph(f)
-		if err != nil {
-			return nil, err
+		return regsat.SourceConcat(regsat.SourceGraphs(g), rest), nil
+	case file != "" || len(args) > 0:
+		paths := args
+		if file != "" {
+			paths = append([]string{file}, args...)
 		}
-		return g, g.Finalize()
+		return regsat.SourcePaths(paths...)
 	default:
-		return nil, fmt.Errorf("need -f or -kernel")
+		return nil, fmt.Errorf("need -f, -kernel, or input paths")
 	}
 }
 

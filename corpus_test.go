@@ -6,9 +6,14 @@ package regsat
 // format takes.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -17,8 +22,11 @@ import (
 
 func TestCorpusFullPipeline(t *testing.T) {
 	files, err := filepath.Glob("testdata/*.ddg")
-	if err != nil || len(files) == 0 {
-		t.Fatalf("no corpus files: %v", err)
+	if err != nil {
+		t.Fatalf("corpus glob failed: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("corpus is empty: no .ddg files in testdata/ (regenerate with `go run ./cmd/ddggen -corpus -out testdata`)")
 	}
 	for _, file := range files {
 		f, err := os.Open(file)
@@ -58,6 +66,64 @@ func TestCorpusFullPipeline(t *testing.T) {
 			if _, err := Allocate(s, typ, res.RS); err != nil {
 				t.Fatalf("%s/%s: allocation within the original RS failed: %v", file, typ, err)
 			}
+		}
+	}
+}
+
+// analyzeCorpus runs the batch engine over testdata/ with the given worker
+// count and renders the ordered results canonically.
+func analyzeCorpus(t *testing.T, parallel int) string {
+	t.Helper()
+	src, err := SourceDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := AnalyzeAll(context.Background(), []GraphSource{src}, BatchOptions{
+		Parallel: parallel,
+		RS:       RSOptions{Method: ExactBB},
+		Reduce:   &BatchReduce{Budget: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for res := range ch {
+		fmt.Fprintf(&b, "#%d %s", res.Index, res.Name)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Name, res.Err)
+		}
+		types := make([]string, 0, len(res.RS))
+		for typ := range res.RS {
+			types = append(types, string(typ))
+		}
+		sort.Strings(types)
+		for _, ts := range types {
+			typ := RegType(ts)
+			r := res.RS[typ]
+			fmt.Fprintf(&b, " %s:RS=%d,exact=%t,chain=%v", ts, r.RS, r.Exact, r.Antichain)
+			if r.Witness != nil {
+				fmt.Fprintf(&b, ",times=%v", r.Witness.Times)
+			}
+			if red := res.Reductions[typ]; red != nil {
+				fmt.Fprintf(&b, ",red=%d,arcs=%v,spill=%t", red.RS, red.Arcs, red.Spill)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestAnalyzeAllMatchesSequential: the parallel batch engine produces
+// byte-identical results to the sequential path over the committed corpus,
+// for any worker count.
+func TestAnalyzeAllMatchesSequential(t *testing.T) {
+	want := analyzeCorpus(t, 1)
+	if want == "" {
+		t.Fatal("sequential run produced no output")
+	}
+	for _, workers := range []int{2, runtime.NumCPU(), 2 * runtime.NumCPU()} {
+		if got := analyzeCorpus(t, workers); got != want {
+			t.Errorf("parallel=%d differs from sequential:\n--- sequential\n%s--- parallel\n%s", workers, want, got)
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module regsat
+
+go 1.24

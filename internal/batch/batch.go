@@ -1,0 +1,306 @@
+// Package batch is the concurrent batch-analysis engine: it shards register
+// saturation analysis (and optional RS reduction) of a stream of DDGs across
+// a bounded worker pool, memoizing the expensive shared artifacts — the
+// transitive closure / all-pairs longest-path matrix, the per-type
+// rs.Analysis with its potential-killer sets, and finished results — by
+// structural graph fingerprint, so repeated graphs and repeated register
+// types never recompute.
+//
+// The engine guarantees:
+//
+//   - deterministic result ordering: results arrive in input-stream order
+//     regardless of worker count or completion order;
+//   - per-item error isolation: a graph that fails to load, analyze, or even
+//     panics yields a Result carrying the error without killing the batch;
+//   - prompt cancellation: cancelling the context stops the producer and
+//     workers and closes the result channel after in-flight items drain.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallel is the worker count; 0 or negative means GOMAXPROCS.
+	Parallel int
+	// RS configures the saturation computation of every item.
+	RS rs.Options
+	// Types restricts analysis to these register types; nil analyzes every
+	// type each graph writes. Types a graph does not write are skipped.
+	Types []ddg.RegType
+	// Reduce, when non-nil with a positive budget, runs RS reduction after
+	// each saturation whose RS exceeds the budget.
+	Reduce *ReduceSpec
+	// CacheSize bounds the fingerprint memo (entries); 0 = DefaultCacheSize.
+	CacheSize int
+}
+
+// ReduceSpec describes the optional reduction pass of a batch.
+type ReduceSpec struct {
+	// Budget is the available register count R_t to reduce below.
+	Budget int
+	// Run performs the reduction (defaults to the heuristic when nil).
+	Run func(g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error)
+	// Key identifies Run for memoization; leave empty to disable caching of
+	// reductions (required when Run is a closure the engine cannot name).
+	Key string
+}
+
+// HeuristicReduce is the default ReduceSpec Run: Touati's value-serialization
+// heuristic.
+func HeuristicReduce(g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
+	return reduce.Heuristic(g, t, budget)
+}
+
+// Result is the analysis outcome of one stream item.
+type Result struct {
+	// Index is the item's position in the input stream; results are
+	// delivered in increasing Index order.
+	Index int
+	// Name identifies the item (file path, kernel or graph name).
+	Name string
+	// Graph is the finalized DDG (nil when Err is set before loading).
+	Graph *ddg.Graph
+	// RS maps each analyzed register type to its saturation result. When the
+	// batch contains structurally identical graphs, duplicates share one
+	// *rs.Result — treat results as immutable.
+	RS map[ddg.RegType]*rs.Result
+	// Reductions maps each reduced type to its reduction result (only types
+	// whose saturation exceeded the budget appear).
+	Reductions map[ddg.RegType]*reduce.Result
+	// CacheHit reports that every RS computation of this item was served
+	// from the memo.
+	CacheHit bool
+	// Elapsed is the wall time this item spent in a worker.
+	Elapsed time.Duration
+	// Err is the item's failure, if any; the batch continues past it.
+	Err error
+}
+
+// Engine runs batches over a shared memo: consecutive Run calls on one
+// engine reuse each other's cached artifacts.
+type Engine struct {
+	opts Options
+	memo *memo
+}
+
+// New creates an engine. The zero Options value analyzes every type with
+// Greedy-k across GOMAXPROCS workers.
+func New(opts Options) *Engine {
+	if opts.Reduce != nil && opts.Reduce.Run == nil {
+		r := *opts.Reduce
+		r.Run = HeuristicReduce
+		if r.Key == "" {
+			r.Key = "heuristic"
+		}
+		opts.Reduce = &r
+	}
+	return &Engine{opts: opts, memo: newMemo(opts.CacheSize)}
+}
+
+// Stats returns the engine's cumulative cache statistics.
+func (e *Engine) Stats() Stats { return e.memo.stats() }
+
+// Parallelism returns the effective worker count.
+func (e *Engine) Parallelism() int {
+	if e.opts.Parallel > 0 {
+		return e.opts.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type work struct {
+	index int
+	item  Item
+}
+
+// Run launches the batch and returns the ordered result stream. The channel
+// is closed when the stream is exhausted or the context is cancelled; after
+// cancellation only already-in-flight results (in index order, possibly with
+// gaps) are delivered.
+func (e *Engine) Run(ctx context.Context, src Source) (<-chan Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("batch: nil source")
+	}
+	workers := e.Parallelism()
+	in := make(chan work, workers)
+	raw := make(chan Result, workers)
+	out := make(chan Result, workers)
+
+	// Producer: pull the (single-goroutine) source, stamp stream indices.
+	go func() {
+		defer close(in)
+		for i := 0; ; i++ {
+			it, ok := src.Next()
+			if !ok {
+				return
+			}
+			select {
+			case in <- work{index: i, item: it}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: analyze items; panics and errors stay per-item.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for wk := range in {
+				if ctx.Err() != nil {
+					return
+				}
+				raw <- e.process(ctx, wk)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(raw)
+	}()
+
+	// Collector: reorder completions into input order. After cancellation
+	// the consumer may walk away, so every send also watches ctx.
+	go func() {
+		defer close(out)
+		pending := map[int]Result{}
+		next := 0
+		send := func(r Result) bool {
+			select {
+			case out <- r:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for r := range raw {
+			pending[r.Index] = r
+			for {
+				head, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !send(head) {
+					for range raw { // release workers
+					}
+					return
+				}
+				next++
+			}
+		}
+		// Cancellation can leave index gaps; flush what finished, in order.
+		rest := make([]int, 0, len(pending))
+		for i := range pending {
+			rest = append(rest, i)
+		}
+		sort.Ints(rest)
+		for _, i := range rest {
+			if !send(pending[i]) {
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Collect runs the batch to completion and returns the ordered result slice.
+func (e *Engine) Collect(ctx context.Context, src Source) ([]Result, error) {
+	ch, err := e.Run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for r := range ch {
+		out = append(out, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// process analyzes one item. All failure modes — load errors, analysis
+// errors, panics from malformed graphs — are captured in the Result.
+func (e *Engine) process(ctx context.Context, wk work) (res Result) {
+	start := time.Now()
+	res = Result{Index: wk.index, Name: wk.item.Name}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("batch: %s: panic: %v", wk.item.Name, p)
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	if wk.item.Err != nil {
+		res.Err = wk.item.Err
+		return res
+	}
+	g := wk.item.Graph
+	if !g.Finalized() {
+		if err := g.Finalize(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	res.Graph = g
+	types := e.opts.Types
+	if len(types) == 0 {
+		types = g.Types()
+	}
+	ent := e.memo.lookup(Fingerprint(g))
+	res.RS = make(map[ddg.RegType]*rs.Result, len(types))
+	allCached := true
+	for _, t := range types {
+		if !writes(g, t) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+		r, hit, err := ent.result(e.memo, g, t, e.opts.RS)
+		if err != nil {
+			res.Err = fmt.Errorf("%s/%s: %w", wk.item.Name, t, err)
+			return res
+		}
+		if !hit {
+			allCached = false
+		}
+		res.RS[t] = r
+		if e.opts.Reduce != nil && e.opts.Reduce.Budget > 0 && r.RS > e.opts.Reduce.Budget {
+			rr, err := ent.reduction(g, t, e.opts.Reduce)
+			if err != nil {
+				res.Err = fmt.Errorf("%s/%s: reduce: %w", wk.item.Name, t, err)
+				return res
+			}
+			if res.Reductions == nil {
+				res.Reductions = map[ddg.RegType]*reduce.Result{}
+			}
+			res.Reductions[t] = rr
+		}
+	}
+	res.CacheHit = allCached && len(res.RS) > 0
+	return res
+}
+
+func writes(g *ddg.Graph, t ddg.RegType) bool {
+	for _, n := range g.Nodes() {
+		if n.WritesType(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package batch
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"regsat/internal/ddg"
+	"regsat/internal/graph"
+	"regsat/internal/reduce"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+)
+
+// DefaultCacheSize bounds the memo when Options.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// memo is a bounded LRU cache of per-graph analysis artifacts, keyed by
+// structural fingerprint. Each entry holds the artifacts every RS method
+// shares — the all-pairs longest-path matrix, the per-type rs.Analysis
+// (which carries the potential-killer sets), and finished RS/reduction
+// results keyed by their options — each computed at most once under
+// singleflight semantics: concurrent workers that hit the same fingerprint
+// block on the first computation instead of duplicating it.
+type memo struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses atomic.Int64
+}
+
+func newMemo(capacity int) *memo {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &memo{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// entry holds the memoized artifacts of one graph fingerprint. In-flight
+// computations hold the entry pointer, so LRU eviction never invalidates a
+// computation already underway.
+type entry struct {
+	fp string
+
+	apOnce sync.Once
+	ap     *graph.AllPairsLongest
+	apErr  error
+
+	mu       sync.Mutex
+	analyses map[ddg.RegType]*analysisSlot
+	results  map[string]*resultSlot
+	reduces  map[string]*reduceSlot
+}
+
+type analysisSlot struct {
+	once sync.Once
+	an   *rs.Analysis
+	err  error
+}
+
+type resultSlot struct {
+	once sync.Once
+	res  *rs.Result
+	err  error
+}
+
+type reduceSlot struct {
+	once sync.Once
+	// src is the graph the memoized result was computed against; serving the
+	// result to a structurally identical but distinct graph re-extends that
+	// graph instead, so callers never see another input's names.
+	src *ddg.Graph
+	res *reduce.Result
+	err error
+}
+
+// lookup returns the entry for fp, creating and inserting it (with LRU
+// eviction) when absent.
+func (m *memo) lookup(fp string) *entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[fp]; ok {
+		m.order.MoveToFront(el)
+		return el.Value.(*entry)
+	}
+	e := &entry{
+		fp:       fp,
+		analyses: make(map[ddg.RegType]*analysisSlot),
+		results:  make(map[string]*resultSlot),
+		reduces:  make(map[string]*reduceSlot),
+	}
+	m.entries[fp] = m.order.PushFront(e)
+	for len(m.entries) > m.cap {
+		oldest := m.order.Back()
+		delete(m.entries, oldest.Value.(*entry).fp)
+		m.order.Remove(oldest)
+	}
+	return e
+}
+
+// allPairs returns the entry's all-pairs longest-path matrix, computing it
+// from g on first use.
+func (e *entry) allPairs(g *ddg.Graph) (*graph.AllPairsLongest, error) {
+	e.apOnce.Do(func() {
+		e.ap, e.apErr = g.ToDigraph().LongestAllPairs()
+	})
+	return e.ap, e.apErr
+}
+
+// analysis returns the entry's rs.Analysis for register type t, computing it
+// on first use (sharing the all-pairs matrix across types).
+func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
+	e.mu.Lock()
+	slot, ok := e.analyses[t]
+	if !ok {
+		slot = &analysisSlot{}
+		e.analyses[t] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		ap, err := e.allPairs(g)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.an, slot.err = rs.NewAnalysisShared(g, t, ap)
+	})
+	return slot.an, slot.err
+}
+
+// result returns the memoized RS result for (t, opts), computing it on first
+// use. The second return reports whether the result was served from cache.
+func (e *entry) result(m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*rs.Result, bool, error) {
+	key := string(t) + "|" + rsOptionsKey(opts)
+	e.mu.Lock()
+	slot, ok := e.results[key]
+	if !ok {
+		slot = &resultSlot{}
+		e.results[key] = slot
+	}
+	e.mu.Unlock()
+	ran := false
+	slot.once.Do(func() {
+		ran = true
+		an, err := e.analysis(g, t)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.res, slot.err = rs.ComputeWithAnalysis(an, opts)
+	})
+	if ran {
+		m.misses.Add(1)
+	} else {
+		m.hits.Add(1)
+	}
+	return slot.res, !ran, slot.err
+}
+
+// reduction returns the memoized reduction result for (t, spec), computing
+// it on first use. Reductions whose spec has no cache key (a custom Run
+// function the engine cannot identify) are computed every time.
+//
+// Unlike RS results — whose antichains and killing functions are plain node
+// IDs, valid in every graph sharing the fingerprint — a reduction result
+// carries a concrete extended *Graph. The fingerprint ignores names, so a
+// memoized result computed for one input must not be handed verbatim to a
+// structural twin with different names: the expensive search (the arcs) is
+// reused, but the extended graph and witness schedule are rebuilt over the
+// requesting graph.
+func (e *entry) reduction(g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduce.Result, error) {
+	if spec.Key == "" {
+		return spec.Run(g, t, spec.Budget)
+	}
+	key := fmt.Sprintf("%s|%s|%d", t, spec.Key, spec.Budget)
+	e.mu.Lock()
+	slot, ok := e.reduces[key]
+	if !ok {
+		slot = &reduceSlot{}
+		e.reduces[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		slot.src = g
+		slot.res, slot.err = spec.Run(g, t, spec.Budget)
+	})
+	if slot.err != nil || slot.src == g {
+		return slot.res, slot.err
+	}
+	adapted := *slot.res
+	adapted.Graph = g.Extend(slot.res.Arcs)
+	if slot.res.Schedule != nil {
+		adapted.Schedule = schedule.New(adapted.Graph, slot.res.Schedule.Times)
+	}
+	return &adapted, nil
+}
+
+// rsOptionsKey renders the result-determining fields of rs.Options.
+func rsOptionsKey(o rs.Options) string {
+	return fmt.Sprintf("m%d|l%d|r%t|w%t|lp%d:%s:%g",
+		o.Method, o.MaxLeaves, o.ApplyReductions, o.SkipWitness,
+		o.LP.MaxNodes, o.LP.TimeLimit, o.LP.IntTol)
+}
+
+// Stats reports the cumulative cache behavior of one engine run.
+type Stats struct {
+	// Hits counts RS computations served from the memo (a repeated graph or
+	// repeated register type under the same options).
+	Hits int64
+	// Misses counts RS computations actually performed.
+	Misses int64
+}
+
+func (m *memo) stats() Stats {
+	return Stats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+}

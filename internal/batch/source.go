@@ -1,0 +1,193 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"regsat/internal/ddg"
+)
+
+// Item is one graph of a batch stream. A source that fails to load an input
+// yields an Item carrying the error instead of aborting the stream, so one
+// bad file never kills the batch.
+type Item struct {
+	// Name identifies the item in results (file path, kernel name, …).
+	Name string
+	// Graph is the finalized DDG (nil when Err is set).
+	Graph *ddg.Graph
+	// Err is the load failure of this item, if any.
+	Err error
+}
+
+// Source streams DDGs into the engine. Next returns ok=false when the
+// source is exhausted. Sources are consumed by a single goroutine, so
+// implementations need not be safe for concurrent use.
+type Source interface {
+	Next() (Item, bool)
+}
+
+// sliceSource streams a precomputed item slice.
+type sliceSource struct {
+	items []Item
+	pos   int
+}
+
+func (s *sliceSource) Next() (Item, bool) {
+	if s.pos >= len(s.items) {
+		return Item{}, false
+	}
+	s.pos++
+	return s.items[s.pos-1], true
+}
+
+// Graphs streams already-built graphs, named by their Graph.Name. Graphs
+// are finalized up front (in place), so one graph passed twice is safe to
+// analyze from concurrent workers; finalization failures become per-item
+// errors.
+func Graphs(gs ...*ddg.Graph) Source {
+	items := make([]Item, len(gs))
+	for i, g := range gs {
+		if err := g.Finalize(); err != nil {
+			items[i] = Item{Name: g.Name, Err: err}
+			continue
+		}
+		items[i] = Item{Name: g.Name, Graph: g}
+	}
+	return &sliceSource{items: items}
+}
+
+// Files streams the given .ddg files lazily: each file is opened, parsed,
+// and finalized when the engine pulls it. Load failures become per-item
+// errors.
+func Files(paths ...string) Source {
+	return &fileSource{paths: paths}
+}
+
+type fileSource struct {
+	paths []string
+	pos   int
+}
+
+func (s *fileSource) Next() (Item, bool) {
+	if s.pos >= len(s.paths) {
+		return Item{}, false
+	}
+	path := s.paths[s.pos]
+	s.pos++
+	g, err := loadFile(path)
+	if err != nil {
+		return Item{Name: path, Err: err}, true
+	}
+	return Item{Name: path, Graph: g}, true
+}
+
+// loadFile parses and finalizes one .ddg file. Errors are not prefixed with
+// the path: the Item.Name / Result.Name reported alongside already carries it.
+func loadFile(path string) (*ddg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ddg.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Dir streams every *.ddg file of a directory in sorted order. It fails up
+// front when the directory cannot be read or holds no corpus files, so the
+// caller can distinguish a missing corpus from an empty result stream.
+func Dir(dir string) (Source, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.ddg"))
+	if err != nil {
+		return nil, fmt.Errorf("batch: glob %s: %w", dir, err)
+	}
+	if len(files) == 0 {
+		if _, statErr := os.Stat(dir); statErr != nil {
+			return nil, fmt.Errorf("batch: %w", statErr)
+		}
+		return nil, fmt.Errorf("batch: no .ddg files in %s", dir)
+	}
+	sort.Strings(files)
+	return Files(files...), nil
+}
+
+// Paths streams a mix of .ddg files and directories (each directory expands
+// to its sorted *.ddg files), in the order given.
+func Paths(paths ...string) (Source, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("batch: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.ddg"))
+		if err != nil {
+			return nil, fmt.Errorf("batch: glob %s: %w", p, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("batch: no .ddg files in %s", p)
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("batch: no input files")
+	}
+	return Files(files...), nil
+}
+
+// Generate streams n random finalized DDGs derived from consecutive seeds
+// seed, seed+1, …: a synthetic workload source for stress and scale runs.
+func Generate(n int, seed int64, params ddg.RandomParams) Source {
+	return &genSource{n: n, seed: seed, params: params}
+}
+
+type genSource struct {
+	n      int
+	seed   int64
+	pos    int
+	params ddg.RandomParams
+}
+
+func (s *genSource) Next() (Item, bool) {
+	if s.pos >= s.n {
+		return Item{}, false
+	}
+	seed := s.seed + int64(s.pos)
+	s.pos++
+	g := ddg.RandomGraph(rand.New(rand.NewSource(seed)), s.params)
+	g.Name = fmt.Sprintf("%s-seed%d", g.Name, seed)
+	return Item{Name: g.Name, Graph: g}, true
+}
+
+// Concat chains sources into one stream.
+func Concat(sources ...Source) Source {
+	return &concatSource{sources: sources}
+}
+
+type concatSource struct {
+	sources []Source
+}
+
+func (s *concatSource) Next() (Item, bool) {
+	for len(s.sources) > 0 {
+		if it, ok := s.sources[0].Next(); ok {
+			return it, true
+		}
+		s.sources = s.sources[1:]
+	}
+	return Item{}, false
+}

@@ -97,6 +97,9 @@ func TestE3RSOptimality(t *testing.T) {
 }
 
 func TestE4ReduceOptimality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow exhaustive check; skipped with -short")
+	}
 	p := smallPop()
 	p.MaxValues = 8 // keep exact reduction quick in tests
 	sum, err := ReduceOptimality(p, 1)

@@ -50,6 +50,9 @@ func TestReductionIdempotent(t *testing.T) {
 // TestReductionMonotonicity: a tighter register budget can never yield a
 // shorter critical path (exact reducer, small graphs).
 func TestReductionMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow exhaustive check; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(17))
 	checked := 0
 	for trial := 0; trial < 25 && checked < 8; trial++ {

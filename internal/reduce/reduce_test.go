@@ -131,6 +131,9 @@ func TestExactReducesToEveryFeasibleR(t *testing.T) {
 }
 
 func TestHeuristicNeverBeatsExactCPWhenSound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow exhaustive check; skipped with -short")
+	}
 	// The heuristic may claim a smaller critical path when its Greedy-k
 	// saturation estimate is optimistic (the paper's case ii.c). When its
 	// extension *verifiably* fits R registers, the exact reduction must be

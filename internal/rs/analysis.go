@@ -53,6 +53,18 @@ func NewAnalysis(g *ddg.Graph, t ddg.RegType) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rs: graph %s: %w", g.Name, err)
 	}
+	return NewAnalysisShared(g, t, ap)
+}
+
+// NewAnalysisShared is NewAnalysis with a precomputed all-pairs longest-path
+// matrix of g. The matrix is the most expensive shared artifact of the
+// analysis (O(n·(n+m))), and it depends only on the graph — not on the
+// register type — so callers analyzing several types of one graph, or the
+// same graph repeatedly (the batch engine), compute it once and share it.
+func NewAnalysisShared(g *ddg.Graph, t ddg.RegType, ap *graph.AllPairsLongest) (*Analysis, error) {
+	if !g.Finalized() {
+		return nil, fmt.Errorf("rs: graph %s is not finalized", g.Name)
+	}
 	an := &Analysis{
 		G:      g,
 		Type:   t,

@@ -150,6 +150,9 @@ func TestExactBBMatchesBruteForceSchedules(t *testing.T) {
 }
 
 func TestExactILPMatchesExactBB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow exhaustive check; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(77))
 	checked := 0
 	for trial := 0; trial < 60 && checked < 15; trial++ {

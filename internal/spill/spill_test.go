@@ -131,6 +131,9 @@ func TestSpillInsertionTransformsGraph(t *testing.T) {
 }
 
 func TestUntilFitsOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow exhaustive check; skipped with -short")
+	}
 	// Drive every kernel to a harsh budget; every success claim must hold
 	// (validated graph, honest saturation), and failures must be honest.
 	for _, spec := range kernels.All() {

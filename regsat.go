@@ -26,8 +26,10 @@
 package regsat
 
 import (
+	"context"
 	"io"
 
+	"regsat/internal/batch"
 	"regsat/internal/cfg"
 	"regsat/internal/ddg"
 	"regsat/internal/reduce"
@@ -157,6 +159,67 @@ func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceRe
 		return reduce.Heuristic(g, t, available)
 	}
 }
+
+// Batch analysis (the concurrent engine of internal/batch): analyze a
+// stream of DDGs across a bounded worker pool with per-graph memoization of
+// the shared artifacts (all-pairs longest paths, rs.Analysis,
+// potential-killer sets) keyed by structural fingerprint.
+type (
+	// BatchOptions configures AnalyzeAll (worker count, RS options, type
+	// restriction, optional reduction pass, memo size).
+	BatchOptions = batch.Options
+	// BatchResult is the per-item outcome, delivered in input order.
+	BatchResult = batch.Result
+	// BatchReduce asks the batch to reduce saturations above a budget.
+	BatchReduce = batch.ReduceSpec
+	// BatchStats reports memo hits/misses of a batch engine.
+	BatchStats = batch.Stats
+	// BatchEngine runs batches over a shared memo (NewBatchEngine).
+	BatchEngine = batch.Engine
+	// GraphSource streams DDGs into the batch engine.
+	GraphSource = batch.Source
+	// RandomParams controls the synthetic-workload source.
+	RandomParams = ddg.RandomParams
+)
+
+// AnalyzeAll shards the register saturation analysis of every graph streamed
+// by the sources across a bounded worker pool (BatchOptions.Parallel, default
+// GOMAXPROCS) and returns the result channel. Results arrive in input-stream
+// order regardless of parallelism; one bad graph yields a BatchResult with
+// its error without killing the batch; cancelling ctx stops the run and
+// closes the channel. Repeated graphs and repeated register types are served
+// from a fingerprint-keyed memo instead of recomputing.
+func AnalyzeAll(ctx context.Context, sources []GraphSource, opts BatchOptions) (<-chan BatchResult, error) {
+	return batch.New(opts).Run(ctx, batch.Concat(sources...))
+}
+
+// NewBatchEngine creates a reusable batch engine: consecutive Run calls
+// share one memo, and Stats exposes its hit/miss counts.
+func NewBatchEngine(opts BatchOptions) *BatchEngine { return batch.New(opts) }
+
+// SourceFiles streams the given .ddg files (lazily loaded and finalized).
+func SourceFiles(paths ...string) GraphSource { return batch.Files(paths...) }
+
+// SourceDir streams every *.ddg file of a directory in sorted order.
+func SourceDir(dir string) (GraphSource, error) { return batch.Dir(dir) }
+
+// SourcePaths streams a mix of .ddg files and directories.
+func SourcePaths(paths ...string) (GraphSource, error) { return batch.Paths(paths...) }
+
+// SourceGraphs streams already-built graphs (finalized in place).
+func SourceGraphs(gs ...*Graph) GraphSource { return batch.Graphs(gs...) }
+
+// SourceConcat chains sources into one stream.
+func SourceConcat(sources ...GraphSource) GraphSource { return batch.Concat(sources...) }
+
+// SourceRandom streams n random DDGs from consecutive seeds — a synthetic
+// workload generator for stress and scale runs.
+func SourceRandom(n int, seed int64, params RandomParams) GraphSource {
+	return batch.Generate(n, seed, params)
+}
+
+// DefaultRandomParams gives a small, dense, single-type superscalar DAG.
+func DefaultRandomParams(n int) RandomParams { return ddg.DefaultRandomParams(n) }
 
 // ASAP returns the as-soon-as-possible schedule of g.
 func ASAP(g *Graph) (*Schedule, error) { return schedule.ASAP(g) }
