@@ -11,14 +11,15 @@ package regsat
 //     saturation (register-use freedom).
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"regsat/internal/ddg"
 	"regsat/internal/kernels"
-	"regsat/internal/lp"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
+	"regsat/internal/solver"
 )
 
 // BenchmarkAblation_ModelReductions measures the Section 3 optimizations:
@@ -29,10 +30,10 @@ func BenchmarkAblation_ModelReductions(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	params := lp.Params{MaxNodes: 300000, TimeLimit: 60 * time.Second}
+	params := solver.Options{MaxNodes: 300000, TimeLimit: 60 * time.Second}
 	b.Run("with-optimizations", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := rs.ExactILP(an, true, params)
+			res, err := rs.ExactILP(context.Background(), an, true, params)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -43,7 +44,7 @@ func BenchmarkAblation_ModelReductions(b *testing.B) {
 	})
 	b.Run("without-optimizations", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := rs.ExactILP(an, false, params)
+			res, err := rs.ExactILP(context.Background(), an, false, params)
 			if err != nil {
 				b.Fatal(err)
 			}

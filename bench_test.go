@@ -7,6 +7,7 @@ package regsat
 
 import (
 	"context"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -14,10 +15,10 @@ import (
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
 	"regsat/internal/kernels"
-	"regsat/internal/lp"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 func benchPop() experiments.Population {
@@ -109,7 +110,7 @@ func BenchmarkE6_Timing(b *testing.B) {
 	p := benchPop()
 	p.RandomGraphs = 0
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.Timing(p, 5, lp.Params{MaxNodes: 100000, TimeLimit: 20 * time.Second})
+		sum, err := experiments.Timing(p, 5, solver.Options{MaxNodes: 100000, TimeLimit: 20 * time.Second})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,16 +227,62 @@ func BenchmarkRSExactBBKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkMILPSolveBackends contrasts the MILP backends on a corpus graph
+// with ≥ 10 nodes: the dense reference engine, the sparse warm-started
+// best-bound engine sequentially, and the same engine with a parallel tree
+// search. Metrics: branch-and-bound nodes and warm-start rate per solve.
+func BenchmarkMILPSolveBackends(b *testing.B) {
+	g, err := loadBenchGraph("testdata/random-epic-10n-s2006.ddg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := rs.NewAnalysis(g, ddg.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opt solver.Options) {
+		for i := 0; i < b.N; i++ {
+			res, err := rs.ExactILP(context.Background(), an, true, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Exact {
+				b.Fatalf("backend %q did not prove optimality", opt.Backend)
+			}
+			b.ReportMetric(float64(res.Stats.Nodes), "bb-nodes")
+			b.ReportMetric(100*res.Stats.WarmRate(), "warm%")
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, solver.Options{Backend: "dense"}) })
+	b.Run("sparse", func(b *testing.B) { run(b, solver.Options{Backend: "sparse"}) })
+	b.Run("parallel", func(b *testing.B) {
+		run(b, solver.Options{Backend: "parallel", Parallel: runtime.NumCPU()})
+	})
+}
+
+func loadBenchGraph(path string) (*ddg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ddg.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return g, g.Finalize()
+}
+
 func BenchmarkRSExactILPSmall(b *testing.B) {
 	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
 	an, err := rs.NewAnalysis(g, ddg.Float)
 	if err != nil {
 		b.Fatal(err)
 	}
-	params := lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second}
+	params := solver.Options{MaxNodes: 200000, TimeLimit: 30 * time.Second}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rs.ExactILP(an, true, params); err != nil {
+		if _, err := rs.ExactILP(context.Background(), an, true, params); err != nil {
 			b.Fatal(err)
 		}
 	}

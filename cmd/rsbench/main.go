@@ -22,19 +22,20 @@ import (
 	"regsat/internal/batch"
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
-	"regsat/internal/lp"
 	"regsat/internal/rs"
+	"regsat/internal/solver"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus (needs -dir; not part of all)")
+		exp      = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir; not part of all)")
 		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		random   = flag.Int("random", 20, "number of random loop bodies added to the kernel suite")
 		seed     = flag.Int64("seed", 2004, "random population seed")
 		maxVals  = flag.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
-		dir      = flag.String("dir", "testdata", "DDG corpus directory for -exp corpus")
+		dir      = flag.String("dir", "testdata", "DDG corpus directory for -exp corpus/solver")
 		parallel = flag.Int("parallel", 0, "worker count for -exp corpus (0 = GOMAXPROCS)")
+		backend  = flag.String("solver", "", "MILP backend for intLP solves: dense|sparse|parallel (default sparse)")
 	)
 	flag.Parse()
 
@@ -102,7 +103,8 @@ func main() {
 		return r.Report(), nil
 	})
 	run("time", func() (string, error) {
-		r, err := experiments.Timing(pop, 6, lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second})
+		r, err := experiments.Timing(pop, 6, solver.Options{
+			Backend: *backend, MaxNodes: 200000, TimeLimit: 30 * time.Second})
 		if err != nil {
 			return "", err
 		}
@@ -126,8 +128,9 @@ func main() {
 		}
 		return r.Report(), nil
 	})
-	// The corpus experiment reads -dir from disk, so it only runs when asked
-	// for explicitly: a plain `rsbench` must keep working from any directory.
+	// The corpus and solver experiments read -dir from disk, so they only run
+	// when asked for explicitly: a plain `rsbench` must keep working from any
+	// directory.
 	if *exp == "corpus" {
 		start := time.Now()
 		report, err := corpusReport(*dir, *parallel)
@@ -137,6 +140,49 @@ func main() {
 		fmt.Println(report)
 		fmt.Printf("[corpus completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	if *exp == "solver" {
+		start := time.Now()
+		report, err := solverReport(*dir, *maxVals)
+		if err != nil {
+			fatal(fmt.Errorf("solver: %w", err))
+		}
+		fmt.Println(report)
+		fmt.Printf("[solver completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// solverReport compares every registered MILP backend on the corpus: per
+// instance, nodes explored, simplex iterations, warm-start hit rate, and
+// wall clock, each backend verified against the combinatorial exact search.
+func solverReport(dir string, maxValues int) (string, error) {
+	src, err := batch.Dir(dir)
+	if err != nil {
+		return "", err
+	}
+	var graphs []*ddg.Graph
+	var names []string
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if it.Err != nil {
+			return "", it.Err
+		}
+		if !it.Graph.Finalized() {
+			if err := it.Graph.Finalize(); err != nil {
+				return "", fmt.Errorf("%s: %w", it.Name, err)
+			}
+		}
+		graphs = append(graphs, it.Graph)
+		names = append(names, it.Name)
+	}
+	sum, err := experiments.SolverBench(context.Background(), graphs, names, nil, maxValues,
+		solver.Options{MaxNodes: 400000, TimeLimit: 60 * time.Second})
+	if err != nil {
+		return "", err
+	}
+	return sum.Report(), nil
 }
 
 // corpusReport shards exact RS analysis of every corpus file across the

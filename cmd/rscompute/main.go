@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"regsat"
 	"regsat/internal/ddg"
@@ -34,10 +35,13 @@ func main() {
 		dot      = flag.Bool("dot", false, "emit the DDG in Graphviz format and exit (single input)")
 		witness  = flag.Bool("witness", false, "print a saturating schedule")
 		parallel = flag.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
+		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
+		stats    = flag.Bool("solver-stats", false, "print per-solve MILP statistics (nodes, iterations, warm-start rate)")
 	)
 	flag.Parse()
 
 	opts := regsat.RSOptions{SkipWitness: !*witness}
+	opts.Solver.Backend = *backend
 	switch *method {
 	case "greedy":
 		opts.Method = regsat.GreedyK
@@ -89,9 +93,18 @@ func main() {
 			}
 			fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
 				t, exact, r.RS, len(g.Values(t)), names(g, r.Antichain))
+			if !r.Exact && r.ILPUpperBound > r.RS {
+				fmt.Printf("    capped solve: RS ∈ [%d, %d]\n", r.RS, r.ILPUpperBound)
+			}
 			if r.ILP != nil {
 				fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
 					r.ILP.Vars, r.ILP.IntVars, r.ILP.Constrs, r.ILP.RedundantArcs, r.ILP.NeverAlivePairs)
+			}
+			if *stats && r.SolverStats != nil {
+				st := r.SolverStats
+				fmt.Printf("    solver: %d nodes, %d simplex iters, warm-start %.0f%% (%d warm / %d cold), %d incumbents, %d fallbacks, %d workers, %v\n",
+					st.Nodes, st.SimplexIters, 100*st.WarmRate(), st.WarmStarts, st.ColdStarts,
+					st.Incumbents, st.Fallbacks, st.Workers, st.Duration.Round(time.Microsecond))
 			}
 			if *witness && r.Witness != nil {
 				fmt.Printf("    saturating schedule (RN=%d):\n", r.Witness.RegisterNeed(t))

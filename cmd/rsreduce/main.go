@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"regsat"
 	"regsat/internal/ddg"
@@ -34,6 +35,8 @@ func main() {
 		emit     = flag.Bool("emit", false, "emit the extended DDG in textual format (single input)")
 		dot      = flag.Bool("dot", false, "emit the extended DDG in Graphviz format (single input)")
 		parallel = flag.Int("parallel", 0, "worker count for multi-file reduction (0 = GOMAXPROCS)")
+		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
+		stats    = flag.Bool("solver-stats", false, "print per-solve MILP statistics")
 	)
 	flag.Parse()
 
@@ -47,6 +50,7 @@ func main() {
 	case "ilp":
 		opts.Method = regsat.ReduceExactILP
 		opts.ILP = reduce.ILPOptions{ApplyReductions: true, GuaranteeDAG: true}
+		opts.ILP.Solver.Backend = *backend
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
@@ -61,8 +65,8 @@ func main() {
 		Types:    []regsat.RegType{t},
 		Reduce: &regsat.BatchReduce{
 			Budget: *regs,
-			Run: func(g *regsat.Graph, rt regsat.RegType, budget int) (*regsat.ReduceResult, error) {
-				return regsat.ReduceRS(g, rt, budget, opts)
+			Run: func(ctx context.Context, g *regsat.Graph, rt regsat.RegType, budget int) (*regsat.ReduceResult, error) {
+				return regsat.ReduceRSContext(ctx, g, rt, budget, opts)
 			},
 			Key: fmt.Sprintf("%s|mn%d|ilp%+v", *method, opts.MaxNodes, opts.ILP),
 		},
@@ -96,6 +100,11 @@ func main() {
 			continue
 		}
 		fmt.Printf("  reduced RS=%d with %d serialization arcs\n", red.RS, len(red.Arcs))
+		if *stats && red.SolverStats != nil {
+			st := red.SolverStats
+			fmt.Printf("  solver: %d nodes, %d simplex iters, warm-start %.0f%%, %d incumbents, %v\n",
+				st.Nodes, st.SimplexIters, 100*st.WarmRate(), st.Incumbents, st.Duration.Round(time.Microsecond))
+		}
 		fmt.Printf("  critical path: %d → %d (ILP loss %d)\n", red.CPBefore, red.CPAfter, red.CPAfter-red.CPBefore)
 		for _, a := range red.Arcs {
 			fmt.Printf("    arc %s → %s (latency %d)\n",

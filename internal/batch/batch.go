@@ -27,6 +27,7 @@ import (
 	"regsat/internal/ddg"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
+	"regsat/internal/solver"
 )
 
 // Options configures an Engine.
@@ -35,6 +36,9 @@ type Options struct {
 	Parallel int
 	// RS configures the saturation computation of every item.
 	RS rs.Options
+	// Solver, when non-zero, overrides RS.Solver: one place to select the
+	// MILP backend and its limits for the whole batch.
+	Solver solver.Options
 	// Types restricts analysis to these register types; nil analyzes every
 	// type each graph writes. Types a graph does not write are skipped.
 	Types []ddg.RegType
@@ -49,8 +53,10 @@ type Options struct {
 type ReduceSpec struct {
 	// Budget is the available register count R_t to reduce below.
 	Budget int
-	// Run performs the reduction (defaults to the heuristic when nil).
-	Run func(g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error)
+	// Run performs the reduction (defaults to the heuristic when nil). The
+	// context is the batch context: exact reductions must pass it to their
+	// MILP solves so cancellation interrupts them.
+	Run func(ctx context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error)
 	// Key identifies Run for memoization; leave empty to disable caching of
 	// reductions (required when Run is a closure the engine cannot name).
 	Key string
@@ -58,7 +64,7 @@ type ReduceSpec struct {
 
 // HeuristicReduce is the default ReduceSpec Run: Touati's value-serialization
 // heuristic.
-func HeuristicReduce(g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
+func HeuristicReduce(_ context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
 	return reduce.Heuristic(g, t, budget)
 }
 
@@ -97,6 +103,9 @@ type Engine struct {
 // New creates an engine. The zero Options value analyzes every type with
 // Greedy-k across GOMAXPROCS workers.
 func New(opts Options) *Engine {
+	if opts.Solver != (solver.Options{}) {
+		opts.RS.Solver = opts.Solver
+	}
 	if opts.Reduce != nil && opts.Reduce.Run == nil {
 		r := *opts.Reduce
 		r.Run = HeuristicReduce
@@ -271,7 +280,7 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 			res.Err = err
 			return res
 		}
-		r, hit, err := ent.result(e.memo, g, t, e.opts.RS)
+		r, hit, err := ent.result(ctx, e.memo, g, t, e.opts.RS)
 		if err != nil {
 			res.Err = fmt.Errorf("%s/%s: %w", wk.item.Name, t, err)
 			return res
@@ -281,7 +290,7 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 		}
 		res.RS[t] = r
 		if e.opts.Reduce != nil && e.opts.Reduce.Budget > 0 && r.RS > e.opts.Reduce.Budget {
-			rr, err := ent.reduction(g, t, e.opts.Reduce)
+			rr, err := ent.reduction(ctx, g, t, e.opts.Reduce)
 			if err != nil {
 				res.Err = fmt.Errorf("%s/%s: reduce: %w", wk.item.Name, t, err)
 				return res

@@ -161,6 +161,36 @@ func TestCancellationMidBatch(t *testing.T) {
 
 // TestMemoization: repeated graphs and repeated register types are served
 // from the fingerprint memo instead of recomputing.
+// TestCancellationInterruptsMILPSolve: cancelling the batch context aborts
+// an IN-FLIGHT exact intLP solve (inside its simplex iterations) instead of
+// waiting it out — the whole point of threading the context down through the
+// solver layer. The corpus graph used here takes several seconds to solve
+// exactly; the cancelled batch must return orders of magnitude faster.
+func TestCancellationInterruptsMILPSolve(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "vliw-syn-fork4.ddg")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("corpus file unavailable: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := New(Options{
+		Parallel: 1,
+		RS:       rs.Options{Method: rs.MethodExactILP, ApplyReductions: true, SkipWitness: true},
+		Types:    []ddg.RegType{ddg.Float},
+	}).Run(ctx, Files(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the solve get in flight
+	start := time.Now()
+	cancel()
+	for range ch {
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v; the in-flight MILP solve was not interrupted", elapsed)
+	}
+}
+
 func TestMemoization(t *testing.T) {
 	const copies = 10
 	base := ddg.RandomGraph(rand.New(rand.NewSource(5)), genParams(10))

@@ -2,6 +2,8 @@ package batch
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -65,14 +67,45 @@ type analysisSlot struct {
 	err  error
 }
 
+// resultSlot is a singleflight cell that does NOT memoize context
+// cancellation: an exact solve interrupted by a cancelled batch must not
+// poison the slot for later runs of a shared engine. The mutex is held for
+// the whole computation, so concurrent workers on the same fingerprint block
+// on the first computation instead of duplicating it (and a waiter whose own
+// context is already cancelled recomputes, fails fast in the solver, and
+// returns its context error without writing the slot).
 type resultSlot struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	res  *rs.Result
 	err  error
 }
 
+// get returns the memoized result, computing it under the slot lock on first
+// use. The second return reports whether this call ran the computation.
+func (s *resultSlot) get(compute func() (*rs.Result, error)) (*rs.Result, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.res, false, s.err
+	}
+	res, err := compute()
+	if isCtxErr(err) {
+		return nil, true, err
+	}
+	s.done = true
+	s.res, s.err = res, err
+	return res, true, err
+}
+
+func isCtxErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
 type reduceSlot struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	// src is the graph the memoized result was computed against; serving the
 	// result to a structurally identical but distinct graph re-extends that
 	// graph instead, so callers never see another input's names.
@@ -137,7 +170,10 @@ func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 
 // result returns the memoized RS result for (t, opts), computing it on first
 // use. The second return reports whether the result was served from cache.
-func (e *entry) result(m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*rs.Result, bool, error) {
+// The context reaches all the way into an in-flight MILP solve, so batch
+// cancellation interrupts it instead of waiting the solve out; interrupted
+// computations are not memoized.
+func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*rs.Result, bool, error) {
 	key := string(t) + "|" + rsOptionsKey(opts)
 	e.mu.Lock()
 	slot, ok := e.results[key]
@@ -146,22 +182,19 @@ func (e *entry) result(m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*
 		e.results[key] = slot
 	}
 	e.mu.Unlock()
-	ran := false
-	slot.once.Do(func() {
-		ran = true
-		an, err := e.analysis(g, t)
-		if err != nil {
-			slot.err = err
-			return
+	res, ran, err := slot.get(func() (*rs.Result, error) {
+		an, aerr := e.analysis(g, t)
+		if aerr != nil {
+			return nil, aerr
 		}
-		slot.res, slot.err = rs.ComputeWithAnalysis(an, opts)
+		return rs.ComputeWithAnalysis(ctx, an, opts)
 	})
 	if ran {
 		m.misses.Add(1)
 	} else {
 		m.hits.Add(1)
 	}
-	return slot.res, !ran, slot.err
+	return res, !ran, err
 }
 
 // reduction returns the memoized reduction result for (t, spec), computing
@@ -175,9 +208,9 @@ func (e *entry) result(m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*
 // structural twin with different names: the expensive search (the arcs) is
 // reused, but the extended graph and witness schedule are rebuilt over the
 // requesting graph.
-func (e *entry) reduction(g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduce.Result, error) {
+func (e *entry) reduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduce.Result, error) {
 	if spec.Key == "" {
-		return spec.Run(g, t, spec.Budget)
+		return spec.Run(ctx, g, t, spec.Budget)
 	}
 	key := fmt.Sprintf("%s|%s|%d", t, spec.Key, spec.Budget)
 	e.mu.Lock()
@@ -187,26 +220,33 @@ func (e *entry) reduction(g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduc
 		e.reduces[key] = slot
 	}
 	e.mu.Unlock()
-	slot.once.Do(func() {
-		slot.src = g
-		slot.res, slot.err = spec.Run(g, t, spec.Budget)
-	})
-	if slot.err != nil || slot.src == g {
-		return slot.res, slot.err
+	slot.mu.Lock()
+	if !slot.done {
+		res, err := spec.Run(ctx, g, t, spec.Budget)
+		if isCtxErr(err) {
+			slot.mu.Unlock()
+			return nil, err
+		}
+		slot.src, slot.res, slot.err = g, res, err
+		slot.done = true
 	}
-	adapted := *slot.res
-	adapted.Graph = g.Extend(slot.res.Arcs)
-	if slot.res.Schedule != nil {
-		adapted.Schedule = schedule.New(adapted.Graph, slot.res.Schedule.Times)
+	res, err, src := slot.res, slot.err, slot.src
+	slot.mu.Unlock()
+	if err != nil || src == g {
+		return res, err
+	}
+	adapted := *res
+	adapted.Graph = g.Extend(res.Arcs)
+	if res.Schedule != nil {
+		adapted.Schedule = schedule.New(adapted.Graph, res.Schedule.Times)
 	}
 	return &adapted, nil
 }
 
 // rsOptionsKey renders the result-determining fields of rs.Options.
 func rsOptionsKey(o rs.Options) string {
-	return fmt.Sprintf("m%d|l%d|r%t|w%t|lp%d:%s:%g",
-		o.Method, o.MaxLeaves, o.ApplyReductions, o.SkipWitness,
-		o.LP.MaxNodes, o.LP.TimeLimit, o.LP.IntTol)
+	return fmt.Sprintf("m%d|l%d|r%t|w%t|s%s",
+		o.Method, o.MaxLeaves, o.ApplyReductions, o.SkipWitness, o.Solver.Key())
 }
 
 // Stats reports the cumulative cache behavior of one engine run.

@@ -10,6 +10,7 @@
 package cfg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -304,7 +305,7 @@ func (c *CFG) GlobalRS(t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) 
 			return nil, err
 		}
 		res.Blocks = append(res.Blocks, ab)
-		r, err := rs.Compute(ab.Graph, t, opts)
+		r, err := rs.Compute(context.Background(), ab.Graph, t, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"regsat/internal/ddg"
-	"regsat/internal/lp"
+	"regsat/internal/solver"
 )
 
 func smallPop() Population {
@@ -155,7 +155,7 @@ func TestE5ModelSize(t *testing.T) {
 func TestE6Timing(t *testing.T) {
 	p := smallPop()
 	p.RandomGraphs = 0
-	sum, err := Timing(p, 5, lp.Params{MaxNodes: 50000, TimeLimit: 10 * time.Second})
+	sum, err := Timing(p, 5, solver.Options{MaxNodes: 50000, TimeLimit: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

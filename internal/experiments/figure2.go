@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/ddg"
@@ -29,7 +30,7 @@ type Figure2Result struct {
 // Figure2 runs E2 on the reconstructed Figure 2 DAG.
 func Figure2() (*Figure2Result, error) {
 	g := kernels.Figure2(ddg.Superscalar)
-	base, err := rs.Compute(g, ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	base, err := rs.Compute(context.Background(), g, ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/reduce"
@@ -37,7 +38,7 @@ type PipelineSummary struct {
 func Pipeline(p Population) (*PipelineSummary, error) {
 	sum := &PipelineSummary{}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(c.Graph, c.Type, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}

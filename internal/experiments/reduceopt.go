@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/reduce"
@@ -70,7 +71,7 @@ func ReduceOptimality(p Population, budgetsPerCase int) (*ReduceOptSummary, erro
 	}
 	sum := &ReduceOptSummary{Counts: map[ReduceClass]int{}}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +130,7 @@ func classifyOne(c Case, R, rsInit int) (*ReduceOptRow, bool, error) {
 		return row, false, nil
 	}
 	// Verify the heuristic's claim with the true saturation of its graph.
-	heurTrue, err := rs.Compute(heur.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	heurTrue, err := rs.Compute(context.Background(), heur.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+	"regsat/internal/solver"
+)
+
+// SolverCase is one (graph, type) instance of the backend comparison.
+type SolverCase struct {
+	Name   string
+	Graph  *ddg.Graph
+	Type   ddg.RegType
+	Values int
+	// ExactRS is the combinatorial reference every backend must reproduce.
+	ExactRS int
+	// Rows holds one measurement per backend, in the order requested.
+	Rows []SolverRow
+}
+
+// SolverRow is one backend's solve of one instance.
+type SolverRow struct {
+	Backend  string
+	RS       int
+	Exact    bool
+	Nodes    int64
+	Iters    int64
+	WarmRate float64
+	Elapsed  time.Duration
+	Err      error
+}
+
+// SolverBenchSummary aggregates the backend comparison (rsbench -exp solver).
+type SolverBenchSummary struct {
+	Backends  []string
+	Cases     []SolverCase
+	Skipped   int // instances above the value budget
+	Disagree  int // rows whose RS differs from the exact-BB reference
+	TotalTime map[string]time.Duration
+}
+
+// SolverBench runs every registered (or requested) MILP backend over the
+// given corpus graphs and contrasts nodes explored, simplex iterations,
+// warm-start rate, and wall clock, verifying each backend against the
+// combinatorial exact search. Instances with more than maxValues values are
+// skipped (the exactness budget).
+func SolverBench(ctx context.Context, graphs []*ddg.Graph, names []string, backends []string, maxValues int, opt solver.Options) (*SolverBenchSummary, error) {
+	if len(backends) == 0 {
+		backends = solver.Names()
+	}
+	if maxValues <= 0 {
+		maxValues = 12
+	}
+	sum := &SolverBenchSummary{
+		Backends:  backends,
+		TotalTime: map[string]time.Duration{},
+	}
+	for gi, g := range graphs {
+		name := g.Name
+		if gi < len(names) && names[gi] != "" {
+			name = names[gi]
+		}
+		for _, t := range g.Types() {
+			an, err := rs.NewAnalysis(g, t)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, t, err)
+			}
+			if len(an.Values) == 0 {
+				continue
+			}
+			if len(an.Values) > maxValues {
+				sum.Skipped++
+				continue
+			}
+			ref, _, err := rs.ExactBB(an, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: exact-bb: %w", name, t, err)
+			}
+			c := SolverCase{
+				Name:    fmt.Sprintf("%s/%s", name, t),
+				Graph:   g,
+				Type:    t,
+				Values:  len(an.Values),
+				ExactRS: ref.RS,
+			}
+			for _, b := range backends {
+				o := opt
+				o.Backend = b
+				start := time.Now()
+				ires, err := rs.ExactILP(ctx, an, true, o)
+				row := SolverRow{Backend: b, Elapsed: time.Since(start), Err: err}
+				if err == nil {
+					row.RS = ires.RS
+					row.Exact = ires.Exact
+					row.Nodes = ires.Stats.Nodes
+					row.Iters = ires.Stats.SimplexIters
+					row.WarmRate = ires.Stats.WarmRate()
+					if ires.RS != ref.RS {
+						sum.Disagree++
+					}
+				}
+				sum.TotalTime[b] += row.Elapsed
+				c.Rows = append(c.Rows, row)
+			}
+			sum.Cases = append(sum.Cases, c)
+		}
+	}
+	return sum, nil
+}
+
+// Report renders the backend-comparison table.
+func (s *SolverBenchSummary) Report() string {
+	out := "Solver backends on the corpus (reference: exact-bb over killing functions)\n\n"
+	t := NewTable("case", "|VR|", "RS", "backend", "nodes", "simplex", "warm%", "time", "status")
+	for _, c := range s.Cases {
+		for i, r := range c.Rows {
+			caseName, vals, rsv := "", "", ""
+			if i == 0 {
+				caseName = c.Name
+				vals = fmt.Sprintf("%d", c.Values)
+				rsv = fmt.Sprintf("%d", c.ExactRS)
+			}
+			status := "ok"
+			switch {
+			case r.Err != nil:
+				status = "ERR: " + r.Err.Error()
+			case r.RS != c.ExactRS:
+				status = fmt.Sprintf("MISMATCH rs=%d", r.RS)
+			case !r.Exact:
+				status = "capped"
+			}
+			t.Add(caseName, vals, rsv, r.Backend, r.Nodes, r.Iters,
+				fmt.Sprintf("%.0f%%", 100*r.WarmRate), r.Elapsed.Round(time.Microsecond), status)
+		}
+	}
+	out += t.String()
+	out += fmt.Sprintf("\n%d instances (%d skipped over the value budget), %d disagreements\n",
+		len(s.Cases), s.Skipped, s.Disagree)
+	for _, b := range s.Backends {
+		out += fmt.Sprintf("total %-10s %v\n", b, s.TotalTime[b].Round(time.Millisecond))
+	}
+	return out
+}

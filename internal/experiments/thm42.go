@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -56,7 +57,7 @@ func Theorem42(p Population, schedulesPerCase int, seed int64) (*Thm42Summary, e
 				continue
 			}
 			sum.DAGPreserved++
-			res, err := rs.Compute(ext, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+			res, err := rs.Compute(context.Background(), ext, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 			if err != nil || !res.Exact {
 				continue
 			}

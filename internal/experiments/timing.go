@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"regsat/internal/lp"
 	"regsat/internal/rs"
+	"regsat/internal/solver"
 )
 
 // TimingRow is one instance of experiment E6 (§5 solve-time contrast).
@@ -36,7 +37,7 @@ type TimingSummary struct {
 // the heuristics are near-instant; the shape to reproduce is the orders-of-
 // magnitude gap, not absolute numbers. intLP solves are capped to instances
 // with at most ilpMaxValues values.
-func Timing(p Population, ilpMaxValues int, ilpParams lp.Params) (*TimingSummary, error) {
+func Timing(p Population, ilpMaxValues int, ilpOpts solver.Options) (*TimingSummary, error) {
 	if ilpMaxValues == 0 {
 		ilpMaxValues = 6
 	}
@@ -61,7 +62,7 @@ func Timing(p Population, ilpMaxValues int, ilpParams lp.Params) (*TimingSummary
 		row.ExactBB = time.Since(start)
 		if len(an.Values) <= ilpMaxValues {
 			start = time.Now()
-			ires, err := rs.ExactILP(an, true, ilpParams)
+			ires, err := rs.ExactILP(context.Background(), an, true, ilpOpts)
 			if err == nil {
 				row.IntLP = time.Since(start)
 				row.IntLPExact = ires.Exact

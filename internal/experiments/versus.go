@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/reduce"
@@ -44,7 +45,7 @@ type VersusSummary struct {
 func Versus(p Population) (*VersusSummary, error) {
 	sum := &VersusSummary{}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}

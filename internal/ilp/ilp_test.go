@@ -1,20 +1,38 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"regsat/internal/lp"
+	"regsat/internal/solver"
 )
 
+// solve runs the model through EVERY registered MILP backend, requires each
+// to prove optimality, cross-checks their objectives, and returns the dense
+// reference solution — so each linearization test doubles as a differential
+// test of the solving layer.
 func solve(t *testing.T, m *lp.Model) *lp.Solution {
 	t.Helper()
-	sol := m.Solve(lp.Params{})
-	if sol.Status != lp.StatusOptimal {
-		t.Fatalf("status=%v, want optimal", sol.Status)
+	ref := m.Solve(lp.Params{})
+	if ref.Status != lp.StatusOptimal {
+		t.Fatalf("status=%v, want optimal", ref.Status)
 	}
-	return sol
+	for _, b := range solver.Names() {
+		sol, err := solver.Solve(context.Background(), m, solver.Options{Backend: b, Parallel: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("%s: status=%v, want optimal", b, sol.Status)
+		}
+		if math.Abs(sol.Obj-ref.Obj) > 1e-6 {
+			t.Fatalf("%s: obj=%g, dense=%g", b, sol.Obj, ref.Obj)
+		}
+	}
+	return ref
 }
 
 func TestExprAlgebra(t *testing.T) {

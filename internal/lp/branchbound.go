@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -65,6 +66,15 @@ type Solution struct {
 	Obj    float64
 	X      []float64
 	Nodes  int
+	// Bound is the best proven dual bound in model sense: an upper bound on
+	// the optimum for Maximize models, a lower bound for Minimize. When the
+	// search completes (StatusOptimal/StatusInfeasible) it equals Obj; when a
+	// limit is hit the true optimum lies in the interval between Obj and
+	// Bound.
+	Bound float64
+	// Gap is |Obj − Bound|: zero when optimality was proved, otherwise the
+	// absolute optimality gap of the capped search.
+	Gap float64
 }
 
 // SolveLP solves only the continuous relaxation of the model.
@@ -87,6 +97,7 @@ func (m *Model) SolveLP() *Solution {
 		sol.Status = StatusOptimal
 		sol.X = x
 		sol.Obj = m.finalObj(obj)
+		sol.Bound = sol.Obj
 	}
 	return sol
 }
@@ -103,38 +114,67 @@ func (m *Model) finalObj(internal float64) float64 {
 type bbNode struct {
 	lo, hi []float64
 	depth  int
+	// bound is the LP objective of the parent relaxation (internal minimize
+	// sense): a valid lower bound on every solution in this subtree. Used to
+	// report the dual bound when the search is capped.
+	bound float64
 }
 
 // Solve runs branch and bound and returns the best integer solution found.
 func (m *Model) Solve(p Params) *Solution {
-	p = p.withDefaults()
-	deadline := time.Time{}
-	if p.TimeLimit > 0 {
-		deadline = time.Now().Add(p.TimeLimit)
-	}
+	return m.SolveCtx(context.Background(), p)
+}
 
+// SolveCtx is Solve under a context: cancellation interrupts the search
+// between nodes and inside an in-flight simplex solve, returning the best
+// solution found so far (as if a search limit had been hit).
+func (m *Model) SolveCtx(ctx context.Context, p Params) *Solution {
 	rootLo := make([]float64, len(m.vars))
 	rootHi := make([]float64, len(m.vars))
 	for i, v := range m.vars {
 		rootLo[i], rootHi[i] = v.lo, v.hi
 	}
-	stack := []*bbNode{{lo: rootLo, hi: rootHi}}
+	return m.SolveWithBounds(ctx, p, rootLo, rootHi)
+}
+
+// SolveWithBounds runs branch and bound over the model restricted to the
+// given (tightened) variable bounds. The slices are not retained. It is the
+// subtree-solve primitive other solver backends fall back to.
+func (m *Model) SolveWithBounds(ctx context.Context, p Params, lo, hi []float64) *Solution {
+	p = p.withDefaults()
+	deadline := time.Time{}
+	if p.TimeLimit > 0 {
+		deadline = time.Now().Add(p.TimeLimit)
+	}
+	cancelled := func() bool {
+		return ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline))
+	}
+
+	stack := []*bbNode{{lo: cloneBounds(lo), hi: cloneBounds(hi), bound: math.Inf(-1)}}
 
 	var best *Solution
 	bestObj := math.Inf(1) // internal sense: minimize
 	nodes := 0
 	limitHit := false
+	// openBound tracks the least lower bound over subtrees abandoned by a
+	// limit (internal minimize sense); +inf when the search is exhaustive.
+	openBound := math.Inf(1)
 
 	for len(stack) > 0 {
-		if nodes >= p.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if nodes >= p.MaxNodes || cancelled() {
 			limitHit = true
+			for _, n := range stack {
+				openBound = math.Min(openBound, n.bound)
+			}
 			break
 		}
 		node := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		st, x, obj := newSimplex(m, node.lo, node.hi).solve()
+		spx := newSimplex(m, node.lo, node.hi)
+		spx.cancel = cancelled
+		st, x, obj := spx.solve()
 		if st == lpInfeasible {
 			continue
 		}
@@ -143,6 +183,7 @@ func (m *Model) Solve(p Params) *Solution {
 		}
 		if st == lpIterLimit {
 			limitHit = true
+			openBound = math.Min(openBound, node.bound)
 			continue
 		}
 		if obj >= bestObj-1e-9 {
@@ -177,9 +218,9 @@ func (m *Model) Solve(p Params) *Solution {
 		// side nearer the fractional value first (pushed last).
 		floorHi := math.Floor(x[branch])
 		ceilLo := floorHi + 1
-		down := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1}
+		down := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1, bound: obj}
 		down.hi[branch] = floorHi
-		up := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1}
+		up := &bbNode{lo: cloneBounds(node.lo), hi: cloneBounds(node.hi), depth: node.depth + 1, bound: obj}
 		up.lo[branch] = ceilLo
 		if x[branch]-floorHi > 0.5 {
 			stack = append(stack, down, up) // explore up first
@@ -188,19 +229,32 @@ func (m *Model) Solve(p Params) *Solution {
 		}
 	}
 
+	finish := func(s *Solution) *Solution {
+		s.Nodes = nodes
+		switch s.Status {
+		case StatusOptimal, StatusInfeasible:
+			s.Bound = s.Obj
+		default:
+			// The optimum is bracketed by the incumbent and the least bound
+			// of the abandoned subtrees (converted back to model sense).
+			s.Bound = m.finalObj(math.Min(openBound, bestObj))
+			if s.Status == StatusFeasible {
+				s.Gap = math.Abs(s.Obj - s.Bound)
+			}
+		}
+		return s
+	}
 	switch {
 	case best != nil && !limitHit:
 		best.Status = StatusOptimal
-		best.Nodes = nodes
-		return best
+		return finish(best)
 	case best != nil:
 		best.Status = StatusFeasible
-		best.Nodes = nodes
-		return best
+		return finish(best)
 	case limitHit:
-		return &Solution{Status: StatusLimit, Nodes: nodes}
+		return finish(&Solution{Status: StatusLimit})
 	default:
-		return &Solution{Status: StatusInfeasible, Nodes: nodes}
+		return finish(&Solution{Status: StatusInfeasible})
 	}
 }
 

@@ -159,6 +159,22 @@ func (m *Model) NumIntVars() int {
 // VarName returns the name of v.
 func (m *Model) VarName(v Var) string { return m.vars[v].name }
 
+// ObjCoef returns the objective coefficient of v.
+func (m *Model) ObjCoef(v Var) float64 { return m.objCoef[v] }
+
+// ObjOffset returns the constant added to every objective value.
+func (m *Model) ObjOffset() float64 { return m.objOff }
+
+// Constr returns row i: its terms (shared storage — treat as read-only, the
+// terms are already merged and nonzero), relation, and right-hand side.
+func (m *Model) Constr(i int) ([]Term, Rel, float64) {
+	c := &m.constrs[i]
+	return c.terms, c.rel, c.rhs
+}
+
+// ConstrName returns the name of row i.
+func (m *Model) ConstrName(i int) string { return m.constrs[i].name }
+
 // Bounds returns the declared bounds of v.
 func (m *Model) Bounds(v Var) (lo, hi float64) { return m.vars[v].lo, m.vars[v].hi }
 

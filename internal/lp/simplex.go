@@ -49,6 +49,7 @@ type simplex struct {
 	xB     []float64   // value of the basic variable of each row
 	d      []float64   // reduced costs per column
 	iter   int
+	cancel func() bool // polled between pivots; true aborts with lpIterLimit
 }
 
 // newSimplex builds the standard-form tableau for the model with the given
@@ -256,10 +257,15 @@ func (s *simplex) computeReducedCosts(c []float64) {
 }
 
 // iterate runs primal simplex iterations until optimal/unbounded/limit.
+// Cancellation is polled every few pivots so an in-flight LP solve aborts
+// promptly when the surrounding context is cancelled.
 func (s *simplex) iterate(c []float64) lpStatus {
 	for {
 		s.iter++
 		if s.iter > iterCap {
+			return lpIterLimit
+		}
+		if s.cancel != nil && s.iter%64 == 0 && s.cancel() {
 			return lpIterLimit
 		}
 		bland := s.iter > blandCut

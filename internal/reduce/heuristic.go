@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/ddg"
@@ -28,7 +29,7 @@ func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u,
 	maxIter := len(g.Values(t))*len(g.Values(t)) + 8
 
 	for {
-		res, err := rs.Compute(cur, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		res, err := rs.Compute(context.Background(), cur, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +74,7 @@ func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u,
 				if err != nil {
 					continue // would create a circuit
 				}
-				extRS, err := rs.Compute(ext, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+				extRS, err := rs.Compute(context.Background(), ext, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 				if err != nil {
 					continue
 				}

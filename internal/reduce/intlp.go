@@ -1,19 +1,22 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"regsat/internal/ddg"
 	"regsat/internal/ilp"
 	"regsat/internal/lp"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 // ILPOptions configures the Section 4 exact intLP reduction.
 type ILPOptions struct {
-	// Params bounds the MILP solver.
-	Params lp.Params
+	// Solver selects and bounds the MILP backend.
+	Solver solver.Options
 	// ApplyReductions enables the Section 3 model optimizations.
 	ApplyReductions bool
 	// GuaranteeDAG adds the topological-sort machinery (π ordering
@@ -37,12 +40,17 @@ type ILPOptions struct {
 //
 // then insert the Theorem 4.2 serialization arcs of the solved schedule.
 // An infeasible system means spilling is unavoidable.
-func ExactILP(g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Result, error) {
+//
+// When the value-serialization heuristic already finds a reduction, its
+// makespan seeds the solver as an incumbent cutoff (the σ_⊥ the MILP must
+// beat or match), after checking the heuristic schedule really is a feasible
+// point of the widened-interference coloring model.
+func ExactILP(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Result, error) {
 	an, err := rs.NewAnalysis(g, t)
 	if err != nil {
 		return nil, err
 	}
-	exactRS, err := quickExactRS(g, t)
+	exactRS, err := quickExactRS(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +145,29 @@ func ExactILP(g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Resu
 			lp.LE, float64(opt.MakespanBound), "makespan")
 	}
 
-	sol := m.Solve(opt.Params)
+	sopt := opt.Solver
+	var heurSched *schedule.Schedule
+	if sopt.Cutoff == nil {
+		// Incumbent seeding: the heuristic reduction's makespan is a valid
+		// upper bound on the optimal σ_⊥ whenever its schedule is provably a
+		// feasible point of this model; the solver then looks only for
+		// strictly shorter schedules. The π-ordering variant adds acyclicity
+		// constraints the quick check cannot certify, so seeding is skipped
+		// there.
+		if !(opt.GuaranteeDAG && g.Machine.HasOffsets()) {
+			if hs, cut, ok := heuristicMakespanBound(g, t, an, available, StrictSlack(g)); ok {
+				if opt.MakespanBound <= 0 || cut <= float64(opt.MakespanBound) {
+					heurSched = hs
+					sopt.Cutoff = solver.CutoffAt(cut)
+					sopt.ExclusiveCutoff = true
+				}
+			}
+		}
+	}
+	sol, err := solver.Solve(ctx, m, sopt)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: intLP for %s/%s: %w", g.Name, t, err)
+	}
 	switch sol.Status {
 	case lp.StatusOptimal, lp.StatusFeasible:
 	case lp.StatusInfeasible:
@@ -148,11 +178,25 @@ func ExactILP(g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Resu
 		return nil, fmt.Errorf("reduce: intLP for %s/%s: %v", g.Name, t, sol.Status)
 	}
 
-	times := make([]int64, g.NumNodes())
-	for u, sv := range core.Sigma {
-		times[u] = sol.IntValue(sv)
+	var sched *schedule.Schedule
+	if sol.AtCutoff {
+		// No schedule strictly shorter than the heuristic's exists: the
+		// heuristic schedule (a verified feasible point of this model) is
+		// the optimum.
+		if heurSched == nil {
+			// The exclusive cutoff came from the caller, not from our own
+			// seeding: there is no held schedule to fall back on.
+			return nil, fmt.Errorf("reduce: intLP for %s/%s: optimum equals the caller's cutoff %g; no schedule available",
+				g.Name, t, sol.Obj)
+		}
+		sched = heurSched
+	} else {
+		times := make([]int64, g.NumNodes())
+		for u, sv := range core.Sigma {
+			times[u] = sol.IntValue(sv)
+		}
+		sched = schedule.New(g, times)
 	}
-	sched := schedule.New(g, times)
 	if err := sched.Validate(); err != nil {
 		return nil, fmt.Errorf("reduce: intLP schedule invalid: %w", err)
 	}
@@ -167,26 +211,95 @@ func ExactILP(g *ddg.Graph, t ddg.RegType, available int, opt ILPOptions) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	extRS, err := quickExactRS(ext, t)
+	extRS, err := quickExactRS(ctx, ext, t)
 	if err != nil {
 		return nil, err
 	}
 	if extRS > available {
 		return nil, fmt.Errorf("reduce: intLP extension has RS=%d > R=%d", extRS, available)
 	}
+	stats := sol.Stats
 	return &Result{
-		Graph:    ext,
-		Arcs:     arcs,
-		RS:       extRS,
-		CPBefore: g.CriticalPath(),
-		CPAfter:  ext.CriticalPath(),
-		Schedule: sched,
-		Exact:    sol.Status == lp.StatusOptimal,
+		Graph:       ext,
+		Arcs:        arcs,
+		RS:          extRS,
+		CPBefore:    g.CriticalPath(),
+		CPAfter:     ext.CriticalPath(),
+		Schedule:    sched,
+		Exact:       sol.Status == lp.StatusOptimal,
+		SolverStats: &stats,
 	}, nil
 }
 
-func quickExactRS(g *ddg.Graph, t ddg.RegType) (int, error) {
-	res, err := rs.Compute(g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+// heuristicMakespanBound runs the value-serialization heuristic and, when
+// its reduction yields a schedule that is certifiably a feasible point of
+// the Section 4 coloring model — every σ_u inside its window and the
+// widened-interference graph of the schedule colorable with ≤ R registers —
+// returns that schedule (over the original graph) and its makespan as an
+// achievable objective value.
+func heuristicMakespanBound(g *ddg.Graph, t ddg.RegType, an *rs.Analysis, R int, slack int64) (*schedule.Schedule, float64, bool) {
+	red, err := Heuristic(g, t, R)
+	if err != nil || red.Spill {
+		return nil, 0, false
+	}
+	s, err := schedule.ASAP(red.Graph)
+	if err != nil {
+		return nil, 0, false
+	}
+	// The extension only adds arcs, so s is a valid schedule of g; it still
+	// must fit the model's [ASAP, ALAP(T)] windows over the ORIGINAL graph.
+	lo, hi, err := schedule.Windows(g, g.Horizon())
+	if err != nil {
+		return nil, 0, false
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if s.Times[u] < lo[u] || s.Times[u] > hi[u] {
+			return nil, 0, false
+		}
+	}
+	// Widened lifetime intervals: value i occupies [birth_i+1−slack, k_i];
+	// the model's interference graph of s is this closed-interval graph, an
+	// interval graph whose chromatic number is its max overlap.
+	type ev struct {
+		at    int64
+		delta int
+	}
+	var events []ev
+	for i, u := range an.Values {
+		birth := s.Times[u] + an.DelayW(i)
+		kill := int64(-1) << 62
+		for _, v := range an.Cons[i] {
+			if r := s.Times[v] + g.Node(v).DelayR; r > kill {
+				kill = r
+			}
+		}
+		start := birth + 1 - slack
+		if kill < start {
+			continue // never widened-alive: interferes with nothing
+		}
+		events = append(events, ev{start, +1}, ev{kill + 1, -1})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].delta < events[b].delta // close before open at ties
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > R {
+		return nil, 0, false
+	}
+	return schedule.New(g, s.Times), float64(s.Times[g.Bottom()]), true
+}
+
+func quickExactRS(ctx context.Context, g *ddg.Graph, t ddg.RegType) (int, error) {
+	res, err := rs.Compute(ctx, g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return 0, err
 	}

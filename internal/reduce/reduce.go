@@ -3,6 +3,7 @@ package reduce
 import (
 	"regsat/internal/ddg"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 // Result is the outcome of an RS reduction.
@@ -30,6 +31,8 @@ type Result struct {
 	Spill bool
 	// Iterations counts heuristic rounds or exact search restarts.
 	Iterations int
+	// SolverStats is the MILP backend's work accounting (ExactILP only).
+	SolverStats *solver.Stats
 }
 
 // unchanged wraps the no-op reduction (RS already ≤ R).

@@ -1,20 +1,21 @@
 package reduce
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
 
 	"regsat/internal/ddg"
 	"regsat/internal/kernels"
-	"regsat/internal/lp"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 func exactRS(t *testing.T, g *ddg.Graph, typ ddg.RegType) int {
 	t.Helper()
-	res, err := rs.Compute(g, typ, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	res, err := rs.Compute(context.Background(), g, typ, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,8 +25,8 @@ func exactRS(t *testing.T, g *ddg.Graph, typ ddg.RegType) int {
 	return res.RS
 }
 
-func ilpParams() lp.Params {
-	return lp.Params{MaxNodes: 300000, TimeLimit: 60 * time.Second}
+func ilpParams() solver.Options {
+	return solver.Options{MaxNodes: 300000, TimeLimit: 60 * time.Second}
 }
 
 func TestHeuristicFigure2(t *testing.T) {
@@ -259,7 +260,7 @@ func TestExactILPMatchesCombinatorial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ilpRes, err := ExactILP(g, ddg.Float, R, ILPOptions{Params: ilpParams(), ApplyReductions: true})
+		ilpRes, err := ExactILP(context.Background(), g, ddg.Float, R, ILPOptions{Solver: ilpParams(), ApplyReductions: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func TestExactILPSpillDetection(t *testing.T) {
 	if err := g.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ExactILP(g, ddg.Float, 1, ILPOptions{Params: ilpParams()})
+	res, err := ExactILP(context.Background(), g, ddg.Float, 1, ILPOptions{Solver: ilpParams()})
 	if err != nil {
 		t.Fatal(err)
 	}

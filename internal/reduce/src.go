@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/ddg"
@@ -111,7 +112,7 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 }
 
 func exactSaturation(g *ddg.Graph, t ddg.RegType) (int, error) {
-	res, err := rs.Compute(g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	res, err := rs.Compute(context.Background(), g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return 0, err
 	}

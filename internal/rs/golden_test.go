@@ -1,6 +1,7 @@
 package rs
 
 import (
+	"context"
 	"testing"
 
 	"regsat/internal/ddg"
@@ -58,7 +59,7 @@ func TestGoldenKernelSaturations(t *testing.T) {
 					t.Errorf("%s/%s missing from the golden table", spec.Name, typ)
 					continue
 				}
-				res, err := Compute(g, typ, Options{Method: MethodExactBB, SkipWitness: true})
+				res, err := Compute(context.Background(), g, typ, Options{Method: MethodExactBB, SkipWitness: true})
 				if err != nil {
 					t.Fatalf("%s/%s on %s: %v", spec.Name, typ, machine, err)
 				}
@@ -104,7 +105,7 @@ func TestGoldenWitnessesAchieveSaturation(t *testing.T) {
 	for _, spec := range kernels.All() {
 		g := spec.Build(ddg.Superscalar)
 		for _, typ := range g.Types() {
-			res, err := Compute(g, typ, Options{Method: MethodExactBB})
+			res, err := Compute(context.Background(), g, typ, Options{Method: MethodExactBB})
 			if err != nil {
 				t.Fatal(err)
 			}

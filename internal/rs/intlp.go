@@ -1,13 +1,16 @@
 package rs
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"regsat/internal/ddg"
 	"regsat/internal/graph"
 	"regsat/internal/ilp"
 	"regsat/internal/lp"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 // ILPInfo reports the size of the constructed intLP system — the paper's
@@ -212,44 +215,126 @@ type ILPResult struct {
 	RS        int
 	Antichain []int // node IDs with x = 1
 	Witness   *schedule.Schedule
-	Exact     bool // false if the node budget was hit (RS is then a lower bound)
-	Info      *ILPInfo
-	Nodes     int // branch-and-bound nodes explored
+	Exact     bool // false if a search limit was hit (RS is then a lower bound)
+	// UpperBound is the solver's proven dual bound: when Exact is false the
+	// true saturation lies in the interval [RS, UpperBound] (the intLP
+	// analogue of ExactStats.Capped reporting).
+	UpperBound int
+	Info       *ILPInfo
+	Nodes      int // branch-and-bound nodes explored
+	// Stats is the selected backend's work accounting.
+	Stats solver.Stats
 }
 
-// ExactILP computes RS_t(G) with the paper's intLP formulation.
-func ExactILP(an *Analysis, reduceModel bool, params lp.Params) (*ILPResult, error) {
+// ExactILP computes RS_t(G) with the paper's intLP formulation, solved by
+// the backend selected in opt. The search is seeded with Greedy-k's valid
+// killing-function bound — an objective value some schedule provably
+// achieves — so subtrees that cannot reach it are pruned before the first
+// incumbent. Cancelling ctx interrupts an in-flight solve.
+func ExactILP(ctx context.Context, an *Analysis, reduceModel bool, opt solver.Options) (*ILPResult, error) {
 	m, vars, info, err := BuildSaturationModel(an, reduceModel)
 	if err != nil {
 		return nil, err
 	}
-	sol := m.Solve(params)
+	var seed *RSResult
+	if opt.Cutoff == nil {
+		if g, err := Greedy(an); err == nil {
+			// Greedy's killing function is valid, so RS* is achievable: seed
+			// it as a held incumbent and search only for strictly more
+			// simultaneously-alive values.
+			seed = g
+			opt.Cutoff = solver.CutoffAt(float64(g.RS))
+			opt.ExclusiveCutoff = true
+		}
+	}
+	sol, err := solver.Solve(ctx, m, opt)
+	if err != nil {
+		return nil, fmt.Errorf("rs: intLP for %s/%s: %w", an.G.Name, an.Type, err)
+	}
+	res := &ILPResult{Info: info, Stats: sol.Stats, Nodes: int(sol.Stats.Nodes)}
+	// |VR| values can never need more than |VR| registers: cap the reported
+	// upper bound by the trivial one.
+	clamp := func() {
+		if nv := len(an.Values); res.UpperBound > nv {
+			res.UpperBound = nv
+		}
+	}
+	defer clamp()
+	// fromSeed finishes the result from the greedy seed (whose killing
+	// function is valid, so its RS, antichain, and saturating schedule are
+	// all achievable).
+	fromSeed := func(exact bool) (*ILPResult, error) {
+		res.RS = seed.RS
+		res.Exact = exact
+		res.UpperBound = boundToInt(sol.Bound, res.RS, exact)
+		res.Antichain = append([]int(nil), seed.Antichain...)
+		w, err := SaturatingSchedule(seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Witness = w
+		return res, nil
+	}
+	if sol.AtCutoff && seed != nil {
+		// Nothing beats the greedy bound: it is the saturation (proved when
+		// the tree was exhausted); the greedy antichain and witness stand.
+		return fromSeed(sol.Status == lp.StatusOptimal)
+	}
 	switch sol.Status {
 	case lp.StatusOptimal, lp.StatusFeasible:
+		if sol.X == nil {
+			// AtCutoff with a caller-supplied exclusive cutoff: no
+			// assignment to decode a witness from.
+			return nil, fmt.Errorf("rs: intLP for %s/%s: optimum equals the caller's cutoff %g; no witness available",
+				an.G.Name, an.Type, sol.Obj)
+		}
+		res.RS = int(sol.Obj + 0.5)
+		res.Exact = sol.Status == lp.StatusOptimal
+		res.UpperBound = boundToInt(sol.Bound, res.RS, res.Exact)
+		for i, x := range vars.X {
+			if sol.IntValue(x) == 1 {
+				res.Antichain = append(res.Antichain, an.Values[i])
+			}
+		}
+		times := make([]int64, an.G.NumNodes())
+		for u, sv := range vars.Sigma {
+			times[u] = sol.IntValue(sv)
+		}
+		w := schedule.New(an.G, times)
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("rs: intLP witness invalid: %w", err)
+		}
+		res.Witness = w
+		return res, nil
+	case lp.StatusLimit:
+		// Capped before any incumbent: fall back to the greedy seed, which
+		// is a valid achievable lower bound, and report the interval.
+		if seed == nil {
+			if seed, err = Greedy(an); err != nil {
+				return nil, fmt.Errorf("rs: intLP for %s/%s capped with no incumbent: %w",
+					an.G.Name, an.Type, err)
+			}
+		}
+		return fromSeed(false)
 	default:
 		return nil, fmt.Errorf("rs: intLP for %s/%s: %v", an.G.Name, an.Type, sol.Status)
 	}
-	res := &ILPResult{
-		RS:    int(sol.Obj + 0.5),
-		Exact: sol.Status == lp.StatusOptimal,
-		Info:  info,
-		Nodes: sol.Nodes,
+}
+
+// boundToInt converts the solver's dual bound on the (integral) saturation
+// objective to an integer upper bound, never below the achieved value.
+func boundToInt(bound float64, achieved int, exact bool) int {
+	if exact {
+		return achieved
 	}
-	for i, x := range vars.X {
-		if sol.IntValue(x) == 1 {
-			res.Antichain = append(res.Antichain, an.Values[i])
-		}
+	if math.IsInf(bound, 0) || math.IsNaN(bound) {
+		return int(^uint(0) >> 1) // unknown: everything is possible
 	}
-	times := make([]int64, an.G.NumNodes())
-	for u, sv := range vars.Sigma {
-		times[u] = sol.IntValue(sv)
+	ub := int(math.Floor(bound + 1e-6))
+	if ub < achieved {
+		ub = achieved
 	}
-	w := schedule.New(an.G, times)
-	if err := w.Validate(); err != nil {
-		return nil, fmt.Errorf("rs: intLP witness invalid: %w", err)
-	}
-	res.Witness = w
-	return res, nil
+	return ub
 }
 
 // TimeIndexedStats counts the variables and constraints a classic

@@ -3,11 +3,11 @@ package rs
 import (
 	"time"
 
-	"regsat/internal/lp"
+	"regsat/internal/solver"
 )
 
 // lpDefaults bounds MILP solves in tests so a pathological instance cannot
 // hang the suite.
-func lpDefaults() lp.Params {
-	return lp.Params{MaxNodes: 200000, TimeLimit: 30 * time.Second}
+func lpDefaults() solver.Options {
+	return solver.Options{MaxNodes: 200000, TimeLimit: 30 * time.Second}
 }

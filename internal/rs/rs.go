@@ -1,11 +1,12 @@
 package rs
 
 import (
+	"context"
 	"fmt"
 
 	"regsat/internal/ddg"
-	"regsat/internal/lp"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 )
 
 // Method selects how the saturation is computed.
@@ -42,8 +43,9 @@ type Options struct {
 	// ApplyReductions enables the Section 3 model optimizations for the
 	// intLP method.
 	ApplyReductions bool
-	// LP bounds the MILP solver for the intLP method.
-	LP lp.Params
+	// Solver selects and bounds the MILP backend for the intLP method
+	// (zero value: the default backend with default limits).
+	Solver solver.Options
 	// SkipWitness suppresses the construction of a saturating schedule.
 	SkipWitness bool
 }
@@ -66,21 +68,29 @@ type Result struct {
 	Killing *Killing
 	// ILP carries intLP model info when MethodExactILP ran.
 	ILP *ILPInfo
+	// ILPUpperBound is the solver's proven upper bound when MethodExactILP
+	// was capped: the true RS lies in [RS, ILPUpperBound]. Equal to RS when
+	// Exact.
+	ILPUpperBound int
+	// SolverStats is the MILP backend's work accounting (intLP method only).
+	SolverStats *solver.Stats
 }
 
 // Compute computes the register saturation RS_t(G) using the selected
-// method. The graph must be finalized.
-func Compute(g *ddg.Graph, t ddg.RegType, opts Options) (*Result, error) {
+// method. The graph must be finalized. Cancelling ctx interrupts an
+// in-flight exact solve (the intLP method checks it inside simplex
+// iterations, so batch cancellation does not wait out a long MILP).
+func Compute(ctx context.Context, g *ddg.Graph, t ddg.RegType, opts Options) (*Result, error) {
 	an, err := NewAnalysis(g, t)
 	if err != nil {
 		return nil, err
 	}
-	return ComputeWithAnalysis(an, opts)
+	return ComputeWithAnalysis(ctx, an, opts)
 }
 
 // ComputeWithAnalysis is Compute with a prebuilt Analysis (to share it
 // across methods, as the experiments do).
-func ComputeWithAnalysis(an *Analysis, opts Options) (*Result, error) {
+func ComputeWithAnalysis(ctx context.Context, an *Analysis, opts Options) (*Result, error) {
 	if len(an.Values) == 0 {
 		return &Result{Type: an.Type, RS: 0, Exact: true}, nil
 	}
@@ -98,16 +108,19 @@ func ComputeWithAnalysis(an *Analysis, opts Options) (*Result, error) {
 		}
 		return finishCombinatorial(an, res, !stats.Capped, opts)
 	case MethodExactILP:
-		ires, err := ExactILP(an, opts.ApplyReductions, opts.LP)
+		ires, err := ExactILP(ctx, an, opts.ApplyReductions, opts.Solver)
 		if err != nil {
 			return nil, err
 		}
+		stats := ires.Stats
 		out := &Result{
-			Type:      an.Type,
-			RS:        ires.RS,
-			Antichain: ires.Antichain,
-			Exact:     ires.Exact,
-			ILP:       ires.Info,
+			Type:          an.Type,
+			RS:            ires.RS,
+			Antichain:     ires.Antichain,
+			Exact:         ires.Exact,
+			ILP:           ires.Info,
+			ILPUpperBound: ires.UpperBound,
+			SolverStats:   &stats,
 		}
 		if !opts.SkipWitness {
 			out.Witness = ires.Witness
@@ -137,10 +150,10 @@ func finishCombinatorial(an *Analysis, res *RSResult, exact bool, opts Options) 
 }
 
 // ComputeAll computes the saturation of every register type of the graph.
-func ComputeAll(g *ddg.Graph, opts Options) (map[ddg.RegType]*Result, error) {
+func ComputeAll(ctx context.Context, g *ddg.Graph, opts Options) (map[ddg.RegType]*Result, error) {
 	out := map[ddg.RegType]*Result{}
 	for _, t := range g.Types() {
-		r, err := Compute(g, t, opts)
+		r, err := Compute(ctx, g, t, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package rs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -172,7 +173,7 @@ func TestExactILPMatchesExactBB(t *testing.T) {
 			if stats.Capped {
 				continue
 			}
-			ilpRes, err := ExactILP(an, true, lpDefaults())
+			ilpRes, err := ExactILP(context.Background(), an, true, lpDefaults())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -196,7 +197,7 @@ func TestWitnessAchievesRS(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := tinyRandom(rng, 3+rng.Intn(6))
 		for _, typ := range g.Types() {
-			res, err := Compute(g, typ, Options{Method: MethodExactBB})
+			res, err := Compute(context.Background(), g, typ, Options{Method: MethodExactBB})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -229,7 +230,7 @@ func TestILPWitnessAchievesRS(t *testing.T) {
 			if len(an.Values) == 0 || len(an.Values) > 5 {
 				continue
 			}
-			res, err := ExactILP(an, true, lpDefaults())
+			res, err := ExactILP(context.Background(), an, true, lpDefaults())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -252,7 +253,7 @@ func TestRSUpperBoundedByValueCount(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := tinyRandom(rng, 3+rng.Intn(8))
 		for _, typ := range g.Types() {
-			res, err := Compute(g, typ, Options{Method: MethodGreedy, SkipWitness: true})
+			res, err := Compute(context.Background(), g, typ, Options{Method: MethodGreedy, SkipWitness: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -351,7 +352,7 @@ func TestComputeAllTypes(t *testing.T) {
 	if err := g.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	all, err := ComputeAll(g, Options{Method: MethodGreedy, SkipWitness: true})
+	all, err := ComputeAll(context.Background(), g, Options{Method: MethodGreedy, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestTrivialCase(t *testing.T) {
 	if !an.TrivialRS(1) || an.TrivialRS(0) {
 		t.Fatal("TrivialRS dispatch wrong")
 	}
-	res, err := Compute(g, ddg.Float, Options{Method: MethodExactBB})
+	res, err := Compute(context.Background(), g, ddg.Float, Options{Method: MethodExactBB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +393,7 @@ func TestNoValuesType(t *testing.T) {
 	if err := g.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Compute(g, ddg.Float, Options{Method: MethodGreedy})
+	res, err := Compute(context.Background(), g, ddg.Float, Options{Method: MethodGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}

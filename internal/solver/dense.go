@@ -1,0 +1,43 @@
+package solver
+
+import (
+	"context"
+	"time"
+
+	"regsat/internal/lp"
+)
+
+// denseBackend wraps the original internal/lp engine — dense two-phase
+// primal simplex under a sequential depth-first branch and bound — as the
+// reference backend. It keeps the legacy semantics exactly: no incumbent
+// seeding, no parallel search.
+type denseBackend struct{}
+
+func init() { Register(denseBackend{}) }
+
+func (denseBackend) Name() string { return "dense" }
+
+func (denseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	sol := m.SolveCtx(ctx, lp.Params{
+		MaxNodes:  opt.MaxNodes,
+		TimeLimit: opt.TimeLimit,
+		IntTol:    opt.IntTol,
+	})
+	out := &Solution{
+		Status: sol.Status,
+		Obj:    sol.Obj,
+		X:      sol.X,
+		Bound:  sol.Bound,
+		Gap:    sol.Gap,
+		Capped: sol.Status == lp.StatusFeasible || sol.Status == lp.StatusLimit,
+		Stats: Stats{
+			Nodes:      int64(sol.Nodes),
+			ColdStarts: int64(sol.Nodes), // every node re-solves from scratch
+			Workers:    1,
+			Duration:   time.Since(start),
+		},
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,489 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"regsat/internal/lp"
+)
+
+// The sparse backend's LP core is a bounded-variable dual simplex over a
+// maintained tableau. The key property it exploits: branching only changes
+// variable BOUNDS, never the matrix, so a basis that is optimal for a parent
+// node stays dual feasible for its children — reoptimizing a child is a few
+// dual pivots from the parent's final basis instead of a two-phase solve
+// from scratch. A cold start is always available because, with every
+// structural variable finitely bounded (guaranteed by the paper's schedule
+// horizon T), the all-slack basis can be made dual feasible by placing each
+// nonbasic column on the bound matching its reduced-cost sign — no phase 1,
+// no artificial variables, ever.
+
+type spxStatus int
+
+const (
+	spxOptimal    spxStatus = iota
+	spxInfeasible           // primal infeasible, proved by the dual ray
+	spxCutoff               // objective passed the prune target (early exit)
+	spxIterLimit            // iteration cap hit (numerical trouble)
+	spxCanceled             // context cancelled mid-solve
+)
+
+const (
+	spxPivTol   = 1e-9
+	spxFeasTol  = 1e-7
+	spxDualTol  = 1e-7
+	spxBlandCut = 5000  // iterations before the anti-cycling rule kicks in
+	spxIterCap  = 50000 // hard per-node iteration limit
+	refactorCut = 512   // pivots in one tableau before a fresh rebuild
+)
+
+const (
+	spAtLower int8 = iota
+	spAtUpper
+	spBasic
+)
+
+// errDense marks models the sparse engine does not handle (a variable whose
+// dual-feasible starting bound would be infinite); the backend then delegates
+// the whole model to the dense reference engine.
+var errDense = errors.New("solver: model needs the dense engine")
+
+// prob is the immutable sparse form of one lp.Model, shared by every worker
+// of a solve: CSR constraint rows over the structural columns, internal
+// minimization costs, slack bounds per row, and root variable bounds.
+type prob struct {
+	model *lp.Model
+	n     int // structural columns
+	m     int // rows
+	N     int // n + m total columns (slack j of row i is n+i)
+
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+	rhs    []float64
+	rel    []lp.Rel
+
+	cost             []float64 // length n, internal minimize sense
+	rootLo, rootHi   []float64 // length n
+	integer          []bool    // length n
+	slackLo, slackHi []float64 // length m
+	intObj           bool      // objective integral over integer variables
+}
+
+func buildProb(m *lp.Model) (*prob, error) {
+	p := &prob{
+		model: m,
+		n:     m.NumVars(),
+		m:     m.NumConstrs(),
+	}
+	p.N = p.n + p.m
+	p.rowPtr = make([]int32, p.m+1)
+	p.rhs = make([]float64, p.m)
+	p.rel = make([]lp.Rel, p.m)
+	p.slackLo = make([]float64, p.m)
+	p.slackHi = make([]float64, p.m)
+	nnz := 0
+	for i := 0; i < p.m; i++ {
+		terms, _, _ := m.Constr(i)
+		nnz += len(terms)
+	}
+	p.rowCol = make([]int32, 0, nnz)
+	p.rowVal = make([]float64, 0, nnz)
+	for i := 0; i < p.m; i++ {
+		terms, rel, rhs := m.Constr(i)
+		for _, t := range terms {
+			p.rowCol = append(p.rowCol, int32(t.Var))
+			p.rowVal = append(p.rowVal, t.Coef)
+		}
+		p.rowPtr[i+1] = int32(len(p.rowCol))
+		p.rhs[i] = rhs
+		p.rel[i] = rel
+		switch rel {
+		case lp.LE:
+			p.slackLo[i], p.slackHi[i] = 0, math.Inf(1)
+		case lp.GE:
+			p.slackLo[i], p.slackHi[i] = math.Inf(-1), 0
+		default: // EQ
+			p.slackLo[i], p.slackHi[i] = 0, 0
+		}
+	}
+	p.cost = make([]float64, p.n)
+	p.rootLo = make([]float64, p.n)
+	p.rootHi = make([]float64, p.n)
+	p.integer = make([]bool, p.n)
+	maximize := m.Sense() == lp.Maximize
+	p.intObj = true
+	for j := 0; j < p.n; j++ {
+		c := m.ObjCoef(lp.Var(j))
+		if maximize {
+			c = -c
+		}
+		p.cost[j] = c
+		p.rootLo[j], p.rootHi[j] = m.Bounds(lp.Var(j))
+		p.integer[j] = m.IsInteger(lp.Var(j))
+		if c != 0 && (!p.integer[j] || c != math.Trunc(c)) {
+			p.intObj = false
+		}
+		// A dual-feasible cold start needs a finite bound on the side the
+		// reduced-cost sign demands.
+		switch {
+		case c > spxDualTol && math.IsInf(p.rootLo[j], 0):
+			return nil, errDense
+		case c < -spxDualTol && math.IsInf(p.rootHi[j], 0):
+			return nil, errDense
+		case math.IsInf(p.rootLo[j], 0) && math.IsInf(p.rootHi[j], 0):
+			return nil, errDense
+		}
+	}
+	return p, nil
+}
+
+// internalObj converts a model-sense objective value to the internal
+// minimization sense (and back — the map is an involution up to the offset).
+func (p *prob) internalObj(ext float64) float64 {
+	if p.model.Sense() == lp.Maximize {
+		return -(ext - p.model.ObjOffset())
+	}
+	return ext - p.model.ObjOffset()
+}
+
+// externalObj converts an internal minimization value to model sense.
+func (p *prob) externalObj(internal float64) float64 {
+	if p.model.Sense() == lp.Maximize {
+		return -internal + p.model.ObjOffset()
+	}
+	return internal + p.model.ObjOffset()
+}
+
+// spx is one worker's reusable dual-simplex state. All slices are sized once
+// and reused across node solves, so a dive allocates nothing.
+type spx struct {
+	p      *prob
+	stride int // N+1: tableau row length, rhs in the last column
+
+	tab    []float64 // m × stride, row-major
+	lo, hi []float64 // length N (structural then slack)
+	basis  []int32   // length m: column basic in each row
+	rowOf  []int32   // length N: row a column is basic in, −1 if nonbasic
+	status []int8    // length N
+	xval   []float64 // length N: value of each nonbasic column
+	xB     []float64 // length m: value of the basic column of each row
+	d      []float64 // length N: reduced costs
+
+	iters  int64 // simplex iterations since the last flush
+	pivots int   // pivots since the last rebuild (refactorization trigger)
+	cancel func() bool
+}
+
+func newSpx(p *prob) *spx {
+	s := &spx{p: p, stride: p.N + 1}
+	s.tab = make([]float64, p.m*s.stride)
+	s.lo = make([]float64, p.N)
+	s.hi = make([]float64, p.N)
+	s.basis = make([]int32, p.m)
+	s.rowOf = make([]int32, p.N)
+	s.status = make([]int8, p.N)
+	s.xval = make([]float64, p.N)
+	s.xB = make([]float64, p.m)
+	s.d = make([]float64, p.N)
+	return s
+}
+
+func (s *spx) row(i int) []float64 { return s.tab[i*s.stride : (i+1)*s.stride] }
+
+// reset rebuilds the tableau from the sparse matrix under the given
+// structural bounds and installs the dual-feasible all-slack basis.
+func (s *spx) reset(lo, hi []float64) {
+	p := s.p
+	copy(s.lo[:p.n], lo)
+	copy(s.hi[:p.n], hi)
+	copy(s.lo[p.n:], p.slackLo)
+	copy(s.hi[p.n:], p.slackHi)
+	for i := range s.tab {
+		s.tab[i] = 0
+	}
+	for i := 0; i < p.m; i++ {
+		r := s.row(i)
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			r[p.rowCol[k]] = p.rowVal[k]
+		}
+		r[p.n+i] = 1
+		r[p.N] = p.rhs[i]
+		s.basis[i] = int32(p.n + i)
+		s.xB[i] = p.rhs[i]
+	}
+	for j := 0; j < p.N; j++ {
+		s.rowOf[j] = -1
+	}
+	for i := 0; i < p.m; i++ {
+		s.rowOf[p.n+i] = int32(i)
+		s.status[p.n+i] = spBasic
+		s.xval[p.n+i] = 0
+	}
+	// Nonbasic structural columns start on the bound their reduced-cost sign
+	// demands (cost > 0 → lower, cost < 0 → upper); zero-cost columns take
+	// the finite bound nearest zero. buildProb guarantees the needed side is
+	// finite.
+	for j := 0; j < p.n; j++ {
+		c := p.cost[j]
+		s.d[j] = c
+		switch {
+		case c > spxDualTol:
+			s.status[j], s.xval[j] = spAtLower, s.lo[j]
+		case c < -spxDualTol:
+			s.status[j], s.xval[j] = spAtUpper, s.hi[j]
+		case math.IsInf(s.lo[j], 0):
+			s.status[j], s.xval[j] = spAtUpper, s.hi[j]
+		case math.IsInf(s.hi[j], 0) || math.Abs(s.lo[j]) <= math.Abs(s.hi[j]):
+			s.status[j], s.xval[j] = spAtLower, s.lo[j]
+		default:
+			s.status[j], s.xval[j] = spAtUpper, s.hi[j]
+		}
+	}
+	for i := p.n; i < p.N; i++ {
+		s.d[i] = 0
+	}
+	// xB[i] = rhs_i − Σ_j a_ij·xval[j] for the nonbasic (structural) columns.
+	for i := 0; i < p.m; i++ {
+		v := p.rhs[i]
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			if x := s.xval[p.rowCol[k]]; x != 0 {
+				v -= p.rowVal[k] * x
+			}
+		}
+		s.xB[i] = v
+	}
+	s.pivots = 0
+}
+
+// applyBound tightens structural column j to [lo, hi] in place, keeping the
+// current basis. If j is nonbasic its value is clamped (propagating the step
+// into the basic values); if basic, the violation is left for the next dual
+// reoptimization to repair.
+func (s *spx) applyBound(j int, lo, hi float64) {
+	s.lo[j], s.hi[j] = lo, hi
+	if s.status[j] == spBasic {
+		return
+	}
+	v := s.xval[j]
+	nv := math.Min(math.Max(v, lo), hi)
+	if nv == v {
+		return
+	}
+	delta := nv - v
+	for i := 0; i < s.p.m; i++ {
+		if a := s.tab[i*s.stride+j]; a != 0 {
+			s.xB[i] -= a * delta
+		}
+	}
+	s.xval[j] = nv
+}
+
+// value returns the current value of column j.
+func (s *spx) value(j int) float64 {
+	if s.status[j] == spBasic {
+		return s.xB[s.rowOf[j]]
+	}
+	return s.xval[j]
+}
+
+// obj returns the current objective in internal minimize sense. In dual
+// simplex this value is a monotonically non-decreasing lower bound on the
+// node's LP optimum, which makes it usable for early bound-based cutoff.
+func (s *spx) obj() float64 {
+	v := 0.0
+	for j := 0; j < s.p.n; j++ {
+		if c := s.p.cost[j]; c != 0 {
+			v += c * s.value(j)
+		}
+	}
+	return v
+}
+
+// extract writes the structural solution into x.
+func (s *spx) extract(x []float64) {
+	for j := 0; j < s.p.n; j++ {
+		x[j] = s.value(j)
+	}
+}
+
+// dual reoptimizes the current (dual-feasible) basis with the bounded-
+// variable dual simplex. It stops early with spxCutoff as soon as the
+// objective proves the node cannot beat pruneTarget (internal minimize
+// sense; +inf disables the check).
+func (s *spx) dual(pruneTarget float64) spxStatus {
+	p := s.p
+	for iter := 0; ; iter++ {
+		s.iters++
+		if iter > spxIterCap {
+			return spxIterLimit
+		}
+		if iter%64 == 0 {
+			if s.cancel != nil && s.cancel() {
+				return spxCanceled
+			}
+			if !math.IsInf(pruneTarget, 1) && s.obj() > pruneTarget {
+				return spxCutoff
+			}
+		}
+		bland := iter > spxBlandCut
+
+		// Leaving row: the most infeasible basic column (Dantzig), or the
+		// violated row with the smallest basic column under the anti-cycling
+		// rule.
+		r, tooLow := -1, false
+		worst := spxFeasTol
+		for i := 0; i < p.m; i++ {
+			b := s.basis[i]
+			v := s.xB[i]
+			var viol float64
+			var low bool
+			if lim := s.lo[b]; v < lim-spxFeasTol {
+				viol, low = lim-v, true
+			} else if lim := s.hi[b]; v > lim+spxFeasTol {
+				viol, low = v-lim, false
+			} else {
+				continue
+			}
+			if bland {
+				if r < 0 || b < s.basis[r] {
+					r, tooLow = i, low
+				}
+			} else if viol > worst {
+				r, tooLow, worst = i, low, viol
+			}
+		}
+		if r < 0 {
+			return spxOptimal
+		}
+		b := s.basis[r]
+		row := s.row(r)
+
+		// Dual ratio test over the eligible nonbasic columns: entering q
+		// minimizes |d_q|/|α_rq| so every reduced cost keeps its sign.
+		q := -1
+		bestRatio, bestAbs := math.Inf(1), 0.0
+		for j := 0; j < p.N; j++ {
+			st := s.status[j]
+			if st == spBasic || s.lo[j] == s.hi[j] {
+				continue
+			}
+			a := row[j]
+			if a > -spxPivTol && a < spxPivTol {
+				continue
+			}
+			var ok bool
+			if tooLow {
+				ok = (st == spAtLower && a < 0) || (st == spAtUpper && a > 0)
+			} else {
+				ok = (st == spAtLower && a > 0) || (st == spAtUpper && a < 0)
+			}
+			if !ok {
+				continue
+			}
+			abs := math.Abs(a)
+			ratio := math.Abs(s.d[j]) / abs
+			if bland {
+				if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (q < 0 || j < q)) {
+					q, bestRatio = j, math.Min(ratio, bestRatio)
+				}
+			} else if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && abs > bestAbs) {
+				q, bestRatio, bestAbs = j, math.Min(ratio, bestRatio), abs
+			}
+		}
+		if q < 0 {
+			// Row r cannot reach its bound: primal infeasible.
+			return spxInfeasible
+		}
+
+		// Step: move x_q so the leaving column lands exactly on its violated
+		// bound, updating every basic value.
+		target := s.hi[b]
+		if tooLow {
+			target = s.lo[b]
+		}
+		arq := row[q]
+		t := (s.xB[r] - target) / arq
+		for i := 0; i < p.m; i++ {
+			if i == r {
+				continue
+			}
+			if a := s.tab[i*s.stride+q]; a != 0 {
+				s.xB[i] -= a * t
+			}
+		}
+		newQ := s.xval[q] + t
+
+		// Basis exchange bookkeeping.
+		if tooLow {
+			s.status[b] = spAtLower
+		} else {
+			s.status[b] = spAtUpper
+		}
+		s.xval[b] = target
+		s.rowOf[b] = -1
+		s.basis[r] = int32(q)
+		s.rowOf[q] = int32(r)
+		s.status[q] = spBasic
+		s.xB[r] = newQ
+
+		// Pivot the tableau (rhs column included) and the reduced costs.
+		inv := 1.0 / arq
+		for j := 0; j <= p.N; j++ {
+			row[j] *= inv
+		}
+		for i := 0; i < p.m; i++ {
+			if i == r {
+				continue
+			}
+			ri := s.row(i)
+			f := ri[q]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j <= p.N; j++ {
+				if row[j] != 0 {
+					ri[j] -= f * row[j]
+				}
+			}
+			ri[q] = 0
+		}
+		if f := s.d[q]; f != 0 {
+			for j := 0; j < p.N; j++ {
+				if row[j] != 0 {
+					s.d[j] -= f * row[j]
+				}
+			}
+			s.d[q] = 0
+		}
+		s.pivots++
+	}
+}
+
+// verify checks x against the original sparse rows (the maintained tableau
+// drifts; the CSR matrix does not).
+func (s *spx) verify(x []float64) bool {
+	p := s.p
+	for i := 0; i < p.m; i++ {
+		v := 0.0
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			v += p.rowVal[k] * x[p.rowCol[k]]
+		}
+		tol := 1e-6 * (1 + math.Abs(p.rhs[i]))
+		switch p.rel[i] {
+		case lp.LE:
+			if v > p.rhs[i]+tol {
+				return false
+			}
+		case lp.GE:
+			if v < p.rhs[i]-tol {
+				return false
+			}
+		default:
+			if math.Abs(v-p.rhs[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+// Package solver is the pluggable MILP solving layer: every exact intLP of
+// the paper (the Section 3 saturation program and the Section 4 reduction
+// program) is solved through the Backend interface of this package instead of
+// calling a concrete engine directly.
+//
+// Two engines ship in-tree:
+//
+//   - "dense" — the original dense-tableau two-phase primal simplex with a
+//     sequential depth-first branch and bound (internal/lp), kept as the
+//     reference implementation;
+//   - "sparse" — a rewrite around sparse constraint storage, a dual-simplex
+//     reoptimizer, best-bound node selection with single-bound deltas,
+//     warm-started dives from the parent basis, incumbent/cutoff seeding,
+//     and an optional parallel tree search with a shared atomic incumbent.
+//     "parallel" is the same engine defaulting to one tree-search worker per
+//     CPU.
+//
+// Backends register themselves by name; consumers select one with
+// Options.Backend and receive uniform Solution/Stats reporting, including
+// the proven dual bound and optimality gap when a search limit is hit.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"regsat/internal/lp"
+)
+
+// DefaultBackend is used when Options.Backend is empty.
+const DefaultBackend = "sparse"
+
+// Options configures one MILP solve, whatever the backend.
+type Options struct {
+	// Backend selects the registered engine ("" = DefaultBackend).
+	Backend string
+	// MaxNodes caps the number of explored branch-and-bound nodes
+	// (0 = default 200000).
+	MaxNodes int
+	// TimeLimit caps wall time (0 = none).
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance (0 = default 1e-6).
+	IntTol float64
+	// Parallel is the tree-search worker count of backends that support a
+	// parallel search (0 = backend default: 1 for "sparse", GOMAXPROCS for
+	// "parallel"). The "dense" backend is always sequential.
+	Parallel int
+	// Cutoff seeds the search with the objective value of a solution known
+	// to be achievable (model sense): subtrees that cannot match it are
+	// pruned before any incumbent is found. The saturation MILP is seeded
+	// with Greedy-k's valid killing-function bound, the reduction MILP with
+	// the heuristic reduction's makespan. Nil means no seeding.
+	Cutoff *float64
+	// ExclusiveCutoff strengthens the seeding: the caller asserts it already
+	// HOLDS a solution achieving Cutoff, so the search looks only for
+	// strictly better objectives. A solve that exhausts the tree without
+	// finding one returns Solution.AtCutoff — proof that the caller's held
+	// solution is optimal — without ever materializing an incumbent.
+	// Ignored when Cutoff is nil.
+	ExclusiveCutoff bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = DefaultBackend
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// CutoffAt is a convenience for building Options.Cutoff values.
+func CutoffAt(v float64) *float64 { return &v }
+
+// Key renders the solve-determining fields for cache keys.
+func (o Options) Key() string {
+	o = o.withDefaults()
+	cut := "-"
+	if o.Cutoff != nil {
+		cut = fmt.Sprintf("%g", *o.Cutoff)
+		if o.ExclusiveCutoff {
+			cut += "!"
+		}
+	}
+	return fmt.Sprintf("%s|n%d|t%s|i%g|p%d|c%s",
+		o.Backend, o.MaxNodes, o.TimeLimit, o.IntTol, o.Parallel, cut)
+}
+
+// Stats reports the work one solve performed.
+type Stats struct {
+	// Nodes is the number of branch-and-bound nodes whose relaxation was
+	// solved (or dense-fallback subtree solves, counted by their own nodes).
+	Nodes int64
+	// SimplexIters is the total simplex iterations across all nodes.
+	SimplexIters int64
+	// WarmStarts counts node solves reoptimized in place from the parent
+	// basis (dives); ColdStarts counts nodes rebuilt from scratch (best-bound
+	// queue pops and periodic refactorizations).
+	WarmStarts, ColdStarts int64
+	// Fallbacks counts subtrees handed to the dense reference engine after
+	// numerical trouble.
+	Fallbacks int64
+	// Incumbents counts incumbent improvements.
+	Incumbents int64
+	// Workers is the tree-search worker count used.
+	Workers int
+	// Duration is the wall time of the solve.
+	Duration time.Duration
+}
+
+// WarmRate is the fraction of node solves served warm from the parent basis.
+func (s Stats) WarmRate() float64 {
+	total := s.WarmStarts + s.ColdStarts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(total)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Nodes += other.Nodes
+	s.SimplexIters += other.SimplexIters
+	s.WarmStarts += other.WarmStarts
+	s.ColdStarts += other.ColdStarts
+	s.Fallbacks += other.Fallbacks
+	s.Incumbents += other.Incumbents
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+	s.Duration += other.Duration
+}
+
+// Solution is the uniform result of a backend solve.
+type Solution struct {
+	// Status uses the lp package's vocabulary: Optimal, Infeasible,
+	// Unbounded, Feasible (limit hit with an incumbent), Limit (limit hit
+	// with no incumbent).
+	Status lp.Status
+	// Obj is the incumbent objective in model sense (valid for Optimal and
+	// Feasible).
+	Obj float64
+	// X is the incumbent assignment, one entry per model variable, integer
+	// variables snapped.
+	X []float64
+	// Bound is the best proven dual bound in model sense: for a capped solve
+	// the optimum lies in the interval between Obj and Bound (the analogue
+	// of rs.ExactStats.Capped reporting RS as [best found, upper bound]).
+	// Equal to Obj when Status is Optimal.
+	Bound float64
+	// Gap is |Obj − Bound| (0 when optimality was proved).
+	Gap float64
+	// Capped reports that a node/time/context limit stopped the search.
+	Capped bool
+	// AtCutoff reports that no solution strictly better than the exclusive
+	// Options.Cutoff exists (Status Optimal) or was found before a limit
+	// (Status Feasible). Obj then equals the cutoff and X is nil — the
+	// caller's own solution achieving the cutoff stands.
+	AtCutoff bool
+	// Stats is the work accounting of the solve.
+	Stats Stats
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v lp.Var) float64 { return s.X[v] }
+
+// IntValue returns the solution value of v as an int64.
+func (s *Solution) IntValue(v lp.Var) int64 { return int64(math.Round(s.X[v])) }
+
+// Feasible reports whether the solution carries a usable assignment.
+func (s *Solution) Feasible() bool {
+	return s.Status == lp.StatusOptimal || s.Status == lp.StatusFeasible
+}
+
+// Backend is one MILP engine. Implementations must be safe for concurrent
+// Solve calls on distinct models and must honor context cancellation inside
+// an in-flight solve (simplex iterations included), returning the best
+// solution found so far together with ctx.Err().
+type Backend interface {
+	Name() string
+	Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register installs a backend under its name, replacing any previous holder.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[b.Name()] = b
+}
+
+// Get returns the backend registered under name ("" = DefaultBackend).
+func Get(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown backend %q (have %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Solve dispatches to the backend selected by opt.Backend.
+func Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	b, err := Get(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return b.Solve(ctx, m, opt)
+}

@@ -1,0 +1,316 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"regsat/internal/lp"
+)
+
+func solveWith(t *testing.T, backend string, m *lp.Model, opt Options) *Solution {
+	t.Helper()
+	opt.Backend = backend
+	sol, err := Solve(context.Background(), m, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", backend, err)
+	}
+	return sol
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"dense": false, "sparse": false, "parallel": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("backend %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := Get("no-such-backend"); err == nil {
+		t.Error("Get of unknown backend did not fail")
+	}
+}
+
+func knapsack() *lp.Model {
+	m := lp.NewModel("knap", lp.Maximize)
+	w := []float64{2, 3, 4, 5, 9}
+	v := []float64{3, 4, 5, 8, 10}
+	var terms []lp.Term
+	for i := range w {
+		x := m.NewBinary("x")
+		m.SetObjCoef(x, v[i])
+		terms = append(terms, lp.Term{Var: x, Coef: w[i]})
+	}
+	m.AddConstr(terms, lp.LE, 13, "cap")
+	return m
+}
+
+func TestKnapsackAllBackends(t *testing.T) {
+	// The dense engine provides the reference optimum.
+	m := knapsack()
+	ref := solveWith(t, "dense", m, Options{})
+	if ref.Status != lp.StatusOptimal {
+		t.Fatalf("dense: status %v", ref.Status)
+	}
+	for _, b := range []string{"sparse", "parallel"} {
+		m2 := knapsack()
+		sol := solveWith(t, b, m2, Options{Parallel: 4})
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("%s: status %v", b, sol.Status)
+		}
+		if math.Abs(sol.Obj-ref.Obj) > 1e-6 {
+			t.Fatalf("%s: obj %g, dense %g", b, sol.Obj, ref.Obj)
+		}
+		if sol.Gap != 0 || sol.Bound != sol.Obj {
+			t.Fatalf("%s: optimal solve reported bound %g gap %g", b, sol.Bound, sol.Gap)
+		}
+	}
+}
+
+// randomMILP builds a small random pure-integer program (the same family the
+// lp package cross-validates against brute force).
+func randomMILP(rng *rand.Rand) *lp.Model {
+	nv := 2 + rng.Intn(4)
+	nc := 1 + rng.Intn(4)
+	sense := lp.Minimize
+	if rng.Intn(2) == 0 {
+		sense = lp.Maximize
+	}
+	m := lp.NewModel("rand", sense)
+	for i := 0; i < nv; i++ {
+		m.SetObjCoef(m.NewVar(0, float64(1+rng.Intn(3)), true, "v"), float64(rng.Intn(11)-5))
+	}
+	for c := 0; c < nc; c++ {
+		var terms []lp.Term
+		for i := 0; i < nv; i++ {
+			if rng.Intn(2) == 0 {
+				terms = append(terms, lp.Term{Var: lp.Var(i), Coef: float64(rng.Intn(7) - 3)})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		rel := []lp.Rel{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		m.AddConstr(terms, rel, float64(rng.Intn(9)-2), "c")
+	}
+	return m
+}
+
+// TestBackendsAgreeRandom cross-validates the sparse engine (sequential and
+// parallel) against the dense reference on hundreds of random integer
+// programs, including infeasible ones.
+func TestBackendsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2004))
+	trials := 400
+	if testing.Short() {
+		trials = 120
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := randomMILP(rng)
+		ref := solveWith(t, "dense", m, Options{})
+		for _, b := range []string{"sparse", "parallel"} {
+			sol := solveWith(t, b, m, Options{Parallel: 3})
+			if sol.Status != ref.Status {
+				t.Fatalf("trial %d: %s status %v, dense %v\n%s",
+					trial, b, sol.Status, ref.Status, m.String())
+			}
+			if ref.Status == lp.StatusOptimal && math.Abs(sol.Obj-ref.Obj) > 1e-6 {
+				t.Fatalf("trial %d: %s obj %g, dense %g\n%s",
+					trial, b, sol.Obj, ref.Obj, m.String())
+			}
+		}
+	}
+}
+
+// TestMixedIntegerContinuous checks the sparse engine on a model with a
+// continuous variable (only the integer one is branched).
+func TestMixedIntegerContinuous(t *testing.T) {
+	for _, b := range Names() {
+		m := lp.NewModel("mix", lp.Maximize)
+		x := m.NewVar(0, 10, true, "x")
+		y := m.NewVar(0, 10, false, "y")
+		m.SetObjCoef(x, 2)
+		m.SetObjCoef(y, 3)
+		m.AddConstr([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}, lp.LE, 7.5, "c")
+		sol := solveWith(t, b, m, Options{})
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("%s: status %v", b, sol.Status)
+		}
+		// x integer, y continuous: best is x=7, y=0.25 → 14.75.
+		if math.Abs(sol.Obj-14.75) > 1e-6 {
+			t.Fatalf("%s: obj %g, want 14.75", b, sol.Obj)
+		}
+	}
+}
+
+// TestCutoffSeeding verifies that seeding with an achievable objective keeps
+// the solve exact while pruning the tree.
+func TestCutoffSeeding(t *testing.T) {
+	base := knapsack()
+	ref := solveWith(t, "dense", base, Options{})
+	m := knapsack()
+	sol := solveWith(t, "sparse", m, Options{Cutoff: CutoffAt(ref.Obj)})
+	if sol.Status != lp.StatusOptimal || math.Abs(sol.Obj-ref.Obj) > 1e-6 {
+		t.Fatalf("seeded at the optimum: status %v obj %g, want optimal %g", sol.Status, sol.Obj, ref.Obj)
+	}
+	m2 := knapsack()
+	sol2 := solveWith(t, "sparse", m2, Options{Cutoff: CutoffAt(ref.Obj - 3)})
+	if sol2.Status != lp.StatusOptimal || math.Abs(sol2.Obj-ref.Obj) > 1e-6 {
+		t.Fatalf("seeded below the optimum: status %v obj %g, want optimal %g", sol2.Status, sol2.Obj, ref.Obj)
+	}
+}
+
+// TestNodeLimitReportsInterval: a capped solve reports the incumbent and the
+// dual bound bracketing the true optimum (satellite: capped solves surface
+// the interval like rs.ExactStats.Capped).
+func TestNodeLimitReportsInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range []string{"dense", "sparse"} {
+		m := lp.NewModel("cap", lp.Maximize)
+		var terms []lp.Term
+		for i := 0; i < 18; i++ {
+			x := m.NewBinary("x")
+			m.SetObjCoef(x, float64(1+rng.Intn(9)))
+			terms = append(terms, lp.Term{Var: x, Coef: float64(2 + rng.Intn(5))})
+		}
+		m.AddConstr(terms, lp.LE, 23, "cap")
+		sol := solveWith(t, b, m, Options{MaxNodes: 3})
+		if sol.Status == lp.StatusOptimal || sol.Status == lp.StatusInfeasible {
+			continue // tiny model solved within the cap on this backend
+		}
+		if !sol.Capped {
+			t.Fatalf("%s: limit solve not marked capped (status %v)", b, sol.Status)
+		}
+		if sol.Status == lp.StatusFeasible {
+			if sol.Bound < sol.Obj-1e-9 {
+				t.Fatalf("%s: maximize bound %g below incumbent %g", b, sol.Bound, sol.Obj)
+			}
+			if math.Abs(sol.Gap-(sol.Bound-sol.Obj)) > 1e-9 {
+				t.Fatalf("%s: gap %g inconsistent with [%g, %g]", b, sol.Gap, sol.Obj, sol.Bound)
+			}
+		}
+	}
+}
+
+// TestContextCancellation: cancelling the context interrupts an in-flight
+// solve promptly and surfaces the context error.
+func TestContextCancellation(t *testing.T) {
+	for _, b := range []string{"dense", "sparse", "parallel"} {
+		rng := rand.New(rand.NewSource(42))
+		m := lp.NewModel("slow", lp.Maximize)
+		var terms []lp.Term
+		for i := 0; i < 40; i++ {
+			x := m.NewBinary("x")
+			m.SetObjCoef(x, float64(1+rng.Intn(50)))
+			terms = append(terms, lp.Term{Var: x, Coef: float64(1 + rng.Intn(40))})
+		}
+		m.AddConstr(terms, lp.LE, 300, "cap")
+		for i := 0; i < 30; i++ {
+			a, c := lp.Var(rng.Intn(40)), lp.Var(rng.Intn(40))
+			if a == c {
+				continue
+			}
+			m.AddConstr([]lp.Term{{Var: a, Coef: 1}, {Var: c, Coef: 1}}, lp.LE, 1, "conflict")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already cancelled: the solve must return immediately
+		start := time.Now()
+		sol, err := Solve(ctx, m, Options{Backend: b, MaxNodes: 10_000_000})
+		if err == nil {
+			t.Fatalf("%s: cancelled solve returned no error", b)
+		}
+		if sol == nil {
+			t.Fatalf("%s: cancelled solve returned nil solution", b)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("%s: cancelled solve took %v", b, elapsed)
+		}
+	}
+}
+
+// TestParallelTreeSearchRace exercises the shared-incumbent tree search from
+// many goroutines at once; run under -race this is the satellite race test.
+func TestParallelTreeSearchRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 8; trial++ {
+				m := randomMILP(rng)
+				ref, err := Solve(context.Background(), m, Options{Backend: "dense"})
+				if err != nil {
+					t.Errorf("dense: %v", err)
+					return
+				}
+				sol, err := Solve(context.Background(), m, Options{Backend: "parallel", Parallel: 4})
+				if err != nil {
+					t.Errorf("parallel: %v", err)
+					return
+				}
+				if sol.Status != ref.Status ||
+					(ref.Status == lp.StatusOptimal && math.Abs(sol.Obj-ref.Obj) > 1e-6) {
+					t.Errorf("seed %d trial %d: parallel %v/%g, dense %v/%g",
+						seed, trial, sol.Status, sol.Obj, ref.Status, ref.Obj)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestWarmStartsHappen: on a model needing real branching, the sparse engine
+// must serve most node solves warm from the parent basis.
+func TestWarmStartsHappen(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := lp.NewModel("warm", lp.Maximize)
+	var terms []lp.Term
+	for i := 0; i < 16; i++ {
+		x := m.NewBinary("x")
+		m.SetObjCoef(x, float64(3+rng.Intn(9)))
+		terms = append(terms, lp.Term{Var: x, Coef: float64(2 + rng.Intn(7))})
+	}
+	m.AddConstr(terms, lp.LE, 31, "cap")
+	sol := solveWith(t, "sparse", m, Options{})
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Stats.Nodes > 4 && sol.Stats.WarmStarts == 0 {
+		t.Fatalf("no warm starts across %d nodes (stats %+v)", sol.Stats.Nodes, sol.Stats)
+	}
+}
+
+func TestInfeasibleModel(t *testing.T) {
+	for _, b := range Names() {
+		m := lp.NewModel("inf", lp.Minimize)
+		x := m.NewVar(0, 5, true, "x")
+		m.AddConstr([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 3, "ge")
+		m.AddConstr([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 2, "le")
+		sol := solveWith(t, b, m, Options{})
+		if sol.Status != lp.StatusInfeasible {
+			t.Fatalf("%s: status %v, want infeasible", b, sol.Status)
+		}
+	}
+}
+
+// TestUnboundedFallsBackToDense: the sparse engine delegates models with
+// infinite cost-bearing bounds to the dense engine, which detects the ray.
+func TestUnboundedFallsBackToDense(t *testing.T) {
+	m := lp.NewModel("unb", lp.Maximize)
+	x := m.NewVar(0, math.Inf(1), false, "x")
+	m.SetObjCoef(x, 1)
+	sol := solveWith(t, "sparse", m, Options{})
+	if sol.Status != lp.StatusUnbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}

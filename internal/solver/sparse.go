@@ -1,0 +1,546 @@
+package solver
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regsat/internal/lp"
+)
+
+// sparseBackend is the rewritten MILP engine: sparse constraint storage, a
+// dual-simplex reoptimizer, best-bound node selection with single-bound
+// deltas, warm-started dives from the parent basis, incumbent/cutoff
+// seeding, and a parallel tree search sharing an atomic incumbent.
+//
+// Node processing is organized as dives: a worker pops the best-bound open
+// node, solves it from a cold (all-slack, dual-feasible) start, then keeps
+// descending into one child per branching — reusing the tableau and basis it
+// already holds, which makes the child solve a handful of dual pivots — while
+// the sibling goes onto the shared best-bound queue as a {variable, bound}
+// delta against its parent chain. Any numerical trouble hands the affected
+// subtree to the dense reference engine, so exactness never depends on the
+// fast path.
+type sparseBackend struct {
+	// defaultParallel is the worker count when Options.Parallel is 0.
+	defaultParallel func() int
+	name            string
+}
+
+func init() {
+	Register(sparseBackend{name: "sparse", defaultParallel: func() int { return 1 }})
+	Register(sparseBackend{name: "parallel", defaultParallel: runtime.NumCPU})
+}
+
+func (b sparseBackend) Name() string { return b.name }
+
+func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	p, err := buildProb(m)
+	if err == errDense {
+		// Infinite bounds on a cost-bearing variable: the general-purpose
+		// dense engine handles those (and detects unboundedness).
+		return denseBackend{}.Solve(ctx, m, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// An explicit Parallel is honored as given (oversubscription is just
+	// goroutines); only the default is derived from the machine.
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = b.defaultParallel()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	s := &searcher{
+		p:         p,
+		opt:       opt,
+		ctx:       ctx,
+		openBound: math.Inf(1),
+		cutoff:    math.Inf(1),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.incObj.Store(math.Float64bits(math.Inf(1)))
+	if opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opt.TimeLimit)
+	}
+	if opt.Cutoff != nil {
+		s.cutoff = p.internalObj(*opt.Cutoff)
+		s.exclusiveCutoff = opt.ExclusiveCutoff
+	}
+	heap.Push(&s.open, &qnode{vr: -1, bound: math.Inf(-1)})
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	wg.Wait()
+
+	sol := s.finish()
+	sol.Stats.Workers = workers
+	sol.Stats.Duration = time.Since(start)
+	return sol, ctx.Err()
+}
+
+// qnode is one open subtree: a single {variable, bounds} delta against its
+// parent chain (the chain is walked to reconstruct full bounds on pop — no
+// per-node O(n) bound copies) plus the parent relaxation objective, which is
+// a valid bound on everything below.
+type qnode struct {
+	parent *qnode
+	vr     int     // branched variable; -1 for the root
+	lo, hi float64 // bounds of vr in this subtree
+	bound  float64 // parent LP objective, internal minimize sense
+}
+
+type nodeHeap []*qnode
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*qnode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+type searcher struct {
+	p   *prob
+	opt Options
+	ctx context.Context
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	active   int  // workers currently diving
+	stopped  bool // a limit fired; drain and report the interval
+	limitHit bool
+	// stoppedFlag mirrors stopped for the lock-free per-node fast path.
+	stoppedFlag atomic.Bool
+	unbounded   bool
+	openBound   float64   // min bound over abandoned subtrees (internal)
+	incX        []float64 // incumbent assignment (model variables, snapped)
+
+	incObj   atomic.Uint64 // math.Float64bits of the internal incumbent obj
+	nodes    atomic.Int64
+	iters    atomic.Int64
+	warm     atomic.Int64
+	cold     atomic.Int64
+	fallback atomic.Int64
+	incumb   atomic.Int64
+
+	deadline        time.Time
+	cutoff          float64 // internal sense; +inf when unseeded
+	exclusiveCutoff bool
+}
+
+func (s *searcher) incumbentObj() float64 {
+	return math.Float64frombits(s.incObj.Load())
+}
+
+// pruneTarget is the internal objective above which a subtree provably
+// cannot improve on what is already known: the incumbent minus the minimal
+// improvement step (1 for integral objectives), or the seeded cutoff — an
+// objective value known to be achievable somewhere in the tree. An exclusive
+// cutoff acts like an incumbent (the caller holds a solution achieving it),
+// so subtrees that merely match it are pruned too.
+func (s *searcher) pruneTarget() float64 {
+	step := 1e-9
+	if s.p.intObj {
+		step = 1 - 1e-6
+	}
+	t := s.incumbentObj()
+	if !math.IsInf(t, 1) {
+		t -= step
+	}
+	if !math.IsInf(s.cutoff, 1) {
+		ct := s.cutoff + 1e-7
+		if s.exclusiveCutoff {
+			ct = s.cutoff - step
+		}
+		if ct < t {
+			t = ct
+		}
+	}
+	return t
+}
+
+func (s *searcher) cancelled() bool {
+	return s.ctx.Err() != nil || (!s.deadline.IsZero() && time.Now().After(s.deadline))
+}
+
+// shouldStop flips the searcher into drain mode when a limit fires. The
+// fast path is lock-free (it runs once per node on every worker); the mutex
+// is taken only to flip into drain mode.
+func (s *searcher) shouldStop() bool {
+	if s.stoppedFlag.Load() {
+		return true
+	}
+	if s.nodes.Load() < int64(s.opt.MaxNodes) && !s.cancelled() {
+		return false
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.stoppedFlag.Store(true)
+	s.limitHit = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// pop hands out the best open node, pruning stale entries, and blocks while
+// other workers may still produce work. It returns nil when the search is
+// over (exhausted or stopped).
+func (s *searcher) pop() *qnode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			// Drain: the abandoned open nodes define the proven interval.
+			for _, nd := range s.open {
+				if nd.bound < s.openBound {
+					s.openBound = nd.bound
+				}
+			}
+			s.open = nil
+			s.cond.Broadcast()
+			return nil
+		}
+		for len(s.open) > 0 {
+			nd := heap.Pop(&s.open).(*qnode)
+			if nd.bound > s.pruneTarget() {
+				continue // exact prune: a better solution is known elsewhere
+			}
+			s.active++
+			return nd
+		}
+		if s.active == 0 {
+			s.cond.Broadcast()
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *searcher) done() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && len(s.open) == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *searcher) push(nd *qnode) {
+	s.mu.Lock()
+	heap.Push(&s.open, nd)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// abandon records the bound of a subtree dropped because of a limit.
+func (s *searcher) abandon(bound float64) {
+	s.mu.Lock()
+	if bound < s.openBound {
+		s.openBound = bound
+	}
+	s.limitHit = true
+	s.mu.Unlock()
+}
+
+func (s *searcher) setUnbounded() {
+	s.mu.Lock()
+	s.unbounded = true
+	s.stopped = true
+	s.stoppedFlag.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// updateIncumbent installs a verified integer solution if it improves.
+func (s *searcher) updateIncumbent(objInternal float64, x []float64) {
+	// Under an exclusive cutoff the caller already holds a solution at the
+	// cutoff objective; a fallback subtree solve (which runs without cutoff
+	// knowledge) may legally return something strictly worse — installing it
+	// would let finish() report a worse-than-held "optimum". Drop it.
+	if s.exclusiveCutoff && objInternal > s.cutoff+1e-7 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if objInternal < s.incumbentObj()-1e-9 {
+		s.incObj.Store(math.Float64bits(objInternal))
+		s.incX = append(s.incX[:0], x...)
+		s.incumb.Add(1)
+	}
+}
+
+// boundsOf reconstructs the full structural bounds of nd into lo/hi by
+// walking the delta chain from the root.
+func (s *searcher) boundsOf(nd *qnode, lo, hi []float64, path []*qnode) []*qnode {
+	copy(lo, s.p.rootLo)
+	copy(hi, s.p.rootHi)
+	path = path[:0]
+	for n := nd; n != nil && n.vr >= 0; n = n.parent {
+		path = append(path, n)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if n.lo > lo[n.vr] {
+			lo[n.vr] = n.lo
+		}
+		if n.hi < hi[n.vr] {
+			hi[n.vr] = n.hi
+		}
+	}
+	return path
+}
+
+func (s *searcher) worker() {
+	p := s.p
+	w := newSpx(p)
+	w.cancel = s.cancelled
+	lo := make([]float64, p.n)
+	hi := make([]float64, p.n)
+	var path []*qnode
+	for {
+		nd := s.pop()
+		if nd == nil {
+			return
+		}
+		path = s.boundsOf(nd, lo, hi, path)
+		w.reset(lo, hi)
+		s.cold.Add(1)
+		s.dive(w, nd, false)
+		s.done()
+	}
+}
+
+// dive processes nd with the state already loaded in w, then keeps
+// descending into one child per branching (warm-starting from the basis the
+// tableau already holds) until the chain is pruned, infeasible, or integer.
+func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
+	p := s.p
+	x := make([]float64, p.n)
+	for {
+		if s.shouldStop() {
+			s.abandon(nd.bound)
+			return
+		}
+		if warm {
+			s.warm.Add(1)
+		}
+		st := w.dual(s.pruneTarget())
+		s.nodes.Add(1)
+		s.iters.Add(w.iters)
+		w.iters = 0
+		switch st {
+		case spxInfeasible:
+			return
+		case spxCutoff:
+			return // proved it cannot beat the incumbent/cutoff
+		case spxCanceled:
+			s.abandon(nd.bound)
+			return
+		case spxIterLimit:
+			s.denseFallback(w)
+			return
+		}
+		obj := w.obj()
+		bound := obj
+		if p.intObj {
+			// Integral objective: the subtree optimum is an integer ≥ obj.
+			bound = math.Ceil(obj - 1e-6)
+		}
+		if bound > s.pruneTarget() {
+			return
+		}
+		w.extract(x)
+
+		// Most fractional integer variable.
+		branch, fracDist := -1, s.opt.IntTol
+		for j := 0; j < p.n; j++ {
+			if !p.integer[j] {
+				continue
+			}
+			f := x[j] - math.Floor(x[j])
+			if dist := math.Min(f, 1-f); dist > fracDist {
+				branch, fracDist = j, dist
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: snap, verify against the original rows, and
+			// publish. A failed verification means the warm tableau drifted —
+			// hand the subtree to the dense engine instead of trusting it.
+			for j := 0; j < p.n; j++ {
+				if p.integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			if !w.verify(x) {
+				s.denseFallback(w)
+				return
+			}
+			objInt := 0.0
+			for j := 0; j < p.n; j++ {
+				if c := p.cost[j]; c != 0 {
+					objInt += c * x[j]
+				}
+			}
+			s.updateIncumbent(objInt, x)
+			return
+		}
+
+		// Branch. The sibling farther from the fractional value goes to the
+		// shared queue as a single-bound delta; the nearer child is solved in
+		// place, reusing the parent's final basis.
+		floorV := math.Floor(x[branch])
+		ceilV := floorV + 1
+		down := &qnode{parent: nd, vr: branch, lo: w.lo[branch], hi: floorV, bound: bound}
+		up := &qnode{parent: nd, vr: branch, lo: ceilV, hi: w.hi[branch], bound: bound}
+		var diveNd *qnode
+		if x[branch]-floorV > 0.5 {
+			s.push(down)
+			diveNd = up
+		} else {
+			s.push(up)
+			diveNd = down
+		}
+		if w.pivots >= refactorCut {
+			// Periodic refactorization: rebuild the tableau from the exact
+			// sparse matrix to shed accumulated floating-point drift.
+			w.applyBoundOnlyStore(diveNd)
+			w.reset(w.lo[:p.n], w.hi[:p.n])
+			s.cold.Add(1)
+			warm = false
+		} else {
+			w.applyBound(diveNd.vr, diveNd.lo, diveNd.hi)
+			warm = true
+		}
+		nd = diveNd
+	}
+}
+
+// applyBoundOnlyStore records the child's bounds without touching the basis
+// (used right before a full rebuild).
+func (w *spx) applyBoundOnlyStore(nd *qnode) {
+	w.lo[nd.vr], w.hi[nd.vr] = nd.lo, nd.hi
+}
+
+// denseFallback solves the worker's current subtree with the dense reference
+// engine: slower, but immune to the warm tableau's numerical state. The
+// subtree is fully resolved (its own branch and bound), so the node does not
+// return to the queue.
+func (s *searcher) denseFallback(w *spx) {
+	p := s.p
+	s.fallback.Add(1)
+	// Reserve the node grant up front (and refund the unused part after), so
+	// concurrent fallbacks cannot each claim the full remaining budget and
+	// overshoot MaxNodes by a factor of the worker count.
+	var grant int64
+	for {
+		cur := s.nodes.Load()
+		grant = int64(s.opt.MaxNodes) - cur
+		if grant < 1 {
+			grant = 1
+		}
+		if s.nodes.CompareAndSwap(cur, cur+grant) {
+			break
+		}
+	}
+	params := lp.Params{IntTol: s.opt.IntTol, MaxNodes: int(grant)}
+	if !s.deadline.IsZero() {
+		params.TimeLimit = time.Until(s.deadline)
+		if params.TimeLimit <= 0 {
+			params.TimeLimit = time.Millisecond
+		}
+	}
+	sol := p.model.SolveWithBounds(s.ctx, params, w.lo[:p.n], w.hi[:p.n])
+	s.nodes.Add(int64(sol.Nodes) - grant)
+	switch sol.Status {
+	case lp.StatusUnbounded:
+		s.setUnbounded()
+	case lp.StatusOptimal:
+		s.updateIncumbent(p.internalObj(sol.Obj), sol.X)
+	case lp.StatusFeasible:
+		s.updateIncumbent(p.internalObj(sol.Obj), sol.X)
+		s.abandon(p.internalObj(sol.Bound))
+	case lp.StatusLimit:
+		s.abandon(p.internalObj(sol.Bound))
+	}
+}
+
+// finish assembles the Solution from the search state.
+func (s *searcher) finish() *Solution {
+	p := s.p
+	sol := &Solution{
+		Stats: Stats{
+			Nodes:        s.nodes.Load(),
+			SimplexIters: s.iters.Load(),
+			WarmStarts:   s.warm.Load(),
+			ColdStarts:   s.cold.Load(),
+			Fallbacks:    s.fallback.Load(),
+			Incumbents:   s.incumb.Load(),
+		},
+	}
+	if s.unbounded {
+		sol.Status = lp.StatusUnbounded
+		return sol
+	}
+	inc := s.incumbentObj()
+	haveInc := !math.IsInf(inc, 1)
+	if !haveInc && s.exclusiveCutoff {
+		// Nothing beat the caller's held solution: its objective stands as
+		// the incumbent (with proof of optimality when the tree was
+		// exhausted).
+		sol.AtCutoff = true
+		sol.Obj = p.externalObj(s.cutoff)
+		if !s.limitHit {
+			sol.Status = lp.StatusOptimal
+			sol.Bound = sol.Obj
+		} else {
+			sol.Status = lp.StatusFeasible
+			sol.Capped = true
+			sol.Bound = p.externalObj(math.Min(s.openBound, s.cutoff))
+			sol.Gap = math.Abs(sol.Obj - sol.Bound)
+		}
+		return sol
+	}
+	if haveInc {
+		sol.Obj = p.externalObj(inc)
+		sol.X = append([]float64(nil), s.incX...)
+	}
+	switch {
+	case haveInc && !s.limitHit:
+		sol.Status = lp.StatusOptimal
+		sol.Bound = sol.Obj
+	case haveInc:
+		sol.Status = lp.StatusFeasible
+		sol.Capped = true
+		sol.Bound = p.externalObj(math.Min(s.openBound, inc))
+		sol.Gap = math.Abs(sol.Obj - sol.Bound)
+	case s.limitHit:
+		sol.Status = lp.StatusLimit
+		sol.Capped = true
+		sol.Bound = p.externalObj(s.openBound)
+	default:
+		sol.Status = lp.StatusInfeasible
+	}
+	return sol
+}

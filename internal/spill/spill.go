@@ -12,6 +12,7 @@
 package spill
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -74,7 +75,7 @@ func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Resu
 			break
 		}
 		// Pick a spill candidate among the currently saturating values.
-		sat, err := rs.Compute(res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		sat, err := rs.Compute(context.Background(), res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +94,7 @@ func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Resu
 		res.Sites = append(res.Sites, site)
 	}
 	// Out of spill budget: report the best we know.
-	sat, err := rs.Compute(res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	sat, err := rs.Compute(context.Background(), res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package spill
 
 import (
+	"context"
 	"testing"
 
 	"regsat/internal/ddg"
@@ -10,7 +11,7 @@ import (
 
 func exactRS(t *testing.T, g *ddg.Graph, typ ddg.RegType) int {
 	t.Helper()
-	res, err := rs.Compute(g, typ, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	res, err := rs.Compute(context.Background(), g, typ, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,8 +18,10 @@
 //
 // Three RS methods are provided: the near-optimal Greedy-k heuristic of
 // [Touati, CC 2001], an exact branch-and-bound over killing functions, and
-// the paper's exact integer linear program (Section 3) solved with the
-// in-repo simplex/branch-and-bound solver. Reduction (Section 4) similarly
+// the paper's exact integer linear program (Section 3) solved through the
+// pluggable MILP layer of internal/solver (backends: the dense reference
+// engine, a sparse warm-started best-bound engine, and its parallel tree
+// search — see docs/SOLVER.md). Reduction (Section 4) similarly
 // offers the value-serialization heuristic, an exact combinatorial search,
 // and the paper's coloring intLP, all applying the constructive arc
 // insertion of Theorem 4.2.
@@ -36,6 +38,7 @@ import (
 	"regsat/internal/regalloc"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
+	"regsat/internal/solver"
 	"regsat/internal/spill"
 )
 
@@ -107,16 +110,38 @@ type RSOptions = rs.Options
 // saturating values.
 type RSResult = rs.Result
 
+// MILP solving layer (internal/solver): every exact intLP is solved through
+// a pluggable backend.
+type (
+	// SolverOptions selects and bounds a MILP backend (RSOptions.Solver,
+	// ReduceOptions.ILP.Solver, BatchOptions.Solver).
+	SolverOptions = solver.Options
+	// SolverStats is a backend's work accounting (nodes, simplex
+	// iterations, warm-start rate, incumbents, wall clock).
+	SolverStats = solver.Stats
+)
+
+// SolverBackends lists the registered MILP backends ("dense" — the original
+// tableau engine; "sparse" — the warm-started best-bound rewrite;
+// "parallel" — the same engine with one tree-search worker per CPU).
+func SolverBackends() []string { return solver.Names() }
+
 // ComputeRS computes the register saturation RS_t(G): the exact upper bound
 // of the register requirement of type t over all valid schedules of g.
 // The graph must be finalized.
 func ComputeRS(g *Graph, t RegType, opts RSOptions) (*RSResult, error) {
-	return rs.Compute(g, t, opts)
+	return rs.Compute(context.Background(), g, t, opts)
+}
+
+// ComputeRSContext is ComputeRS under a context: cancellation interrupts an
+// in-flight exact solve.
+func ComputeRSContext(ctx context.Context, g *Graph, t RegType, opts RSOptions) (*RSResult, error) {
+	return rs.Compute(ctx, g, t, opts)
 }
 
 // ComputeRSAll computes the saturation of every register type of g.
 func ComputeRSAll(g *Graph, opts RSOptions) (map[RegType]*RSResult, error) {
-	return rs.ComputeAll(g, opts)
+	return rs.ComputeAll(context.Background(), g, opts)
 }
 
 // ReduceMethod selects the reduction algorithm.
@@ -150,11 +175,17 @@ type ReduceResult = reduce.Result
 // critical path as little as possible (Section 4 of the paper). Spill is
 // reported when impossible.
 func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceResult, error) {
+	return ReduceRSContext(context.Background(), g, t, available, opts)
+}
+
+// ReduceRSContext is ReduceRS under a context: cancellation interrupts an
+// in-flight exact MILP solve.
+func ReduceRSContext(ctx context.Context, g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceResult, error) {
 	switch opts.Method {
 	case ReduceExact:
 		return reduce.ExactCombinatorial(g, t, available, reduce.ExactOptions{MaxNodes: opts.MaxNodes})
 	case ReduceExactILP:
-		return reduce.ExactILP(g, t, available, opts.ILP)
+		return reduce.ExactILP(ctx, g, t, available, opts.ILP)
 	default:
 		return reduce.Heuristic(g, t, available)
 	}
@@ -165,8 +196,8 @@ func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceRe
 // the shared artifacts (all-pairs longest paths, rs.Analysis,
 // potential-killer sets) keyed by structural fingerprint.
 type (
-	// BatchOptions configures AnalyzeAll (worker count, RS options, type
-	// restriction, optional reduction pass, memo size).
+	// BatchOptions configures AnalyzeAll (worker count, RS options, MILP
+	// solver backend, type restriction, optional reduction pass, memo size).
 	BatchOptions = batch.Options
 	// BatchResult is the per-item outcome, delivered in input order.
 	BatchResult = batch.Result

@@ -1,0 +1,156 @@
+package regsat
+
+// Corpus-wide differential tests of the pluggable MILP solving layer: every
+// registered backend must agree with the combinatorial exact search
+// (rs.ExactBB) on the register saturation of every committed corpus graph.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+	"regsat/internal/solver"
+)
+
+func loadCorpus(t *testing.T) []*ddg.Graph {
+	t.Helper()
+	files, err := filepath.Glob("testdata/*.ddg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("corpus is empty: no .ddg files in testdata/")
+	}
+	var graphs []*ddg.Graph
+	for _, file := range files {
+		g, err := loadSingleGraph(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+func loadSingleGraph(path string) (*ddg.Graph, error) {
+	src := SourceFiles(path)
+	it, ok := src.Next()
+	if !ok {
+		return nil, nil
+	}
+	if it.Err != nil {
+		return nil, it.Err
+	}
+	if !it.Graph.Finalized() {
+		if err := it.Graph.Finalize(); err != nil {
+			return nil, err
+		}
+	}
+	return it.Graph, nil
+}
+
+// TestSolverBackendsAgreeOnCorpus: for every corpus graph and register type
+// within the exactness budget, every backend's intLP saturation equals the
+// exact-BB saturation when the solve completes, and never exceeds it when a
+// search limit capped the solve (RS is then a valid lower bound, with the
+// reported interval bracketing the exact value).
+func TestSolverBackendsAgreeOnCorpus(t *testing.T) {
+	maxValues := 8
+	limit := 15 * time.Second
+	if testing.Short() {
+		maxValues = 5
+		limit = 5 * time.Second
+	}
+	backends := solver.Names()
+	for _, g := range loadCorpus(t) {
+		for _, typ := range g.Types() {
+			an, err := rs.NewAnalysis(g, typ)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name, typ, err)
+			}
+			if len(an.Values) == 0 || len(an.Values) > maxValues {
+				continue
+			}
+			ref, _, err := rs.ExactBB(an, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: exact-bb: %v", g.Name, typ, err)
+			}
+			for _, b := range backends {
+				res, err := rs.ExactILP(context.Background(), an, true, solver.Options{
+					Backend:   b,
+					TimeLimit: limit,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s [%s]: %v", g.Name, typ, b, err)
+				}
+				switch {
+				case res.Exact && res.RS != ref.RS:
+					t.Errorf("%s/%s [%s]: intLP RS=%d, exact-bb RS=%d", g.Name, typ, b, res.RS, ref.RS)
+				case !res.Exact && res.RS > ref.RS:
+					t.Errorf("%s/%s [%s]: capped intLP RS=%d exceeds exact %d", g.Name, typ, b, res.RS, ref.RS)
+				case !res.Exact && res.UpperBound < ref.RS:
+					t.Errorf("%s/%s [%s]: capped interval [%d,%d] excludes exact %d",
+						g.Name, typ, b, res.RS, res.UpperBound, ref.RS)
+				}
+				if res.Witness != nil {
+					if err := res.Witness.Validate(); err != nil {
+						t.Errorf("%s/%s [%s]: witness invalid: %v", g.Name, typ, b, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSolverBackendSelection: BatchOptions.Solver routes every intLP
+// solve of a batch through the selected backend, and the results match the
+// default backend's.
+func TestBatchSolverBackendSelection(t *testing.T) {
+	type outcome struct {
+		rs    int
+		exact bool
+	}
+	runWith := func(backend string) map[string]outcome {
+		src, err := SourceDir("testdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := AnalyzeAll(context.Background(), []GraphSource{src}, BatchOptions{
+			RS:     RSOptions{Method: ExactILP, ApplyReductions: true, SkipWitness: true},
+			Types:  []RegType{Float},
+			Solver: SolverOptions{Backend: backend, TimeLimit: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]outcome{}
+		for res := range ch {
+			if res.Err != nil {
+				t.Fatalf("%s: %v", res.Name, res.Err)
+			}
+			r := res.RS[Float]
+			if r == nil {
+				continue
+			}
+			out[res.Name] = outcome{rs: r.RS, exact: r.Exact}
+			if r.SolverStats == nil {
+				t.Fatalf("%s: no solver stats from backend %q", res.Name, backend)
+			}
+		}
+		return out
+	}
+	if testing.Short() {
+		t.Skip("full-corpus batch ILP comparison is slow")
+	}
+	sparse := runWith("sparse")
+	parallel := runWith("parallel")
+	for name, v := range sparse {
+		// Capped solves depend on timing; only proved results must agree.
+		if pv, ok := parallel[name]; ok && v.exact && pv.exact && pv.rs != v.rs {
+			t.Errorf("%s: sparse RS=%d, parallel RS=%d", name, v.rs, pv.rs)
+		}
+	}
+}
