@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"regsat/internal/batch"
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
+	"regsat/internal/ir"
 	"regsat/internal/rs"
 	"regsat/internal/solver"
 )
@@ -36,8 +38,23 @@ func main() {
 		dir      = flag.String("dir", "testdata", "DDG corpus directory for -exp corpus/solver")
 		parallel = flag.Int("parallel", 0, "worker count for -exp corpus (0 = GOMAXPROCS)")
 		backend  = flag.String("solver", "", "MILP backend for intLP solves: dense|sparse|parallel (default sparse)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	mk, err := parseMachine(*machine)
 	if err != nil {
@@ -238,6 +255,9 @@ func corpusReport(dir string, parallel int) (string, error) {
 		float64(seqTime)/float64(parTime))
 	add("memo: %d hits, %d misses across %d RS computations\n",
 		stats.Hits, stats.Misses, stats.Hits+stats.Misses)
+	cs := ir.Stats()
+	add("ir interner: %d hits, %d misses, %d snapshots resident\n",
+		cs.Hits, cs.Misses, cs.Entries)
 	if len(seqResults) != len(parResults) {
 		add("WARNING: sequential and parallel runs disagree on result count (%d vs %d)\n",
 			len(seqResults), len(parResults))

@@ -23,6 +23,7 @@ import (
 
 	"regsat"
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/kernels"
 )
 
@@ -36,7 +37,8 @@ func main() {
 		witness  = flag.Bool("witness", false, "print a saturating schedule")
 		parallel = flag.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
 		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
-		stats    = flag.Bool("solver-stats", false, "print per-solve MILP statistics (nodes, iterations, warm-start rate)")
+		stats    = flag.Bool("solver-stats", false, "print per-solve search statistics (MILP nodes/iterations or exact-BB leaves/prunes)")
+		irStats  = flag.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
 	)
 	flag.Parse()
 
@@ -93,8 +95,18 @@ func main() {
 			}
 			fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
 				t, exact, r.RS, len(g.Values(t)), names(g, r.Antichain))
+			// Capped exact searches report their proven interval the same
+			// way, whether the MILP backend or the combinatorial search hit
+			// its budget.
+			if !r.Exact && r.BBStats != nil && r.BBStats.Capped && r.BBStats.UpperBound > r.RS {
+				fmt.Printf("    capped search: RS ∈ [%d, %d]\n", r.RS, r.BBStats.UpperBound)
+			}
 			if !r.Exact && r.ILPUpperBound > r.RS {
 				fmt.Printf("    capped solve: RS ∈ [%d, %d]\n", r.RS, r.ILPUpperBound)
+			}
+			if *stats && r.BBStats != nil {
+				fmt.Printf("    exact-bb: %d leaves, %d subtrees pruned, proven upper bound %d\n",
+					r.BBStats.Leaves, r.BBStats.Pruned, r.BBStats.UpperBound)
 			}
 			if r.ILP != nil {
 				fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
@@ -116,6 +128,11 @@ func main() {
 				}
 			}
 		}
+	}
+	if *irStats {
+		cs := ir.Stats()
+		fmt.Printf("ir interner: %d hits, %d misses, %d snapshots resident\n",
+			cs.Hits, cs.Misses, cs.Entries)
 	}
 	if failed {
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 
 	"regsat"
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/kernels"
 	"regsat/internal/reduce"
 )
@@ -37,6 +38,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker count for multi-file reduction (0 = GOMAXPROCS)")
 		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
 		stats    = flag.Bool("solver-stats", false, "print per-solve MILP statistics")
+		irStats  = flag.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
 	)
 	flag.Parse()
 
@@ -116,6 +118,11 @@ func main() {
 		if *dot {
 			fmt.Print(red.Graph.DOT())
 		}
+	}
+	if *irStats {
+		cs := ir.Stats()
+		fmt.Printf("ir interner: %d hits, %d misses, %d snapshots resident\n",
+			cs.Hits, cs.Misses, cs.Entries)
 	}
 	switch {
 	case failed:

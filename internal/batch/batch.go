@@ -1,10 +1,11 @@
 // Package batch is the concurrent batch-analysis engine: it shards register
 // saturation analysis (and optional RS reduction) of a stream of DDGs across
 // a bounded worker pool, memoizing the expensive shared artifacts — the
-// transitive closure / all-pairs longest-path matrix, the per-type
-// rs.Analysis with its potential-killer sets, and finished results — by
-// structural graph fingerprint, so repeated graphs and repeated register
-// types never recompute.
+// interned ir.Snapshot (CSR adjacency, topological order, transitive
+// closure, all-pairs longest paths, per-type value/killer tables), the
+// per-type rs.Analysis views over it, and finished results — by the ir
+// fingerprint, so repeated graphs and repeated register types never
+// recompute.
 //
 // The engine guarantees:
 //

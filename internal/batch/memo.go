@@ -9,7 +9,7 @@ import (
 	"sync/atomic"
 
 	"regsat/internal/ddg"
-	"regsat/internal/graph"
+	"regsat/internal/ir"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
@@ -18,13 +18,13 @@ import (
 // DefaultCacheSize bounds the memo when Options.CacheSize is zero.
 const DefaultCacheSize = 1024
 
-// memo is a bounded LRU cache of per-graph analysis artifacts, keyed by
-// structural fingerprint. Each entry holds the artifacts every RS method
-// shares — the all-pairs longest-path matrix, the per-type rs.Analysis
-// (which carries the potential-killer sets), and finished RS/reduction
-// results keyed by their options — each computed at most once under
-// singleflight semantics: concurrent workers that hit the same fingerprint
-// block on the first computation instead of duplicating it.
+// memo is a bounded LRU cache of per-graph analysis artifacts, keyed by the
+// ir fingerprint. Each entry holds the artifacts every RS method shares —
+// one interned ir.Snapshot serving all register types of the graph, the
+// per-type rs.Analysis views over it, and finished RS/reduction results
+// keyed by their options — each computed at most once under singleflight
+// semantics: concurrent workers that hit the same fingerprint block on the
+// first computation instead of duplicating it.
 type memo struct {
 	mu      sync.Mutex
 	cap     int
@@ -51,9 +51,9 @@ func newMemo(capacity int) *memo {
 type entry struct {
 	fp string
 
-	apOnce sync.Once
-	ap     *graph.AllPairsLongest
-	apErr  error
+	snapOnce sync.Once
+	snap     *ir.Snapshot
+	snapErr  error
 
 	mu       sync.Mutex
 	analyses map[ddg.RegType]*analysisSlot
@@ -138,17 +138,19 @@ func (m *memo) lookup(fp string) *entry {
 	return e
 }
 
-// allPairs returns the entry's all-pairs longest-path matrix, computing it
-// from g on first use.
-func (e *entry) allPairs(g *ddg.Graph) (*graph.AllPairsLongest, error) {
-	e.apOnce.Do(func() {
-		e.ap, e.apErr = g.ToDigraph().LongestAllPairs()
+// snapshot returns the entry's interned ir.Snapshot, building it from g on
+// first use. The entry's fingerprint doubles as the intern key, so the hash
+// is never recomputed, and one snapshot serves every register type and
+// every structural twin of the graph.
+func (e *entry) snapshot(g *ddg.Graph) (*ir.Snapshot, error) {
+	e.snapOnce.Do(func() {
+		e.snap, e.snapErr = ir.InternFingerprint(g, e.fp)
 	})
-	return e.ap, e.apErr
+	return e.snap, e.snapErr
 }
 
 // analysis returns the entry's rs.Analysis for register type t, computing it
-// on first use (sharing the all-pairs matrix across types).
+// on first use (all types share the entry's snapshot).
 func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 	e.mu.Lock()
 	slot, ok := e.analyses[t]
@@ -158,12 +160,12 @@ func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 	}
 	e.mu.Unlock()
 	slot.once.Do(func() {
-		ap, err := e.allPairs(g)
+		snap, err := e.snapshot(g)
 		if err != nil {
 			slot.err = err
 			return
 		}
-		slot.an, slot.err = rs.NewAnalysisShared(g, t, ap)
+		slot.an, slot.err = rs.NewAnalysisIR(snap, t)
 	})
 	return slot.an, slot.err
 }

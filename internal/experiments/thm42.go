@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
@@ -93,27 +94,23 @@ func strictNeed(g *ddg.Graph, s *schedule.Schedule, t ddg.RegType) int {
 }
 
 func sampleSchedules(g *ddg.Graph, count int, rng *rand.Rand) ([]*schedule.Schedule, error) {
+	snap, err := ir.Intern(g)
+	if err != nil {
+		return nil, err
+	}
 	var out []*schedule.Schedule
-	asap, err := schedule.ASAP(g)
-	if err != nil {
-		return nil, err
-	}
+	asap := schedule.ASAPIR(snap)
 	out = append(out, asap)
-	if alap, err := schedule.ALAP(g, g.Horizon()); err == nil {
+	if alap, err := schedule.ALAPIR(snap, g.Horizon()); err == nil {
 		out = append(out, alap)
-	}
-	dg := g.ToDigraph()
-	order, err := dg.TopoSort()
-	if err != nil {
-		return nil, err
 	}
 	for len(out) < count {
 		times := make([]int64, g.NumNodes())
-		for _, u := range order {
+		for _, u := range snap.Topo {
 			earliest := asap.Times[u]
-			for _, ei := range dg.InEdges(u) {
-				e := dg.Edge(ei)
-				if tt := times[e.From] + e.Weight; tt > earliest {
+			dst, wt := snap.Rev.Row(u)
+			for i, from := range dst {
+				if tt := times[from] + wt[i]; tt > earliest {
 					earliest = tt
 				}
 			}

@@ -17,6 +17,13 @@ func NewOrder(n int) *Order {
 	return o
 }
 
+// OrderFromRows wraps existing "less" bitset rows (row i holds the elements
+// greater than i) as an Order without copying. The caller must not mutate
+// the rows while the returned order is in use.
+func OrderFromRows(rows []BitSet) *Order {
+	return &Order{n: len(rows), less: rows}
+}
+
 // N returns the number of elements.
 func (o *Order) N() int { return o.n }
 

@@ -49,6 +49,12 @@ func (g *Digraph) TransitiveClosure() (*Closure, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.TransitiveClosureFromOrder(order), nil
+}
+
+// TransitiveClosureFromOrder is TransitiveClosure with a precomputed
+// topological order.
+func (g *Digraph) TransitiveClosureFromOrder(order []int) *Closure {
 	g.build()
 	c := &Closure{n: g.n, Reach: make([]BitSet, g.n)}
 	for u := 0; u < g.n; u++ {
@@ -61,7 +67,7 @@ func (g *Digraph) TransitiveClosure() (*Closure, error) {
 			c.Reach[u].OrWith(c.Reach[g.edges[ei].To])
 		}
 	}
-	return c, nil
+	return c
 }
 
 // Reaches reports whether there is a directed path from u to v with at least

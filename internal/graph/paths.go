@@ -84,11 +84,18 @@ func (g *Digraph) LongestAllPairs() (*AllPairsLongest, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.LongestAllPairsFromOrder(order), nil
+}
+
+// LongestAllPairsFromOrder is LongestAllPairs with a precomputed topological
+// order, so callers that already sorted (the ir snapshot builder) avoid
+// re-sorting.
+func (g *Digraph) LongestAllPairsFromOrder(order []int) *AllPairsLongest {
 	ap := &AllPairsLongest{D: make([][]int64, g.n)}
 	for u := 0; u < g.n; u++ {
 		ap.D[u] = g.longestFromInOrder(u, order)
 	}
-	return ap, nil
+	return ap
 }
 
 // Path reports the longest path weight from u to v, or NoPath.

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/schedule"
 )
 
@@ -21,9 +22,25 @@ type Graph struct {
 	adj       map[int]map[int]bool
 }
 
-// Build computes H_t for schedule s.
+// Build computes H_t for schedule s with a direct value scan — cheap
+// enough that it never warrants building (or pinning) an analysis snapshot
+// for a graph nothing else analyzes.
 func Build(s *schedule.Schedule, t ddg.RegType) *Graph {
-	values := s.G.Values(t)
+	return buildFromValues(s, t, s.G.Values(t))
+}
+
+// BuildFromIR is Build over a prebuilt snapshot of s.G, for callers that
+// already hold the graph's interned snapshot: the value set comes from its
+// per-type table instead of a rescan.
+func BuildFromIR(snap *ir.Snapshot, s *schedule.Schedule, t ddg.RegType) *Graph {
+	var values []int
+	if tbl := snap.Table(t); tbl != nil {
+		values = tbl.Values
+	}
+	return buildFromValues(s, t, values)
+}
+
+func buildFromValues(s *schedule.Schedule, t ddg.RegType, values []int) *Graph {
 	g := &Graph{
 		Type:   t,
 		Values: values,

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/schedule"
 )
 
@@ -113,5 +114,40 @@ func TestLeftEdgeOptimalProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBuildFromIRMatchesBuild pins the snapshot-backed constructor to the
+// direct-scan one: identical value sets, intervals, and interference edges.
+func TestBuildFromIRMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := ddg.RandomGraph(rng, ddg.DefaultRandomParams(12))
+	s, err := schedule.ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ir.Intern(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range g.Types() {
+		direct := Build(s, typ)
+		viaIR := BuildFromIR(snap, s, typ)
+		if len(direct.Values) != len(viaIR.Values) {
+			t.Fatalf("%s: value counts differ: %d vs %d", typ, len(direct.Values), len(viaIR.Values))
+		}
+		for i, u := range direct.Values {
+			if viaIR.Values[i] != u {
+				t.Fatalf("%s: value %d differs", typ, i)
+			}
+			if direct.Intervals[i] != viaIR.Intervals[i] {
+				t.Fatalf("%s: interval of %d differs", typ, u)
+			}
+			for _, v := range direct.Values {
+				if direct.Interferes(u, v) != viaIR.Interferes(u, v) {
+					t.Fatalf("%s: interference (%d,%d) differs", typ, u, v)
+				}
+			}
+		}
 	}
 }

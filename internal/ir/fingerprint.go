@@ -1,0 +1,59 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"regsat/internal/ddg"
+)
+
+// Fingerprint returns a structural hash of the graph: two graphs with the
+// same fingerprint have identical machine kind, node count, per-node
+// latencies, read/write offsets and written types, and identical edge lists
+// over the same node IDs. Node and graph *names* are deliberately excluded —
+// no analysis artifact depends on them — so repeated graphs that differ only
+// in labeling (e.g. the same random DAG emitted under two seeds, or one
+// kernel loaded from two files) intern to one snapshot.
+//
+// The encoding walks nodes by ID and edges in stored order, so it is
+// deterministic for a given graph; structurally equal graphs built with a
+// different edge insertion order may hash differently, which only costs a
+// missed sharing opportunity, never a wrong one.
+func Fingerprint(g *ddg.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(g.Machine))
+	writeInt(int64(g.NumNodes()))
+	writeInt(int64(g.Bottom()))
+	for _, n := range g.Nodes() {
+		writeInt(n.Latency)
+		writeInt(n.DelayR)
+		types := make([]string, 0, len(n.Writes))
+		for t := range n.Writes {
+			types = append(types, string(t))
+		}
+		sort.Strings(types)
+		writeInt(int64(len(types)))
+		for _, t := range types {
+			h.Write([]byte(t))
+			h.Write([]byte{0})
+			writeInt(n.Writes[ddg.RegType(t)])
+		}
+	}
+	writeInt(int64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		writeInt(int64(e.From))
+		writeInt(int64(e.To))
+		writeInt(e.Latency)
+		writeInt(int64(e.Kind))
+		h.Write([]byte(e.Type))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,128 @@
+package ir
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"regsat/internal/ddg"
+)
+
+// DefaultInternCapacity bounds the process-wide snapshot cache.
+const DefaultInternCapacity = 256
+
+// interner is a bounded LRU of snapshots keyed by structural fingerprint.
+// Snapshots are immutable, so sharing one across goroutines (and across
+// structurally identical graphs, after rebinding) is always safe.
+type interner struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses atomic.Int64
+}
+
+var global = &interner{
+	cap:     DefaultInternCapacity,
+	entries: make(map[string]*list.Element),
+	order:   list.New(),
+}
+
+// Intern returns the snapshot of g, building it on first use and serving the
+// cached artifact on every structurally identical graph afterwards. A hit on
+// a *different* graph with the same fingerprint returns a cheap rebound copy
+// (shared artifacts, caller's G pointer), so diagnostics and witness
+// schedules always carry the caller's node names.
+//
+// Every layer that needs the analysis substrate goes through here: rs, the
+// reduction searches, the batch memo, and the experiment harnesses all key
+// off the same interned artifact instead of recomputing it.
+func Intern(g *ddg.Graph) (*Snapshot, error) {
+	return InternFingerprint(g, "")
+}
+
+// InternFingerprint is Intern with a precomputed fingerprint ("" computes
+// it), saving the hash for callers — the batch memo — that already
+// fingerprinted the graph for their own keys.
+func InternFingerprint(g *ddg.Graph, fp string) (*Snapshot, error) {
+	if fp == "" {
+		fp = Fingerprint(g)
+	}
+	if s := global.get(fp); s != nil {
+		global.hits.Add(1)
+		return s.rebind(g), nil
+	}
+	global.misses.Add(1)
+	s, err := build(g, fp)
+	if err != nil {
+		return nil, err
+	}
+	global.put(s)
+	return s, nil
+}
+
+func (in *interner) get(fp string) *Snapshot {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	el, ok := in.entries[fp]
+	if !ok {
+		return nil
+	}
+	in.order.MoveToFront(el)
+	return el.Value.(*Snapshot)
+}
+
+func (in *interner) put(s *Snapshot) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.entries[s.Fingerprint]; ok {
+		return // another goroutine built it first; keep the incumbent
+	}
+	in.entries[s.Fingerprint] = in.order.PushFront(s)
+	for len(in.entries) > in.cap {
+		oldest := in.order.Back()
+		delete(in.entries, oldest.Value.(*Snapshot).Fingerprint)
+		in.order.Remove(oldest)
+	}
+}
+
+// SetInternCapacity resizes the process-wide snapshot cache (minimum 1),
+// evicting least-recently-used snapshots if the new capacity is smaller.
+// Long-running services tuning memory against graph sizes call this once at
+// startup; snapshots handed out earlier stay valid — eviction only drops
+// the cache's own reference.
+func SetInternCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.cap = n
+	for len(global.entries) > global.cap {
+		oldest := global.order.Back()
+		delete(global.entries, oldest.Value.(*Snapshot).Fingerprint)
+		global.order.Remove(oldest)
+	}
+}
+
+// CacheStats reports the process-wide interner behavior.
+type CacheStats struct {
+	// Hits counts Intern calls served from the cache; Misses counts
+	// snapshots actually built.
+	Hits, Misses int64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// Stats returns the interner's cumulative hit/miss counts and population.
+func Stats() CacheStats {
+	global.mu.Lock()
+	n := len(global.entries)
+	global.mu.Unlock()
+	return CacheStats{
+		Hits:    global.hits.Load(),
+		Misses:  global.misses.Load(),
+		Entries: n,
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"regsat/internal/ddg"
 	"regsat/internal/graph"
+	"regsat/internal/ir"
 	"regsat/internal/schedule"
 )
 
@@ -106,15 +107,22 @@ func Serializable(g *ddg.Graph, t ddg.RegType, s *schedule.Schedule, u, v int) b
 // skipped (they would be redundant scheduling constraints). The driving
 // schedule σ always remains valid in the extension.
 func SerializationArcs(g *ddg.Graph, t ddg.RegType, s *schedule.Schedule) ([]ddg.SerialArc, error) {
-	values := g.Values(t)
+	// The interned snapshot supplies the longest paths (and, when the graph
+	// was already analyzed — always, in the reduction searches — the values
+	// and consumer sets) without recomputation.
+	snap, err := ir.Intern(g)
+	if err != nil {
+		return nil, err
+	}
+	var values []int
+	if tbl := snap.Table(t); tbl != nil {
+		values = tbl.Values
+	}
 	intervals := make(map[int]schedule.Interval, len(values))
 	for _, u := range values {
 		intervals[u] = s.Lifetime(u, t)
 	}
-	ap, err := g.ToDigraph().LongestAllPairs()
-	if err != nil {
-		return nil, err
-	}
+	ap := snap.AP
 	var arcs []ddg.SerialArc
 	seen := map[[2]int]bool{}
 	for _, u := range values {

@@ -248,7 +248,7 @@ func heuristicMakespanBound(g *ddg.Graph, t ddg.RegType, an *rs.Analysis, R int,
 	}
 	// The extension only adds arcs, so s is a valid schedule of g; it still
 	// must fit the model's [ASAP, ALAP(T)] windows over the ORIGINAL graph.
-	lo, hi, err := schedule.Windows(g, g.Horizon())
+	lo, hi, err := schedule.WindowsIR(an.IR, g.Horizon())
 	if err != nil {
 		return nil, 0, false
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
 )
@@ -181,26 +182,29 @@ type predEdge struct {
 }
 
 func newSrcSearch(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*srcSearch, error) {
-	lo, hi, err := schedule.Windows(g, P)
+	// One snapshot serves every decision phase of the search: the per-P
+	// restarts of ExactCombinatorial all intern to the same artifact, so the
+	// topological order, value/consumer tables, and window substrate are
+	// computed once per graph, not once per phase.
+	snap, err := ir.Intern(g)
 	if err != nil {
 		return nil, err
 	}
-	dg := g.ToDigraph()
-	topo, err := dg.TopoSort()
+	lo, hi, err := schedule.WindowsIR(snap, P)
 	if err != nil {
 		return nil, err
 	}
 	s := &srcSearch{
 		g: g, t: t, R: R,
-		topo: topo, lo: lo, hi: hi,
+		topo: snap.Topo, lo: lo, hi: hi,
 		times:  make([]int64, g.NumNodes()),
 		placed: make([]bool, g.NumNodes()),
 		budget: budget,
 		slack:  StrictSlack(g),
-		values: g.Values(t),
 	}
-	for _, u := range s.values {
-		s.consumers = append(s.consumers, g.Cons(u, t))
+	if tbl := snap.Table(t); tbl != nil {
+		s.values = tbl.Values
+		s.consumers = tbl.Cons
 	}
 	s.preds = make([][]predEdge, g.NumNodes())
 	for _, e := range g.Edges() {

@@ -16,6 +16,12 @@
 // paths and forms a partial order DV_k whose maximum antichain is the
 // register need achievable under k. RS is the maximum over valid killing
 // functions (valid = the enforcement arcs keep G→k acyclic).
+//
+// All methods work from one immutable ir.Snapshot (CSR adjacency, topological
+// order, transitive closure, the all-pairs longest-path matrix, and per-type
+// value/consumer/pkill tables), built once per graph structure and interned
+// process-wide, so repeated analyses — several register types, the reduction
+// searches, batch runs — never recompute the substrate.
 package rs
 
 import (
@@ -23,13 +29,18 @@ import (
 
 	"regsat/internal/ddg"
 	"regsat/internal/graph"
+	"regsat/internal/ir"
 )
 
-// Analysis precomputes, for one register type, everything the RS algorithms
-// share: the value set, consumer sets, longest paths, and potential killers.
+// Analysis is the per-register-type view over the shared ir.Snapshot that
+// the RS algorithms consume: the value set, consumer sets, longest paths,
+// and potential killers.
 type Analysis struct {
 	G    *ddg.Graph
 	Type ddg.RegType
+
+	// IR is the interned immutable snapshot every artifact below aliases.
+	IR *ir.Snapshot
 
 	// Values lists V_{R,t} (defining node IDs, increasing).
 	Values []int
@@ -43,81 +54,39 @@ type Analysis struct {
 	AP *graph.AllPairsLongest
 }
 
-// NewAnalysis builds the per-type analysis. The graph must be finalized so
-// every value has at least one consumer (possibly ⊥).
+// NewAnalysis builds the per-type analysis over the interned snapshot of g.
+// The graph must be finalized so every value has at least one consumer
+// (possibly ⊥).
 func NewAnalysis(g *ddg.Graph, t ddg.RegType) (*Analysis, error) {
-	if !g.Finalized() {
-		return nil, fmt.Errorf("rs: graph %s is not finalized", g.Name)
-	}
-	ap, err := g.ToDigraph().LongestAllPairs()
+	snap, err := ir.Intern(g)
 	if err != nil {
-		return nil, fmt.Errorf("rs: graph %s: %w", g.Name, err)
+		return nil, fmt.Errorf("rs: %w", err)
 	}
-	return NewAnalysisShared(g, t, ap)
+	return NewAnalysisIR(snap, t)
 }
 
-// NewAnalysisShared is NewAnalysis with a precomputed all-pairs longest-path
-// matrix of g. The matrix is the most expensive shared artifact of the
-// analysis (O(n·(n+m))), and it depends only on the graph — not on the
-// register type — so callers analyzing several types of one graph, or the
-// same graph repeatedly (the batch engine), compute it once and share it.
-func NewAnalysisShared(g *ddg.Graph, t ddg.RegType, ap *graph.AllPairsLongest) (*Analysis, error) {
-	if !g.Finalized() {
-		return nil, fmt.Errorf("rs: graph %s is not finalized", g.Name)
-	}
+// NewAnalysisIR is NewAnalysis with a prebuilt snapshot (to share it across
+// register types and methods, as the batch engine and experiments do). A
+// type the graph never writes yields an analysis with no values.
+func NewAnalysisIR(snap *ir.Snapshot, t ddg.RegType) (*Analysis, error) {
 	an := &Analysis{
-		G:      g,
-		Type:   t,
-		Values: g.Values(t),
-		Index:  map[int]int{},
-		AP:     ap,
+		G:     snap.G,
+		Type:  t,
+		IR:    snap,
+		Index: map[int]int{},
+		AP:    snap.AP,
 	}
-	for i, u := range an.Values {
+	tbl := snap.Table(t)
+	if tbl == nil {
+		return an, nil
+	}
+	an.Values = tbl.Values
+	an.Cons = tbl.Cons
+	an.PKill = tbl.PKill
+	for i, u := range tbl.Values {
 		an.Index[u] = i
-		cons := g.Cons(u, t)
-		if len(cons) == 0 {
-			return nil, fmt.Errorf("rs: value %s^%s has no consumer", g.Node(u).Name, t)
-		}
-		an.Cons = append(an.Cons, cons)
-		an.PKill = append(an.PKill, an.potentialKillers(cons))
 	}
 	return an, nil
-}
-
-// readDominated reports whether consumer v's read is dominated by consumer
-// w's read in every schedule: σ_w + δr(w) ≥ σ_v + δr(v) always, which holds
-// iff lp(v, w) ≥ δr(v) − δr(w). (On superscalar targets, where δr = 0, this
-// degenerates to plain reachability — Touati's ↓w ∩ Cons(u) = {w} rule.)
-func (an *Analysis) readDominated(v, w int) bool {
-	lp := an.AP.Path(v, w)
-	if lp == graph.NoPath {
-		return false
-	}
-	return lp >= an.G.Node(v).DelayR-an.G.Node(w).DelayR
-}
-
-// potentialKillers returns the consumers that are not read-dominated by any
-// other consumer. The killing date max is always attained by one of them.
-func (an *Analysis) potentialKillers(cons []int) []int {
-	var out []int
-	for _, v := range cons {
-		dominated := false
-		for _, w := range cons {
-			if w != v && an.readDominated(v, w) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, v)
-		}
-	}
-	// Defensive: the max read is always attained somewhere, so the set can
-	// never be empty (mutual domination would require a cycle).
-	if len(out) == 0 {
-		panic("rs: empty potential killer set")
-	}
-	return out
 }
 
 // NumKillingFunctions returns the number of killer combinations

@@ -3,8 +3,6 @@ package rs
 import (
 	"fmt"
 	"sort"
-
-	"regsat/internal/graph"
 )
 
 // ExactStats reports the work done by the combinatorial exact search.
@@ -13,32 +11,46 @@ type ExactStats struct {
 	Leaves int64
 	// Pruned is the number of subtrees cut by the antichain upper bound.
 	Pruned int64
-	// Capped is true when the node budget was exhausted; the result is then
-	// only a lower bound.
+	// Capped is true when the leaf budget was exhausted with the search still
+	// incomplete; the result is then only a lower bound.
 	Capped bool
+	// UpperBound is the proven upper bound on the saturation: when Capped the
+	// true RS lies in the interval [result.RS, UpperBound] — the combinatorial
+	// analogue of solver.Solution.Bound/Gap reporting. Equal to the result
+	// when the search completed.
+	UpperBound int
 }
 
 // ExactBB computes the exact register saturation by branch-and-bound over
 // valid killing functions (the saturation problem is NP-complete [14], but
 // loop-body DAGs have few multi-killer values). maxLeaves caps the search
-// (0 = default 1e6); if the cap is hit, the best found is returned with
-// Stats.Capped set.
+// (0 = default 1e6); the cap is checked *before* evaluating a leaf, so
+// exactly maxLeaves leaves are evaluated and a search whose tree holds no
+// more is reported complete. If the cap cuts the search short, the best
+// found is returned with Stats.Capped set and Stats.UpperBound bounding the
+// unexplored remainder.
+//
+// The search runs on the Incremental evaluator: enforcement arcs are pushed
+// and popped along the dive with delta longest-path updates, the DV_k order
+// is maintained as bitset rows, and the antichain bound comes from an
+// incrementally augmented matching — no per-node digraph, all-pairs, or
+// matching rebuild.
 func ExactBB(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
-	if maxLeaves == 0 {
+	if maxLeaves <= 0 {
 		maxLeaves = 1_000_000
 	}
 	nv := len(an.Values)
-	stats := &ExactStats{}
+	stats := &ExactStats{UpperBound: nv}
 
+	ik := NewIncremental(an)
 	// Branch only on multi-choice values, most-constrained (fewest killers)
-	// first; single-choice killers are fixed up front.
-	killer := make([]int, nv)
+	// first; single-choice killers are fixed up front (they push no arcs, so
+	// they can never fail, but their order pairs participate in every bound).
 	var branch []int
 	for i := 0; i < nv; i++ {
 		if len(an.PKill[i]) == 1 {
-			killer[i] = an.PKill[i][0]
+			ik.Push(i, an.PKill[i][0])
 		} else {
-			killer[i] = -1
 			branch = append(branch, i)
 		}
 	}
@@ -49,94 +61,66 @@ func ExactBB(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
 		}
 		return an.Values[ia] < an.Values[ib]
 	})
+	if nv > 0 {
+		// Root bound: the antichain of the forced-killers-only order. Deeper
+		// decisions only add order pairs, which only shrink the antichain, so
+		// this bounds every leaf of the tree.
+		stats.UpperBound = ik.Bound()
+	}
 
-	var best *RSResult
-	var rec func(pos int) error
-	rec = func(pos int) error {
-		if stats.Capped {
-			return nil
-		}
+	bestRS := -1
+	var bestKiller, bestMembers []int
+	var rec func(pos int)
+	rec = func(pos int) {
 		if pos == len(branch) {
-			stats.Leaves++
 			if stats.Leaves >= maxLeaves {
 				stats.Capped = true
+				return
 			}
-			k, err := NewKilling(an, killer)
-			if err != nil {
-				return err
+			stats.Leaves++
+			if size := ik.Bound(); size > bestRS {
+				bestRS = size
+				bestKiller = ik.Killers()
+				bestMembers = ik.AntichainMembers()
 			}
-			res, err := k.Saturation()
-			if err != nil {
-				return nil // invalid (cyclic) killing function: skip leaf
-			}
-			if best == nil || res.RS > best.RS {
-				best = res
-			}
-			return nil
+			return
 		}
 		// Upper bound: the order induced by the already-decided killers only.
-		// Adding more decisions can only add order pairs, which can only
-		// shrink the maximum antichain.
-		if best != nil {
-			ub, feasible := partialUpperBound(an, killer)
-			if !feasible {
-				return nil // current partial extension already cyclic
-			}
-			if ub <= best.RS {
+		if bestRS >= 0 {
+			if ub := ik.Bound(); ub <= bestRS {
 				stats.Pruned++
-				return nil
+				return
 			}
 		}
 		i := branch[pos]
 		for _, cand := range an.PKill[i] {
-			killer[i] = cand
-			if err := rec(pos + 1); err != nil {
-				return err
+			if !ik.Push(i, cand) {
+				continue // cycle: this partial extension is invalid
+			}
+			rec(pos + 1)
+			ik.Pop()
+			if stats.Capped {
+				return
 			}
 		}
-		killer[i] = -1
-		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, stats, err
-	}
-	if best == nil {
+	rec(0)
+
+	if bestRS < 0 {
 		return nil, stats, fmt.Errorf("rs: no valid killing function for %s/%s", an.G.Name, an.Type)
 	}
-	return best, stats, nil
-}
-
-// partialUpperBound computes the maximum antichain of the order induced by
-// the decided killers only (-1 = undecided contributes no pairs). Returns
-// feasible=false when the partial extension is already cyclic.
-func partialUpperBound(an *Analysis, killer []int) (int, bool) {
-	dg := an.G.ToDigraph()
-	for i, k := range killer {
-		if k >= 0 {
-			addEnforcement(dg, an, i, k)
-		}
+	if !stats.Capped {
+		stats.UpperBound = bestRS
 	}
-	ap, err := dg.LongestAllPairs()
+	k, err := NewKilling(an, bestKiller)
 	if err != nil {
-		return 0, false
+		return nil, stats, err
 	}
-	o := graph.NewOrder(len(an.Values))
-	for i, k := range killer {
-		if k < 0 {
-			continue
-		}
-		kRead := an.G.Node(k).DelayR
-		for j, vj := range an.Values {
-			if i == j {
-				continue
-			}
-			lp := ap.D[k][vj]
-			if lp != graph.NoPath && lp >= kRead-an.DelayW(j) {
-				o.SetLess(i, j)
-			}
-		}
+	out := &RSResult{RS: bestRS, Killing: k}
+	for _, idx := range bestMembers {
+		out.Antichain = append(out.Antichain, an.Values[idx])
 	}
-	return o.MaximumAntichain().Size, true
+	return out, stats, nil
 }
 
 // EnumerateValidKillings calls visit for every valid killing function; visit

@@ -1,0 +1,89 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+// benchCases collects the multi-killer analyses the exact search actually
+// branches on: every corpus case with more than one killing function, plus
+// denser random DAGs whose trees are deep enough to expose the per-node
+// cost.
+func benchCases(b *testing.B) []*Analysis {
+	var cases []*Analysis
+	for _, g := range loadCorpus(b) {
+		for _, typ := range g.Types() {
+			an, err := NewAnalysis(g, typ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if an.NumKillingFunctions() > 1 {
+				cases = append(cases, an)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2004))
+	for _, n := range []int{14, 18, 22, 26} {
+		p := ddg.DefaultRandomParams(n)
+		p.EdgeProb = 0.15
+		p.ValueProb = 0.95
+		g := ddg.RandomGraph(rng, p)
+		an, err := NewAnalysis(g, ddg.Float)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if an.NumKillingFunctions() > 1 {
+			cases = append(cases, an)
+		}
+	}
+	if len(cases) == 0 {
+		b.Fatal("no multi-killer cases")
+	}
+	return cases
+}
+
+// BenchmarkExactBB measures the incremental exact search over the
+// multi-killer corpus (the acceptance benchmark of the incremental engine).
+func BenchmarkExactBB(b *testing.B) {
+	cases := benchCases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, an := range cases {
+			if _, _, err := ExactBB(an, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExactBBReference measures the retained from-scratch search (a
+// digraph rebuild plus a full all-pairs longest-path solve per node) on the
+// same cases — the pre-refactor baseline BenchmarkExactBB is compared
+// against.
+func BenchmarkExactBBReference(b *testing.B) {
+	cases := benchCases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, an := range cases {
+			if _, _, err := exactBBReference(an, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGreedyK measures the heuristic on the same cases (it shares the
+// incremental evaluator).
+func BenchmarkGreedyK(b *testing.B) {
+	cases := benchCases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, an := range cases {
+			if _, err := Greedy(an); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

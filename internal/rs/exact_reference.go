@@ -1,0 +1,141 @@
+package rs
+
+import (
+	"fmt"
+	"sort"
+
+	"regsat/internal/graph"
+)
+
+// This file keeps the pre-incremental exact search: a branch-and-bound that
+// rebuilds the extended digraph and its all-pairs longest paths from scratch
+// at every node. It is the oracle the corpus differential test checks the
+// Incremental evaluator against at every search node, and the baseline
+// BenchmarkExactBB measures the incremental engine's speedup over. It must
+// not be used on hot paths.
+
+// exactBBReference is the from-scratch ExactBB (per-node full rebuild).
+func exactBBReference(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
+	if maxLeaves <= 0 {
+		maxLeaves = 1_000_000
+	}
+	nv := len(an.Values)
+	stats := &ExactStats{UpperBound: nv}
+
+	killer := make([]int, nv)
+	var branch []int
+	for i := 0; i < nv; i++ {
+		if len(an.PKill[i]) == 1 {
+			killer[i] = an.PKill[i][0]
+		} else {
+			killer[i] = -1
+			branch = append(branch, i)
+		}
+	}
+	sort.Slice(branch, func(a, b int) bool {
+		ia, ib := branch[a], branch[b]
+		if len(an.PKill[ia]) != len(an.PKill[ib]) {
+			return len(an.PKill[ia]) < len(an.PKill[ib])
+		}
+		return an.Values[ia] < an.Values[ib]
+	})
+
+	var best *RSResult
+	var rec func(pos int) error
+	rec = func(pos int) error {
+		if stats.Capped {
+			return nil
+		}
+		if pos == len(branch) {
+			if stats.Leaves >= maxLeaves {
+				stats.Capped = true
+				return nil
+			}
+			stats.Leaves++
+			k, err := NewKilling(an, killer)
+			if err != nil {
+				return err
+			}
+			res, err := k.Saturation()
+			if err != nil {
+				return nil // invalid (cyclic) killing function: skip leaf
+			}
+			if best == nil || res.RS > best.RS {
+				best = res
+			}
+			return nil
+		}
+		if best != nil {
+			ub, feasible := partialRebuildBound(an, killer)
+			if !feasible {
+				return nil // current partial extension already cyclic
+			}
+			if ub <= best.RS {
+				stats.Pruned++
+				return nil
+			}
+		}
+		i := branch[pos]
+		for _, cand := range an.PKill[i] {
+			killer[i] = cand
+			if err := rec(pos + 1); err != nil {
+				return err
+			}
+		}
+		killer[i] = -1
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, stats, err
+	}
+	if best == nil {
+		return nil, stats, fmt.Errorf("rs: no valid killing function for %s/%s", an.G.Name, an.Type)
+	}
+	if !stats.Capped {
+		stats.UpperBound = best.RS
+	}
+	return best, stats, nil
+}
+
+// partialRebuildOrder computes, from scratch, the order induced by the
+// decided killers only (-1 = undecided contributes no pairs): a fresh
+// extended digraph plus a full all-pairs longest-path solve. Returns
+// feasible=false when the partial extension is already cyclic.
+func partialRebuildOrder(an *Analysis, killer []int) (*graph.Order, bool) {
+	dg := an.IR.Digraph()
+	for i, k := range killer {
+		if k >= 0 {
+			addEnforcement(dg, an, i, k)
+		}
+	}
+	ap, err := dg.LongestAllPairs()
+	if err != nil {
+		return nil, false
+	}
+	o := graph.NewOrder(len(an.Values))
+	for i, k := range killer {
+		if k < 0 {
+			continue
+		}
+		kRead := an.G.Node(k).DelayR
+		for j, vj := range an.Values {
+			if i == j {
+				continue
+			}
+			lp := ap.D[k][vj]
+			if lp != graph.NoPath && lp >= kRead-an.DelayW(j) {
+				o.SetLess(i, j)
+			}
+		}
+	}
+	return o, true
+}
+
+// partialRebuildBound is the maximum antichain of the rebuilt partial order.
+func partialRebuildBound(an *Analysis, killer []int) (int, bool) {
+	o, feasible := partialRebuildOrder(an, killer)
+	if !feasible {
+		return 0, false
+	}
+	return o.MaximumAntichain().Size, true
+}

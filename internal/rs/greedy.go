@@ -30,9 +30,11 @@ func Greedy(an *Analysis) (*RSResult, error) {
 }
 
 // GreedyWithScoring is Greedy with an explicit candidate-scoring metric.
+// Candidates are evaluated on the Incremental engine: each probe is a
+// Push/Pop pair with delta longest-path updates instead of a from-scratch
+// extended-graph rebuild.
 func GreedyWithScoring(an *Analysis, scoring GreedyScoring) (*RSResult, error) {
 	nv := len(an.Values)
-	killer := make([]int, nv)
 
 	// Decide values in increasing order of choice count, then node ID, so
 	// constrained values commit first and the deterministic tie-breaks keep
@@ -49,22 +51,18 @@ func GreedyWithScoring(an *Analysis, scoring GreedyScoring) (*RSResult, error) {
 		return an.Values[ia] < an.Values[ib]
 	})
 
-	// Decided killers so far; -1 = undecided. Values with a single potential
-	// killer are fixed up front (they need no enforcement arcs, but their
-	// induced order pairs must participate in the scoring).
-	decided := make([]int, nv)
-	for i := range decided {
-		decided[i] = -1
+	// Values with a single potential killer are fixed up front (they push no
+	// enforcement arcs, but their induced order pairs participate in the
+	// scoring of every later decision).
+	ik := NewIncremental(an)
+	for i := 0; i < nv; i++ {
 		if len(an.PKill[i]) == 1 {
-			decided[i] = an.PKill[i][0]
+			ik.Push(i, an.PKill[i][0])
 		}
 	}
-	// Working extended graph, grown as killers commit.
-	work := an.G.ToDigraph()
 	for _, i := range order {
 		cands := an.PKill[i]
 		if len(cands) == 1 {
-			killer[i] = cands[0]
 			continue
 		}
 		// Score each candidate by the maximum antichain of the partial
@@ -73,42 +71,44 @@ func GreedyWithScoring(an *Analysis, scoring GreedyScoring) (*RSResult, error) {
 		// cheaper local pair count, then by node ID for determinism.
 		bestCand, bestMA, bestScore := -1, -1, 1<<30
 		for _, cand := range cands {
-			added := addEnforcement(work, an, i, cand)
-			if work.IsDAG() {
-				ma, feasible := 0, true
-				if scoring == ScoreAntichain {
-					decided[i] = cand
-					ma, feasible = partialUpperBound(an, decided)
-					decided[i] = -1
-				}
-				if feasible {
-					score := an.orderScore(cand, i)
-					if ma > bestMA || (ma == bestMA && score < bestScore) {
-						bestCand, bestMA, bestScore = cand, ma, score
-					}
-				}
+			if !ik.Push(i, cand) {
+				continue // closes a cycle with earlier commitments
 			}
-			work.RemoveEdges(added)
+			ma := 0
+			if scoring == ScoreAntichain {
+				ma = ik.Bound()
+			}
+			score := an.orderScore(cand, i)
+			if ma > bestMA || (ma == bestMA && score < bestScore) {
+				bestCand, bestMA, bestScore = cand, ma, score
+			}
+			ik.Pop()
 		}
 		if bestCand < 0 {
 			// Every candidate closes a cycle with earlier commitments; fall
 			// back to searching any valid completion from scratch.
 			return greedyFallback(an, order)
 		}
-		killer[i] = bestCand
-		decided[i] = bestCand
-		addEnforcement(work, an, i, bestCand)
+		ik.Push(i, bestCand)
 	}
 
-	k, err := NewKilling(an, killer)
+	k, err := NewKilling(an, ik.Killers())
 	if err != nil {
 		return nil, err
 	}
-	return k.Saturation()
+	// All values are decided, so the evaluator's order is the full DV_k:
+	// its maintained matching gives the saturation and a witness antichain,
+	// no rebuild needed.
+	out := &RSResult{RS: ik.Bound(), Killing: k}
+	for _, idx := range ik.AntichainMembers() {
+		out.Antichain = append(out.Antichain, an.Values[idx])
+	}
+	return out, nil
 }
 
 // addEnforcement adds the arcs (v′, killer) for value i and returns the new
-// edge indices so the caller can roll back.
+// edge indices so the caller can roll back. (Used by the from-scratch
+// reference and fallback paths only; the hot paths go through Incremental.)
 func addEnforcement(dg *graph.Digraph, an *Analysis, i, killer int) []int {
 	var added []int
 	for _, other := range an.PKill[i] {
@@ -178,7 +178,7 @@ func greedyFallback(an *Analysis, order []int) (*RSResult, error) {
 // partialValid checks acyclicity of the extension restricted to the decided
 // killers (-1 = undecided).
 func partialValid(an *Analysis, killer []int) bool {
-	dg := an.G.ToDigraph()
+	dg := an.IR.Digraph()
 	for i, k := range killer {
 		if k < 0 {
 			continue

@@ -60,7 +60,7 @@ type CoreVars struct {
 func BuildCore(an *Analysis, reduceModel bool, strictSlack int64, m *lp.Model) (*CoreVars, *ILPInfo, error) {
 	g := an.G
 	T := g.Horizon()
-	lo, hi, err := schedule.Windows(g, T)
+	lo, hi, err := schedule.WindowsIR(an.IR, T)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -77,11 +77,12 @@ func BuildCore(an *Analysis, reduceModel bool, strictSlack int64, m *lp.Model) (
 			m.NewVar(float64(lo[u]), float64(hi[u]), true, fmt.Sprintf("sigma(%s)", g.Node(u).Name)))
 	}
 
-	// Precedence constraints, optionally dropping redundant arcs.
+	// Precedence constraints, optionally dropping redundant arcs (the
+	// reduction is memoized on the interned snapshot, so repeated model
+	// builds over one structure pay for it once).
 	skip := map[int]bool{}
 	if reduceModel {
-		dg := g.ToDigraph()
-		red, err := dg.TransitiveReduction()
+		red, err := an.IR.RedundantEdges()
 		if err != nil {
 			return nil, nil, err
 		}

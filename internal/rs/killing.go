@@ -42,7 +42,7 @@ func NewKilling(an *Analysis, killer []int) (*Killing, error) {
 // killing date of value i is pinned to σ(k(i)) + δr(k(i)).
 func (k *Killing) ExtendedGraph() *graph.Digraph {
 	an := k.An
-	dg := an.G.ToDigraph()
+	dg := an.IR.Digraph()
 	for i, killer := range k.Killer {
 		for _, other := range an.PKill[i] {
 			if other == killer {

@@ -74,6 +74,11 @@ type Result struct {
 	ILPUpperBound int
 	// SolverStats is the MILP backend's work accounting (intLP method only).
 	SolverStats *solver.Stats
+	// BBStats is the combinatorial search's work accounting (MethodExactBB
+	// only). On a capped search the true RS lies in
+	// [RS, BBStats.UpperBound] — the same interval reporting SolverStats
+	// gives for capped MILP solves.
+	BBStats *ExactStats
 }
 
 // Compute computes the register saturation RS_t(G) using the selected
@@ -106,7 +111,12 @@ func ComputeWithAnalysis(ctx context.Context, an *Analysis, opts Options) (*Resu
 		if err != nil {
 			return nil, err
 		}
-		return finishCombinatorial(an, res, !stats.Capped, opts)
+		out, err := finishCombinatorial(an, res, !stats.Capped, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.BBStats = stats
+		return out, nil
 	case MethodExactILP:
 		ires, err := ExactILP(ctx, an, opts.ApplyReductions, opts.Solver)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 )
 
 // Resources describes the functional units of the target machine for the
@@ -55,18 +56,18 @@ func List(g *ddg.Graph, res Resources) (*Schedule, error) {
 	if classOf == nil {
 		classOf = DefaultClassOf
 	}
-	dg := g.ToDigraph()
-	order, err := dg.TopoSort()
+	snap, err := ir.Intern(g)
 	if err != nil {
 		return nil, err
 	}
+	order := snap.Topo
 	// Priority: longest path from the node to anywhere (critical path tail).
 	tail := make([]int64, g.NumNodes())
 	for i := len(order) - 1; i >= 0; i-- {
 		u := order[i]
-		for _, ei := range dg.OutEdges(u) {
-			e := dg.Edge(ei)
-			if t := tail[e.To] + e.Weight; t > tail[u] {
+		dst, wt := snap.Fwd.Row(u)
+		for j, to := range dst {
+			if t := tail[to] + wt[j]; t > tail[u] {
 				tail[u] = t
 			}
 		}
@@ -88,13 +89,13 @@ func List(g *ddg.Graph, res Resources) (*Schedule, error) {
 			}
 			ok := true
 			earliest := int64(0)
-			for _, ei := range dg.InEdges(u) {
-				e := dg.Edge(ei)
-				if !scheduled[e.From] {
+			dst, wt := snap.Rev.Row(u)
+			for j, from := range dst {
+				if !scheduled[from] {
 					ok = false
 					break
 				}
-				if t := times[e.From] + e.Weight; t > earliest {
+				if t := times[from] + wt[j]; t > earliest {
 					earliest = t
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 )
 
 // Schedule assigns an issue time to every node of a DDG.
@@ -59,16 +60,21 @@ func (s *Schedule) Makespan() int64 {
 
 // ASAP returns the as-soon-as-possible schedule (longest path from sources).
 func ASAP(g *ddg.Graph) (*Schedule, error) {
-	dg := g.ToDigraph()
-	order, err := dg.TopoSort()
+	snap, err := ir.Intern(g)
 	if err != nil {
 		return nil, err
 	}
-	times := make([]int64, g.NumNodes())
-	for _, u := range order {
-		for _, ei := range dg.InEdges(u) {
-			e := dg.Edge(ei)
-			if t := times[e.From] + e.Weight; t > times[u] {
+	return ASAPIR(snap), nil
+}
+
+// ASAPIR is ASAP over a prebuilt analysis snapshot (no digraph or topological
+// sort is recomputed).
+func ASAPIR(snap *ir.Snapshot) *Schedule {
+	times := make([]int64, snap.N)
+	for _, u := range snap.Topo {
+		dst, wt := snap.Rev.Row(u)
+		for i, from := range dst {
+			if t := times[from] + wt[i]; t > times[u] {
 				times[u] = t
 			}
 		}
@@ -76,35 +82,39 @@ func ASAP(g *ddg.Graph) (*Schedule, error) {
 			times[u] = 0 // negative-latency serial arcs cannot push before 0
 		}
 	}
-	return New(g, times), nil
+	return New(snap.G, times)
 }
 
 // ALAP returns the as-late-as-possible schedule under total time T:
 // σ̄_u = T − LongestPathFrom(u). It errors if T is below the critical path.
 func ALAP(g *ddg.Graph, T int64) (*Schedule, error) {
-	dg := g.ToDigraph()
-	order, err := dg.TopoSort()
+	snap, err := ir.Intern(g)
 	if err != nil {
 		return nil, err
 	}
-	tail := make([]int64, g.NumNodes()) // longest path from u to anywhere
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		for _, ei := range dg.OutEdges(u) {
-			e := dg.Edge(ei)
-			if t := tail[e.To] + e.Weight; t > tail[u] {
+	return ALAPIR(snap, T)
+}
+
+// ALAPIR is ALAP over a prebuilt analysis snapshot.
+func ALAPIR(snap *ir.Snapshot, T int64) (*Schedule, error) {
+	tail := make([]int64, snap.N) // longest path from u to anywhere
+	for i := len(snap.Topo) - 1; i >= 0; i-- {
+		u := snap.Topo[i]
+		dst, wt := snap.Fwd.Row(u)
+		for j, to := range dst {
+			if t := tail[to] + wt[j]; t > tail[u] {
 				tail[u] = t
 			}
 		}
 	}
-	times := make([]int64, g.NumNodes())
+	times := make([]int64, snap.N)
 	for u := range times {
 		times[u] = T - tail[u]
 		if times[u] < 0 {
 			return nil, fmt.Errorf("schedule: horizon %d below critical path", T)
 		}
 	}
-	s := New(g, times)
+	s := New(snap.G, times)
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,18 +219,24 @@ func sortLiveEvents(events []liveEvent) {
 // Windows computes the per-node issue windows [ASAP_u, T − tail_u] used to
 // bound intLP variables and schedule enumeration.
 func Windows(g *ddg.Graph, T int64) (lo, hi []int64, err error) {
-	asap, err := ASAP(g)
+	snap, err := ir.Intern(g)
 	if err != nil {
 		return nil, nil, err
 	}
-	alap, err := ALAP(g, T)
+	return WindowsIR(snap, T)
+}
+
+// WindowsIR is Windows over a prebuilt analysis snapshot.
+func WindowsIR(snap *ir.Snapshot, T int64) (lo, hi []int64, err error) {
+	asap := ASAPIR(snap)
+	alap, err := ALAPIR(snap, T)
 	if err != nil {
 		return nil, nil, err
 	}
 	for u := range asap.Times {
 		if asap.Times[u] > alap.Times[u] {
 			return nil, nil, fmt.Errorf("schedule: empty window for node %s under T=%d",
-				g.Node(u).Name, T)
+				snap.G.Node(u).Name, T)
 		}
 	}
 	return asap.Times, alap.Times, nil

@@ -74,7 +74,9 @@ func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Resu
 		if len(res.Sites) == maxSpills {
 			break
 		}
-		// Pick a spill candidate among the currently saturating values.
+		// Pick a spill candidate among the currently saturating values (the
+		// analysis rides on the snapshot the heuristic reduction above
+		// already interned for the same graph).
 		sat, err := rs.Compute(context.Background(), res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
