@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ErrOverloaded is wrapped by errors returned when the daemon sheds load
+// (HTTP 429: the admission queue is full). Callers back off and retry.
+var ErrOverloaded = errors.New("rsd: server overloaded")
+
+// Client talks to one rsd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g. "http://127.0.0.1:8735").
+// httpClient nil uses http.DefaultClient; pass a custom one for transport
+// timeouts or connection pooling policy.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Analyze submits the request and returns the response. The context
+// cancels the request server-side as well: the daemon threads it into
+// in-flight solves. Check AnalyzeResponse.Error before treating Items as
+// complete — a non-empty value means the batch was cut short and Items is
+// only the finished prefix.
+func (c *Client) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	resp, err := c.post(ctx, "/v1/analyze", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("rsd: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// AnalyzeStream submits the request with NDJSON streaming: fn is called for
+// every item as the daemon completes it (in input order). The final run
+// stats are returned once the stream ends. fn returning an error aborts the
+// stream (and cancels the server-side batch via connection teardown).
+func (c *Client) AnalyzeStream(ctx context.Context, req *AnalyzeRequest, fn func(*Item) error) (*RunStats, error) {
+	resp, err := c.post(ctx, "/v1/analyze?stream=ndjson", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var stats *RunStats
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("rsd: decoding stream event: %w", err)
+		}
+		switch {
+		case ev.Error != "":
+			return nil, fmt.Errorf("rsd: %s", ev.Error)
+		case ev.Item != nil:
+			if err := fn(ev.Item); err != nil {
+				return nil, err
+			}
+		case ev.Stats != nil:
+			stats = ev.Stats
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rsd: reading stream: %w", err)
+	}
+	if stats == nil {
+		return nil, fmt.Errorf("rsd: stream ended without final stats (truncated response?)")
+	}
+	return stats, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("rsd: decoding health: %w", err)
+	}
+	return &h, nil
+}
+
+// Metrics fetches the /metrics text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// do sends the request and converts non-2xx statuses into errors carrying
+// the server's plain-text diagnostic.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	text := strings.TrimSpace(string(msg))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w: %s", ErrOverloaded, text)
+	}
+	return nil, fmt.Errorf("rsd: %s: %s", resp.Status, text)
+}

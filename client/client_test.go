@@ -1,0 +1,71 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestOverloadedMapsToSentinel(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	_, err := c.Analyze(context.Background(), &AnalyzeRequest{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("429 not mapped to ErrOverloaded: %v", err)
+	}
+}
+
+func TestStreamDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"item":{"index":0,"name":"a","cacheHit":false,"elapsedMs":1}}` + "\n"))
+		w.Write([]byte(`{"item":{"index":1,"name":"b","error":"boom","errorLine":3,"errorCol":7}}` + "\n"))
+		w.Write([]byte(`{"stats":{"l1Hits":1,"l2Hits":2,"computed":3}}` + "\n"))
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	var items []*Item
+	stats, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(it *Item) error {
+		items = append(items, it)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[1].ErrorLine != 3 || items[1].ErrorCol != 7 {
+		t.Fatalf("items decoded wrong: %+v", items)
+	}
+	if stats.L1Hits != 1 || stats.L2Hits != 2 || stats.Computed != 3 {
+		t.Fatalf("stats decoded wrong: %+v", stats)
+	}
+}
+
+func TestTruncatedStreamIsAnError(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"item":{"index":0,"name":"a"}}` + "\n")) // no final stats
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	_, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(*Item) error { return nil })
+	if err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestServerErrorCarriesBody(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "unknown method \"quantum\"", http.StatusBadRequest)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	_, err := c.Analyze(context.Background(), &AnalyzeRequest{})
+	if err == nil || !strings.Contains(err.Error(), "quantum") {
+		t.Fatalf("server diagnostic lost: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package client is the Go client for rsd, the register-saturation analysis
+// daemon (internal/service, cmd/rsd). It also defines the daemon's wire
+// types: plain JSON structs with no dependency on the analysis internals,
+// shared by both sides of the API.
+package client
+
+// AnalyzeRequest submits DDGs for register-saturation analysis
+// (POST /v1/analyze). Graphs carry inline .ddg text; Corpus names files or
+// directories on the server (resolved under its -corpus-root, when enabled).
+// At least one input is required.
+type AnalyzeRequest struct {
+	Graphs []GraphInput `json:"graphs,omitempty"`
+	Corpus []string     `json:"corpus,omitempty"`
+
+	Options AnalyzeOptions `json:"options"`
+
+	// TimeoutMs caps this request's wall time; the deadline propagates into
+	// in-flight simplex iterations and branch-and-bound nodes. 0 uses the
+	// server default; the server may clamp large values.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// GraphInput is one inline DDG in the textual format.
+type GraphInput struct {
+	// Name identifies the graph in results; defaults to the parsed ddg name.
+	Name string `json:"name,omitempty"`
+	// DDG is the graph source (see the format in internal/ddg/format.go).
+	DDG string `json:"ddg"`
+}
+
+// AnalyzeOptions mirrors regsat.RSOptions plus the batch-level knobs.
+type AnalyzeOptions struct {
+	// Method is the saturation algorithm: "greedy" (default), "bb", "ilp".
+	Method string `json:"method,omitempty"`
+	// Types restricts analysis to these register types (default: every type
+	// the graph writes).
+	Types []string `json:"types,omitempty"`
+	// Witness asks for a saturating schedule per result.
+	Witness bool `json:"witness,omitempty"`
+	// MaxLeaves caps the exact-BB search (0 = default).
+	MaxLeaves int64 `json:"maxLeaves,omitempty"`
+	// Solver selects and bounds the MILP backend for "ilp".
+	Solver SolverOptions `json:"solver"`
+	// Reduce, when non-nil with a positive budget, runs RS reduction on
+	// every graph whose saturation exceeds the budget.
+	Reduce *ReduceSpec `json:"reduce,omitempty"`
+}
+
+// SolverOptions mirrors regsat.SolverOptions on the wire.
+type SolverOptions struct {
+	// Backend names the MILP engine: "dense", "sparse" (default), "parallel".
+	Backend string `json:"backend,omitempty"`
+	// MaxNodes caps explored branch-and-bound nodes (0 = default).
+	MaxNodes int `json:"maxNodes,omitempty"`
+	// TimeLimitMs caps solve wall time (0 = none).
+	TimeLimitMs int64 `json:"timeLimitMs,omitempty"`
+	// Parallel is the tree-search worker count (0 = backend default).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// ReduceSpec asks for reduction below a register budget.
+type ReduceSpec struct {
+	// Budget is the available register count R_t.
+	Budget int `json:"budget"`
+	// Method is the reduction algorithm: "heuristic" (default), "exact",
+	// "ilp".
+	Method string `json:"method,omitempty"`
+}
+
+// AnalyzeResponse is the single-shot response: every item of the request in
+// input order, plus the run's cache accounting.
+type AnalyzeResponse struct {
+	Items []Item   `json:"items"`
+	Stats RunStats `json:"stats"`
+	// Error is set when the batch was cut short (request deadline, client
+	// disconnect): Items then holds only what finished, in order, and MUST
+	// NOT be read as the complete result set.
+	Error string `json:"error,omitempty"`
+}
+
+// Item is the outcome of one submitted graph.
+type Item struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Error is this item's failure (parse error, analysis error); the rest
+	// of the batch is unaffected. Parse failures also carry ErrorLine and
+	// ErrorCol locating the offending token in the submitted .ddg text.
+	Error     string `json:"error,omitempty"`
+	ErrorLine int    `json:"errorLine,omitempty"`
+	ErrorCol  int    `json:"errorCol,omitempty"`
+
+	Nodes        int   `json:"nodes,omitempty"`
+	Edges        int   `json:"edges,omitempty"`
+	CriticalPath int64 `json:"criticalPath,omitempty"`
+
+	// RS maps each analyzed register type to its saturation outcome.
+	RS map[string]*RSOutcome `json:"rs,omitempty"`
+	// Reductions maps each reduced type to its reduction outcome (only
+	// types whose saturation exceeded the budget appear).
+	Reductions map[string]*ReduceOutcome `json:"reductions,omitempty"`
+
+	// CacheHit reports that every RS computation of this item was served
+	// from a cache (the in-memory memo or the persistent store).
+	CacheHit  bool    `json:"cacheHit"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// RSOutcome is one register type's saturation.
+type RSOutcome struct {
+	RS    int  `json:"rs"`
+	Exact bool `json:"exact"`
+	// Antichain lists the saturating values by node name.
+	Antichain []string `json:"antichain,omitempty"`
+	// UpperBound is the proven upper bound of a capped exact search: the
+	// true RS lies in [RS, UpperBound]. Omitted when the result is exact.
+	UpperBound int `json:"upperBound,omitempty"`
+	// Witness maps node name to issue time in a saturating schedule
+	// (present when the request asked for witnesses).
+	Witness map[string]int64 `json:"witness,omitempty"`
+	// ILP carries intLP model info for the "ilp" method.
+	ILP *ILPModelInfo `json:"ilp,omitempty"`
+	// BB carries the combinatorial search accounting for the "bb" method.
+	BB *BBInfo `json:"bb,omitempty"`
+	// SolverStats is the MILP backend's work accounting ("ilp" method).
+	SolverStats *SolverStats `json:"solverStats,omitempty"`
+}
+
+// ILPModelInfo mirrors the Section 3 model accounting.
+type ILPModelInfo struct {
+	Vars            int `json:"vars"`
+	IntVars         int `json:"intVars"`
+	Constrs         int `json:"constrs"`
+	RedundantArcs   int `json:"redundantArcs"`
+	NeverAlivePairs int `json:"neverAlivePairs"`
+}
+
+// BBInfo mirrors the exact branch-and-bound accounting.
+type BBInfo struct {
+	Leaves     int64 `json:"leaves"`
+	Pruned     int64 `json:"pruned"`
+	Capped     bool  `json:"capped"`
+	UpperBound int   `json:"upperBound"`
+}
+
+// SolverStats mirrors regsat.SolverStats on the wire (field names match the
+// solver package's JSON schema; DurationNs is nanoseconds).
+type SolverStats struct {
+	Nodes        int64 `json:"nodes"`
+	SimplexIters int64 `json:"simplexIters"`
+	WarmStarts   int64 `json:"warmStarts"`
+	ColdStarts   int64 `json:"coldStarts"`
+	Fallbacks    int64 `json:"fallbacks"`
+	Incumbents   int64 `json:"incumbents"`
+	Workers      int   `json:"workers"`
+	DurationNs   int64 `json:"durationNs"`
+}
+
+// ReduceOutcome is one register type's reduction.
+type ReduceOutcome struct {
+	// RS is the saturation of the extended graph.
+	RS int `json:"rs"`
+	// Spill reports that no reduction to the budget exists.
+	Spill bool `json:"spill"`
+	Exact bool `json:"exact"`
+	// CPBefore/CPAfter are the critical paths before and after; their
+	// difference is the ILP loss.
+	CPBefore int64 `json:"cpBefore"`
+	CPAfter  int64 `json:"cpAfter"`
+	// Arcs lists the inserted serialization arcs by node name.
+	Arcs []Arc `json:"arcs,omitempty"`
+	// DDG is the extended graph in the textual format, scheduler-ready.
+	DDG string `json:"ddg,omitempty"`
+}
+
+// Arc is one serialization arc.
+type Arc struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Latency int64  `json:"latency"`
+}
+
+// RunStats is the request's cache accounting: Computed counts RS
+// computations actually performed, L1Hits those served from the in-memory
+// memo, L2Hits those served from the persistent store. Under concurrent
+// requests the split is approximate (counter deltas on a shared engine);
+// with one request in flight it is exact.
+type RunStats struct {
+	L1Hits   int64 `json:"l1Hits"`
+	L2Hits   int64 `json:"l2Hits"`
+	Computed int64 `json:"computed"`
+}
+
+// StreamEvent is one line of an NDJSON streaming response
+// (POST /v1/analyze?stream=ndjson): items as they complete in input order,
+// then exactly one final event carrying the run stats (or a terminal
+// request-level error).
+type StreamEvent struct {
+	Item  *Item     `json:"item,omitempty"`
+	Stats *RunStats `json:"stats,omitempty"`
+	Error string    `json:"error,omitempty"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status string `json:"status"` // "ok" or "draining"
+	// Queued and InFlight describe the admission queue at sample time.
+	Queued   int `json:"queued"`
+	InFlight int `json:"inFlight"`
+	// Store reports whether a persistent result store is attached.
+	Store bool `json:"store"`
+}

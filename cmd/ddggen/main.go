@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -24,74 +26,86 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ddggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ddggen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list    = flag.Bool("list", false, "list available kernels")
-		kernel  = flag.String("kernel", "", "kernel to emit")
-		machine = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		dot     = flag.Bool("dot", false, "emit Graphviz instead of the textual format")
-		random  = flag.Int("random", 0, "emit a random layered DAG with this many nodes")
-		seed    = flag.Int64("seed", 1, "random seed for -random and -corpus")
-		corpus  = flag.Bool("corpus", false, "emit the full .ddg corpus into -out")
-		out     = flag.String("out", "", "output directory for -corpus")
-		count   = flag.Int("count", 8, "number of random graphs in the corpus")
+		list    = fs.Bool("list", false, "list available kernels")
+		kernel  = fs.String("kernel", "", "kernel to emit")
+		machine = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		dot     = fs.Bool("dot", false, "emit Graphviz instead of the textual format")
+		random  = fs.Int("random", 0, "emit a random layered DAG with this many nodes")
+		seed    = fs.Int64("seed", 1, "random seed for -random and -corpus")
+		corpus  = fs.Bool("corpus", false, "emit the full .ddg corpus into -out")
+		out     = fs.String("out", "", "output directory for -corpus")
+		count   = fs.Int("count", 8, "number of random graphs in the corpus")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	randomSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "random" {
 			randomSet = true
 		}
 	})
 	if randomSet && *random <= 0 {
-		fatal(fmt.Errorf("-random node count must be positive (got %d)", *random))
+		return fmt.Errorf("-random node count must be positive (got %d)", *random)
 	}
 
 	if *list {
-		fmt.Printf("%-14s %-10s %s\n", "NAME", "SUITE", "DESCRIPTION")
+		fmt.Fprintf(stdout, "%-14s %-10s %s\n", "NAME", "SUITE", "DESCRIPTION")
 		for _, s := range kernels.All() {
-			fmt.Printf("%-14s %-10s %s\n", s.Name, s.Suite, s.Description)
+			fmt.Fprintf(stdout, "%-14s %-10s %s\n", s.Name, s.Suite, s.Description)
 		}
-		return
+		return nil
 	}
 	if *corpus {
 		if *out == "" {
-			fatal(fmt.Errorf("-corpus needs -out <dir>"))
+			return fmt.Errorf("-corpus needs -out <dir>")
 		}
 		if *count < 0 {
-			fatal(fmt.Errorf("-count must be non-negative (got %d)", *count))
+			return fmt.Errorf("-count must be non-negative (got %d)", *count)
 		}
-		if err := emitCorpus(*out, *count, *seed); err != nil {
-			fatal(err)
-		}
-		return
+		return emitCorpus(stdout, *out, *count, *seed)
 	}
 
 	mk, err := parseMachine(*machine)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var g *ddg.Graph
 	switch {
 	case randomSet:
 		g, err = randomGraph(*random, *seed, mk)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case *kernel != "":
 		spec, ok := kernels.ByName(*kernel)
 		if !ok {
-			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+			return fmt.Errorf("unknown kernel %q", *kernel)
 		}
 		g = spec.Build(mk)
 	default:
-		fatal(fmt.Errorf("need -list, -kernel, -random, or -corpus"))
+		return fmt.Errorf("need -list, -kernel, -random, or -corpus")
 	}
 	if *dot {
-		fmt.Print(g.DOT())
+		fmt.Fprint(stdout, g.DOT())
 	} else {
-		fmt.Print(g.Format())
+		fmt.Fprint(stdout, g.Format())
 	}
+	return nil
 }
 
 // randomGraph draws a two-type random DAG, rejecting degenerate outputs
@@ -137,7 +151,7 @@ var corpusKernels = []struct {
 // files. Every emitted graph is fingerprinted; two random seeds that
 // collapse to the same structure are a seed collision and abort the run
 // rather than silently committing duplicate (or degenerate) corpus files.
-func emitCorpus(dir string, count int, seedBase int64) error {
+func emitCorpus(stdout io.Writer, dir string, count int, seedBase int64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -152,7 +166,7 @@ func emitCorpus(dir string, count int, seedBase int64) error {
 		if err := os.WriteFile(path, []byte(g.Format()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d nodes, %d edges, machine %s)\n", path, g.NumNodes(), g.NumEdges(), g.Machine)
+		fmt.Fprintf(stdout, "wrote %s (%d nodes, %d edges, machine %s)\n", path, g.NumNodes(), g.NumEdges(), g.Machine)
 		return nil
 	}
 	for _, ck := range corpusKernels {
@@ -179,7 +193,7 @@ func emitCorpus(dir string, count int, seedBase int64) error {
 			return err
 		}
 	}
-	fmt.Printf("%d corpus files in %s\n", len(seen), dir)
+	fmt.Fprintf(stdout, "%d corpus files in %s\n", len(seen), dir)
 	return nil
 }
 
@@ -193,9 +207,4 @@ func parseMachine(s string) (ddg.MachineKind, error) {
 		return ddg.EPIC, nil
 	}
 	return 0, fmt.Errorf("unknown machine %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ddggen:", err)
-	os.Exit(1)
 }

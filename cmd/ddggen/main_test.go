@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lin-daxpy", "fig2", "livermore"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitKernelRoundTrips(t *testing.T) {
+	out, _, err := runCLI(t, "-kernel", "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ddg.ParseString(out)
+	if err != nil {
+		t.Fatalf("emitted kernel does not parse: %v\n%s", err, out)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Types()) == 0 {
+		t.Fatal("emitted kernel writes no values")
+	}
+}
+
+func TestCorpusEmission(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	out, _, err := runCLI(t, "-corpus", "-out", dir, "-count", "2", "-seed", "2004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "corpus files in") {
+		t.Fatalf("no summary line:\n%s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ddg"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files written: %v", err)
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ddg.ParseString(string(raw)); err != nil {
+			t.Fatalf("%s does not parse: %v", f, err)
+		}
+	}
+}
+
+func TestHelpExitsClean(t *testing.T) {
+	if _, errOut, err := runCLI(t, "-h"); err != nil {
+		t.Fatalf("-h is not a failure: %v", err)
+	} else if !strings.Contains(errOut, "Usage") {
+		t.Fatalf("-h printed no usage:\n%s", errOut)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, _, err := runCLI(t, "-random", "0"); err == nil {
+		t.Fatal("non-positive -random accepted")
+	}
+	if _, _, err := runCLI(t, "-corpus"); err == nil {
+		t.Fatal("-corpus without -out accepted")
+	}
+	if _, _, err := runCLI(t); err == nil {
+		t.Fatal("no mode accepted")
+	}
+}

@@ -8,12 +8,20 @@
 //	rsbench -exp reduce -random 40
 //	rsbench -exp rs -machine vliw
 //	rsbench -exp corpus -dir testdata -parallel 8
+//	rsbench -exp corpus -json BENCH.json   # machine-readable timings
+//
+// -json writes a machine-readable summary (per-experiment wall times; for
+// -exp corpus also per-file timings, ns/op, and memo behavior) for CI
+// artifacts and performance tracking.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -29,26 +37,84 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchJSON is the -json output schema: the start of the repo's perf
+// trajectory, uploaded as a CI artifact on every run.
+type benchJSON struct {
+	GoVersion   string           `json:"goVersion"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Machine     string           `json:"machine"`
+	Experiments []experimentJSON `json:"experiments,omitempty"`
+	Corpus      *corpusJSON      `json:"corpus,omitempty"`
+	Interner    ir.CacheStats    `json:"interner"`
+}
+
+type experimentJSON struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wallNs"`
+}
+
+type corpusJSON struct {
+	Dir          string  `json:"dir"`
+	Files        int     `json:"files"`
+	Parallel     int     `json:"parallel"`
+	SequentialNs int64   `json:"sequentialNs"`
+	ParallelNs   int64   `json:"parallelNs"`
+	Speedup      float64 `json:"speedup"`
+	// AllocBytes and Mallocs are the parallel run's heap movement
+	// (runtime.MemStats deltas): the sweep-level allocation cost.
+	AllocBytes uint64           `json:"allocBytes"`
+	Mallocs    uint64           `json:"mallocs"`
+	MemoHits   int64            `json:"memoHits"`
+	MemoMisses int64            `json:"memoMisses"`
+	PerFile    []corpusFileJSON `json:"perFile"`
+}
+
+type corpusFileJSON struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	// NsOp is this file's analysis wall time in the parallel run — the
+	// per-input ns/op of the corpus sweep.
+	NsOp  int64          `json:"nsOp"`
+	RS    map[string]int `json:"rs,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir; not part of all)")
-		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		random   = flag.Int("random", 20, "number of random loop bodies added to the kernel suite")
-		seed     = flag.Int64("seed", 2004, "random population seed")
-		maxVals  = flag.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
-		dir      = flag.String("dir", "testdata", "DDG corpus directory for -exp corpus/solver")
-		parallel = flag.Int("parallel", 0, "worker count for -exp corpus (0 = GOMAXPROCS)")
-		backend  = flag.String("solver", "", "MILP backend for intLP solves: dense|sparse|parallel (default sparse)")
-		profile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		exp      = fs.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir; not part of all)")
+		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		random   = fs.Int("random", 20, "number of random loop bodies added to the kernel suite")
+		seed     = fs.Int64("seed", 2004, "random population seed")
+		maxVals  = fs.Int("maxvalues", 12, "skip cases with more values than this (exactness budget)")
+		dir      = fs.String("dir", "testdata", "DDG corpus directory for -exp corpus/solver")
+		parallel = fs.Int("parallel", 0, "worker count for -exp corpus (0 = GOMAXPROCS)")
+		backend  = fs.String("solver", "", "MILP backend for intLP solves: dense|sparse|parallel (default sparse)")
+		profile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		jsonOut  = fs.String("json", "", "write a machine-readable benchmark summary to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	if *profile != "" {
 		f, err := os.Create(*profile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -58,7 +124,7 @@ func main() {
 
 	mk, err := parseMachine(*machine)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pop := experiments.Population{
 		Machine:      mk,
@@ -66,42 +132,51 @@ func main() {
 		Seed:         *seed,
 		MaxValues:    *maxVals,
 	}
+	summary := &benchJSON{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Machine:    *machine,
+	}
 
-	run := func(name string, f func() (string, error)) {
-		if *exp != "all" && *exp != name {
+	var firstErr error
+	runExp := func(name string, f func() (string, error)) {
+		if (*exp != "all" && *exp != name) || firstErr != nil {
 			return
 		}
 		start := time.Now()
 		report, err := f()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			firstErr = fmt.Errorf("%s: %w", name, err)
+			return
 		}
-		fmt.Println(report)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: name, WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	run("fig2", func() (string, error) {
+	runExp("fig2", func() (string, error) {
 		r, err := experiments.Figure2()
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
-	run("pipeline", func() (string, error) {
+	runExp("pipeline", func() (string, error) {
 		r, err := experiments.Pipeline(pop)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
-	run("rs", func() (string, error) {
+	runExp("rs", func() (string, error) {
 		r, err := experiments.RSOptimality(pop)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
-	run("reduce", func() (string, error) {
+	runExp("reduce", func() (string, error) {
 		p := pop
 		if p.MaxValues > 10 {
 			p.MaxValues = 10 // exact reduction budget
@@ -112,14 +187,14 @@ func main() {
 		}
 		return r.Report(), nil
 	})
-	run("size", func() (string, error) {
+	runExp("size", func() (string, error) {
 		r, err := experiments.ModelSize(pop)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
-	run("time", func() (string, error) {
+	runExp("time", func() (string, error) {
 		r, err := experiments.Timing(pop, 6, solver.Options{
 			Backend: *backend, MaxNodes: 200000, TimeLimit: 30 * time.Second})
 		if err != nil {
@@ -127,7 +202,7 @@ func main() {
 		}
 		return r.Report(), nil
 	})
-	run("versus", func() (string, error) {
+	runExp("versus", func() (string, error) {
 		p := pop
 		if p.MaxValues > 10 {
 			p.MaxValues = 10
@@ -138,34 +213,55 @@ func main() {
 		}
 		return r.Report(), nil
 	})
-	run("thm42", func() (string, error) {
+	runExp("thm42", func() (string, error) {
 		r, err := experiments.Theorem42(pop, 3, *seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
+	if firstErr != nil {
+		return firstErr
+	}
 	// The corpus and solver experiments read -dir from disk, so they only run
 	// when asked for explicitly: a plain `rsbench` must keep working from any
 	// directory.
 	if *exp == "corpus" {
 		start := time.Now()
-		report, err := corpusReport(*dir, *parallel)
+		report, cj, err := corpusReport(*dir, *parallel)
 		if err != nil {
-			fatal(fmt.Errorf("corpus: %w", err))
+			return fmt.Errorf("corpus: %w", err)
 		}
-		fmt.Println(report)
-		fmt.Printf("[corpus completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		summary.Corpus = cj
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "corpus", WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[corpus completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
 	if *exp == "solver" {
 		start := time.Now()
 		report, err := solverReport(*dir, *maxVals)
 		if err != nil {
-			fatal(fmt.Errorf("solver: %w", err))
+			return fmt.Errorf("solver: %w", err)
 		}
-		fmt.Println(report)
-		fmt.Printf("[solver completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "solver", WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[solver completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
+
+	if *jsonOut != "" {
+		summary.Interner = ir.Stats()
+		raw, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+	}
+	return nil
 }
 
 // solverReport compares every registered MILP backend on the corpus: per
@@ -206,7 +302,7 @@ func solverReport(dir string, maxValues int) (string, error) {
 // batch engine, once sequentially and once with the requested parallelism,
 // and reports per-file saturations plus the wall-clock speedup and memo
 // behavior of the parallel run.
-func corpusReport(dir string, parallel int) (string, error) {
+func corpusReport(dir string, parallel int) (string, *corpusJSON, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -223,31 +319,54 @@ func corpusReport(dir string, parallel int) (string, error) {
 	}
 	seqResults, _, seqTime, err := runOnce(1)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	parResults, stats, parTime, err := runOnce(parallel)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
+	cj := &corpusJSON{
+		Dir:          dir,
+		Files:        len(parResults),
+		Parallel:     parallel,
+		SequentialNs: int64(seqTime),
+		ParallelNs:   int64(parTime),
+		Speedup:      float64(seqTime) / float64(parTime),
+		AllocBytes:   msAfter.TotalAlloc - msBefore.TotalAlloc,
+		Mallocs:      msAfter.Mallocs - msBefore.Mallocs,
+		MemoHits:     stats.Hits,
+		MemoMisses:   stats.Misses,
+	}
 	var b []byte
 	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
 	add("Corpus batch analysis: %s (%d files, method %s)\n", dir, len(parResults), rsOpts.Method)
 	add("%-40s %-8s %s\n", "FILE", "NODES", "RS per type")
 	for _, res := range parResults {
+		file := corpusFileJSON{Name: res.Name, NsOp: int64(res.Elapsed)}
 		if res.Err != nil {
+			file.Error = res.Err.Error()
+			cj.PerFile = append(cj.PerFile, file)
 			add("%-40s %v\n", res.Name, res.Err)
 			continue
 		}
+		file.Nodes = res.Graph.NumNodes()
+		file.RS = make(map[string]int, len(res.RS))
 		types := make([]string, 0, len(res.RS))
-		for t := range res.RS {
+		for t, r := range res.RS {
 			types = append(types, string(t))
+			file.RS[string(t)] = r.RS
 		}
 		sort.Strings(types)
 		line := ""
 		for _, t := range types {
 			line += fmt.Sprintf("%s=%d ", t, res.RS[ddg.RegType(t)].RS)
 		}
+		cj.PerFile = append(cj.PerFile, file)
 		add("%-40s %-8d %s\n", res.Name, res.Graph.NumNodes(), line)
 	}
 	add("sequential: %v   parallel(%d): %v   speedup %.2fx\n",
@@ -256,13 +375,13 @@ func corpusReport(dir string, parallel int) (string, error) {
 	add("memo: %d hits, %d misses across %d RS computations\n",
 		stats.Hits, stats.Misses, stats.Hits+stats.Misses)
 	cs := ir.Stats()
-	add("ir interner: %d hits, %d misses, %d snapshots resident\n",
-		cs.Hits, cs.Misses, cs.Entries)
+	add("ir interner: %d hits, %d misses, %d evictions, %d snapshots resident (~%d bytes)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.ResidentBytes)
 	if len(seqResults) != len(parResults) {
 		add("WARNING: sequential and parallel runs disagree on result count (%d vs %d)\n",
 			len(seqResults), len(parResults))
 	}
-	return string(b), nil
+	return string(b), cj, nil
 }
 
 func parseMachine(s string) (ddg.MachineKind, error) {
@@ -275,9 +394,4 @@ func parseMachine(s string) (ddg.MachineKind, error) {
 		return ddg.EPIC, nil
 	}
 	return 0, fmt.Errorf("unknown machine %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rsbench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestFig2Experiment(t *testing.T) {
+	out, _, err := runCLI(t, "-exp", "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[fig2 completed in") {
+		t.Fatalf("experiment did not complete:\n%s", out)
+	}
+}
+
+func TestCorpusJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	out, _, err := runCLI(t, "-exp", "corpus", "-dir", "../../testdata", "-parallel", "4", "-json", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("artifact write not reported:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("BENCH.json does not parse: %v", err)
+	}
+	if b.Corpus == nil || b.Corpus.Files < 20 || len(b.Corpus.PerFile) != b.Corpus.Files {
+		t.Fatalf("corpus summary incomplete: %+v", b.Corpus)
+	}
+	if b.Corpus.SequentialNs <= 0 || b.Corpus.ParallelNs <= 0 {
+		t.Fatalf("missing sweep timings: %+v", b.Corpus)
+	}
+	for _, f := range b.Corpus.PerFile {
+		if f.Error != "" {
+			t.Fatalf("%s failed: %s", f.Name, f.Error)
+		}
+		if f.NsOp <= 0 || len(f.RS) == 0 {
+			t.Fatalf("per-file record incomplete: %+v", f)
+		}
+	}
+	if len(b.Experiments) == 0 || b.Experiments[len(b.Experiments)-1].Name != "corpus" {
+		t.Fatalf("experiment timings missing: %+v", b.Experiments)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, _, err := runCLI(t, "-machine", "abacus"); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if _, _, err := runCLI(t, "-exp", "corpus", "-dir", "/does/not/exist"); err == nil {
+		t.Fatal("missing corpus dir accepted")
+	}
+}

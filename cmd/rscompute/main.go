@@ -16,31 +16,46 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"regsat"
 	"regsat/internal/ddg"
-	"regsat/internal/ir"
 	"regsat/internal/kernels"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rscompute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rscompute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		file     = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
-		kernel   = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
-		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		method   = flag.String("method", "greedy", "saturation method: greedy|bb|ilp")
-		dot      = flag.Bool("dot", false, "emit the DDG in Graphviz format and exit (single input)")
-		witness  = flag.Bool("witness", false, "print a saturating schedule")
-		parallel = flag.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
-		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
-		stats    = flag.Bool("solver-stats", false, "print per-solve search statistics (MILP nodes/iterations or exact-BB leaves/prunes)")
-		irStats  = flag.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
+		file     = fs.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel   = fs.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method   = fs.String("method", "greedy", "saturation method: greedy|bb|ilp")
+		dot      = fs.Bool("dot", false, "emit the DDG in Graphviz format and exit (single input)")
+		witness  = fs.Bool("witness", false, "print a saturating schedule")
+		parallel = fs.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
+		backend  = fs.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
+		stats    = fs.Bool("solver-stats", false, "print per-solve search statistics (MILP nodes/iterations or exact-BB leaves/prunes)")
+		irStats  = fs.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	opts := regsat.RSOptions{SkipWitness: !*witness}
 	opts.Solver.Backend = *backend
@@ -53,36 +68,36 @@ func main() {
 		opts.Method = regsat.ExactILP
 		opts.ApplyReductions = true
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
 
 	if *dot {
-		g, err := loadDotGraph(*file, *kernel, *machine, flag.Args())
+		g, err := loadDotGraph(*file, *kernel, *machine, fs.Args())
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(g.DOT())
-		return
+		fmt.Fprint(stdout, g.DOT())
+		return nil
 	}
-	src, err := buildSource(*file, *kernel, *machine, flag.Args())
+	src, err := buildSource(*file, *kernel, *machine, fs.Args())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	ch, err := regsat.AnalyzeAll(context.Background(), []regsat.GraphSource{src},
 		regsat.BatchOptions{Parallel: *parallel, RS: opts})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	failed := false
+	failed := 0
 	for res := range ch {
 		if res.Err != nil {
-			failed = true
-			fmt.Fprintf(os.Stderr, "rscompute: %s: %v\n", res.Name, res.Err)
+			failed++
+			fmt.Fprintf(stderr, "rscompute: %s: %v\n", res.Name, res.Err)
 			continue
 		}
 		g := res.Graph
-		fmt.Printf("DDG %s (%s): %d nodes, %d edges, critical path %d\n",
+		fmt.Fprintf(stdout, "DDG %s (%s): %d nodes, %d edges, critical path %d\n",
 			g.Name, g.Machine, g.NumNodes(), g.NumEdges(), g.CriticalPath())
 		for _, t := range g.Types() {
 			r := res.RS[t]
@@ -93,50 +108,57 @@ func main() {
 			if r.Exact {
 				exact = "= (exact)"
 			}
-			fmt.Printf("  RS_%s %s %d   values=%d saturating=%v\n",
+			fmt.Fprintf(stdout, "  RS_%s %s %d   values=%d saturating=%v\n",
 				t, exact, r.RS, len(g.Values(t)), names(g, r.Antichain))
 			// Capped exact searches report their proven interval the same
 			// way, whether the MILP backend or the combinatorial search hit
 			// its budget.
 			if !r.Exact && r.BBStats != nil && r.BBStats.Capped && r.BBStats.UpperBound > r.RS {
-				fmt.Printf("    capped search: RS ∈ [%d, %d]\n", r.RS, r.BBStats.UpperBound)
+				fmt.Fprintf(stdout, "    capped search: RS ∈ [%d, %d]\n", r.RS, r.BBStats.UpperBound)
 			}
 			if !r.Exact && r.ILPUpperBound > r.RS {
-				fmt.Printf("    capped solve: RS ∈ [%d, %d]\n", r.RS, r.ILPUpperBound)
+				fmt.Fprintf(stdout, "    capped solve: RS ∈ [%d, %d]\n", r.RS, r.ILPUpperBound)
 			}
 			if *stats && r.BBStats != nil {
-				fmt.Printf("    exact-bb: %d leaves, %d subtrees pruned, proven upper bound %d\n",
+				fmt.Fprintf(stdout, "    exact-bb: %d leaves, %d subtrees pruned, proven upper bound %d\n",
 					r.BBStats.Leaves, r.BBStats.Pruned, r.BBStats.UpperBound)
 			}
 			if r.ILP != nil {
-				fmt.Printf("    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
+				fmt.Fprintf(stdout, "    intLP: %d vars (%d integer), %d constraints, %d redundant arcs dropped, %d never-alive pairs\n",
 					r.ILP.Vars, r.ILP.IntVars, r.ILP.Constrs, r.ILP.RedundantArcs, r.ILP.NeverAlivePairs)
 			}
 			if *stats && r.SolverStats != nil {
 				st := r.SolverStats
-				fmt.Printf("    solver: %d nodes, %d simplex iters, warm-start %.0f%% (%d warm / %d cold), %d incumbents, %d fallbacks, %d workers, %v\n",
+				fmt.Fprintf(stdout, "    solver: %d nodes, %d simplex iters, warm-start %.0f%% (%d warm / %d cold), %d incumbents, %d fallbacks, %d workers, %v\n",
 					st.Nodes, st.SimplexIters, 100*st.WarmRate(), st.WarmStarts, st.ColdStarts,
 					st.Incumbents, st.Fallbacks, st.Workers, st.Duration.Round(time.Microsecond))
 			}
 			if *witness && r.Witness != nil {
-				fmt.Printf("    saturating schedule (RN=%d):\n", r.Witness.RegisterNeed(t))
+				fmt.Fprintf(stdout, "    saturating schedule (RN=%d):\n", r.Witness.RegisterNeed(t))
 				for u := 0; u < g.NumNodes(); u++ {
 					if u == g.Bottom() {
 						continue
 					}
-					fmt.Printf("      t=%-3d %s\n", r.Witness.Times[u], g.Node(u).Name)
+					fmt.Fprintf(stdout, "      t=%-3d %s\n", r.Witness.Times[u], g.Node(u).Name)
 				}
 			}
 		}
 	}
 	if *irStats {
-		cs := ir.Stats()
-		fmt.Printf("ir interner: %d hits, %d misses, %d snapshots resident\n",
-			cs.Hits, cs.Misses, cs.Entries)
+		printIRStats(stdout)
 	}
-	if failed {
-		os.Exit(1)
+	if failed > 0 {
+		return fmt.Errorf("%d input(s) failed", failed)
 	}
+	return nil
+}
+
+// printIRStats renders the process-wide interner counters (shared with
+// rsreduce via the same public API rsd's /metrics uses).
+func printIRStats(w io.Writer) {
+	cs := regsat.InternerStats()
+	fmt.Fprintf(w, "ir interner: %d hits, %d misses, %d evictions, %d snapshots resident (~%d bytes)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.ResidentBytes)
 }
 
 // buildSource assembles the input stream: a kernel, stdin ("-f -"), and any
@@ -217,7 +239,8 @@ func loadSingle(path string) (*regsat.Graph, error) {
 	defer f.Close()
 	g, err := regsat.ParseGraph(f)
 	if err != nil {
-		return nil, err
+		// The parse error carries line:column; the path comes from here.
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return g, g.Finalize()
 }
@@ -240,9 +263,4 @@ func names(g *regsat.Graph, ids []int) []string {
 		out[i] = g.Node(id).Name
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rscompute:", err)
-	os.Exit(1)
 }

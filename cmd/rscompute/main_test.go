@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestKernelExact(t *testing.T) {
+	out, _, err := runCLI(t, "-kernel", "lin-daxpy", "-method", "bb", "-witness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DDG lin-daxpy", "RS_", "(exact)", "saturating schedule"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCorpusDirectory(t *testing.T) {
+	out, _, err := runCLI(t, "-parallel", "4", "../../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out, "DDG "); n < 20 {
+		t.Fatalf("corpus run analyzed %d graphs, want the full testdata corpus:\n%s", n, out)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	out, _, err := runCLI(t, "-kernel", "fig2", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Fatalf("not Graphviz output:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, _, err := runCLI(t, "-method", "quantum", "-kernel", "fig2"); err == nil {
+		t.Fatal("bad method accepted")
+	}
+	if _, _, err := runCLI(t); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, _, err := runCLI(t, "-bogus-flag"); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestParseErrorCarriesPosition(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.ddg")
+	if err := os.WriteFile(path, []byte("ddg \"x\"\nnode a op=x lat=nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, err := runCLI(t, "-f", path)
+	if err == nil {
+		t.Fatal("broken file accepted")
+	}
+	if !strings.Contains(errOut, "line 2:") {
+		t.Fatalf("parse diagnostic lacks position:\n%s", errOut)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regsat/client"
+)
+
+// syncBuf lets the test read the daemon's stdout while run() writes it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// bootDaemon runs the daemon on an ephemeral port and returns a client for
+// it plus a shutdown function that triggers the graceful drain.
+func bootDaemon(t *testing.T, args ...string) (*client.Client, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := &syncBuf{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-drain-notice", "10ms"}, args...), stdout, io.Discard)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			cancel()
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("daemon never reported its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return client.New("http://"+addr, nil), func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(30 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestDaemonBootServeDrain(t *testing.T) {
+	dir := t.TempDir()
+	c, shutdown := bootDaemon(t, "-store", dir, "-corpus-root", "../../testdata")
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Store {
+		t.Fatalf("health: %+v", h)
+	}
+
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs:  []client.GraphInput{{Name: "t", DDG: "ddg \"t\"\nnode a op=x lat=1 writes=float\nnode b op=y lat=1\nedge a b flow float\n"}},
+		Corpus:  []string{"superscalar-fig2.ddg"},
+		Options: client.AnalyzeOptions{Method: "bb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("got %d items, want 2", len(resp.Items))
+	}
+	for _, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("%s failed: %s", it.Name, it.Error)
+		}
+	}
+
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "regsat_store_puts_total") {
+		t.Fatalf("metrics missing store counters:\n%s", metrics)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestDaemonHelpExitsClean(t *testing.T) {
+	if err := run(context.Background(), []string{"-h"}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("-h is not a failure: %v", err)
+	}
+}

@@ -9,38 +9,64 @@
 //	rsreduce -kernel spec-swim -r 6 [-machine vliw] [-method heuristic|exact|ilp]
 //	rsreduce -f body.ddg -r 8 -emit
 //	rsreduce -r 4 -type float -parallel 8 testdata/
+//
+// Exit status: 0 on success, 1 on failure, 2 when some input is not
+// reducible to the budget (spill code unavoidable).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"regsat"
 	"regsat/internal/ddg"
-	"regsat/internal/ir"
 	"regsat/internal/kernels"
 	"regsat/internal/reduce"
 )
 
+// errSpill distinguishes "worked, but spill is unavoidable" (exit 2) from
+// hard failures (exit 1).
+var errSpill = errors.New("spill code unavoidable")
+
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case errors.Is(err, errSpill):
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "rsreduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rsreduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		file     = flag.String("f", "", "DDG file in textual format (\"-\" = stdin)")
-		kernel   = flag.String("kernel", "", "built-in kernel name (see ddggen -list)")
-		machine  = flag.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
-		method   = flag.String("method", "heuristic", "reduction method: heuristic|exact|ilp")
-		regs     = flag.Int("r", 8, "available registers R_t")
-		typ      = flag.String("type", "float", "register type to reduce")
-		emit     = flag.Bool("emit", false, "emit the extended DDG in textual format (single input)")
-		dot      = flag.Bool("dot", false, "emit the extended DDG in Graphviz format (single input)")
-		parallel = flag.Int("parallel", 0, "worker count for multi-file reduction (0 = GOMAXPROCS)")
-		backend  = flag.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
-		stats    = flag.Bool("solver-stats", false, "print per-solve MILP statistics")
-		irStats  = flag.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
+		file     = fs.String("f", "", "DDG file in textual format (\"-\" = stdin)")
+		kernel   = fs.String("kernel", "", "built-in kernel name (see ddggen -list)")
+		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
+		method   = fs.String("method", "heuristic", "reduction method: heuristic|exact|ilp")
+		regs     = fs.Int("r", 8, "available registers R_t")
+		typ      = fs.String("type", "float", "register type to reduce")
+		emit     = fs.Bool("emit", false, "emit the extended DDG in textual format (single input)")
+		dot      = fs.Bool("dot", false, "emit the extended DDG in Graphviz format (single input)")
+		parallel = fs.Int("parallel", 0, "worker count for multi-file reduction (0 = GOMAXPROCS)")
+		backend  = fs.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
+		stats    = fs.Bool("solver-stats", false, "print per-solve MILP statistics")
+		irStats  = fs.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	t := regsat.RegType(*typ)
 	opts := regsat.ReduceOptions{}
@@ -54,12 +80,12 @@ func main() {
 		opts.ILP = reduce.ILPOptions{ApplyReductions: true, GuaranteeDAG: true}
 		opts.ILP.Solver.Backend = *backend
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
 
-	src, err := buildSource(*file, *kernel, *machine, flag.Args())
+	src, err := buildSource(*file, *kernel, *machine, fs.Args())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	batchOpts := regsat.BatchOptions{
 		Parallel: *parallel,
@@ -75,61 +101,62 @@ func main() {
 	}
 	ch, err := regsat.AnalyzeAll(context.Background(), []regsat.GraphSource{src}, batchOpts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	failed, spilled := false, false
 	for res := range ch {
 		if res.Err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "rsreduce: %s: %v\n", res.Name, res.Err)
+			fmt.Fprintf(stderr, "rsreduce: %s: %v\n", res.Name, res.Err)
 			continue
 		}
 		g := res.Graph
 		before := res.RS[t]
 		if before == nil {
-			fmt.Printf("DDG %s (%s): writes no %s values\n", g.Name, g.Machine, t)
+			fmt.Fprintf(stdout, "DDG %s (%s): writes no %s values\n", g.Name, g.Machine, t)
 			continue
 		}
-		fmt.Printf("DDG %s (%s), type %s: RS*=%d, budget R=%d\n", g.Name, g.Machine, t, before.RS, *regs)
+		fmt.Fprintf(stdout, "DDG %s (%s), type %s: RS*=%d, budget R=%d\n", g.Name, g.Machine, t, before.RS, *regs)
 		red := res.Reductions[t]
 		if red == nil {
-			fmt.Printf("  already within budget, no reduction needed\n")
+			fmt.Fprintf(stdout, "  already within budget, no reduction needed\n")
 			continue
 		}
 		if red.Spill {
 			spilled = true
-			fmt.Printf("  NOT reducible to %d registers: spill code unavoidable\n", *regs)
+			fmt.Fprintf(stdout, "  NOT reducible to %d registers: spill code unavoidable\n", *regs)
 			continue
 		}
-		fmt.Printf("  reduced RS=%d with %d serialization arcs\n", red.RS, len(red.Arcs))
+		fmt.Fprintf(stdout, "  reduced RS=%d with %d serialization arcs\n", red.RS, len(red.Arcs))
 		if *stats && red.SolverStats != nil {
 			st := red.SolverStats
-			fmt.Printf("  solver: %d nodes, %d simplex iters, warm-start %.0f%%, %d incumbents, %v\n",
+			fmt.Fprintf(stdout, "  solver: %d nodes, %d simplex iters, warm-start %.0f%%, %d incumbents, %v\n",
 				st.Nodes, st.SimplexIters, 100*st.WarmRate(), st.Incumbents, st.Duration.Round(time.Microsecond))
 		}
-		fmt.Printf("  critical path: %d → %d (ILP loss %d)\n", red.CPBefore, red.CPAfter, red.CPAfter-red.CPBefore)
+		fmt.Fprintf(stdout, "  critical path: %d → %d (ILP loss %d)\n", red.CPBefore, red.CPAfter, red.CPAfter-red.CPBefore)
 		for _, a := range red.Arcs {
-			fmt.Printf("    arc %s → %s (latency %d)\n",
+			fmt.Fprintf(stdout, "    arc %s → %s (latency %d)\n",
 				red.Graph.Node(a.From).Name, red.Graph.Node(a.To).Name, a.Latency)
 		}
 		if *emit {
-			fmt.Print(red.Graph.Format())
+			fmt.Fprint(stdout, red.Graph.Format())
 		}
 		if *dot {
-			fmt.Print(red.Graph.DOT())
+			fmt.Fprint(stdout, red.Graph.DOT())
 		}
 	}
 	if *irStats {
-		cs := ir.Stats()
-		fmt.Printf("ir interner: %d hits, %d misses, %d snapshots resident\n",
-			cs.Hits, cs.Misses, cs.Entries)
+		cs := regsat.InternerStats()
+		fmt.Fprintf(stdout, "ir interner: %d hits, %d misses, %d evictions, %d snapshots resident (~%d bytes)\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.ResidentBytes)
 	}
 	switch {
 	case failed:
-		os.Exit(1)
+		return errors.New("some inputs failed")
 	case spilled:
-		os.Exit(2)
+		return errSpill
 	}
+	return nil
 }
 
 func buildSource(file, kernel, machine string, args []string) (regsat.GraphSource, error) {
@@ -181,9 +208,4 @@ func parseMachine(s string) (ddg.MachineKind, error) {
 		return ddg.EPIC, nil
 	}
 	return 0, fmt.Errorf("unknown machine %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rsreduce:", err)
-	os.Exit(1)
 }

@@ -48,6 +48,26 @@ type Options struct {
 	Reduce *ReduceSpec
 	// CacheSize bounds the fingerprint memo (entries); 0 = DefaultCacheSize.
 	CacheSize int
+	// L2 is an optional second-level result cache layered under the
+	// in-memory memo: results the memo has to compute are first looked up
+	// in (and written through to) L2, so they can outlive the process and
+	// be shared across engines. The analysis daemon plugs its persistent
+	// on-disk store in here.
+	L2 ResultCache
+}
+
+// ResultCache is a second-level result cache under the memo, keyed exactly
+// like the memo itself: the ir structural fingerprint, the register type,
+// and the canonicalized options key. Implementations must be safe for
+// concurrent use and are expected to be best-effort — a failed Get is a
+// miss, a failed Put is dropped.
+type ResultCache interface {
+	// Get returns the cached result for (fp, t, optsKey), materialized
+	// against g: node IDs are valid for every graph sharing the
+	// fingerprint, and witness schedules are rebuilt over g.
+	Get(fp string, g *ddg.Graph, t ddg.RegType, optsKey string) (*rs.Result, bool)
+	// Put stores res under (fp, t, optsKey).
+	Put(fp string, t ddg.RegType, optsKey string, res *rs.Result)
 }
 
 // ReduceSpec describes the optional reduction pass of a batch.
@@ -82,9 +102,17 @@ type Result struct {
 	// batch contains structurally identical graphs, duplicates share one
 	// *rs.Result — treat results as immutable.
 	RS map[ddg.RegType]*rs.Result
+	// ComputedRS marks the types whose RS result this item actually
+	// computed, as opposed to served from the memo or the L2 cache — the
+	// hook for consumers (the analysis daemon's metrics) that must count
+	// each solve exactly once, not once per cache hit.
+	ComputedRS map[ddg.RegType]bool
 	// Reductions maps each reduced type to its reduction result (only types
 	// whose saturation exceeded the budget appear).
 	Reductions map[ddg.RegType]*reduce.Result
+	// ComputedReductions marks the reductions this item actually ran
+	// (mirror of ComputedRS for the reduction pass).
+	ComputedReductions map[ddg.RegType]bool
 	// CacheHit reports that every RS computation of this item was served
 	// from the memo.
 	CacheHit bool
@@ -115,7 +143,18 @@ func New(opts Options) *Engine {
 		}
 		opts.Reduce = &r
 	}
-	return &Engine{opts: opts, memo: newMemo(opts.CacheSize)}
+	return &Engine{opts: opts, memo: newMemo(opts.CacheSize, opts.L2)}
+}
+
+// WithOptions returns an engine running under different analysis options
+// while sharing this engine's memo — and therefore its L1/L2 caches and
+// cumulative statistics. The derived Options' CacheSize and L2 fields are
+// ignored: the shared memo keeps the base engine's. The analysis daemon
+// uses this to serve requests with per-request options over one cache.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	derived := New(opts)
+	derived.memo = e.memo
+	return derived
 }
 
 // Stats returns the engine's cumulative cache statistics.
@@ -272,6 +311,7 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 	}
 	ent := e.memo.lookup(Fingerprint(g))
 	res.RS = make(map[ddg.RegType]*rs.Result, len(types))
+	res.ComputedRS = make(map[ddg.RegType]bool, len(types))
 	allCached := true
 	for _, t := range types {
 		if !writes(g, t) {
@@ -288,18 +328,23 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 		}
 		if !hit {
 			allCached = false
+			res.ComputedRS[t] = true
 		}
 		res.RS[t] = r
 		if e.opts.Reduce != nil && e.opts.Reduce.Budget > 0 && r.RS > e.opts.Reduce.Budget {
-			rr, err := ent.reduction(ctx, g, t, e.opts.Reduce)
+			rr, ran, err := ent.reduction(ctx, g, t, e.opts.Reduce)
 			if err != nil {
 				res.Err = fmt.Errorf("%s/%s: reduce: %w", wk.item.Name, t, err)
 				return res
 			}
 			if res.Reductions == nil {
 				res.Reductions = map[ddg.RegType]*reduce.Result{}
+				res.ComputedReductions = map[ddg.RegType]bool{}
 			}
 			res.Reductions[t] = rr
+			if ran {
+				res.ComputedReductions[t] = true
+			}
 		}
 	}
 	res.CacheHit = allCached && len(res.RS) > 0

@@ -30,11 +30,12 @@ type memo struct {
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	l2      ResultCache
 
-	hits, misses atomic.Int64
+	hits, misses, l2hits atomic.Int64
 }
 
-func newMemo(capacity int) *memo {
+func newMemo(capacity int, l2 ResultCache) *memo {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
@@ -42,6 +43,7 @@ func newMemo(capacity int) *memo {
 		cap:     capacity,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		l2:      l2,
 	}
 }
 
@@ -171,8 +173,10 @@ func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 }
 
 // result returns the memoized RS result for (t, opts), computing it on first
-// use. The second return reports whether the result was served from cache.
-// The context reaches all the way into an in-flight MILP solve, so batch
+// use. The second return reports whether the result was served from cache —
+// the in-memory slot or, when the engine has one, the L2 result cache (an
+// L2 load seeds the slot, so the disk is read at most once per key). The
+// context reaches all the way into an in-flight MILP solve, so batch
 // cancellation interrupts it instead of waiting the solve out; interrupted
 // computations are not memoized.
 func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType, opts rs.Options) (*rs.Result, bool, error) {
@@ -184,24 +188,40 @@ func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType
 		e.results[key] = slot
 	}
 	e.mu.Unlock()
+	fromL2 := false
 	res, ran, err := slot.get(func() (*rs.Result, error) {
+		if m.l2 != nil {
+			if r, ok := m.l2.Get(e.fp, g, t, key); ok {
+				fromL2 = true
+				return r, nil
+			}
+		}
 		an, aerr := e.analysis(g, t)
 		if aerr != nil {
 			return nil, aerr
 		}
-		return rs.ComputeWithAnalysis(ctx, an, opts)
+		r, cerr := rs.ComputeWithAnalysis(ctx, an, opts)
+		if cerr == nil && m.l2 != nil {
+			m.l2.Put(e.fp, t, key, r)
+		}
+		return r, cerr
 	})
-	if ran {
-		m.misses.Add(1)
-	} else {
+	switch {
+	case !ran:
 		m.hits.Add(1)
+	case fromL2:
+		m.l2hits.Add(1)
+	default:
+		m.misses.Add(1)
 	}
-	return res, !ran, err
+	return res, !ran || fromL2, err
 }
 
 // reduction returns the memoized reduction result for (t, spec), computing
-// it on first use. Reductions whose spec has no cache key (a custom Run
-// function the engine cannot identify) are computed every time.
+// it on first use; the second return reports whether this call ran the
+// reduction (false = served from cache). Reductions whose spec has no
+// cache key (a custom Run function the engine cannot identify) are
+// computed every time.
 //
 // Unlike RS results — whose antichains and killing functions are plain node
 // IDs, valid in every graph sharing the fingerprint — a reduction result
@@ -210,9 +230,10 @@ func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType
 // structural twin with different names: the expensive search (the arcs) is
 // reused, but the extended graph and witness schedule are rebuilt over the
 // requesting graph.
-func (e *entry) reduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduce.Result, error) {
+func (e *entry) reduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, spec *ReduceSpec) (*reduce.Result, bool, error) {
 	if spec.Key == "" {
-		return spec.Run(ctx, g, t, spec.Budget)
+		res, err := spec.Run(ctx, g, t, spec.Budget)
+		return res, true, err
 	}
 	key := fmt.Sprintf("%s|%s|%d", t, spec.Key, spec.Budget)
 	e.mu.Lock()
@@ -223,11 +244,13 @@ func (e *entry) reduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, spec
 	}
 	e.mu.Unlock()
 	slot.mu.Lock()
+	ran := false
 	if !slot.done {
+		ran = true
 		res, err := spec.Run(ctx, g, t, spec.Budget)
 		if isCtxErr(err) {
 			slot.mu.Unlock()
-			return nil, err
+			return nil, true, err
 		}
 		slot.src, slot.res, slot.err = g, res, err
 		slot.done = true
@@ -235,14 +258,14 @@ func (e *entry) reduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, spec
 	res, err, src := slot.res, slot.err, slot.src
 	slot.mu.Unlock()
 	if err != nil || src == g {
-		return res, err
+		return res, ran, err
 	}
 	adapted := *res
 	adapted.Graph = g.Extend(res.Arcs)
 	if res.Schedule != nil {
 		adapted.Schedule = schedule.New(adapted.Graph, res.Schedule.Times)
 	}
-	return &adapted, nil
+	return &adapted, ran, nil
 }
 
 // rsOptionsKey renders the result-determining fields of rs.Options.
@@ -253,13 +276,16 @@ func rsOptionsKey(o rs.Options) string {
 
 // Stats reports the cumulative cache behavior of one engine run.
 type Stats struct {
-	// Hits counts RS computations served from the memo (a repeated graph or
-	// repeated register type under the same options).
+	// Hits counts RS computations served from the in-memory memo (a
+	// repeated graph or repeated register type under the same options).
 	Hits int64
+	// L2Hits counts RS computations served from the second-level result
+	// cache (always 0 when Options.L2 is nil).
+	L2Hits int64
 	// Misses counts RS computations actually performed.
 	Misses int64
 }
 
 func (m *memo) stats() Stats {
-	return Stats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+	return Stats{Hits: m.hits.Load(), L2Hits: m.l2hits.Load(), Misses: m.misses.Load()}
 }

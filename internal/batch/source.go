@@ -43,6 +43,12 @@ func (s *sliceSource) Next() (Item, bool) {
 	return s.items[s.pos-1], true
 }
 
+// Items streams precomputed items in order — the hook for callers (the
+// analysis daemon) whose inputs are not files or prebuilt graphs: an item
+// can carry a graph parsed from a request body, or the parse failure as a
+// per-item error.
+func Items(items ...Item) Source { return &sliceSource{items: items} }
+
 // Graphs streams already-built graphs, named by their Graph.Name. Graphs
 // are finalized up front (in place), so one graph passed twice is safe to
 // analyze from concurrent workers; finalization failures become per-item

@@ -1,6 +1,7 @@
 package ddg
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -342,5 +343,43 @@ func TestNodeByName(t *testing.T) {
 	g := buildSmall(t)
 	if g.NodeByName("c") != 2 || g.NodeByName("zzz") != -1 {
 		t.Fatal("NodeByName wrong")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		src        string
+		line, col  int
+		wantSubstr string
+	}{
+		{"ddg \"x\"\nnode a op=y lat=oops", 2, 13, "bad lat"},
+		{"ddg \"x\"\nnode a op=y lat=1\nnode a op=z lat=1", 3, 6, "duplicate node"},
+		// The node name "e" occurs inside the word "node": the column must
+		// come from the whole-field match, not the first substring hit.
+		{"ddg \"x\"\nnode e op=y lat=1\nnode e op=z lat=1", 3, 6, "duplicate node"},
+		{"ddg \"x\"\nedge a b flow float", 2, 6, "unknown node"},
+		{"ddg \"x\" machine=weird", 1, 9, "unknown machine"},
+		{"bogus x", 1, 1, "unknown directive"},
+		{"ddg \"x\"\n  node a oops", 2, 10, "bad node attribute"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src)
+		if err == nil {
+			t.Fatalf("no error for %q", tc.src)
+		}
+		var perr *ParseError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%q: error %v is not a *ParseError", tc.src, err)
+		}
+		if perr.Line != tc.line || perr.Col != tc.col {
+			t.Fatalf("%q: located at %d:%d, want %d:%d (%v)",
+				tc.src, perr.Line, perr.Col, tc.line, tc.col, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSubstr) {
+			t.Fatalf("%q: message %q lacks %q", tc.src, err.Error(), tc.wantSubstr)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Fatalf("%q: message %q lacks position prefix", tc.src, err.Error())
+		}
 	}
 }

@@ -19,6 +19,71 @@ import (
 //
 // Parse does not finalize the graph, so callers can keep extending it.
 
+// ParseError locates a syntax error in the textual DDG format. Line is
+// 1-based; Col is the 1-based byte column of the offending token in that
+// line (0 when the error concerns the line as a whole). Parse failures
+// unwrap to *ParseError via errors.As, so tools can point at the exact
+// position of a bad directive or attribute.
+type ParseError struct {
+	Line  int
+	Col   int
+	Token string // the offending field, "" when the whole line is at fault
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// errTok marks an error at a specific field of the current line; Parse fills
+// in the line number and column.
+func errTok(token, format string, args ...any) *ParseError {
+	return &ParseError{Token: token, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errLine marks an error owned by the current line as a whole.
+func errLine(format string, args ...any) *ParseError {
+	return &ParseError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// locate stamps the error with its line and, when the offending token is
+// known, the token's 1-based column in the original (untrimmed) line.
+func locate(err *ParseError, lineNo int, raw string) *ParseError {
+	err.Line = lineNo
+	if err.Token != "" {
+		err.Col = columnOf(raw, err.Token)
+	}
+	return err
+}
+
+// columnOf finds the token's 1-based byte column. Tokens are usually whole
+// whitespace-delimited fields, so field-boundary matches win over bare
+// substring hits (a node named "e" must not locate inside the word "node");
+// the substring fallback covers tokens that are fragments of a field, like
+// one spec of a writes=a,b list.
+func columnOf(raw, token string) int {
+	isSpace := func(b byte) bool { return b == ' ' || b == '\t' }
+	for from := 0; from+len(token) <= len(raw); {
+		i := strings.Index(raw[from:], token)
+		if i < 0 {
+			break
+		}
+		start := from + i
+		end := start + len(token)
+		if (start == 0 || isSpace(raw[start-1])) && (end == len(raw) || isSpace(raw[end])) {
+			return start + 1
+		}
+		from = start + 1
+	}
+	if i := strings.Index(raw, token); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
 // Parse reads a DDG in the textual format.
 func Parse(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -26,37 +91,41 @@ func Parse(r io.Reader) (*Graph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
+		var err *ParseError
 		switch fields[0] {
 		case "ddg":
 			if g != nil {
-				return nil, fmt.Errorf("line %d: duplicate ddg directive", lineNo)
+				err = errTok(fields[0], "duplicate ddg directive")
+				break
 			}
-			name, machine, err := parseHeader(fields[1:])
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			var name string
+			var machine MachineKind
+			if name, machine, err = parseHeader(fields[1:]); err == nil {
+				g = New(name, machine)
 			}
-			g = New(name, machine)
 		case "node":
 			if g == nil {
-				return nil, fmt.Errorf("line %d: node before ddg directive", lineNo)
+				err = errTok(fields[0], "node before ddg directive")
+				break
 			}
-			if err := parseNode(g, fields[1:]); err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
-			}
+			err = parseNode(g, fields[1:])
 		case "edge":
 			if g == nil {
-				return nil, fmt.Errorf("line %d: edge before ddg directive", lineNo)
+				err = errTok(fields[0], "edge before ddg directive")
+				break
 			}
-			if err := parseEdge(g, fields[1:]); err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
-			}
+			err = parseEdge(g, fields[1:])
 		default:
-			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+			err = errTok(fields[0], "unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, locate(err, lineNo, raw)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -73,16 +142,16 @@ func ParseString(s string) (*Graph, error) {
 	return Parse(strings.NewReader(s))
 }
 
-func parseHeader(fields []string) (string, MachineKind, error) {
+func parseHeader(fields []string) (string, MachineKind, *ParseError) {
 	if len(fields) < 1 {
-		return "", 0, fmt.Errorf("ddg directive needs a name")
+		return "", 0, errLine("ddg directive needs a name")
 	}
 	name := strings.Trim(fields[0], `"`)
 	machine := Superscalar
 	for _, f := range fields[1:] {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok || k != "machine" {
-			return "", 0, fmt.Errorf("bad ddg attribute %q", f)
+			return "", 0, errTok(f, "bad ddg attribute %q", f)
 		}
 		switch v {
 		case "superscalar":
@@ -92,19 +161,19 @@ func parseHeader(fields []string) (string, MachineKind, error) {
 		case "epic":
 			machine = EPIC
 		default:
-			return "", 0, fmt.Errorf("unknown machine %q", v)
+			return "", 0, errTok(f, "unknown machine %q", v)
 		}
 	}
 	return name, machine, nil
 }
 
-func parseNode(g *Graph, fields []string) error {
+func parseNode(g *Graph, fields []string) *ParseError {
 	if len(fields) < 1 {
-		return fmt.Errorf("node needs a name")
+		return errLine("node needs a name")
 	}
 	name := fields[0]
 	if g.NodeByName(name) >= 0 {
-		return fmt.Errorf("duplicate node %q", name)
+		return errTok(name, "duplicate node %q", name)
 	}
 	op := "op"
 	var lat, dr int64
@@ -116,7 +185,7 @@ func parseNode(g *Graph, fields []string) error {
 	for _, f := range fields[1:] {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok {
-			return fmt.Errorf("bad node attribute %q", f)
+			return errTok(f, "bad node attribute %q", f)
 		}
 		switch k {
 		case "op":
@@ -124,13 +193,13 @@ func parseNode(g *Graph, fields []string) error {
 		case "lat":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return fmt.Errorf("bad lat %q", v)
+				return errTok(f, "bad lat %q", v)
 			}
 			lat = n
 		case "dr":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return fmt.Errorf("bad dr %q", v)
+				return errTok(f, "bad dr %q", v)
 			}
 			dr = n
 		case "writes":
@@ -140,14 +209,14 @@ func parseNode(g *Graph, fields []string) error {
 				if has {
 					n, err := strconv.ParseInt(dws, 10, 64)
 					if err != nil {
-						return fmt.Errorf("bad δw in %q", spec)
+						return errTok(spec, "bad δw in %q", spec)
 					}
 					dw = n
 				}
 				writes = append(writes, writeSpec{RegType(tname), dw})
 			}
 		default:
-			return fmt.Errorf("unknown node attribute %q", k)
+			return errTok(f, "unknown node attribute %q", k)
 		}
 	}
 	id := g.AddNode(name, op, lat)
@@ -160,30 +229,33 @@ func parseNode(g *Graph, fields []string) error {
 	return nil
 }
 
-func parseEdge(g *Graph, fields []string) error {
+func parseEdge(g *Graph, fields []string) *ParseError {
 	if len(fields) < 3 {
-		return fmt.Errorf("edge needs: from to kind …")
+		return errLine("edge needs: from to kind …")
 	}
 	from := g.NodeByName(fields[0])
 	to := g.NodeByName(fields[1])
-	if from < 0 || to < 0 {
-		return fmt.Errorf("edge references unknown node (%q or %q)", fields[0], fields[1])
+	if from < 0 {
+		return errTok(fields[0], "edge references unknown node %q", fields[0])
+	}
+	if to < 0 {
+		return errTok(fields[1], "edge references unknown node %q", fields[1])
 	}
 	switch fields[2] {
 	case "flow":
 		if len(fields) < 4 {
-			return fmt.Errorf("flow edge needs a register type")
+			return errLine("flow edge needs a register type")
 		}
 		t := RegType(fields[3])
 		lat := g.Node(from).Latency
 		for _, f := range fields[4:] {
 			k, v, ok := strings.Cut(f, "=")
 			if !ok || k != "lat" {
-				return fmt.Errorf("bad flow edge attribute %q", f)
+				return errTok(f, "bad flow edge attribute %q", f)
 			}
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return fmt.Errorf("bad lat %q", v)
+				return errTok(f, "bad lat %q", v)
 			}
 			lat = n
 		}
@@ -194,20 +266,20 @@ func parseEdge(g *Graph, fields []string) error {
 		for _, f := range fields[3:] {
 			k, v, ok := strings.Cut(f, "=")
 			if !ok || k != "lat" {
-				return fmt.Errorf("bad serial edge attribute %q", f)
+				return errTok(f, "bad serial edge attribute %q", f)
 			}
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return fmt.Errorf("bad lat %q", v)
+				return errTok(f, "bad lat %q", v)
 			}
 			lat, found = n, true
 		}
 		if !found {
-			return fmt.Errorf("serial edge needs lat=<n>")
+			return errLine("serial edge needs lat=<n>")
 		}
 		g.AddSerialEdge(from, to, lat)
 	default:
-		return fmt.Errorf("unknown edge kind %q", fields[2])
+		return errTok(fields[2], "unknown edge kind %q", fields[2])
 	}
 	return nil
 }

@@ -19,8 +19,9 @@ type interner struct {
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	bytes   int64      // estimated resident bytes of cached snapshots
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 var global = &interner{
@@ -80,10 +81,20 @@ func (in *interner) put(s *Snapshot) {
 		return // another goroutine built it first; keep the incumbent
 	}
 	in.entries[s.Fingerprint] = in.order.PushFront(s)
+	in.bytes += s.MemBytes()
+	in.evictOverflowLocked()
+}
+
+// evictOverflowLocked drops least-recently-used snapshots until the cache
+// fits its capacity, maintaining the eviction and resident-byte counters.
+func (in *interner) evictOverflowLocked() {
 	for len(in.entries) > in.cap {
 		oldest := in.order.Back()
-		delete(in.entries, oldest.Value.(*Snapshot).Fingerprint)
+		victim := oldest.Value.(*Snapshot)
+		delete(in.entries, victim.Fingerprint)
 		in.order.Remove(oldest)
+		in.bytes -= victim.MemBytes()
+		in.evictions.Add(1)
 	}
 }
 
@@ -99,11 +110,7 @@ func SetInternCapacity(n int) {
 	global.mu.Lock()
 	defer global.mu.Unlock()
 	global.cap = n
-	for len(global.entries) > global.cap {
-		oldest := global.order.Back()
-		delete(global.entries, oldest.Value.(*Snapshot).Fingerprint)
-		global.order.Remove(oldest)
-	}
+	global.evictOverflowLocked()
 }
 
 // CacheStats reports the process-wide interner behavior.
@@ -111,18 +118,28 @@ type CacheStats struct {
 	// Hits counts Intern calls served from the cache; Misses counts
 	// snapshots actually built.
 	Hits, Misses int64
+	// Evictions counts snapshots dropped by the LRU policy (capacity
+	// overflow or a SetInternCapacity shrink).
+	Evictions int64
 	// Entries is the current cache population.
 	Entries int
+	// ResidentBytes estimates the heap bytes held by the cached snapshots
+	// (the sum of Snapshot.MemBytes over the population).
+	ResidentBytes int64
 }
 
-// Stats returns the interner's cumulative hit/miss counts and population.
+// Stats returns the interner's cumulative hit/miss/eviction counts, its
+// population, and the estimated resident bytes.
 func Stats() CacheStats {
 	global.mu.Lock()
 	n := len(global.entries)
+	bytes := global.bytes
 	global.mu.Unlock()
 	return CacheStats{
-		Hits:    global.hits.Load(),
-		Misses:  global.misses.Load(),
-		Entries: n,
+		Hits:          global.hits.Load(),
+		Misses:        global.misses.Load(),
+		Evictions:     global.evictions.Load(),
+		Entries:       n,
+		ResidentBytes: bytes,
 	}
 }

@@ -315,3 +315,30 @@ func (s *Snapshot) rebind(g *ddg.Graph) *Snapshot {
 	c.G = g
 	return &c
 }
+
+// MemBytes estimates the resident heap bytes of the snapshot's shared
+// artifacts: the CSR adjacency, topological order, transitive-closure
+// bitsets, the all-pairs longest-path matrix, and the per-type value tables.
+// The estimate counts the dominant backing arrays (not Go object headers),
+// so long-running services can track interner memory against
+// SetInternCapacity.
+func (s *Snapshot) MemBytes() int64 {
+	n := int64(s.N)
+	b := 8 * int64(len(s.Topo)+len(s.TopoPos))
+	b += 4 * int64(len(s.Fwd.Off)+len(s.Fwd.Dst)+len(s.Rev.Off)+len(s.Rev.Dst))
+	b += 8 * int64(len(s.Fwd.Wt)+len(s.Rev.Wt))
+	for _, r := range s.Reach {
+		b += 8 * int64(len(r))
+	}
+	b += 8 * n * n // AP.D
+	for _, tbl := range s.tables {
+		b += 8 * int64(len(tbl.Values)+len(tbl.Index)+len(tbl.DelayW))
+		for i := range tbl.Cons {
+			b += 8 * int64(len(tbl.Cons[i]))
+		}
+		for i := range tbl.PKill {
+			b += 8 * int64(len(tbl.PKill[i]))
+		}
+	}
+	return b
+}

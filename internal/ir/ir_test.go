@@ -325,3 +325,45 @@ func TestSetInternCapacity(t *testing.T) {
 		t.Fatal("rebuilt snapshot inconsistent")
 	}
 }
+
+func TestInternerStatsEvictionsAndBytes(t *testing.T) {
+	defer SetInternCapacity(DefaultInternCapacity)
+	SetInternCapacity(2)
+	before := Stats()
+
+	rng := rand.New(rand.NewSource(77))
+	var gs []*ddg.Graph
+	for i := 0; i < 5; i++ {
+		gs = append(gs, ddg.RandomGraph(rng, ddg.DefaultRandomParams(6+i)))
+	}
+	for _, g := range gs {
+		if _, err := Intern(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := Stats()
+	// Five distinct structures through a 2-entry cache must evict at least
+	// three snapshots.
+	if d := after.Evictions - before.Evictions; d < 3 {
+		t.Fatalf("evictions moved by %d, want >= 3", d)
+	}
+	if after.Entries > 2 {
+		t.Fatalf("population %d exceeds capacity 2", after.Entries)
+	}
+	if after.ResidentBytes <= 0 {
+		t.Fatalf("resident bytes %d, want positive", after.ResidentBytes)
+	}
+	// The byte gauge must match the resident snapshots exactly (insertions
+	// minus evictions), so it cannot drift over a long-running service.
+	var want int64
+	for _, g := range gs[len(gs)-after.Entries:] {
+		s, err := Intern(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += s.MemBytes()
+	}
+	if got := Stats().ResidentBytes; got != want {
+		t.Fatalf("resident bytes %d, want %d (sum over population)", got, want)
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned by admission.acquire when the wait queue is
+// full; the handler maps it to HTTP 429.
+var errOverloaded = errors.New("service: admission queue full")
+
+// admission is the daemon's bounded job queue: at most maxInFlight requests
+// execute at once, at most maxQueue more wait for a slot, and anything
+// beyond that is shed immediately. The bound is what keeps a traffic burst
+// from turning into unbounded goroutine and graph memory.
+type admission struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	inFlight int
+	maxQueue int
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire waits for an execution slot. It fails fast with errOverloaded
+// when the wait queue is full, and with the context error when the caller
+// gives up (client disconnect, deadline) before a slot frees up.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errOverloaded
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.inFlight++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the slot taken by a successful acquire.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inFlight--
+	a.mu.Unlock()
+	<-a.slots
+}
+
+// depth samples the queue: requests waiting, requests executing.
+func (a *admission) depth() (queued, inFlight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.inFlight
+}

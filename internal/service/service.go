@@ -1,0 +1,299 @@
+// Package service is the register-saturation analysis daemon behind cmd/rsd:
+// a long-running HTTP/JSON front end over the batch engine (regsat.AnalyzeAll)
+// with a persistent fingerprint-keyed result store layered under the
+// in-memory memo.
+//
+// Endpoints:
+//
+//	POST /v1/analyze              submit inline .ddg text and/or corpus
+//	                              references; single-shot JSON response
+//	POST /v1/analyze?stream=ndjson same, streamed as NDJSON items
+//	GET  /healthz                 liveness + admission-queue snapshot
+//	GET  /metrics                 Prometheus text exposition
+//
+// The daemon guarantees:
+//
+//   - admission control: a bounded queue in front of a bounded worker pool;
+//     a request arriving with the queue full is shed with HTTP 429 instead
+//     of piling up memory;
+//   - per-request deadlines and cancellation: the request context (deadline
+//     or client disconnect) threads through the batch engine into in-flight
+//     simplex iterations and branch-and-bound nodes;
+//   - result persistence: with a store attached, every computed RS result
+//     is written through to disk and every structurally identical request
+//     afterwards — across restarts and across processes — is served
+//     without solving anything.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regsat/client"
+	"regsat/internal/batch"
+	"regsat/internal/service/store"
+	"regsat/internal/solver"
+)
+
+// Config configures a Server. The zero value serves with defaults and no
+// persistent store.
+type Config struct {
+	// Store is the optional persistent result store (L2 under the memo).
+	Store *store.Store
+	// CorpusRoot enables server-side corpus references: request Corpus
+	// entries resolve strictly under this directory. Empty disables them.
+	CorpusRoot string
+	// MaxInFlight bounds concurrently executing requests
+	// (0 = GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 429 (0 = DefaultMaxQueue).
+	MaxQueue int
+	// Workers is the batch worker count per request (0 = GOMAXPROCS).
+	Workers int
+	// DefaultTimeout applies when a request names none (0 = 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts (0 = 10m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+	// CacheSize bounds the in-memory memo (0 = batch.DefaultCacheSize).
+	CacheSize int
+	// Logger receives request-level diagnostics (nil = log.Default()).
+	Logger *log.Logger
+}
+
+// DefaultMaxQueue bounds the admission queue when Config.MaxQueue is zero.
+const DefaultMaxQueue = 64
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server is the analysis daemon. Create one with New, mount Handler on an
+// http.Server, and call SetDraining(true) before shutting that server down
+// so load balancers see /healthz flip before in-flight work drains.
+type Server struct {
+	cfg  Config
+	base *batch.Engine // owns the shared L1 memo (and L2 write-through)
+	adm  *admission
+
+	draining atomic.Bool
+
+	requests   atomic.Int64
+	rejected   atomic.Int64
+	items      atomic.Int64
+	itemErrors atomic.Int64
+
+	solverMu  sync.Mutex
+	solverAgg solver.Stats
+	solves    int64
+}
+
+// New creates a Server. The batch engine, its memo, and the store are
+// shared by every request the server ever handles.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	opts := batch.Options{CacheSize: cfg.CacheSize}
+	if cfg.Store != nil {
+		opts.L2 = cfg.Store
+	}
+	return &Server{
+		cfg:  cfg,
+		base: batch.New(opts),
+		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+	}
+}
+
+// Engine exposes the shared batch engine (tests and metrics).
+func (s *Server) Engine() *batch.Engine { return s.base }
+
+// SetDraining flips the drain flag: /healthz answers 503 and new analyze
+// requests are refused, while requests already admitted run to completion.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	queued, inflight := s.adm.depth()
+	h := client.Health{
+		Status:   "ok",
+		Queued:   queued,
+		InFlight: inflight,
+		Store:    s.cfg.Store != nil,
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req client.AnalyzeRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Graphs) == 0 && len(req.Corpus) == 0 {
+		http.Error(w, "request names no graphs and no corpus references", http.StatusBadRequest)
+		return
+	}
+	batchOpts, err := s.batchOptions(req.Options)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	src, err := s.buildSource(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Deadline: the context reaches every in-flight solve, so an expired
+	// request interrupts its own MILP/BB work instead of abandoning it.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: shed immediately when the wait queue is full, otherwise
+	// queue for an execution slot (abandoning the wait if the client
+	// disconnects or the deadline passes first).
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "analysis queue is full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, fmt.Sprintf("request expired while queued: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	defer s.adm.release()
+
+	engine := s.base.WithOptions(batchOpts)
+	before := engine.Stats()
+	ch, err := engine.Run(ctx, src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	withWitness := req.Options.Witness
+	wantDDG := req.Options.Reduce != nil
+	if r.URL.Query().Get("stream") != "" {
+		s.streamResults(ctx, w, ch, engine, before, withWitness, wantDDG)
+		return
+	}
+
+	resp := client.AnalyzeResponse{Items: []client.Item{}}
+	for res := range ch {
+		resp.Items = append(resp.Items, s.itemToWire(res, withWitness, wantDDG))
+	}
+	if err := ctx.Err(); err != nil {
+		// The batch was cut short; report what finished plus the cause, so
+		// the client never mistakes a truncated item list for a complete one.
+		resp.Error = fmt.Sprintf("batch interrupted: %v", err)
+		s.cfg.Logger.Printf("service: analyze interrupted: %v", err)
+	}
+	resp.Stats = runStatsSince(engine, before)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// streamResults writes one NDJSON StreamEvent per finished item, flushing
+// between items, then a final stats event.
+func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, ch <-chan batch.Result,
+	engine *batch.Engine, before batch.Stats, withWitness, wantDDG bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev client.StreamEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for res := range ch {
+		item := s.itemToWire(res, withWitness, wantDDG)
+		emit(client.StreamEvent{Item: &item})
+	}
+	if err := ctx.Err(); err != nil {
+		emit(client.StreamEvent{Error: fmt.Sprintf("batch interrupted: %v", err)})
+	}
+	stats := runStatsSince(engine, before)
+	emit(client.StreamEvent{Stats: &stats})
+}
+
+// runStatsSince renders the engine's counter movement as this request's
+// cache accounting (exact with one request in flight, else approximate).
+func runStatsSince(engine *batch.Engine, before batch.Stats) client.RunStats {
+	after := engine.Stats()
+	return client.RunStats{
+		L1Hits:   after.Hits - before.Hits,
+		L2Hits:   after.L2Hits - before.L2Hits,
+		Computed: after.Misses - before.Misses,
+	}
+}
+
+// recordSolve folds one solve's stats into the server-wide aggregate
+// /metrics reports.
+func (s *Server) recordSolve(st *solver.Stats) {
+	if st == nil {
+		return
+	}
+	s.solverMu.Lock()
+	s.solverAgg.Add(*st)
+	s.solves++
+	s.solverMu.Unlock()
+}

@@ -1,0 +1,373 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regsat/client"
+	"regsat/internal/service/store"
+)
+
+const corpusRoot = "../../testdata"
+
+// newTestServer boots a service over httptest and returns a client for it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *client.Client, func()) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	return s, client.New(hs.URL, hs.Client()), hs.Close
+}
+
+// TestServiceEndToEndPersistence is the acceptance path: start a daemon on
+// a fresh store, analyze the whole committed corpus, "restart" (new server,
+// new engine, same store directory), re-analyze, and require identical
+// results with zero RS computations — every result served from L2.
+func TestServiceEndToEndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	req := &client.AnalyzeRequest{
+		Corpus:  []string{"."},
+		Options: client.AnalyzeOptions{Method: "bb"},
+	}
+
+	runDaemon := func() (*client.AnalyzeResponse, store.Stats) {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c, done := newTestServer(t, Config{Store: st, CorpusRoot: corpusRoot})
+		defer done()
+		resp, err := c.Analyze(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, st.Stats()
+	}
+
+	first, firstStore := runDaemon()
+	if len(first.Items) < 20 {
+		t.Fatalf("corpus run returned %d items, want the full testdata corpus", len(first.Items))
+	}
+	for _, it := range first.Items {
+		if it.Error != "" {
+			t.Fatalf("%s failed: %s", it.Name, it.Error)
+		}
+		if len(it.RS) == 0 {
+			t.Fatalf("%s has no RS results", it.Name)
+		}
+	}
+	if first.Stats.Computed == 0 {
+		t.Fatal("first pass computed nothing?")
+	}
+	if firstStore.Puts == 0 {
+		t.Fatal("first pass persisted nothing")
+	}
+
+	second, _ := runDaemon()
+	if second.Stats.Computed != 0 {
+		t.Fatalf("second pass after restart computed %d results, want 0 (all L2 hits)", second.Stats.Computed)
+	}
+	if second.Stats.L2Hits == 0 {
+		t.Fatal("second pass reports no L2 hits")
+	}
+	if len(second.Items) != len(first.Items) {
+		t.Fatalf("item count changed across restart: %d vs %d", len(second.Items), len(first.Items))
+	}
+	for i, a := range first.Items {
+		b := second.Items[i]
+		if a.Name != b.Name {
+			t.Fatalf("item %d renamed across restart: %s vs %s", i, a.Name, b.Name)
+		}
+		if !b.CacheHit {
+			t.Fatalf("%s not served from cache on the second pass", b.Name)
+		}
+		if len(a.RS) != len(b.RS) {
+			t.Fatalf("%s: RS type count changed", a.Name)
+		}
+		for typ, ra := range a.RS {
+			rb := b.RS[typ]
+			if rb == nil || rb.RS != ra.RS || rb.Exact != ra.Exact {
+				t.Fatalf("%s/%s: results differ across restart: %+v vs %+v", a.Name, typ, ra, rb)
+			}
+		}
+	}
+}
+
+func TestServiceInlineGraphsStreamAndParsePositions(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	good := "ddg \"tiny\"\nnode a op=load lat=2 writes=float\nnode b op=use lat=1\nedge a b flow float\n"
+	bad := "ddg \"broken\"\nnode a op=load lat=oops writes=float\n"
+	req := &client.AnalyzeRequest{
+		Graphs: []client.GraphInput{
+			{Name: "g0", DDG: good},
+			{Name: "g1", DDG: bad},
+			{DDG: good}, // unnamed: falls back to the parsed ddg name
+		},
+		Options: client.AnalyzeOptions{Method: "bb", Witness: true},
+	}
+
+	var items []*client.Item
+	stats, err := c.AnalyzeStream(context.Background(), req, func(it *client.Item) error {
+		items = append(items, it)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("stream out of order: item %d has index %d", i, it.Index)
+		}
+	}
+	if items[0].Name != "g0" || items[0].Error != "" {
+		t.Fatalf("good graph failed: %+v", items[0])
+	}
+	rs := items[0].RS["float"]
+	if rs == nil || rs.RS != 1 || !rs.Exact {
+		t.Fatalf("tiny graph RS_float: %+v, want exact 1", rs)
+	}
+	if len(rs.Witness) == 0 {
+		t.Fatal("witness requested but absent")
+	}
+	if got := items[1]; got.Error == "" || got.ErrorLine != 2 || got.ErrorCol == 0 {
+		t.Fatalf("parse failure not located: %+v", got)
+	} else if !strings.Contains(got.Error, "line 2") {
+		t.Fatalf("parse error lacks position: %q", got.Error)
+	}
+	if items[2].Name != "tiny" {
+		t.Fatalf("unnamed graph not named from its ddg directive: %q", items[2].Name)
+	}
+	// Structural twins within one request: the third graph is the first one
+	// again, so at most one computation per type ran.
+	if stats.Computed > 1 {
+		t.Fatalf("twin graphs computed separately: %+v", stats)
+	}
+}
+
+func TestServiceReduce(t *testing.T) {
+	_, c, done := newTestServer(t, Config{CorpusRoot: corpusRoot})
+	defer done()
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus: []string{"superscalar-spec-swim.ddg"},
+		Options: client.AnalyzeOptions{
+			Method: "bb",
+			Types:  []string{"float"},
+			Reduce: &client.ReduceSpec{Budget: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 1 || resp.Items[0].Error != "" {
+		t.Fatalf("unexpected response: %+v", resp.Items)
+	}
+	it := resp.Items[0]
+	if it.RS["float"] == nil || it.RS["float"].RS <= 3 {
+		t.Skipf("kernel saturation %v not above budget; reduction not exercised", it.RS["float"])
+	}
+	red := it.Reductions["float"]
+	if red == nil {
+		t.Fatal("no reduction returned")
+	}
+	if !red.Spill {
+		if red.RS > 3 {
+			t.Fatalf("reduction above budget: %d", red.RS)
+		}
+		if len(red.Arcs) == 0 || red.DDG == "" {
+			t.Fatalf("reduction missing arcs or extended DDG: %+v", red)
+		}
+	}
+}
+
+func TestServiceAdmissionControl(t *testing.T) {
+	s, c, done := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1, CorpusRoot: corpusRoot})
+	defer done()
+
+	// Occupy the only execution slot and the only queue seat directly.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- s.adm.acquire(context.Background()) }()
+	// Wait until the second acquire is parked in the queue.
+	for i := 0; ; i++ {
+		if q, _ := s.adm.depth(); q == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("queued acquire never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus:  []string{"superscalar-fig2.ddg"},
+		Options: client.AnalyzeOptions{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("saturated server did not shed: %v", err)
+	}
+
+	// Free the slot: the parked acquire gets it, then both release and the
+	// server serves again.
+	s.adm.release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	s.adm.release()
+	if _, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus: []string{"superscalar-fig2.ddg"},
+	}); err != nil {
+		t.Fatalf("server did not recover after release: %v", err)
+	}
+}
+
+// TestServiceConcurrentCancellation exercises the race surface the
+// acceptance criteria name: concurrent submissions, some of which cancel
+// mid-flight, over one shared engine and store.
+func TestServiceConcurrentCancellation(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, done := newTestServer(t, Config{Store: st, CorpusRoot: corpusRoot, MaxQueue: 128})
+	defer done()
+
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%3 == 0 {
+				// A third of the submissions abandon the request mid-flight.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i)*time.Millisecond)
+				defer cancel()
+			}
+			req := &client.AnalyzeRequest{
+				Corpus:  []string{"."},
+				Options: client.AnalyzeOptions{Method: "bb"},
+			}
+			if _, err := c.Analyze(ctx, req); err != nil && ctx.Err() == nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The daemon must still serve cleanly after the storm.
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus:  []string{"."},
+		Options: client.AnalyzeOptions{Method: "bb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("%s failed after cancellation storm: %s", it.Name, it.Error)
+		}
+	}
+}
+
+func TestServiceHealthDrainAndMetrics(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c, done := newTestServer(t, Config{Store: st, CorpusRoot: corpusRoot})
+	defer done()
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Store {
+		t.Fatalf("health: %+v", h)
+	}
+
+	if _, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus:  []string{"superscalar-fig2.ddg"},
+		Options: client.AnalyzeOptions{Method: "ilp"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"regsat_queue_depth 0",
+		"regsat_requests_total",
+		"regsat_rs_computed_total",
+		"regsat_store_puts_total",
+		"regsat_interner_resident_bytes",
+		"regsat_solver_solves_total",
+	} {
+		if !strings.Contains(metrics, key) {
+			t.Fatalf("metrics missing %q:\n%s", key, metrics)
+		}
+	}
+	if strings.Contains(metrics, "regsat_solver_solves_total 0") {
+		t.Fatal("ilp request did not feed the solver aggregate")
+	}
+
+	s.SetDraining(true)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("draining health did not 503")
+	}
+	if _, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus: []string{"superscalar-fig2.ddg"},
+	}); err == nil {
+		t.Fatal("draining server accepted work")
+	}
+	s.SetDraining(false)
+}
+
+func TestServiceRequestValidation(t *testing.T) {
+	_, c, done := newTestServer(t, Config{}) // no corpus root
+	defer done()
+	cases := []*client.AnalyzeRequest{
+		{},                          // no inputs
+		{Corpus: []string{"x.ddg"}}, // corpus disabled
+		{Graphs: []client.GraphInput{{DDG: "ddg \"x\""}}, // bad enum
+			Options: client.AnalyzeOptions{Method: "quantum"}},
+		{Graphs: []client.GraphInput{{DDG: "ddg \"x\""}},
+			Options: client.AnalyzeOptions{Method: "ilp", Solver: client.SolverOptions{Backend: "nope"}}},
+		{Graphs: []client.GraphInput{{DDG: "ddg \"x\""}},
+			Options: client.AnalyzeOptions{Reduce: &client.ReduceSpec{Budget: 0}}},
+	}
+	for i, req := range cases {
+		if _, err := c.Analyze(context.Background(), req); err == nil {
+			t.Fatalf("case %d: bad request accepted", i)
+		} else if strings.Contains(err.Error(), "500") {
+			t.Fatalf("case %d: validation leaked a 500: %v", i, err)
+		}
+	}
+}
+
+func TestServiceCorpusEscapeBlocked(t *testing.T) {
+	_, c, done := newTestServer(t, Config{CorpusRoot: corpusRoot + "/.."})
+	defer done()
+	// ".." pins to the root, so this resolves inside the tree (the parent
+	// of testdata holds no .ddg files → a clean 400, not an escape).
+	_, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Corpus: []string{"../../../../etc"},
+	})
+	if err == nil {
+		t.Fatal("escaping corpus reference accepted")
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("want a 400 for the pinned-but-missing path, got: %v", err)
+	}
+}

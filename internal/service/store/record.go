@@ -1,0 +1,143 @@
+package store
+
+import (
+	"fmt"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+	"regsat/internal/schedule"
+	"regsat/internal/solver"
+)
+
+// Record is the on-disk form of one rs.Result. Antichains and witness times
+// are stored in node-ID space: the fingerprint excludes names, so a record
+// written for one graph is valid for every structural twin, and the witness
+// schedule is rebuilt over whichever graph asks.
+//
+// The in-memory killing-function view (rs.Result.Killing) is deliberately
+// not persisted — it aliases a live rs.Analysis; everything it proves (the
+// saturation, the antichain, the witness) is already here. L2-served
+// results therefore carry Killing == nil, which every consumer treats as
+// "not available" (exactly like intLP-method results).
+type Record struct {
+	Schema      int    `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Type        string `json:"type"`
+	OptionsKey  string `json:"optionsKey"`
+
+	RS        int   `json:"rs"`
+	Antichain []int `json:"antichain,omitempty"`
+	Exact     bool  `json:"exact"`
+	// WitnessTimes is the witness schedule's issue time per node ID
+	// (including ⊥); nil when the result was computed with SkipWitness.
+	WitnessTimes []int64 `json:"witnessTimes,omitempty"`
+
+	ILPUpperBound int           `json:"ilpUpperBound,omitempty"`
+	ILP           *ILPInfo      `json:"ilp,omitempty"`
+	BBStats       *BBStats      `json:"bbStats,omitempty"`
+	SolverStats   *solver.Stats `json:"solverStats,omitempty"`
+
+	// SavedAtUnixNs timestamps the write (diagnostics only; never compared).
+	SavedAtUnixNs int64 `json:"savedAtUnixNs"`
+}
+
+// ILPInfo mirrors rs.ILPInfo with a fixed wire schema.
+type ILPInfo struct {
+	Vars            int `json:"vars"`
+	IntVars         int `json:"intVars"`
+	Constrs         int `json:"constrs"`
+	RedundantArcs   int `json:"redundantArcs"`
+	NeverAlivePairs int `json:"neverAlivePairs"`
+}
+
+// BBStats mirrors rs.ExactStats with a fixed wire schema.
+type BBStats struct {
+	Leaves     int64 `json:"leaves"`
+	Pruned     int64 `json:"pruned"`
+	Capped     bool  `json:"capped"`
+	UpperBound int   `json:"upperBound"`
+}
+
+// newRecord captures res for persistence.
+func newRecord(fp string, t ddg.RegType, optsKey string, res *rs.Result) *Record {
+	rec := &Record{
+		Schema:        SchemaVersion,
+		Fingerprint:   fp,
+		Type:          string(t),
+		OptionsKey:    optsKey,
+		RS:            res.RS,
+		Antichain:     res.Antichain,
+		Exact:         res.Exact,
+		ILPUpperBound: res.ILPUpperBound,
+		SavedAtUnixNs: now().UnixNano(),
+	}
+	if res.Witness != nil {
+		rec.WitnessTimes = res.Witness.Times
+	}
+	if res.ILP != nil {
+		rec.ILP = &ILPInfo{
+			Vars:            res.ILP.Vars,
+			IntVars:         res.ILP.IntVars,
+			Constrs:         res.ILP.Constrs,
+			RedundantArcs:   res.ILP.RedundantArcs,
+			NeverAlivePairs: res.ILP.NeverAlivePairs,
+		}
+	}
+	if res.BBStats != nil {
+		rec.BBStats = &BBStats{
+			Leaves:     res.BBStats.Leaves,
+			Pruned:     res.BBStats.Pruned,
+			Capped:     res.BBStats.Capped,
+			UpperBound: res.BBStats.UpperBound,
+		}
+	}
+	if res.SolverStats != nil {
+		stats := *res.SolverStats
+		rec.SolverStats = &stats
+	}
+	return rec
+}
+
+// result materializes the record against g.
+func (rec *Record) result(g *ddg.Graph, t ddg.RegType) (*rs.Result, error) {
+	for _, id := range rec.Antichain {
+		if id < 0 || id >= g.NumNodes() {
+			return nil, fmt.Errorf("store: antichain node %d outside graph (%d nodes)", id, g.NumNodes())
+		}
+	}
+	res := &rs.Result{
+		Type:          t,
+		RS:            rec.RS,
+		Antichain:     rec.Antichain,
+		Exact:         rec.Exact,
+		ILPUpperBound: rec.ILPUpperBound,
+	}
+	if rec.WitnessTimes != nil {
+		if len(rec.WitnessTimes) != g.NumNodes() {
+			return nil, fmt.Errorf("store: witness has %d times for %d nodes", len(rec.WitnessTimes), g.NumNodes())
+		}
+		res.Witness = schedule.New(g, rec.WitnessTimes)
+	}
+	if rec.ILP != nil {
+		res.ILP = &rs.ILPInfo{
+			Vars:            rec.ILP.Vars,
+			IntVars:         rec.ILP.IntVars,
+			Constrs:         rec.ILP.Constrs,
+			RedundantArcs:   rec.ILP.RedundantArcs,
+			NeverAlivePairs: rec.ILP.NeverAlivePairs,
+		}
+	}
+	if rec.BBStats != nil {
+		res.BBStats = &rs.ExactStats{
+			Leaves:     rec.BBStats.Leaves,
+			Pruned:     rec.BBStats.Pruned,
+			Capped:     rec.BBStats.Capped,
+			UpperBound: rec.BBStats.UpperBound,
+		}
+	}
+	if rec.SolverStats != nil {
+		stats := *rec.SolverStats
+		res.SolverStats = &stats
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/ir"
+	"regsat/internal/kernels"
+	"regsat/internal/rs"
+)
+
+func testGraph(t *testing.T) (*ddg.Graph, ddg.RegType, string) {
+	t.Helper()
+	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	types := g.Types()
+	if len(types) == 0 {
+		t.Fatal("kernel writes no register types")
+	}
+	return g, types[0], ir.Fingerprint(g)
+}
+
+func computeResult(t *testing.T, g *ddg.Graph, rt ddg.RegType, opts rs.Options) *rs.Result {
+	t.Helper()
+	res, err := rs.Compute(context.Background(), g, rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{Method: rs.MethodExactBB})
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp, g, rt, "k"); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	s.Put(fp, rt, "k", res)
+	got, ok := s.Get(fp, g, rt, "k")
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if got.RS != res.RS || got.Exact != res.Exact {
+		t.Fatalf("round trip changed result: got RS=%d exact=%v, want RS=%d exact=%v",
+			got.RS, got.Exact, res.RS, res.Exact)
+	}
+	if !reflect.DeepEqual(got.Antichain, res.Antichain) {
+		t.Fatalf("antichain changed: %v vs %v", got.Antichain, res.Antichain)
+	}
+	if res.Witness != nil {
+		if got.Witness == nil {
+			t.Fatal("witness lost in round trip")
+		}
+		if err := got.Witness.Validate(); err != nil {
+			t.Fatalf("rebuilt witness invalid: %v", err)
+		}
+		if !reflect.DeepEqual(got.Witness.Times, res.Witness.Times) {
+			t.Fatal("witness times changed")
+		}
+	}
+	if res.BBStats != nil && (got.BBStats == nil || *got.BBStats != *res.BBStats) {
+		t.Fatalf("bb stats changed: %+v vs %+v", got.BBStats, res.BBStats)
+	}
+	// The second open of the same directory (a "restart") must serve the
+	// same record.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(fp, g, rt, "k"); !ok {
+		t.Fatal("record did not survive reopen")
+	}
+	// Keys are (fingerprint, type, options): any component change misses.
+	if _, ok := s2.Get(fp, g, rt, "other-options"); ok {
+		t.Fatal("options key ignored")
+	}
+	if _, ok := s2.Get("other-fp", g, rt, "k"); ok {
+		t.Fatal("fingerprint ignored")
+	}
+}
+
+func TestStoreCorruptionTolerated(t *testing.T) {
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{SkipWitness: true})
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fp, rt, "k", res)
+	path := s.path(fp, rt, "k")
+
+	for _, garbage := range [][]byte{
+		[]byte("{torn wri"),
+		[]byte(`{"schema":999}`),
+		{},
+	} {
+		if err := os.WriteFile(path, garbage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(fp, g, rt, "k"); ok {
+			t.Fatalf("corrupt record %q served as a hit", garbage)
+		}
+	}
+	if errs := s.Stats().Errors; errs < 3 {
+		t.Fatalf("corruption not counted: %d errors", errs)
+	}
+	// A good record written over the corruption serves again.
+	s.Put(fp, rt, "k", res)
+	if _, ok := s.Get(fp, g, rt, "k"); !ok {
+		t.Fatal("store did not recover after rewrite")
+	}
+}
+
+func TestStoreSchemaMismatchStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("regsat-store v999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "objects", "zz", "alien.json")
+	if err := os.MkdirAll(filepath.Dir(foreign), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(foreign, []byte("alien schema"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{SkipWitness: true})
+	s.Put(fp, rt, "k", res)
+	if _, ok := s.Get(fp, g, rt, "k"); !ok {
+		t.Fatal("fresh tree under mismatched VERSION does not serve")
+	}
+	// The foreign tree is left alone.
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign-schema record touched: %v", err)
+	}
+	if s.objects == filepath.Join(dir, "objects") {
+		t.Fatal("mismatched schema reused the foreign objects tree")
+	}
+}
+
+func TestStoreWitnessLengthMismatchIsMiss(t *testing.T) {
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{})
+	if res.Witness == nil {
+		t.Fatal("expected a witness")
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fp, rt, "k", res)
+
+	// A graph with a different node count sharing the key (impossible for a
+	// true fingerprint, but exactly what a hash collision or a tampered
+	// store would look like) must be a tolerated miss, not a panic.
+	other := kernels.ByNameMust("fig2").Build(ddg.Superscalar)
+	if err := other.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if other.NumNodes() == g.NumNodes() {
+		t.Skip("test kernels coincide in size")
+	}
+	if _, ok := s.Get(fp, other, rt, "k"); ok {
+		t.Fatal("witness of wrong size served")
+	}
+}
+
+func TestStoreLen(t *testing.T) {
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{SkipWitness: true})
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range []string{"a", "b", "c"} {
+		s.Put(fp, rt, key, res)
+		if n, err := s.Len(); err != nil || n != i+1 {
+			t.Fatalf("Len after %d puts: %d, %v", i+1, n, err)
+		}
+	}
+	// Overwriting an existing key does not grow the store.
+	s.Put(fp, rt, "a", res)
+	if n, _ := s.Len(); n != 3 {
+		t.Fatalf("overwrite grew the store to %d", n)
+	}
+}

@@ -94,26 +94,30 @@ func (o Options) Key() string {
 		o.Backend, o.MaxNodes, o.TimeLimit, o.IntTol, o.Parallel, cut)
 }
 
-// Stats reports the work one solve performed.
+// Stats reports the work one solve performed. The JSON tags fix the wire
+// schema: stats cross process boundaries through the analysis daemon's
+// responses and its persistent result store, so the field names below are a
+// compatibility surface (Duration serializes as nanoseconds).
 type Stats struct {
 	// Nodes is the number of branch-and-bound nodes whose relaxation was
 	// solved (or dense-fallback subtree solves, counted by their own nodes).
-	Nodes int64
+	Nodes int64 `json:"nodes"`
 	// SimplexIters is the total simplex iterations across all nodes.
-	SimplexIters int64
+	SimplexIters int64 `json:"simplexIters"`
 	// WarmStarts counts node solves reoptimized in place from the parent
 	// basis (dives); ColdStarts counts nodes rebuilt from scratch (best-bound
 	// queue pops and periodic refactorizations).
-	WarmStarts, ColdStarts int64
+	WarmStarts int64 `json:"warmStarts"`
+	ColdStarts int64 `json:"coldStarts"`
 	// Fallbacks counts subtrees handed to the dense reference engine after
 	// numerical trouble.
-	Fallbacks int64
+	Fallbacks int64 `json:"fallbacks"`
 	// Incumbents counts incumbent improvements.
-	Incumbents int64
+	Incumbents int64 `json:"incumbents"`
 	// Workers is the tree-search worker count used.
-	Workers int
-	// Duration is the wall time of the solve.
-	Duration time.Duration
+	Workers int `json:"workers"`
+	// Duration is the wall time of the solve, in nanoseconds on the wire.
+	Duration time.Duration `json:"durationNs"`
 }
 
 // WarmRate is the fraction of node solves served warm from the parent basis.

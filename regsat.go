@@ -34,10 +34,12 @@ import (
 	"regsat/internal/batch"
 	"regsat/internal/cfg"
 	"regsat/internal/ddg"
+	"regsat/internal/ir"
 	"regsat/internal/reduce"
 	"regsat/internal/regalloc"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
+	"regsat/internal/service/store"
 	"regsat/internal/solver"
 	"regsat/internal/spill"
 )
@@ -82,8 +84,14 @@ func NewGraph(name string, machine MachineKind) *Graph {
 	return ddg.New(name, machine)
 }
 
+// GraphParseError locates a syntax error in the textual DDG format: the
+// 1-based line and column of the offending token. ParseGraph failures
+// unwrap to it via errors.As.
+type GraphParseError = ddg.ParseError
+
 // ParseGraph reads a DDG in the textual format (see internal/ddg/format.go).
-// The returned graph is not finalized.
+// The returned graph is not finalized. Syntax errors carry their position
+// (*GraphParseError).
 func ParseGraph(r io.Reader) (*Graph, error) { return ddg.Parse(r) }
 
 // ParseGraphString is ParseGraph over a string.
@@ -242,6 +250,39 @@ func SourceGraphs(gs ...*Graph) GraphSource { return batch.Graphs(gs...) }
 
 // SourceConcat chains sources into one stream.
 func SourceConcat(sources ...GraphSource) GraphSource { return batch.Concat(sources...) }
+
+// Persistent result caching and interner introspection (the substrate of
+// the analysis daemon, cmd/rsd — see docs/SERVER.md).
+type (
+	// BatchResultCache is the batch engine's optional second-level result
+	// cache (BatchOptions.L2): results the in-memory memo has to compute
+	// are looked up in — and written through to — this layer, keyed by
+	// (structural fingerprint, register type, canonicalized options).
+	BatchResultCache = batch.ResultCache
+	// ResultStore is the persistent on-disk BatchResultCache used by rsd:
+	// content-addressed, atomically written, corruption-tolerant, safe to
+	// share across processes.
+	ResultStore = store.Store
+	// InternerCacheStats reports the process-wide analysis-snapshot
+	// interner: hits, misses, evictions, population, and estimated
+	// resident bytes.
+	InternerCacheStats = ir.CacheStats
+)
+
+// OpenResultStore opens (creating if necessary) a persistent result store
+// rooted at dir. Plug it into BatchOptions.L2 so batch analyses survive
+// process restarts.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// InternerStats returns the process-wide analysis-snapshot interner
+// statistics (the counters behind the CLIs' -ir-stats flags and rsd's
+// /metrics).
+func InternerStats() InternerCacheStats { return ir.Stats() }
+
+// SetInternerCapacity resizes the process-wide snapshot interner (minimum
+// 1), evicting least-recently-used snapshots if the new capacity is
+// smaller. Long-running services tune this against their graph mix.
+func SetInternerCapacity(n int) { ir.SetInternCapacity(n) }
 
 // SourceRandom streams n random DDGs from consecutive seeds — a synthetic
 // workload generator for stress and scale runs.
