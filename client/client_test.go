@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -55,6 +56,122 @@ func TestTruncatedStreamIsAnError(t *testing.T) {
 	_, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(*Item) error { return nil })
 	if err == nil {
 		t.Fatal("truncated stream accepted")
+	}
+}
+
+// TestMidStreamErrorEvent: a terminal request-level error event arriving
+// after some items must surface as the stream error, with the finished
+// prefix already delivered to fn.
+func TestMidStreamErrorEvent(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"item":{"index":0,"name":"a"}}` + "\n"))
+		w.Write([]byte(`{"item":{"index":1,"name":"b"}}` + "\n"))
+		w.Write([]byte(`{"error":"store exploded mid-batch"}` + "\n"))
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	var delivered []*Item
+	_, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(it *Item) error {
+		delivered = append(delivered, it)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "store exploded mid-batch") {
+		t.Fatalf("mid-stream error lost: %v", err)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("finished prefix not delivered before the error: %d items", len(delivered))
+	}
+}
+
+// TestCallbackErrorAbortsStream: fn returning an error stops consumption
+// immediately and propagates verbatim.
+func TestCallbackErrorAbortsStream(t *testing.T) {
+	sentinel := errors.New("caller gave up")
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		for i := 0; i < 50; i++ {
+			fmt.Fprintf(w, `{"item":{"index":%d,"name":"g%d"}}`+"\n", i, i)
+		}
+		w.Write([]byte(`{"stats":{"computed":50}}` + "\n"))
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	calls := 0
+	_, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(*Item) error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("stream kept delivering after the callback error: %d calls", calls)
+	}
+}
+
+// TestDisconnectMidLine: the server dying mid-connection (torn line, no
+// final stats) must be an error, not a silently short result. The handler
+// hijacks the connection and closes it partway through an item line.
+func TestDisconnectMidLine(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("test server does not support hijacking")
+			return
+		}
+		conn, buf, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: 1000\r\n\r\n")
+		buf.WriteString(`{"item":{"index":0,"name":"a"}}` + "\n")
+		buf.WriteString(`{"item":{"index":1,"na`) // torn mid-line, far short of Content-Length
+		buf.Flush()
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	var delivered int
+	_, err := c.AnalyzeStream(context.Background(), &AnalyzeRequest{}, func(*Item) error {
+		delivered++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mid-line disconnect accepted as a complete stream")
+	}
+	if delivered != 1 {
+		t.Fatalf("expected exactly the 1 complete item before the tear, got %d", delivered)
+	}
+}
+
+// TestStreamContextCancellation: cancelling the context mid-stream
+// surfaces the cancellation instead of hanging on a server that never
+// finishes.
+func TestStreamContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"item":{"index":0,"name":"a"}}` + "\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		select { // hold the stream open until the client cancels
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(hs.URL, hs.Client())
+	_, err := c.AnalyzeStream(ctx, &AnalyzeRequest{}, func(*Item) error {
+		cancel() // cancel as soon as the first item arrives
+		return nil
+	})
+	if err == nil || !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("cancellation not surfaced: %v", err)
 	}
 }
 

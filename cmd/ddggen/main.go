@@ -9,6 +9,15 @@
 //	ddggen -kernel liv-l7 [-machine vliw] [-dot]
 //	ddggen -random 12 -seed 7
 //	ddggen -corpus -out testdata [-count 8] [-seed 2004]
+//	ddggen -family grid -fparams size=4,width=6,density=0.3,types=int+float
+//	ddggen -family unroll -count 5 -seed 10 -out graphs/   # seeds 10..14
+//
+// The -family generators come from internal/gen: structured DDG shapes
+// (unrolled loops, 2D grids, superblock traces, expression trees, layered
+// DAGs) the metamorphic test suite sweeps. File emission refuses to
+// overwrite existing outputs — re-running a sweep with overlapping -seed
+// ranges into the same directory is an error, not a silent loss — unless
+// -force is given.
 package main
 
 import (
@@ -19,9 +28,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"regsat/internal/batch"
 	"regsat/internal/ddg"
+	"regsat/internal/gen"
 	"regsat/internal/kernels"
 )
 
@@ -36,15 +47,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ddggen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list    = fs.Bool("list", false, "list available kernels")
+		list    = fs.Bool("list", false, "list available kernels and generator families")
 		kernel  = fs.String("kernel", "", "kernel to emit")
 		machine = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		dot     = fs.Bool("dot", false, "emit Graphviz instead of the textual format")
 		random  = fs.Int("random", 0, "emit a random layered DAG with this many nodes")
-		seed    = fs.Int64("seed", 1, "random seed for -random and -corpus")
+		seed    = fs.Int64("seed", 1, "random seed for -random, -corpus, and -family")
 		corpus  = fs.Bool("corpus", false, "emit the full .ddg corpus into -out")
-		out     = fs.String("out", "", "output directory for -corpus")
-		count   = fs.Int("count", 8, "number of random graphs in the corpus")
+		out     = fs.String("out", "", "output directory for -corpus and -family sweeps")
+		count   = fs.Int("count", 8, "number of random graphs in the corpus, or graphs per -family sweep")
+		family  = fs.String("family", "", "structured generator family to emit (see -list)")
+		fparams = fs.String("fparams", "", "family parameters: size=<n>,width=<n>,density=<p>,types=<t+t> (defaults per family)")
+		force   = fs.Bool("force", false, "allow overwriting existing output files")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,6 +82,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, s := range kernels.All() {
 			fmt.Fprintf(stdout, "%-14s %-10s %s\n", s.Name, s.Suite, s.Description)
 		}
+		fmt.Fprintf(stdout, "\n%-14s %-22s %-22s %s\n", "FAMILY", "SIZE", "WIDTH", "DESCRIPTION")
+		for _, f := range gen.Families() {
+			fmt.Fprintf(stdout, "%-14s %-22s %-22s %s\n", f.Name,
+				fmt.Sprintf("%s [%d,%d]", f.SizeName, f.SizeRange[0], f.SizeRange[1]),
+				fmt.Sprintf("%s [%d,%d]", f.WidthName, f.WidthRange[0], f.WidthRange[1]),
+				f.Description)
+		}
 		return nil
 	}
 	if *corpus {
@@ -77,12 +98,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *count < 0 {
 			return fmt.Errorf("-count must be non-negative (got %d)", *count)
 		}
-		return emitCorpus(stdout, *out, *count, *seed)
+		return emitCorpus(stdout, *out, *count, *seed, *force)
 	}
 
 	mk, err := parseMachine(*machine)
 	if err != nil {
 		return err
+	}
+	if *family != "" {
+		return emitFamily(stdout, *family, *fparams, mk, *seed, *count, *out, *dot, *force)
+	}
+	if *fparams != "" {
+		return fmt.Errorf("-fparams needs -family <name> (see -list for families)")
 	}
 	var g *ddg.Graph
 	switch {
@@ -98,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		g = spec.Build(mk)
 	default:
-		return fmt.Errorf("need -list, -kernel, -random, or -corpus")
+		return fmt.Errorf("need -list, -kernel, -random, -family, or -corpus")
 	}
 	if *dot {
 		fmt.Fprint(stdout, g.DOT())
@@ -106,6 +133,89 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, g.Format())
 	}
 	return nil
+}
+
+// emitFamily generates structured graphs from a registered family. Without
+// -out a single graph goes to stdout; with -out a sweep of `count` seeds
+// (seed, seed+1, …) is written as .ddg files, refusing to overwrite files
+// from earlier sweeps unless -force is given.
+func emitFamily(stdout io.Writer, name, spec string, mk ddg.MachineKind, seed int64, count int, out string, dot, force bool) error {
+	f, ok := gen.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown family %q (available: %s)", name, strings.Join(gen.Names(), ", "))
+	}
+	p, err := gen.ParseParams(spec, f.Defaults)
+	if err != nil {
+		return err
+	}
+	p.Machine = mk
+	p.Seed = seed
+	if err := f.Validate(p); err != nil {
+		return err
+	}
+	if out == "" {
+		g, err := f.Generate(p)
+		if err != nil {
+			return err
+		}
+		if dot {
+			fmt.Fprint(stdout, g.DOT())
+		} else {
+			fmt.Fprint(stdout, g.Format())
+		}
+		return nil
+	}
+	if count < 1 {
+		return fmt.Errorf("-count must be at least 1 for a -family sweep (got %d)", count)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	// Generate the whole sweep up front so the overwrite refusal is atomic:
+	// a collision on any seed aborts before a single file is written,
+	// instead of leaving a half-emitted sweep behind.
+	type emission struct {
+		path string
+		g    *ddg.Graph
+	}
+	emissions := make([]emission, 0, count)
+	for i := 0; i < count; i++ {
+		p.Seed = seed + int64(i)
+		g, err := f.Generate(p)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, g.Name+".ddg")
+		if !force {
+			if _, err := os.Stat(path); err == nil {
+				return fmt.Errorf("refusing to overwrite existing %s (same output path as an earlier sweep; nothing written); use -force to overwrite or pick a different -out/-seed", path)
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+		emissions = append(emissions, emission{path, g})
+	}
+	for _, e := range emissions {
+		if err := writeNoClobber(e.path, []byte(e.g.Format()), force); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d nodes, %d edges, machine %s)\n", e.path, e.g.NumNodes(), e.g.NumEdges(), e.g.Machine)
+	}
+	return nil
+}
+
+// writeNoClobber writes a generated file, erroring instead of silently
+// overwriting an existing one (two sweeps with overlapping seed ranges used
+// to clobber each other's outputs in the same directory).
+func writeNoClobber(path string, data []byte, force bool) error {
+	if !force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("refusing to overwrite existing %s (same output path as an earlier sweep); use -force to overwrite or pick a different -out/-seed", path)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // randomGraph draws a two-type random DAG, rejecting degenerate outputs
@@ -151,7 +261,7 @@ var corpusKernels = []struct {
 // files. Every emitted graph is fingerprinted; two random seeds that
 // collapse to the same structure are a seed collision and abort the run
 // rather than silently committing duplicate (or degenerate) corpus files.
-func emitCorpus(stdout io.Writer, dir string, count int, seedBase int64) error {
+func emitCorpus(stdout io.Writer, dir string, count int, seedBase int64, force bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -163,7 +273,7 @@ func emitCorpus(stdout io.Writer, dir string, count int, seedBase int64) error {
 		}
 		seen[fp] = name
 		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(g.Format()), 0o644); err != nil {
+		if err := writeNoClobber(path, []byte(g.Format()), force); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d nodes, %d edges, machine %s)\n", path, g.NumNodes(), g.NumEdges(), g.Machine)

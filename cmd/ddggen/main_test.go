@@ -89,3 +89,109 @@ func TestBadInputs(t *testing.T) {
 		t.Fatal("no mode accepted")
 	}
 }
+
+func TestListIncludesFamilies(t *testing.T) {
+	out, _, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"unroll", "grid", "superblock", "exprtree", "layered", "FAMILY"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitFamilyRoundTrips(t *testing.T) {
+	out, _, err := runCLI(t, "-family", "grid", "-fparams", "size=3,width=4,types=int+float", "-machine", "vliw", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ddg.ParseString(out)
+	if err != nil {
+		t.Fatalf("emitted family graph does not parse: %v\n%s", err, out)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Types()); got != 2 {
+		t.Fatalf("expected 2 register types, got %d", got)
+	}
+	// Deterministic: the same invocation emits byte-identical output.
+	again, _, err := runCLI(t, "-family", "grid", "-fparams", "size=3,width=4,types=int+float", "-machine", "vliw", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Fatal("same -family invocation produced different output")
+	}
+}
+
+func TestFamilyValidationErrorsAreActionable(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-family", "nope"}, "available:"},
+		{[]string{"-family", "grid", "-fparams", "size=0"}, "out of range"},
+		{[]string{"-family", "grid", "-fparams", "rows=3"}, "unknown parameter"},
+		{[]string{"-family", "grid", "-fparams", "density=banana"}, "not a number"},
+		{[]string{"-family", "exprtree", "-fparams", "size=10,width=8"}, "limit"},
+		{[]string{"-fparams", "size=3"}, "-fparams needs -family"},
+	}
+	for _, c := range cases {
+		_, _, err := runCLI(t, c.args...)
+		if err == nil {
+			t.Fatalf("%v accepted", c.args)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%v error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestFamilySweepRefusesOverwrite covers the fixed silent-clobber bug: two
+// sweeps with overlapping seed ranges into the same directory must error on
+// the duplicate output path, and -force must override.
+func TestFamilySweepRefusesOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	out, _, err := runCLI(t, "-family", "unroll", "-count", "3", "-seed", "5", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "wrote "); got != 3 {
+		t.Fatalf("expected 3 files written, got %d:\n%s", got, out)
+	}
+	// Overlapping sweep: seeds 7..9 collide with seed 7 of the first sweep.
+	// The refusal is atomic — seeds 8 and 9 must not be written either.
+	_, _, err = runCLI(t, "-family", "unroll", "-count", "3", "-seed", "7", "-out", dir)
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("overlapping sweep did not refuse: %v", err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.ddg")); len(files) != 3 {
+		t.Fatalf("refused sweep still wrote files: %v", files)
+	}
+	if _, _, err := runCLI(t, "-family", "unroll", "-count", "3", "-seed", "7", "-out", dir, "-force"); err != nil {
+		t.Fatalf("-force did not override: %v", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ddg"))
+	if len(files) != 5 { // seeds 5,6,7,8,9
+		t.Fatalf("expected 5 distinct files, got %d: %v", len(files), files)
+	}
+}
+
+// TestCorpusRefusesOverwrite: the committed-corpus emitter gets the same
+// protection.
+func TestCorpusRefusesOverwrite(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if _, _, err := runCLI(t, "-corpus", "-out", dir, "-count", "0"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runCLI(t, "-corpus", "-out", dir, "-count", "0")
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("second corpus emission did not refuse: %v", err)
+	}
+	if _, _, err := runCLI(t, "-corpus", "-out", dir, "-count", "0", "-force"); err != nil {
+		t.Fatalf("-force did not override: %v", err)
+	}
+}

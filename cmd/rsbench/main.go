@@ -9,10 +9,15 @@
 //	rsbench -exp rs -machine vliw
 //	rsbench -exp corpus -dir testdata -parallel 8
 //	rsbench -exp corpus -json BENCH.json   # machine-readable timings
+//	rsbench -exp families -json BENCH.json # generated structured families
+//	rsbench -exp corpus -json BENCH.json -baseline old.json -threshold 0.25
 //
 // -json writes a machine-readable summary (per-experiment wall times; for
-// -exp corpus also per-file timings, ns/op, and memo behavior) for CI
-// artifacts and performance tracking.
+// -exp corpus/families also per-file timings, ns/op, and memo behavior) for
+// CI artifacts and performance tracking. -baseline diffs the current run
+// against a previous BENCH.json via internal/benchcmp and exits non-zero
+// when the median per-file ns/op regresses beyond -threshold — the hook the
+// CI bench-regression gate stands on.
 package main
 
 import (
@@ -29,8 +34,10 @@ import (
 	"time"
 
 	"regsat/internal/batch"
+	"regsat/internal/benchcmp"
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
+	"regsat/internal/gen"
 	"regsat/internal/ir"
 	"regsat/internal/rs"
 	"regsat/internal/solver"
@@ -51,7 +58,17 @@ type benchJSON struct {
 	Machine     string           `json:"machine"`
 	Experiments []experimentJSON `json:"experiments,omitempty"`
 	Corpus      *corpusJSON      `json:"corpus,omitempty"`
+	Families    *familiesJSON    `json:"families,omitempty"`
 	Interner    ir.CacheStats    `json:"interner"`
+}
+
+// familiesJSON is the -exp families section: per-generated-graph exact-RS
+// analysis timings over the structured generator suite (internal/gen).
+type familiesJSON struct {
+	Count    int              `json:"count"`
+	Parallel int              `json:"parallel"`
+	WallNs   int64            `json:"wallNs"`
+	PerFile  []corpusFileJSON `json:"perFile"`
 }
 
 type experimentJSON struct {
@@ -89,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir; not part of all)")
+		exp      = fs.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir) / families (generated; none part of all)")
 		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		random   = fs.Int("random", 20, "number of random loop bodies added to the kernel suite")
 		seed     = fs.Int64("seed", 2004, "random population seed")
@@ -99,6 +116,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		backend  = fs.String("solver", "", "MILP backend for intLP solves: dense|sparse|parallel (default sparse)")
 		profile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		jsonOut  = fs.String("json", "", "write a machine-readable benchmark summary to this file")
+		baseline = fs.String("baseline", "", "previous BENCH.json to compare against; exits non-zero on regression")
+		thresh   = fs.Float64("threshold", 0.25, "median ns/op regression ratio tolerated by -baseline (0.25 = +25%)")
+		famCount = fs.Int("fam-count", 8, "graphs per generator family for -exp families")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -249,9 +269,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "[solver completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
+	if *exp == "families" {
+		start := time.Now()
+		report, fj, err := familiesReport(mk, *famCount, *seed, *parallel)
+		if err != nil {
+			return fmt.Errorf("families: %w", err)
+		}
+		elapsed := time.Since(start)
+		fj.WallNs = int64(elapsed)
+		summary.Families = fj
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "families", WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[families completed in %v]\n\n", elapsed.Round(time.Millisecond))
+	}
 
+	summary.Interner = ir.Stats()
 	if *jsonOut != "" {
-		summary.Interner = ir.Stats()
 		raw, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {
 			return err
@@ -261,7 +294,104 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
 	}
+	if *baseline != "" {
+		if err := compareBaseline(stdout, summary, *baseline, *thresh); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// compareBaseline diffs this run against a previous BENCH.json and fails on
+// a median per-file regression beyond the threshold. A missing baseline
+// file is an error (the CI gate skips the flag entirely on a cold cache).
+func compareBaseline(stdout io.Writer, summary *benchJSON, path string, threshold float64) error {
+	raw, err := json.Marshal(summary)
+	if err != nil {
+		return err
+	}
+	cur, err := benchcmp.Parse(raw)
+	if err != nil {
+		return err
+	}
+	old, err := benchcmp.Load(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	diff := benchcmp.Compare(old, cur)
+	fmt.Fprint(stdout, diff.Report(threshold))
+	if diff.Regressed(threshold) {
+		return fmt.Errorf("performance regressed: median ns/op ratio %.2fx exceeds %.2fx (threshold %.0f%%)",
+			diff.MedianRatio, 1+threshold, threshold*100)
+	}
+	return nil
+}
+
+// familiesReport generates a deterministic panel of structured graphs from
+// every registered generator family and shards exact RS analysis over the
+// batch engine — the families counterpart of corpusReport, giving the CI
+// gate per-graph ns/op on shapes (unrolled loops, grids, superblocks,
+// expression trees, layered DAGs) the committed corpus does not contain.
+func familiesReport(mk ddg.MachineKind, perFamily int, seedBase int64, parallel int) (string, *familiesJSON, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	var graphs []*ddg.Graph
+	for _, f := range gen.Families() {
+		for i := 0; i < perFamily; i++ {
+			p := f.Defaults
+			p.Machine = mk
+			p.Seed = seedBase + int64(i)
+			p.Size = f.Defaults.Size + i%3
+			p.Types = []ddg.RegType{ddg.Int, ddg.Float}
+			if err := f.Validate(p); err != nil {
+				return "", nil, err
+			}
+			g, err := f.Generate(p)
+			if err != nil {
+				return "", nil, err
+			}
+			graphs = append(graphs, g)
+		}
+	}
+	eng := batch.New(batch.Options{Parallel: parallel, RS: rs.Options{Method: rs.MethodExactBB, SkipWitness: true}})
+	start := time.Now()
+	results, err := eng.Collect(context.Background(), batch.Graphs(graphs...))
+	if err != nil {
+		return "", nil, err
+	}
+	wall := time.Since(start)
+
+	fj := &familiesJSON{Count: len(results), Parallel: parallel}
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("Generated-family batch analysis: %d graphs (%d per family, machine %s)\n", len(results), perFamily, mk)
+	add("%-40s %-8s %s\n", "GRAPH", "NODES", "RS per type")
+	for _, res := range results {
+		file := corpusFileJSON{Name: res.Name, NsOp: int64(res.Elapsed)}
+		if res.Err != nil {
+			file.Error = res.Err.Error()
+			fj.PerFile = append(fj.PerFile, file)
+			add("%-40s %v\n", res.Name, res.Err)
+			continue
+		}
+		file.Nodes = res.Graph.NumNodes()
+		file.RS = make(map[string]int, len(res.RS))
+		types := make([]string, 0, len(res.RS))
+		for t, r := range res.RS {
+			types = append(types, string(t))
+			file.RS[string(t)] = r.RS
+		}
+		sort.Strings(types)
+		line := ""
+		for _, t := range types {
+			line += fmt.Sprintf("%s=%d ", t, res.RS[ddg.RegType(t)].RS)
+		}
+		fj.PerFile = append(fj.PerFile, file)
+		add("%-40s %-8d %s\n", res.Name, res.Graph.NumNodes(), line)
+	}
+	add("families sweep: %d graphs in %v (parallel %d)\n", len(results), wall.Round(time.Millisecond), parallel)
+	return string(b), fj, nil
 }
 
 // solverReport compares every registered MILP backend on the corpus: per

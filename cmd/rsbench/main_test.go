@@ -69,4 +69,91 @@ func TestBadInputs(t *testing.T) {
 	if _, _, err := runCLI(t, "-exp", "corpus", "-dir", "/does/not/exist"); err == nil {
 		t.Fatal("missing corpus dir accepted")
 	}
+	if _, _, err := runCLI(t, "-exp", "fig2", "-baseline", "/does/not/exist.json"); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestFamiliesExperiment: the generated-families sweep produces a complete
+// machine-readable section over every registered generator family.
+func TestFamiliesExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	out, _, err := runCLI(t, "-exp", "families", "-fam-count", "2", "-json", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[families completed in") {
+		t.Fatalf("families sweep did not complete:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Families == nil || b.Families.Count != 10 || len(b.Families.PerFile) != 10 {
+		t.Fatalf("families summary incomplete: %+v", b.Families)
+	}
+	for _, family := range []string{"unroll", "grid", "superblock", "exprtree", "layered"} {
+		found := false
+		for _, f := range b.Families.PerFile {
+			if strings.HasPrefix(f.Name, family+"-") {
+				found = true
+				if f.Error != "" {
+					t.Fatalf("%s failed: %s", f.Name, f.Error)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("family %s missing from the sweep: %+v", family, b.Families.PerFile)
+		}
+	}
+}
+
+// TestBaselineGate drives the full compare mode through the CLI: an
+// unchanged run passes, an injected 2x regression fails with the verdict on
+// stdout.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if _, _, err := runCLI(t, "-exp", "families", "-fam-count", "2", "-json", base); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-exp", "families", "-fam-count", "2", "-baseline", base, "-threshold", "1000")
+	if err != nil {
+		t.Fatalf("absurdly tolerant threshold still failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "VERDICT: ok") {
+		t.Fatalf("no ok verdict:\n%s", out)
+	}
+
+	// Inject a 2x regression by halving every baseline timing.
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Families.PerFile {
+		b.Families.PerFile[i].NsOp /= 1000 // current run is now vastly slower
+	}
+	fast, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := filepath.Join(dir, "fast.json")
+	if err := os.WriteFile(doctored, fast, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = runCLI(t, "-exp", "families", "-fam-count", "2", "-baseline", doctored, "-threshold", "0.25")
+	if err == nil || !strings.Contains(err.Error(), "performance regressed") {
+		t.Fatalf("injected regression not flagged: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "VERDICT: REGRESSED") {
+		t.Fatalf("no regression verdict in report:\n%s", out)
+	}
 }

@@ -1,0 +1,208 @@
+// Package benchcmp diffs two of rsbench's machine-readable BENCH.json
+// summaries: per-file ns/op ratios over the corpus (and generated-family)
+// sweeps, experiment wall-time ratios for context, and a median-based
+// regression verdict against a configurable threshold. It is the engine
+// behind `rsbench -baseline old.json` and the CI bench-regression gate,
+// which restores the previous main-branch BENCH.json from the actions cache
+// and fails the build when the median per-file ns/op regresses beyond the
+// threshold.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Run mirrors the subset of the BENCH.json schema the comparison needs
+// (rsbench writes a superset; unknown fields are ignored so the schema can
+// grow without breaking old baselines).
+type Run struct {
+	GoVersion   string       `json:"goVersion"`
+	Machine     string       `json:"machine"`
+	Experiments []Experiment `json:"experiments"`
+	Corpus      *Sweep       `json:"corpus"`
+	Families    *Sweep       `json:"families"`
+}
+
+// Experiment is one experiment's wall time.
+type Experiment struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wallNs"`
+}
+
+// Sweep is a per-file timing section (the corpus sweep or the generated
+// families sweep).
+type Sweep struct {
+	PerFile []File `json:"perFile"`
+}
+
+// File is one input's analysis time.
+type File struct {
+	Name string `json:"name"`
+	NsOp int64  `json:"nsOp"`
+}
+
+// Load reads a BENCH.json file.
+func Load(path string) (*Run, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Parse decodes a BENCH.json document.
+func Parse(raw []byte) (*Run, error) {
+	var r Run
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchcmp: malformed BENCH.json: %w", err)
+	}
+	return &r, nil
+}
+
+// Delta is one comparable entry's old → new movement.
+type Delta struct {
+	Name  string
+	OldNs int64
+	NewNs int64
+	// Ratio is NewNs/OldNs (1.0 = unchanged, 2.0 = twice as slow).
+	Ratio float64
+}
+
+// Diff is the comparison of two runs.
+type Diff struct {
+	// Files are the per-file deltas across both sweeps (corpus + families),
+	// slowest regression first. Only entries present in both runs with
+	// positive old timings compare.
+	Files []Delta
+	// Experiments are wall-time deltas for the experiment sections —
+	// context only, never part of the verdict (whole-experiment wall times
+	// are too noisy to gate on).
+	Experiments []Delta
+	// OnlyOld and OnlyNew list per-file entries without a counterpart.
+	OnlyOld, OnlyNew []string
+	// MedianRatio is the median of Files ratios, 1.0 when nothing compares.
+	MedianRatio float64
+}
+
+// Compare diffs two runs.
+func Compare(old, cur *Run) *Diff {
+	d := &Diff{MedianRatio: 1}
+	oldFiles := collectFiles(old)
+	curFiles := collectFiles(cur)
+	seen := map[string]bool{}
+	for name, oldNs := range oldFiles {
+		newNs, ok := curFiles[name]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, name)
+			continue
+		}
+		seen[name] = true
+		if oldNs <= 0 || newNs < 0 {
+			continue
+		}
+		d.Files = append(d.Files, Delta{Name: name, OldNs: oldNs, NewNs: newNs,
+			Ratio: float64(newNs) / float64(oldNs)})
+	}
+	for name := range curFiles {
+		if !seen[name] {
+			d.OnlyNew = append(d.OnlyNew, name)
+		}
+	}
+	sort.Slice(d.Files, func(i, j int) bool {
+		if d.Files[i].Ratio != d.Files[j].Ratio {
+			return d.Files[i].Ratio > d.Files[j].Ratio
+		}
+		return d.Files[i].Name < d.Files[j].Name
+	})
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	if len(d.Files) > 0 {
+		ratios := make([]float64, len(d.Files))
+		for i, f := range d.Files {
+			ratios[i] = f.Ratio
+		}
+		sort.Float64s(ratios)
+		if n := len(ratios); n%2 == 1 {
+			d.MedianRatio = ratios[n/2]
+		} else {
+			d.MedianRatio = (ratios[n/2-1] + ratios[n/2]) / 2
+		}
+	}
+	oldExps := map[string]int64{}
+	for _, e := range old.Experiments {
+		oldExps[e.Name] = e.WallNs
+	}
+	for _, e := range cur.Experiments {
+		if oldNs, ok := oldExps[e.Name]; ok && oldNs > 0 {
+			d.Experiments = append(d.Experiments, Delta{Name: e.Name, OldNs: oldNs,
+				NewNs: e.WallNs, Ratio: float64(e.WallNs) / float64(oldNs)})
+		}
+	}
+	sort.Slice(d.Experiments, func(i, j int) bool { return d.Experiments[i].Name < d.Experiments[j].Name })
+	return d
+}
+
+// collectFiles flattens a run's per-file sections, namespacing the sweep so
+// a corpus file and a generated family graph with the same name never
+// collide.
+func collectFiles(r *Run) map[string]int64 {
+	out := map[string]int64{}
+	add := func(prefix string, s *Sweep) {
+		if s == nil {
+			return
+		}
+		for _, f := range s.PerFile {
+			out[prefix+f.Name] = f.NsOp
+		}
+	}
+	add("corpus/", r.Corpus)
+	add("families/", r.Families)
+	return out
+}
+
+// Regressed reports whether the median per-file ns/op ratio exceeds
+// 1+threshold (e.g. threshold 0.25 fails a >25% median regression). A diff
+// with no comparable files never regresses — a cold cache or a renamed
+// corpus must not fail the gate.
+func (d *Diff) Regressed(threshold float64) bool {
+	return len(d.Files) > 0 && d.MedianRatio > 1+threshold
+}
+
+// Report renders a human-readable comparison. Entries beyond 1+threshold
+// are flagged; the verdict line is the last line, so CI logs end with the
+// conclusion.
+func (d *Diff) Report(threshold float64) string {
+	var b strings.Builder
+	if len(d.Files) == 0 {
+		b.WriteString("benchcmp: no comparable per-file timings (cold baseline?)\n")
+	} else {
+		fmt.Fprintf(&b, "%-50s %12s %12s %8s\n", "FILE", "OLD ns/op", "NEW ns/op", "RATIO")
+		for _, f := range d.Files {
+			mark := ""
+			if f.Ratio > 1+threshold {
+				mark = "  << regressed"
+			}
+			fmt.Fprintf(&b, "%-50s %12d %12d %7.2fx%s\n", f.Name, f.OldNs, f.NewNs, f.Ratio, mark)
+		}
+	}
+	for _, e := range d.Experiments {
+		fmt.Fprintf(&b, "experiment %-39s %12d %12d %7.2fx (informational)\n", e.Name, e.OldNs, e.NewNs, e.Ratio)
+	}
+	if len(d.OnlyOld) > 0 {
+		fmt.Fprintf(&b, "dropped since baseline: %s\n", strings.Join(d.OnlyOld, ", "))
+	}
+	if len(d.OnlyNew) > 0 {
+		fmt.Fprintf(&b, "new since baseline: %s\n", strings.Join(d.OnlyNew, ", "))
+	}
+	if d.Regressed(threshold) {
+		fmt.Fprintf(&b, "VERDICT: REGRESSED — median ns/op ratio %.2fx exceeds %.2fx\n", d.MedianRatio, 1+threshold)
+	} else {
+		fmt.Fprintf(&b, "VERDICT: ok — median ns/op ratio %.2fx (threshold %.2fx over %d files)\n",
+			d.MedianRatio, 1+threshold, len(d.Files))
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func run(ns map[string]int64) *Run {
+	r := &Run{Corpus: &Sweep{}}
+	for name, v := range ns {
+		r.Corpus.PerFile = append(r.Corpus.PerFile, File{Name: name, NsOp: v})
+	}
+	return r
+}
+
+// TestInjectedRegressionFlagged is the acceptance check: a uniform 2x
+// slowdown must trip the 25% gate.
+func TestInjectedRegressionFlagged(t *testing.T) {
+	old := run(map[string]int64{"a.ddg": 1000, "b.ddg": 2000, "c.ddg": 500})
+	cur := run(map[string]int64{"a.ddg": 2000, "b.ddg": 4000, "c.ddg": 1000})
+	d := Compare(old, cur)
+	if d.MedianRatio != 2 {
+		t.Fatalf("median ratio %v, want 2", d.MedianRatio)
+	}
+	if !d.Regressed(0.25) {
+		t.Fatal("2x regression not flagged at 25% threshold")
+	}
+	rep := d.Report(0.25)
+	if !strings.Contains(rep, "REGRESSED") || !strings.Contains(rep, "<< regressed") {
+		t.Fatalf("report lacks verdict markers:\n%s", rep)
+	}
+}
+
+// TestUnchangedRunPasses is the other acceptance half: identical timings
+// must pass.
+func TestUnchangedRunPasses(t *testing.T) {
+	old := run(map[string]int64{"a.ddg": 1000, "b.ddg": 2000})
+	d := Compare(old, run(map[string]int64{"a.ddg": 1000, "b.ddg": 2000}))
+	if d.MedianRatio != 1 || d.Regressed(0.25) {
+		t.Fatalf("unchanged run flagged: median %v", d.MedianRatio)
+	}
+	if !strings.Contains(d.Report(0.25), "VERDICT: ok") {
+		t.Fatal("report lacks ok verdict")
+	}
+}
+
+// TestMedianIsRobustToOneOutlier: a single noisy file must not fail the
+// gate — that is the point of gating on the median, not the max.
+func TestMedianIsRobustToOneOutlier(t *testing.T) {
+	old := run(map[string]int64{"a.ddg": 1000, "b.ddg": 1000, "c.ddg": 1000})
+	cur := run(map[string]int64{"a.ddg": 5000, "b.ddg": 1000, "c.ddg": 1010})
+	d := Compare(old, cur)
+	if d.Regressed(0.25) {
+		t.Fatalf("one outlier tripped the median gate (median %v)", d.MedianRatio)
+	}
+	// But a majority regression does trip it.
+	cur = run(map[string]int64{"a.ddg": 5000, "b.ddg": 2000, "c.ddg": 1010})
+	if !Compare(old, cur).Regressed(0.25) {
+		t.Fatal("majority regression not flagged")
+	}
+}
+
+func TestDisjointRunsNeverRegress(t *testing.T) {
+	old := run(map[string]int64{"a.ddg": 1000})
+	cur := run(map[string]int64{"z.ddg": 9000})
+	d := Compare(old, cur)
+	if d.Regressed(0.01) {
+		t.Fatal("no comparable files must never regress")
+	}
+	if len(d.OnlyOld) != 1 || len(d.OnlyNew) != 1 {
+		t.Fatalf("missing/added bookkeeping wrong: %v %v", d.OnlyOld, d.OnlyNew)
+	}
+	if !strings.Contains(d.Report(0.25), "no comparable per-file timings") {
+		t.Fatal("report does not explain the empty comparison")
+	}
+}
+
+func TestZeroAndNegativeTimingsSkipped(t *testing.T) {
+	old := run(map[string]int64{"a.ddg": 0, "b.ddg": -5, "c.ddg": 100})
+	cur := run(map[string]int64{"a.ddg": 100, "b.ddg": 100, "c.ddg": 100})
+	d := Compare(old, cur)
+	if len(d.Files) != 1 || d.Files[0].Name != "corpus/c.ddg" {
+		t.Fatalf("invalid old timings not skipped: %+v", d.Files)
+	}
+}
+
+// TestFamiliesAndCorpusNamespaced: the same file name in both sweeps must
+// stay two entries.
+func TestFamiliesAndCorpusNamespaced(t *testing.T) {
+	old := &Run{
+		Corpus:   &Sweep{PerFile: []File{{Name: "x", NsOp: 100}}},
+		Families: &Sweep{PerFile: []File{{Name: "x", NsOp: 200}}},
+	}
+	cur := &Run{
+		Corpus:   &Sweep{PerFile: []File{{Name: "x", NsOp: 100}}},
+		Families: &Sweep{PerFile: []File{{Name: "x", NsOp: 800}}},
+	}
+	d := Compare(old, cur)
+	if len(d.Files) != 2 {
+		t.Fatalf("want 2 namespaced entries, got %+v", d.Files)
+	}
+	if d.Files[0].Name != "families/x" || d.Files[0].Ratio != 4 {
+		t.Fatalf("families entry wrong: %+v", d.Files[0])
+	}
+}
+
+func TestExperimentsInformationalOnly(t *testing.T) {
+	old := &Run{Experiments: []Experiment{{Name: "rs", WallNs: 100}}}
+	cur := &Run{Experiments: []Experiment{{Name: "rs", WallNs: 10000}}}
+	d := Compare(old, cur)
+	if d.Regressed(0.25) {
+		t.Fatal("experiment wall times must not drive the verdict")
+	}
+	if len(d.Experiments) != 1 || d.Experiments[0].Ratio != 100 {
+		t.Fatalf("experiment delta missing: %+v", d.Experiments)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	doc := `{
+		"goVersion": "go1.24.0",
+		"machine": "superscalar",
+		"experiments": [{"name": "rs", "wallNs": 123}],
+		"corpus": {"dir": "testdata", "files": 1, "perFile": [{"name": "a.ddg", "nodes": 5, "nsOp": 42}]},
+		"unknownField": {"future": true}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Corpus == nil || len(r.Corpus.PerFile) != 1 || r.Corpus.PerFile[0].NsOp != 42 {
+		t.Fatalf("bad decode: %+v", r)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}

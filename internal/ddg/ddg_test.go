@@ -313,6 +313,39 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsModelViolations: inputs that used to reach the panicking
+// graph builders (found by FuzzParseDDG) must come back as *ParseError.
+func TestParseRejectsModelViolations(t *testing.T) {
+	for _, src := range []string{
+		"ddg \"x\"\nnode a op=x lat=-1",                                                   // negative latency
+		"ddg \"x\"\nnode a op=x lat=1 dr=2",                                               // δr on superscalar
+		"ddg \"x\"\nnode a op=x lat=1 writes=float:2",                                     // δw on superscalar
+		"ddg \"x\"\nnode a op=x lat=1 writes=",                                            // empty type
+		"ddg \"x\"\nnode a op=x lat=1\nnode b op=y lat=1\nedge a b flow float",            // non-writer flow source
+		"ddg \"x\"\nnode a op=x lat=1 writes=int\nnode b op=y lat=1\nedge a b flow float", // wrong flow type
+		"ddg \"x\"\nnode a op=x lat=1\nnode b op=y lat=1\nedge a b serial lat=-1",         // negative serial on superscalar
+		"ddg \"x\"\nnode a op=x lat=1 writes=float\nedge a a flow float",                  // self-loop
+	} {
+		g, err := ParseString(src)
+		if err == nil {
+			t.Fatalf("expected parse error for %q, got graph %v", src, g.Name)
+		}
+		var perr *ParseError
+		if !errors.As(err, &perr) {
+			t.Fatalf("error for %q is not a *ParseError: %v", src, err)
+		}
+	}
+	// The same violations stay legal where the model allows them.
+	for _, src := range []string{
+		"ddg \"x\" machine=vliw\nnode a op=x lat=1 dr=2 writes=float:1",
+		"ddg \"x\" machine=vliw\nnode a op=x lat=1\nnode b op=y lat=1\nedge a b serial lat=-1",
+	} {
+		if _, err := ParseString(src); err != nil {
+			t.Fatalf("unexpected error for %q: %v", src, err)
+		}
+	}
+}
+
 func TestDOTOutput(t *testing.T) {
 	g := buildSmall(t)
 	dot := g.DOT()

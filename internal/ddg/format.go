@@ -106,7 +106,7 @@ func Parse(r io.Reader) (*Graph, error) {
 			}
 			var name string
 			var machine MachineKind
-			if name, machine, err = parseHeader(fields[1:]); err == nil {
+			if name, machine, err = parseHeader(strings.TrimSpace(line[len("ddg"):])); err == nil {
 				g = New(name, machine)
 			}
 		case "node":
@@ -142,13 +142,32 @@ func ParseString(s string) (*Graph, error) {
 	return Parse(strings.NewReader(s))
 }
 
-func parseHeader(fields []string) (string, MachineKind, *ParseError) {
-	if len(fields) < 1 {
+// parseHeader parses the remainder of a ddg directive: a name — quoted (the
+// form Format emits, losslessly unescaped, spaces and quotes included) or a
+// bare field — followed by attributes.
+func parseHeader(rest string) (string, MachineKind, *ParseError) {
+	if rest == "" {
 		return "", 0, errLine("ddg directive needs a name")
 	}
-	name := strings.Trim(fields[0], `"`)
+	var name string
+	var attrs []string
+	if strings.HasPrefix(rest, `"`) {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return "", 0, errLine("bad quoted ddg name %s", rest)
+		}
+		name, err = strconv.Unquote(q)
+		if err != nil {
+			return "", 0, errLine("bad quoted ddg name %s", q)
+		}
+		attrs = strings.Fields(rest[len(q):])
+	} else {
+		fs := strings.Fields(rest)
+		name = fs[0]
+		attrs = fs[1:]
+	}
 	machine := Superscalar
-	for _, f := range fields[1:] {
+	for _, f := range attrs {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok || k != "machine" {
 			return "", 0, errTok(f, "bad ddg attribute %q", f)
@@ -195,21 +214,33 @@ func parseNode(g *Graph, fields []string) *ParseError {
 			if err != nil {
 				return errTok(f, "bad lat %q", v)
 			}
+			if n < 0 {
+				return errTok(f, "node latency must be non-negative, got %d", n)
+			}
 			lat = n
 		case "dr":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return errTok(f, "bad dr %q", v)
 			}
+			if n != 0 && !g.Machine.HasOffsets() {
+				return errTok(f, "reading offset dr on a superscalar machine")
+			}
 			dr = n
 		case "writes":
 			for _, spec := range strings.Split(v, ",") {
 				tname, dws, has := strings.Cut(spec, ":")
+				if tname == "" {
+					return errTok(f, "empty register type in %q", v)
+				}
 				var dw int64
 				if has {
 					n, err := strconv.ParseInt(dws, 10, 64)
 					if err != nil {
 						return errTok(spec, "bad δw in %q", spec)
+					}
+					if n != 0 && !g.Machine.HasOffsets() {
+						return errTok(spec, "writing offset δw on a superscalar machine")
 					}
 					dw = n
 				}
@@ -241,12 +272,18 @@ func parseEdge(g *Graph, fields []string) *ParseError {
 	if to < 0 {
 		return errTok(fields[1], "edge references unknown node %q", fields[1])
 	}
+	if from == to {
+		return errTok(fields[1], "self-loop edge on node %q", fields[0])
+	}
 	switch fields[2] {
 	case "flow":
 		if len(fields) < 4 {
 			return errLine("flow edge needs a register type")
 		}
 		t := RegType(fields[3])
+		if !g.Node(from).WritesType(t) {
+			return errTok(fields[3], "flow edge from %q, which does not write type %q", fields[0], t)
+		}
 		lat := g.Node(from).Latency
 		for _, f := range fields[4:] {
 			k, v, ok := strings.Cut(f, "=")
@@ -276,6 +313,9 @@ func parseEdge(g *Graph, fields []string) *ParseError {
 		}
 		if !found {
 			return errLine("serial edge needs lat=<n>")
+		}
+		if lat < 0 && !g.Machine.HasOffsets() {
+			return errLine("negative serial latency on a superscalar machine")
 		}
 		g.AddSerialEdge(from, to, lat)
 	default:

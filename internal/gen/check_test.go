@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+// regressionsDir is where sweep failures land as minimized .ddg repros,
+// replayed forever by TestRegressionCorpusReplay (regress_test.go).
+const regressionsDir = "../../testdata/regressions"
+
+// sweepShapes are the per-family (size, width) points the metamorphic sweep
+// cycles through: small enough that every invariant (including the exact
+// reduction certificate and the MILP backend cross-check) stays fast, varied
+// enough to hit different antichain structures.
+var sweepShapes = map[string][][2]int{
+	"unroll":     {{2, 2}, {3, 2}, {2, 3}, {4, 2}, {3, 3}},
+	"grid":       {{2, 2}, {2, 3}, {3, 2}, {3, 3}, {2, 4}},
+	"superblock": {{1, 2}, {2, 2}, {1, 3}, {2, 3}},
+	"exprtree":   {{1, 2}, {2, 2}, {1, 3}, {3, 2}},
+	"layered":    {{2, 3}, {3, 2}, {3, 3}, {2, 4}, {4, 2}},
+}
+
+var sweepMachines = []ddg.MachineKind{ddg.Superscalar, ddg.VLIW, ddg.EPIC}
+
+var sweepTypes = [][]ddg.RegType{
+	{ddg.Float},
+	{ddg.Int, ddg.Float},
+}
+
+var sweepDensities = []float64{0, 0.3, 0.7}
+
+// sweepParams returns the i-th parameter point of a family's sweep,
+// deterministically cycling every knob.
+func sweepParams(f *Family, i int) Params {
+	shape := sweepShapes[f.Name][i%len(sweepShapes[f.Name])]
+	return Params{
+		Seed:    int64(1000 + i),
+		Machine: sweepMachines[i%len(sweepMachines)],
+		Size:    shape[0],
+		Width:   shape[1],
+		Density: sweepDensities[i%len(sweepDensities)],
+		Types:   sweepTypes[i%len(sweepTypes)],
+	}
+}
+
+// TestMetamorphicSweep runs the full invariant catalog over ≥ 200 generated
+// graphs per family (a dozen with -short, with the expensive invariants
+// off). Any violation is delta-minimized and committed to
+// testdata/regressions/ before the test fails, so the bug is pinned even if
+// the generating seed later changes.
+func TestMetamorphicSweep(t *testing.T) {
+	count := 200
+	opt := CheckOptions{}
+	if testing.Short() {
+		count = 12
+		opt.Cheap = true
+	}
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < count; i++ {
+				p := sweepParams(f, i)
+				g, err := f.Generate(p)
+				if err != nil {
+					t.Fatalf("generate %s [%s]: %v", f.Name, p, err)
+				}
+				if err := CheckAll(g, opt); err != nil {
+					reportViolation(t, g, err, opt)
+				}
+			}
+		})
+	}
+}
+
+// reportViolation shrinks a failing graph, writes the minimized repro into
+// the regression corpus, and fails the test pointing at it.
+func reportViolation(t *testing.T, g *ddg.Graph, err error, opt CheckOptions) {
+	t.Helper()
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("analysis failure (not an invariant violation): %v\n%s", err, g.Format())
+	}
+	small := Shrink(g, FailsInvariant(v.Invariant, opt))
+	// Re-derive the violation on the minimized graph so the repro's header
+	// describes what the committed file actually shows.
+	if verr := CheckAll(small, opt); verr != nil {
+		if sv, ok := verr.(*Violation); ok {
+			v = sv
+		}
+	}
+	path, werr := WriteRepro(regressionsDir, v, small)
+	if werr != nil {
+		t.Fatalf("%v\n(also failed to write repro: %v)\nminimized:\n%s", err, werr, small.Format())
+	}
+	t.Fatalf("%v\nminimized repro written to %s (%d nodes) — commit it so the regression replay keeps covering this", err, path, small.NumNodes())
+}
+
+// TestCheckAllCatchesSeededViolations proves the engine can actually fail:
+// hand-built graphs that violate specific invariants must be reported.
+func TestCheckAllDetectsBadGraph(t *testing.T) {
+	// An unfinalized graph is rejected outright.
+	g := ddg.New("unfinalized", ddg.Superscalar)
+	g.AddNode("a", "op", 1)
+	if err := CheckAll(g, CheckOptions{Cheap: true}); err == nil {
+		t.Fatal("CheckAll accepted an unfinalized graph")
+	}
+}
+
+// TestCheckAllOnKernels anchors the engine on the committed corpus shapes:
+// the paper's own kernels must satisfy the whole catalog.
+func TestCheckAllOnFigure2(t *testing.T) {
+	g := figure2(t)
+	if err := CheckAll(g, CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func figure2(t *testing.T) *ddg.Graph {
+	t.Helper()
+	// A small multi-killer shape (a value consumed by two independent
+	// consumers) exercising every invariant path.
+	g := ddg.New("check-fig", ddg.Superscalar)
+	a := g.AddNode("a", "load", 2)
+	b := g.AddNode("b", "mul", 3)
+	c := g.AddNode("c", "add", 1)
+	d := g.AddNode("d", "add", 1)
+	g.SetWrites(a, ddg.Float, 0)
+	g.SetWrites(b, ddg.Float, 0)
+	g.SetWrites(c, ddg.Float, 0)
+	g.SetWrites(d, ddg.Float, 0)
+	g.AddFlowEdge(a, b, ddg.Float)
+	g.AddFlowEdge(a, c, ddg.Float)
+	g.AddFlowEdge(b, d, ddg.Float)
+	g.AddFlowEdge(c, d, ddg.Float)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSweepCoversAllMachinesAndMixes is a meta-test: the sweep parameter
+// cycle must actually reach every machine kind and type mix, or the 200
+// graphs test less than they claim.
+func TestSweepCoversAllMachinesAndMixes(t *testing.T) {
+	f := Families()[0]
+	machines := map[ddg.MachineKind]bool{}
+	mixes := map[string]bool{}
+	densities := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		p := sweepParams(f, i)
+		machines[p.Machine] = true
+		mixes[fmt.Sprint(p.Types)] = true
+		densities[p.Density] = true
+	}
+	if len(machines) != 3 || len(mixes) != 2 || len(densities) != 3 {
+		t.Fatalf("sweep coverage hole: %d machines, %d mixes, %d densities", len(machines), len(mixes), len(densities))
+	}
+}

@@ -1,0 +1,240 @@
+// Package gen generates structured DDG families for property testing,
+// fuzzing, and benchmarking. The committed testdata corpus covers the
+// paper's kernel suite, but register-pressure behavior only shows its edge
+// cases on *structured* graph shapes — unrolled loops with cross-iteration
+// recurrences, tiled 2D grids, superblock fan-in/fan-out, deep expression
+// trees, wide layered DAGs — so this package builds those shapes on demand,
+// deterministically from a seed, at any scale.
+//
+// Every family is registered under a stable name (Families, ByName) with
+// validated parameter ranges, so the CLIs can expose them (-family) and the
+// metamorphic property engine (CheckAll in check.go) can sweep them.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regsat/internal/ddg"
+)
+
+// MaxNodes bounds the pre-finalize node count of any generated graph: a
+// guard against parameter combinations (tree depth × arity, rows × cols)
+// that would silently explode.
+const MaxNodes = 4096
+
+// Params configures one generated graph. The meaning of Size and Width is
+// per-family (see Family.SizeName/WidthName); Density scales the optional
+// extra dependences every family sprinkles on top of its core shape.
+type Params struct {
+	// Seed drives the deterministic PRNG: same params, same graph.
+	Seed int64
+	// Machine selects the processor model (offsets drawn for VLIW/EPIC).
+	Machine ddg.MachineKind
+	// Size is the primary scale knob (iterations, rows, blocks, depth,
+	// layers — per family).
+	Size int
+	// Width is the secondary knob (body ops, columns, fan, arity, layer
+	// width — per family).
+	Width int
+	// Density in [0,1] is the probability of each optional extra dependence.
+	Density float64
+	// Types is the register-type mix values are drawn from (empty = {float}).
+	Types []ddg.RegType
+}
+
+func (p Params) withDefaults() Params {
+	if len(p.Types) == 0 {
+		p.Types = []ddg.RegType{ddg.Float}
+	}
+	return p
+}
+
+// Family is one registered graph-shape generator.
+type Family struct {
+	// Name is the stable registry key (ddggen -family, rsbench -exp families).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// SizeName and WidthName document what Size and Width mean here, so
+	// range errors are actionable.
+	SizeName, WidthName string
+	// SizeRange and WidthRange are the inclusive valid ranges.
+	SizeRange, WidthRange [2]int
+	// Defaults are the parameters used when the caller leaves them zero.
+	Defaults Params
+
+	// build emits the pre-finalize shape into g.
+	build func(g *ddg.Graph, p Params, rng *rand.Rand)
+}
+
+// Validate checks p against the family's ranges. Errors name the knob, the
+// offending value, the valid range, and what the knob means, so a CLI user
+// can fix the invocation without reading this source.
+func (f *Family) Validate(p Params) error {
+	p = p.withDefaults()
+	if p.Size < f.SizeRange[0] || p.Size > f.SizeRange[1] {
+		return fmt.Errorf("gen: family %q: size=%d out of range [%d, %d] (size = %s)",
+			f.Name, p.Size, f.SizeRange[0], f.SizeRange[1], f.SizeName)
+	}
+	if p.Width < f.WidthRange[0] || p.Width > f.WidthRange[1] {
+		return fmt.Errorf("gen: family %q: width=%d out of range [%d, %d] (width = %s)",
+			f.Name, p.Width, f.WidthRange[0], f.WidthRange[1], f.WidthName)
+	}
+	if p.Density < 0 || p.Density > 1 {
+		return fmt.Errorf("gen: family %q: density=%g out of range [0, 1] (probability of extra dependences)",
+			f.Name, p.Density)
+	}
+	if n := f.nodeEstimate(p); n > MaxNodes {
+		return fmt.Errorf("gen: family %q: size=%d width=%d would generate ~%d nodes (limit %d); shrink one knob",
+			f.Name, p.Size, p.Width, n, MaxNodes)
+	}
+	for _, t := range p.Types {
+		if t == "" {
+			return fmt.Errorf("gen: family %q: empty register type in types list", f.Name)
+		}
+	}
+	return nil
+}
+
+// nodeEstimate upper-bounds the pre-finalize node count.
+func (f *Family) nodeEstimate(p Params) int {
+	switch f.Name {
+	case "exprtree":
+		// Full Width-ary tree of depth Size: (w^(d+1)-1)/(w-1) nodes.
+		n := 1
+		total := 1
+		for d := 0; d < p.Size; d++ {
+			if n > MaxNodes/p.Width {
+				return MaxNodes + 1
+			}
+			n *= p.Width
+			total += n
+			if total > MaxNodes {
+				return total
+			}
+		}
+		return total
+	case "superblock":
+		return p.Size * (p.Width + 2)
+	default:
+		return p.Size * p.Width
+	}
+}
+
+// Generate builds the family's graph for p: deterministic in p, finalized,
+// and guaranteed to define at least one register value.
+func (f *Family) Generate(p Params) (*ddg.Graph, error) {
+	p = p.withDefaults()
+	if err := f.Validate(p); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	name := fmt.Sprintf("%s-%s-z%dw%d-s%d", f.Name, p.Machine, p.Size, p.Width, p.Seed)
+	g := ddg.New(name, p.Machine)
+	f.build(g, p, rng)
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("gen: family %q produced an invalid graph (seed %d): %w", f.Name, p.Seed, err)
+	}
+	if len(g.Types()) == 0 {
+		return nil, fmt.Errorf("gen: family %q produced a graph with no register values (seed %d)", f.Name, p.Seed)
+	}
+	return g, nil
+}
+
+// families is the registry, in listing order.
+var families = []*Family{unrollFamily, gridFamily, superblockFamily, exprtreeFamily, layeredFamily}
+
+// Families returns all registered families in stable order.
+func Families() []*Family {
+	out := make([]*Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// ByName looks a family up by its registry name.
+func ByName(name string) (*Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the registered family names, for error messages and usage.
+func Names() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// ParseParams parses a "key=value,key=value" parameter spec over base (the
+// family's defaults, typically): keys size, width, density, and types (a
+// '+'-separated register-type list, e.g. types=int+float). Unknown keys and
+// malformed values produce errors that name the key, the accepted keys, and
+// the expected syntax.
+func ParseParams(spec string, base Params) (Params, error) {
+	p := base
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("gen: bad parameter %q: want key=value (keys: size, width, density, types)", kv)
+		}
+		switch k {
+		case "size":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return p, fmt.Errorf("gen: size=%q is not an integer", v)
+			}
+			p.Size = n
+		case "width":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return p, fmt.Errorf("gen: width=%q is not an integer", v)
+			}
+			p.Width = n
+		case "density":
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p, fmt.Errorf("gen: density=%q is not a number in [0, 1]", v)
+			}
+			p.Density = d
+		case "types":
+			var types []ddg.RegType
+			for _, t := range strings.Split(v, "+") {
+				if t == "" {
+					return p, fmt.Errorf("gen: types=%q has an empty type (want e.g. types=int+float)", v)
+				}
+				types = append(types, ddg.RegType(t))
+			}
+			p.Types = types
+		default:
+			return p, fmt.Errorf("gen: unknown parameter %q (keys: size, width, density, types)", k)
+		}
+	}
+	return p, nil
+}
+
+// String renders the spec back in ParseParams syntax (for logs and file
+// names; types joined with '+').
+func (p Params) String() string {
+	types := make([]string, len(p.Types))
+	for i, t := range p.Types {
+		types[i] = string(t)
+	}
+	sort.Strings(types)
+	return fmt.Sprintf("size=%d,width=%d,density=%g,types=%s", p.Size, p.Width, p.Density, strings.Join(types, "+"))
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+// readAndParseRepro loads a .ddg repro file (comment headers included) and
+// returns the finalized graph.
+func readAndParseRepro(path string) (*ddg.Graph, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ddg.ParseString(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// TestRegressionCorpusReplay re-runs the full invariant catalog on every
+// minimized repro ever committed to testdata/regressions/ — once a fuzz or
+// sweep failure is pinned there, it can never silently come back.
+func TestRegressionCorpusReplay(t *testing.T) {
+	entries, err := os.ReadDir(regressionsDir)
+	if os.IsNotExist(err) {
+		t.Skip("no regression corpus yet")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CheckOptions{}
+	if testing.Short() {
+		opt.Cheap = true
+	}
+	replayed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ddg") {
+			continue
+		}
+		replayed++
+		path := filepath.Join(regressionsDir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			g, err := readAndParseRepro(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckAll(g, opt); err != nil {
+				t.Fatalf("regression resurfaced: %v", err)
+			}
+		})
+	}
+	t.Logf("replayed %d regression repros", replayed)
+}

@@ -96,10 +96,16 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 		}
 	}
 
-	// Report the true saturation of the chosen extension.
+	// Report the true saturation of the chosen extension. A value above the
+	// budget here means acceptLeaf's verification logic has a hole — fail
+	// loudly rather than hand back a "certified" extension that does not fit.
 	finalRS, err := exactSaturation(found.ext, t)
 	if err != nil {
 		return nil, err
+	}
+	if finalRS > available {
+		return nil, fmt.Errorf("reduce: internal error: accepted extension of %s has RS %d > budget %d",
+			g.Name, finalRS, available)
 	}
 	return &Result{
 		Graph:    found.ext,
@@ -234,15 +240,51 @@ func (s *srcSearch) acceptLeaf(times []int64) *leaf {
 	if err != nil {
 		return nil // non-positive circuit (VLIW/EPIC): excluded by the paper
 	}
-	if s.slack > 0 && s.strictNeed(sched) > s.R {
-		// Touching lifetimes were left unserialized; check the extension's
-		// true saturation.
+	needVerify := false
+	if s.slack > 0 {
+		// Touching lifetimes left unserialized: the closed-interval need may
+		// exceed what the arcs pin.
+		needVerify = s.strictNeed(sched) > s.R
+	} else {
+		// Offset machines: RS(Ḡ) = RN_σ only holds when σ's whole lifetime
+		// order was actually pinned. An empty lifetime (a value read at its
+		// own birth instant) or an ordered pair Serializable refuses (e.g.
+		// δr(v) > δw(v)) leaves an order the extension does not enforce, so
+		// other schedules of Ḡ can overlap what σ kept apart.
+		needVerify = !s.orderFullyPinned(sched)
+	}
+	if needVerify {
 		extRS, err := exactSaturation(ext, s.t)
 		if err != nil || extRS > s.R {
 			return nil
 		}
 	}
 	return &leaf{sched: sched, arcs: arcs, ext: ext, extRS: rn}
+}
+
+// orderFullyPinned reports whether every non-interference σ exhibits between
+// type-t values is enforced by the serialization-arc construction: no empty
+// lifetimes, and every ordered pair is Serializable. Only then does
+// Theorem 4.2 give RS(Ḡ) = RN_σ on offset machines.
+func (s *srcSearch) orderFullyPinned(sched *schedule.Schedule) bool {
+	ivs := make([]schedule.Interval, len(s.values))
+	for i, u := range s.values {
+		ivs[i] = sched.Lifetime(u, s.t)
+		if ivs[i].Empty() {
+			return false
+		}
+	}
+	for i, u := range s.values {
+		for j, v := range s.values {
+			if i == j || ivs[i].End > ivs[j].Start {
+				continue
+			}
+			if !Serializable(s.g, s.t, sched, u, v) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // strictNeed computes the register need with touching lifetimes counted as

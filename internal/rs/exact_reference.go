@@ -14,6 +14,14 @@ import (
 // BenchmarkExactBB measures the incremental engine's speedup over. It must
 // not be used on hot paths.
 
+// ExactBBReference exposes the from-scratch reference search to differential
+// tests and fuzz harnesses outside this package (internal/gen's metamorphic
+// engine checks ExactBB against it on every generated graph). Not for hot
+// paths: every search node pays a full rebuild.
+func ExactBBReference(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
+	return exactBBReference(an, maxLeaves)
+}
+
 // exactBBReference is the from-scratch ExactBB (per-node full rebuild).
 func exactBBReference(an *Analysis, maxLeaves int64) (*RSResult, *ExactStats, error) {
 	if maxLeaves <= 0 {

@@ -123,6 +123,82 @@ func TestStoreCorruptionTolerated(t *testing.T) {
 	}
 }
 
+// TestStoreTruncatedRecordEveryPrefix: a record file torn at *any* byte
+// boundary (power loss mid-write on a filesystem without atomic rename, a
+// partial copy) must read as a miss — never a panic, never a wrong hit —
+// and a rewrite must recover the slot.
+func TestStoreTruncatedRecordEveryPrefix(t *testing.T) {
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{})
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fp, rt, "k", res)
+	path := s.path(fp, rt, "k")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) < 8 {
+		t.Fatalf("record suspiciously small: %d bytes", len(whole))
+	}
+	// Every prefix for small records would be slow for nothing; step through
+	// a spread of cut points including the interesting edges.
+	cuts := []int{0, 1, 2, len(whole) / 4, len(whole) / 2, len(whole) - 2, len(whole) - 1}
+	for _, cut := range cuts {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(fp, g, rt, "k"); ok {
+			t.Fatalf("record truncated to %d/%d bytes served as a hit", cut, len(whole))
+		}
+	}
+	errsAfter := s.Stats().Errors
+	if errsAfter < int64(len(cuts)) {
+		t.Fatalf("truncations not counted as tolerated errors: %d < %d", errsAfter, len(cuts))
+	}
+	// Recovery: the original bytes serve again.
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(fp, g, rt, "k")
+	if !ok {
+		t.Fatal("restored record does not serve")
+	}
+	if got.RS != res.RS {
+		t.Fatalf("restored record decoded wrong: RS %d != %d", got.RS, res.RS)
+	}
+}
+
+// TestStoreUnreadableRecordIsMiss: a record that exists but cannot be read
+// (permission denied) must degrade to a counted miss, not an error the
+// analysis pipeline sees.
+func TestStoreUnreadableRecordIsMiss(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores file permissions")
+	}
+	g, rt, fp := testGraph(t)
+	res := computeResult(t, g, rt, rs.Options{SkipWitness: true})
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fp, rt, "k", res)
+	path := s.path(fp, rt, "k")
+	if err := os.Chmod(path, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(path, 0o644)
+	if _, ok := s.Get(fp, g, rt, "k"); ok {
+		t.Fatal("unreadable record served as a hit")
+	}
+	if s.Stats().Errors == 0 {
+		t.Fatal("unreadable record not counted")
+	}
+}
+
 func TestStoreSchemaMismatchStartsFresh(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("regsat-store v999\n"), 0o644); err != nil {
