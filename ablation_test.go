@@ -89,7 +89,7 @@ func BenchmarkAblation_MaxRNSearch(b *testing.B) {
 	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
 	run := func(b *testing.B, skip bool) {
 		for i := 0; i < b.N; i++ {
-			res, err := reduce.ExactCombinatorial(g, ddg.Int, 3, reduce.ExactOptions{SkipMaxRN: skip})
+			res, err := reduce.ExactCombinatorial(context.Background(), g, ddg.Int, 3, reduce.ExactOptions{SkipMaxRN: skip})
 			if err != nil || res.Spill {
 				b.Fatalf("err=%v spill=%v", err, res.Spill)
 			}

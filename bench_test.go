@@ -33,7 +33,7 @@ func benchPop() experiments.Population {
 // BenchmarkE1_Pipeline reproduces the Figure 1 flow end-to-end.
 func BenchmarkE1_Pipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.Pipeline(benchPop())
+		sum, err := experiments.Pipeline(context.Background(), benchPop())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +45,7 @@ func BenchmarkE1_Pipeline(b *testing.B) {
 // BenchmarkE2_Figure2 reproduces the paper's Figure 2 comparison.
 func BenchmarkE2_Figure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2()
+		res, err := experiments.Figure2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func BenchmarkE4_ReduceOptimality(b *testing.B) {
 	p := benchPop()
 	p.MaxValues = 9
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.ReduceOptimality(p, 2)
+		sum, err := experiments.ReduceOptimality(context.Background(), p, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func BenchmarkE6_Timing(b *testing.B) {
 	p := benchPop()
 	p.RandomGraphs = 0
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.Timing(p, 5, solver.Options{MaxNodes: 100000, TimeLimit: 20 * time.Second})
+		sum, err := experiments.Timing(context.Background(), p, 5, solver.Options{MaxNodes: 100000, TimeLimit: 20 * time.Second})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func BenchmarkE7_MinimizeVsSaturate(b *testing.B) {
 	p := benchPop()
 	p.MaxValues = 9
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.Versus(p)
+		sum, err := experiments.Versus(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func BenchmarkE7_MinimizeVsSaturate(b *testing.B) {
 // BenchmarkE8_Construction verifies the Theorem 4.2 construction at scale.
 func BenchmarkE8_Construction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sum, err := experiments.Theorem42(benchPop(), 3, 2004)
+		sum, err := experiments.Theorem42(context.Background(), benchPop(), 3, 2004)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +292,7 @@ func BenchmarkReduceHeuristicSwim(b *testing.B) {
 	g := kernels.ByNameMust("spec-swim").Build(ddg.Superscalar)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := reduce.Heuristic(g, ddg.Float, 6)
+		res, err := reduce.Heuristic(context.Background(), g, ddg.Float, 6)
 		if err != nil || res.Spill {
 			b.Fatalf("err=%v spill=%v", err, res.Spill)
 		}
@@ -303,7 +303,7 @@ func BenchmarkReduceExactDaxpy(b *testing.B) {
 	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := reduce.ExactCombinatorial(g, ddg.Int, 3, reduce.ExactOptions{})
+		res, err := reduce.ExactCombinatorial(context.Background(), g, ddg.Int, 3, reduce.ExactOptions{})
 		if err != nil || res.Spill {
 			b.Fatalf("err=%v spill=%v", err, res.Spill)
 		}

@@ -103,6 +103,7 @@ type corpusFileJSON struct {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -176,14 +177,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	runExp("fig2", func() (string, error) {
-		r, err := experiments.Figure2()
+		r, err := experiments.Figure2(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
 	runExp("pipeline", func() (string, error) {
-		r, err := experiments.Pipeline(pop)
+		r, err := experiments.Pipeline(ctx, pop)
 		if err != nil {
 			return "", err
 		}
@@ -201,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if p.MaxValues > 10 {
 			p.MaxValues = 10 // exact reduction budget
 		}
-		r, err := experiments.ReduceOptimality(p, 2)
+		r, err := experiments.ReduceOptimality(ctx, p, 2)
 		if err != nil {
 			return "", err
 		}
@@ -215,7 +216,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return r.Report(), nil
 	})
 	runExp("time", func() (string, error) {
-		r, err := experiments.Timing(pop, 6, solver.Options{
+		r, err := experiments.Timing(ctx, pop, 6, solver.Options{
 			Backend: *backend, MaxNodes: 200000, TimeLimit: 30 * time.Second})
 		if err != nil {
 			return "", err
@@ -227,14 +228,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if p.MaxValues > 10 {
 			p.MaxValues = 10
 		}
-		r, err := experiments.Versus(p)
+		r, err := experiments.Versus(ctx, p)
 		if err != nil {
 			return "", err
 		}
 		return r.Report(), nil
 	})
 	runExp("thm42", func() (string, error) {
-		r, err := experiments.Theorem42(pop, 3, *seed)
+		r, err := experiments.Theorem42(ctx, pop, 3, *seed)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,93 @@
+// Command rsvet runs the repo's custom static analysis suite — the
+// soundness invariants the type system cannot express (snapshot
+// immutability, undo-trail balance, context threading, fingerprint cache
+// keys, determinism, lock discipline). See docs/STATIC_ANALYSIS.md.
+//
+// Two modes:
+//
+//	rsvet [-json] [-list] [packages]   pattern mode (default ./...)
+//	go vet -vettool=$(which rsvet) ./...   vet-tool mode (unitchecker protocol)
+//
+// Exit codes follow go vet: 0 clean, 1 internal error, nonzero on findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"regsat/internal/analysis"
+	"regsat/internal/analysis/framework"
+)
+
+func main() {
+	// Vet-tool invocations (-V=full, -flags, *.cfg) bypass flag parsing:
+	// the go command owns that argument grammar.
+	if handled, code := framework.Unitchecker("rsvet", analysis.Suite(), os.Args[1:], os.Stdout, os.Stderr); handled {
+		os.Exit(code)
+	}
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != errFindings {
+			fmt.Fprintln(os.Stderr, "rsvet:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errFindings marks a clean run that found violations (already printed).
+var errFindings = fmt.Errorf("findings reported")
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rsvet [-json] [-list] [-C dir] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the regsat static analysis suite (default pattern ./...).\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // -h is not a failure (house CLI convention)
+		}
+		return err
+	}
+	if *list {
+		for _, a := range analysis.Suite() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, summary)
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := framework.Run(*dir, analysis.Suite(), patterns)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []framework.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return errFindings
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"regsat/internal/analysis/framework"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v (stderr: %s)", err, errb.String())
+	}
+	for _, name := range []string{"irimmutable", "undobalance", "ctxthread", "fpkey", "nodeterminism", "lockdiscipline"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunRepoClean drives the binary's own package as a smoke test: rsvet
+// over a clean package exits without error and -json emits a valid array.
+func TestRunRepoClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json", "."}, &out, &errb); err != nil {
+		t.Fatalf("run -json .: %v\nstdout: %s\nstderr: %s", err, out.String(), errb.String())
+	}
+	var findings []framework.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings in cmd/rsvet: %+v", findings)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errb); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestHelpIsNotAFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h must exit 0 like every CLI here: %v", err)
+	}
+	if !strings.Contains(errb.String(), "usage: rsvet") {
+		t.Errorf("-h did not print usage:\n%s", errb.String())
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -58,7 +59,7 @@ func main() {
 	c.AddEdge(then, tail)
 	c.AddEdge(els, tail)
 
-	res, err := c.GlobalRS(regsat.Float, regsat.RSOptions{Method: regsat.ExactBB, SkipWitness: true})
+	res, err := c.GlobalRS(context.Background(), regsat.Float, regsat.RSOptions{Method: regsat.ExactBB, SkipWitness: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,174 @@
+// Package analysistest runs rsvet analyzers over fixture packages under
+// testdata/src and checks their diagnostics against `// want "regex"`
+// comments — the same contract as golang.org/x/tools' analysistest, rebuilt
+// on the stdlib-only framework. Fixtures are real, type-checked Go: they
+// import the engine packages (regsat/internal/ir, internal/rs, ...) whose
+// export data is compiled once per test binary via `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"regsat/internal/analysis/framework"
+)
+
+// fixtureDeps is everything any fixture may import: the engine packages the
+// analyzers model plus the stdlib packages the invariants mention.
+var fixtureDeps = []string{
+	"regsat/internal/ir",
+	"regsat/internal/rs",
+	"regsat/internal/graph",
+	"regsat/internal/ddg",
+	"context",
+	"fmt",
+	"math/rand",
+	"sort",
+	"sync",
+	"sync/atomic",
+	"time",
+}
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+// sharedExports compiles the fixture dependency closure to export data once
+// per test binary.
+func sharedExports() (map[string]string, error) {
+	exportsOnce.Do(func() {
+		root, err := repoRoot()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		fset := token.NewFileSet()
+		_, exp, err := framework.Load(fset, root, nil, fixtureDeps)
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exports = exp
+	})
+	return exports, exportsErr
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// wantRe extracts `// want "regex"` expectations; several may share a line.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run type-checks each fixture package testdata/src/<dir> and verifies the
+// analyzer's diagnostics match its `// want` comments exactly — every want
+// matched by a diagnostic on its line, no diagnostic without a want.
+func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
+	t.Helper()
+	exp, err := sharedExports()
+	if err != nil {
+		t.Fatalf("compiling fixture dependencies: %v", err)
+	}
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			runDir(t, a, exp, dir)
+		})
+	}
+}
+
+func runDir(t *testing.T, a *framework.Analyzer, exports map[string]string, dir string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(src, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", src)
+	}
+	sort.Strings(files)
+
+	var wants []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := framework.NewImporter(fset, exports, nil)
+	pkg, err := framework.TypeCheck(fset, dir, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	diags, err := framework.AnalyzePackage([]*framework.Analyzer{a}, fset, pkg, true)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"regsat/internal/analysis"
+	"regsat/internal/analysis/analysistest"
+)
+
+func TestIRImmutable(t *testing.T) { analysistest.Run(t, analysis.IRImmutable, "irimmutable") }
+
+func TestUndoBalance(t *testing.T) { analysistest.Run(t, analysis.UndoBalance, "undobalance") }
+
+func TestCtxThread(t *testing.T) { analysistest.Run(t, analysis.CtxThread, "ctxthread") }
+
+func TestFPKey(t *testing.T) { analysistest.Run(t, analysis.FPKey, "fpkey") }
+
+func TestNoDeterminism(t *testing.T) { analysistest.Run(t, analysis.NoDeterminism, "nodeterminism") }
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("suite has %d analyzers, want at least 6", len(seen))
+	}
+}

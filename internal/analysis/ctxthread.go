@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"regsat/internal/analysis/framework"
+)
+
+// CtxThread enforces the daemon's cancellation guarantee end to end: the
+// request context must reach every in-flight simplex iteration and
+// branch-and-bound node. Library code that conjures context.Background()
+// (or TODO()) severs that chain — a cancelled request keeps solving,
+// admission slots stay held, and drains hang on work nobody wants.
+var CtxThread = &framework.Analyzer{
+	Name: "ctxthread",
+	Doc: "forbid context.Background()/TODO() in library code\n\n" +
+		"Entry points create root contexts; libraries thread them. A\n" +
+		"context.Background() call in a non-main package either shadows a\n" +
+		"context the function already receives (breaking cancellation for\n" +
+		"every callee under it) or marks an API that should accept one.\n" +
+		"main packages and _test files are exempt; deliberate context-free\n" +
+		"convenience wrappers carry an //rsvet:allow with justification.",
+	Run: runCtxThread,
+}
+
+func runCtxThread(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // entry points own their root contexts
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var which string
+			switch {
+			case pkgFuncCall(info, call, "context", "Background"):
+				which = "context.Background()"
+			case pkgFuncCall(info, call, "context", "TODO"):
+				which = "context.TODO()"
+			default:
+				return true
+			}
+			if fn := enclosingFunc(pm, call); fn != nil {
+				if _, ft := funcBody(fn); hasCtxParam(info, ft) {
+					pass.Reportf(call.Pos(), "%s inside a function that already receives a context.Context: thread the parameter so cancellation reaches in-flight solves", which)
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "%s in library code: accept a context.Context parameter and thread it (cancellation must reach simplex iterations and search nodes)", which)
+			return true
+		})
+	}
+	return nil
+}

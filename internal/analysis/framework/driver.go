@@ -1,0 +1,116 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// allowRe matches the suppression directive:
+//
+//	//rsvet:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// The justification is mandatory: a suppression without a recorded reason is
+// itself a diagnostic. A directive suppresses matching diagnostics on its
+// own line and on the line directly below it (so it can ride at the end of
+// the offending line or stand alone above it).
+var allowRe = regexp.MustCompile(`^//rsvet:allow\s+([a-z][a-z0-9_,]*)\s+--\s+(\S.*)$`)
+
+// malformedAllowRe catches directives that parse as rsvet:allow but miss the
+// mandatory ` -- reason` tail.
+var malformedAllowRe = regexp.MustCompile(`^//rsvet:allow\b`)
+
+// allowIndex maps "<file>:<line>" to the analyzer names allowed there.
+type allowIndex map[string]map[string]bool
+
+// collectAllows scans a package's comments for //rsvet:allow directives.
+// Malformed directives are reported as diagnostics of the pseudo-analyzer
+// "rsvet" so the gate fails on reasonless suppressions.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
+	idx := allowIndex{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					if malformedAllowRe.MatchString(text) {
+						bad = append(bad, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "rsvet",
+							Message:  "malformed //rsvet:allow directive: want `//rsvet:allow <analyzer> -- <justification>`",
+						})
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if idx[key] == nil {
+							idx[key] = map[string]bool{}
+						}
+						idx[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// allowed reports whether d is suppressed by a directive.
+func (idx allowIndex) allowed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	set := idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return set[d.Analyzer]
+}
+
+// AnalyzePackage runs the analyzers over one loaded package, applying
+// //rsvet:allow suppressions, and returns the surviving diagnostics.
+func AnalyzePackage(analyzers []*Analyzer, fset *token.FileSet, pkg *Package, fixture bool) ([]Diagnostic, error) {
+	diags, err := runAnalyzers(analyzers, fset, pkg.Files, pkg.Pkg, pkg.Info, fixture)
+	if err != nil {
+		return nil, err
+	}
+	allows, bad := collectAllows(fset, pkg.Files)
+	kept := bad
+	for _, d := range diags {
+		if !allows.allowed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// Run loads every package matching patterns under dir, runs the analyzers,
+// and returns the findings sorted by position. It is the engine behind
+// cmd/rsvet's pattern mode and the repo-wide meta-test.
+func Run(dir string, analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, _, err := Load(fset, dir, patterns, nil)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		diags, err := AnalyzePackage(analyzers, fset, pkg, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			findings = append(findings, render(fset, d))
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Position != findings[j].Position {
+			return findings[i].Position < findings[j].Position
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,121 @@
+// Package framework is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface the rsvet suite needs: an Analyzer
+// runs over one type-checked package and reports position-tagged
+// diagnostics. The toolchain image this repo builds in has no module proxy
+// access, so the framework is built on the standard library only — go/ast
+// and go/types for the representation, `go list -export` plus go/importer's
+// gc importer for loading (the same mechanism `go vet`'s unitchecker uses).
+//
+// Three entry points consume it:
+//
+//   - Run (driver.go): load packages by pattern, run the suite, apply
+//     //rsvet:allow suppressions — the programmatic API behind cmd/rsvet
+//     and the repo-wide meta-test;
+//   - Unitchecker (unitchecker.go): the `go vet -vettool` protocol, so
+//     rsvet also runs as a vet tool with the go command's caching;
+//   - internal/analysis/analysistest: fixture-based analyzer tests with
+//     `// want` expectations.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check: a name, a one-line contract, and a Run
+// function invoked once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rsvet:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the invariant the analyzer enforces (first line is the
+	// summary shown by rsvet -list).
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Fixture marks an analysistest run: analyzers whose invariant is
+	// scoped to specific repo packages (undobalance, nodeterminism, …)
+	// treat fixture packages as in scope so their testdata exercises the
+	// check without masquerading as engine import paths.
+	Fixture bool
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Finding is a rendered diagnostic: the JSON shape cmd/rsvet -json emits
+// and CI uploads as an artifact.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// render flattens a diagnostic against a file set.
+func render(fset *token.FileSet, d Diagnostic) Finding {
+	return Finding{
+		Analyzer: d.Analyzer,
+		Position: fset.Position(d.Pos).String(),
+		Message:  d.Message,
+	}
+}
+
+// runAnalyzers applies every analyzer to one loaded package and returns the
+// raw (unsuppressed) diagnostics.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, fixture bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Fixture:   fixture,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

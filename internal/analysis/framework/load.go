@@ -1,0 +1,165 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -export -deps` in dir and returns the
+// decoded package stream. -export compiles every listed package into the
+// build cache and reports its export-data file, which is what the type
+// checker imports dependencies from — no source re-checking, no network.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap indexes every listed package's export-data file by import path.
+func exportMap(pkgs []*listedPackage) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// NewImporter returns a types.Importer resolving import paths through
+// export-data files (importPath → file). importMap optionally rewrites
+// import paths first (the vet protocol's vendor map; nil for none).
+func NewImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// TypeCheck parses and type-checks one package's files against an importer.
+// Parse errors are fatal; type errors are returned joined so the caller can
+// decide (the driver treats them as fatal — the repo must compile).
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type checking %s:\n  %s", importPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{ImportPath: importPath, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Load lists patterns under dir, compiles their dependency closure to
+// export data, and returns the requested (non-dependency, non-stdlib,
+// non-test-variant) packages parsed and type-checked. extraDeps names
+// additional packages to compile into the export map without analyzing
+// them — the analysistest harness uses it so fixtures can import stdlib
+// packages the repo itself never touches.
+func Load(fset *token.FileSet, dir string, patterns, extraDeps []string) ([]*Package, map[string]string, error) {
+	listed, err := goList(dir, append(append([]string{}, patterns...), extraDeps...))
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := exportMap(listed)
+	imp := NewImporter(fset, exports, nil)
+	extra := make(map[string]bool, len(extraDeps))
+	for _, d := range extraDeps {
+		extra[d] = true
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || lp.ForTest != "" || extra[lp.ImportPath] {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			names[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, names, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Dir = lp.Dir
+		out = append(out, pkg)
+	}
+	return out, exports, nil
+}

@@ -1,0 +1,155 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each package unit (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	NonGoFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker implements the `go vet -vettool` protocol for one package
+// unit: args is the full tool argument list after the program name. It
+// reports (handled, exitCode); handled is false when args do not look like
+// a vet-tool invocation, so the caller can fall through to pattern mode.
+//
+// Protocol:
+//
+//	tool -V=full        print a version line usable as a cache key
+//	tool -flags         print the tool's flags as JSON
+//	tool [flags] x.cfg  check one package unit described by the config
+func Unitchecker(progname string, analyzers []*Analyzer, args []string, stdout, stderr io.Writer) (bool, int) {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Fprintf(stdout, "%s version devel buildID=%s\n", progname, selfID())
+			return true, 0
+		case a == "-flags" || a == "--flags":
+			// The go command queries supported flags so it only forwards
+			// what the tool understands.
+			type flagDesc struct {
+				Name  string `json:"Name"`
+				Bool  bool   `json:"Bool"`
+				Usage string `json:"Usage"`
+			}
+			json.NewEncoder(stdout).Encode([]flagDesc{
+				{Name: "json", Bool: true, Usage: "emit findings as JSON"},
+			})
+			return true, 0
+		}
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return false, 0
+	}
+	code := checkUnit(analyzers, args[len(args)-1], stderr)
+	return true, code
+}
+
+// selfID hashes the tool binary so the go command's vet cache invalidates
+// when rsvet changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// checkUnit analyzes one package unit. Exit codes follow vet conventions:
+// 0 clean, 1 internal failure, 2 findings.
+func checkUnit(analyzers []*Analyzer, cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rsvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "rsvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command expects a facts file for downstream units whether or
+	// not we have facts to export; rsvet's analyzers are fact-free.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "rsvet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || skipUnit(cfg.ImportPath) || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	// In-package test files would need the test variant's expanded export
+	// data for their own package; rsvet's invariants target non-test
+	// library code, so the unit shrinks to its non-test files.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg, err := TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "rsvet: %v\n", err)
+		return 1
+	}
+	diags, err := AnalyzePackage(analyzers, fset, pkg, false)
+	if err != nil {
+		fmt.Fprintf(stderr, "rsvet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		f := render(fset, d)
+		fmt.Fprintf(stderr, "%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+	}
+	return 2
+}
+
+// skipUnit reports whether a unit is a test variant — "pkg [pkg.test]"
+// recompilations, "pkg_test" external test packages, and generated
+// "pkg.test" mains — which rsvet leaves to the repo's regular tests.
+func skipUnit(importPath string) bool {
+	return strings.Contains(importPath, " [") ||
+		strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test")
+}

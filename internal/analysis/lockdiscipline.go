@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"regsat/internal/analysis/framework"
+)
+
+// LockDiscipline enforces the repo's mutex conventions: a sync.Mutex (or
+// RWMutex) struct field guards the fields declared after it (until the next
+// mutex), so touching a guarded field requires either holding that mutex in
+// the same function or being a helper whose name carries the "Locked"
+// suffix (the caller-holds-lock convention: namesLocked,
+// evictOverflowLocked). It also flags dereference copies of lock-bearing
+// structs, which silently fork the mutex from the state it guards.
+var LockDiscipline = &framework.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "mutexes must be held across guarded-field access\n\n" +
+		"Struct fields below a sync.Mutex/RWMutex field are guarded by it\n" +
+		"(sync/atomic-typed fields are exempt). Accessing a guarded field\n" +
+		"requires a Lock/RLock on the same receiver expression somewhere in\n" +
+		"the function, a \"Locked\" name suffix declaring the caller holds\n" +
+		"it, or a receiver that is provably a fresh local. Copying a\n" +
+		"lock-bearing struct by dereference is always flagged.",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *framework.Pass) error {
+	info := pass.TypesInfo
+
+	// guardedBy maps a struct field object to the name of the mutex field
+	// that guards it, per the fields-below-the-mutex convention.
+	guardedBy := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			currentMu := ""
+			for _, field := range st.Fields.List {
+				t := typeOf(info, field.Type)
+				if isMutex(t) {
+					if len(field.Names) == 1 {
+						currentMu = field.Names[0].Name
+					} else {
+						currentMu = "" // embedded or multi-name mutex: skip
+					}
+					continue
+				}
+				if currentMu == "" || isAtomic(t) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guardedBy[obj] = currentMu
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		eachFunc([]*ast.File{f}, func(node ast.Node, name string) {
+			body, _ := funcBody(node)
+			if body == nil {
+				return
+			}
+			if strings.HasSuffix(name, "Locked") {
+				return // declared caller-holds-lock helper
+			}
+
+			// locked collects (receiver expression, mutex field) pairs for
+			// every Lock/RLock call in the function — flow-insensitive on
+			// purpose: the invariant is "this function participates in the
+			// locking protocol", and defer-unlock idioms make the held
+			// region the whole function in practice.
+			locked := map[string]bool{}
+			// fresh collects locals initialized in this function from
+			// composite literals or new(): not yet shared, so lock-free
+			// access is fine.
+			fresh := map[types.Object]bool{}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := st.Fun.(*ast.SelectorExpr); ok &&
+						(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+						if mu, ok := sel.X.(*ast.SelectorExpr); ok && isMutex(typeOf(info, mu)) {
+							locked[types.ExprString(mu.X)+"."+mu.Sel.Name] = true
+						} else if id, ok := sel.X.(*ast.Ident); ok && isMutex(typeOf(info, id)) {
+							locked[id.Name] = true
+						}
+					}
+				case *ast.AssignStmt:
+					if len(st.Lhs) != len(st.Rhs) {
+						return true
+					}
+					for i, lhs := range st.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if freshExpr(st.Rhs[i]) {
+							if obj := objOf(info, id); obj != nil {
+								fresh[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.SelectorExpr:
+					obj := info.Uses[st.Sel]
+					mu, guarded := guardedBy[obj]
+					if !guarded {
+						return true
+					}
+					if id, ok := st.X.(*ast.Ident); ok && fresh[objOf(info, id)] {
+						return true
+					}
+					if !locked[types.ExprString(st.X)+"."+mu] {
+						pass.Reportf(st.Sel.Pos(), "access to %s, guarded by %s, without %s.%s.Lock() in %s: hold the mutex or move this into a *Locked helper", st.Sel.Name, mu, types.ExprString(st.X), mu, name)
+					}
+				case *ast.StarExpr:
+					// Dereference copies fork the mutex from its state:
+					// `c := *s` on a lock-bearing struct.
+					if parentIsCopy(pass, info, st) {
+						pass.Reportf(st.Pos(), "dereference copy of lock-bearing struct %s: the copy's mutex no longer guards the original's state", typeOf(info, st))
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// parentIsCopy reports whether star is the whole RHS of an assignment (so
+// the struct value, mutex included, is copied) and the struct carries a
+// lock.
+func parentIsCopy(pass *framework.Pass, info *types.Info, star *ast.StarExpr) bool {
+	t := typeOf(info, star)
+	if t == nil || !containsLock(t, 0) {
+		return false
+	}
+	for _, f := range pass.Files {
+		if f.Pos() <= star.Pos() && star.End() <= f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, rhs := range st.Rhs {
+						if rhs == ast.Expr(star) {
+							found = true
+						}
+					}
+				case *ast.ValueSpec:
+					for _, v := range st.Values {
+						if v == ast.Expr(star) {
+							found = true
+						}
+					}
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}
+
+// freshExpr reports whether e constructs a brand-new value (composite
+// literal, address of one, or new()).
+func freshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// isAtomic reports whether t is a sync/atomic value type (lock-free by
+// design, so the guards-fields-below convention skips it).
+func isAtomic(t types.Type) bool {
+	named, ok := derefNamed(t)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// containsLock reports whether t (a struct value type) embeds a mutex at
+// any depth.
+func containsLock(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	if isMutex(t) {
+		return true
+	}
+	st, ok := types.Unalias(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsLock(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}

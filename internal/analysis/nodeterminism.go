@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"regsat/internal/analysis/framework"
+)
+
+// NoDeterminism guards the reproducibility contract of the result-producing
+// packages (internal/rs, internal/solver, internal/reduce): the same graph
+// under the same options must yield the same result bytes, because results
+// are fingerprint-keyed, persisted across processes, and compared across
+// backends by the differential tests. The three classic leaks are the
+// global math/rand source, map iteration order, and wall-clock values.
+var NoDeterminism = &framework.Analyzer{
+	Name: "nodeterminism",
+	Doc: "no nondeterminism sources in result-producing packages\n\n" +
+		"Flags, in internal/rs, internal/solver, and internal/reduce:\n" +
+		"global math/rand functions (seeded *rand.Rand constructors are\n" +
+		"fine), map iteration whose collected output is not visibly sorted\n" +
+		"in the same block, and time.Now() escaping timing-only usage\n" +
+		"(time.Since / deadline arithmetic).",
+	Run: runNoDeterminism,
+}
+
+// timingMethods are the time.Time methods that consume a wall-clock value
+// for measurement or deadline arithmetic without leaking it into results.
+var timingMethods = map[string]bool{
+	"Add": true, "Sub": true, "After": true, "Before": true,
+	"Equal": true, "Compare": true, "IsZero": true,
+}
+
+// randConstructors build explicitly seeded generators — the deterministic,
+// allowed way to use math/rand.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// sortFuncs recognizes the sort/slices calls that restore determinism after
+// a map sweep.
+func isSortCall(info *types.Info, call *ast.CallExpr) (args []ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		return call.Args, true
+	}
+	return nil, false
+}
+
+func runNoDeterminism(pass *framework.Pass) error {
+	if !scoped(pass, rsPkg, "regsat/internal/solver", "regsat/internal/reduce") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, info, node)
+			case *ast.CallExpr:
+				if pkgFuncCall(info, node, "time", "Now") {
+					checkTimeNow(pass, info, pm, node)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, info, pm, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGlobalRand flags package-level math/rand functions (they draw from
+// the process-global, racily shared, unseeded-by-us source).
+func checkGlobalRand(pass *framework.Pass, info *types.Info, sel *ast.SelectorExpr) {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	fn, isFunc := obj.(*types.Func)
+	if !isFunc || randConstructors[obj.Name()] {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // method on an explicitly constructed generator: fine
+	}
+	pass.Reportf(sel.Pos(), "global math/rand source (%s.%s) in a result-producing package: results are fingerprint-keyed and persisted, so use an explicitly seeded *rand.Rand threaded by the caller", path, obj.Name())
+}
+
+// checkTimeNow allows time.Now only in timing/deadline idioms: consumed
+// directly by a timing method or time.Since, or bound to a local whose
+// every use is such an idiom.
+func checkTimeNow(pass *framework.Pass, info *types.Info, pm parentMap, call *ast.CallExpr) {
+	if timingUse(info, pm, call) {
+		return
+	}
+	if assign, ok := pm[call].(*ast.AssignStmt); ok {
+		for i, rhs := range assign.Rhs {
+			if rhs != ast.Expr(call) || i >= len(assign.Lhs) {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				break
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				break
+			}
+			if fn := enclosingFunc(pm, assign); fn != nil && timingOnlyVar(info, pm, fn, obj) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "time.Now() escaping timing-only usage in a result-producing package: wall-clock values must not reach results (keep them inside time.Since or deadline arithmetic)")
+}
+
+// timingUse reports whether expression e is directly consumed by a timing
+// idiom: a timing method selector or a time.Since argument.
+func timingUse(info *types.Info, pm parentMap, e ast.Expr) bool {
+	switch parent := pm[e].(type) {
+	case *ast.SelectorExpr:
+		return timingMethods[parent.Sel.Name]
+	case *ast.CallExpr:
+		if pkgFuncCall(info, parent, "time", "Since") {
+			return true
+		}
+	case *ast.ParenExpr:
+		return timingUse(info, pm, parent)
+	}
+	return false
+}
+
+// timingOnlyVar reports whether every use of obj inside fn is a timing
+// idiom (or a plain reassignment of the variable itself).
+func timingOnlyVar(info *types.Info, pm parentMap, fn ast.Node, obj types.Object) bool {
+	body, _ := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || info.Uses[id] != obj {
+			return true
+		}
+		if assign, isAssign := pm[id].(*ast.AssignStmt); isAssign {
+			for _, lhs := range assign.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // reassignment target
+				}
+			}
+		}
+		if !timingUse(info, pm, id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// checkMapRange flags iteration over a map unless every slice the loop
+// fills is visibly sorted later in the same block — the one pattern that
+// provably erases the order dependence.
+func checkMapRange(pass *framework.Pass, info *types.Info, pm parentMap, rng *ast.RangeStmt) {
+	t := typeOf(info, rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Objects appended to (or index-assigned) inside the loop body.
+	filled := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					filled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	block, ok := pm[rng].(*ast.BlockStmt)
+	if ok {
+		idx := -1
+		for i, st := range block.List {
+			if st == ast.Stmt(rng) {
+				idx = i
+				break
+			}
+		}
+		for i := idx + 1; idx >= 0 && i < len(block.List); i++ {
+			es, ok := block.List[i].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if args, ok := isSortCall(info, call); ok {
+				for _, a := range args {
+					if id, isID := a.(*ast.Ident); isID && filled[objOf(info, id)] {
+						return // the collected output is sorted: order erased
+					}
+				}
+			}
+		}
+	}
+	pass.Reportf(rng.Pos(), "map iteration order reaches a result-producing path: collect and sort the keys (or values) in this block, or iterate a deterministic index")
+}

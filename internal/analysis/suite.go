@@ -1,0 +1,17 @@
+package analysis
+
+import "regsat/internal/analysis/framework"
+
+// Suite returns the full rsvet analyzer set in stable order. cmd/rsvet and
+// the repo-wide meta-test both run exactly this list, so adding an analyzer
+// here is all it takes to make it a CI gate.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		CtxThread,
+		FPKey,
+		IRImmutable,
+		LockDiscipline,
+		NoDeterminism,
+		UndoBalance,
+	}
+}

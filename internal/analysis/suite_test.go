@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regsat/internal/analysis"
+	"regsat/internal/analysis/framework"
+)
+
+// TestSuiteRepoClean is the repo-wide gate: the full rsvet suite must exit
+// clean over every package. It runs in -short mode too — a soundness
+// invariant that only holds on full runs is not an invariant.
+func TestSuiteRepoClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := framework.Run(root, analysis.Suite(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture for the ctxthread analyzer: context.Background()/TODO() in
+// library code is flagged; threading a received context is not, and
+// //rsvet:allow suppresses with a recorded justification.
+package ctxthread
+
+import "context"
+
+func shadows(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want "already receives a context.Context"
+}
+
+func missingParam() context.Context {
+	return context.TODO() // want "context.TODO\(\) in library code"
+}
+
+func threads(ctx context.Context) context.Context {
+	return ctx
+}
+
+func suppressed() context.Context {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper
+	return context.Background()
+}

@@ -1,0 +1,31 @@
+// Fixture for the fpkey analyzer: caches keyed by pointer identity, raw
+// option structs, or %p-formatted strings are flagged; fingerprint-string
+// keys are not.
+package fpkey
+
+import (
+	"fmt"
+
+	"regsat/internal/ir"
+)
+
+type Options struct{ Budget int }
+
+type resultMemo struct {
+	bySnap map[*ir.Snapshot][]int // want "cache type resultMemo keyed by \*regsat/internal/ir.Snapshot"
+	byFP   map[string][]int       // fingerprint-keyed: fine
+}
+
+type handleCache struct {
+	m map[any]string // want "cache type handleCache keyed by any"
+}
+
+var byOptions map[Options]int // want "map keyed by raw Options struct"
+
+func canonicalKey(o Options) string {
+	return fmt.Sprintf("budget=%d", o.Budget)
+}
+
+func pointerKey(s *ir.Snapshot) string {
+	return fmt.Sprintf("%p", s) // want "%p in fmt.Sprintf"
+}

@@ -1,0 +1,54 @@
+// Fixture for the lockdiscipline analyzer: fields below a mutex are guarded
+// by it; access requires holding the lock, a *Locked name, or a fresh local.
+package lockdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type stats struct {
+	mu   sync.RWMutex
+	hits int
+	ops  atomic.Int64
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want "access to n, guarded by mu"
+}
+
+func (c *counter) readLocked() int {
+	return c.n // caller-holds-lock convention: fine
+}
+
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+func (s *stats) count() {
+	s.ops.Add(1) // atomic fields are exempt from the guard
+}
+
+func fresh() int {
+	c := counter{}
+	c.n = 1 // not shared yet: fine
+	return c.n
+}
+
+func copyLock(c *counter) counter {
+	d := *c // want "dereference copy of lock-bearing struct"
+	return d
+}

@@ -1,0 +1,53 @@
+// Fixture for the nodeterminism analyzer: global math/rand, unsorted map
+// sweeps, and wall-clock values escaping timing idioms are flagged; seeded
+// generators, sorted sweeps, and time.Since measurement are not.
+package nodeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func work() {}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}
+
+func seededShuffle(seed int64, xs []int) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func timing() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}
+
+func leak() int64 {
+	now := time.Now() // want "escaping timing-only usage"
+	return now.Unix()
+}
+
+func sortedSweep(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedSweep(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,75 @@
+// Fixture for the undobalance analyzer: guarded probe pushes must be popped
+// on every path; commit pushes and nested-loop control flow are exempt.
+package undobalance
+
+import "regsat/internal/rs"
+
+func work() {}
+
+// Balanced probe/rollback: no diagnostics.
+func good(ik *rs.Incremental, cands []int) {
+	for _, c := range cands {
+		if !ik.Push(0, c) {
+			continue
+		}
+		work()
+		ik.Pop()
+	}
+}
+
+// Unguarded pushes are commits: no pairing required.
+func commit(ik *rs.Incremental) {
+	ik.Push(0, 1)
+	work()
+}
+
+func missingPop(ik *rs.Incremental, cands []int) {
+	for _, c := range cands {
+		if !ik.Push(0, c) { // want "probe Push has no matching Pop"
+			continue
+		}
+		work()
+	}
+}
+
+func escapes(ik *rs.Incremental, cands []int) {
+	for _, c := range cands {
+		if !ik.Push(0, c) {
+			continue
+		}
+		if c > 3 {
+			return // want "control leaves the region between Push and its Pop"
+		}
+		ik.Pop()
+	}
+}
+
+func fallsThrough(ik *rs.Incremental) {
+	n := 0
+	if !ik.Push(0, 1) { // want "guard branch of failed Push falls through"
+		n++
+	}
+	ik.Pop()
+	_ = n
+}
+
+func orphanPop(ik *rs.Incremental) {
+	work()
+	ik.Pop() // want "Pop without a preceding probe Push"
+}
+
+// break/continue belonging to a nested loop inside the region is fine.
+func nested(ik *rs.Incremental, cands []int) {
+	for _, c := range cands {
+		if !ik.Push(0, c) {
+			continue
+		}
+		for j := 0; j < c; j++ {
+			if j == 2 {
+				break
+			}
+			work()
+		}
+		ik.Pop()
+	}
+}

@@ -1,0 +1,165 @@
+// Package analysis is the rsvet suite: custom static analyzers encoding the
+// engine's soundness invariants — the rules the type system cannot see and
+// PR 5's fuzzing showed do get silently violated. Each analyzer documents
+// the invariant it guards in its Doc string; docs/STATIC_ANALYSIS.md is the
+// catalogue. The suite runs through cmd/rsvet (standalone or as a
+// `go vet -vettool`) and blocks CI.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"regsat/internal/analysis/framework"
+)
+
+// irPkg, rsPkg, graphPkg are the engine packages the analyzers model.
+const (
+	irPkg    = "regsat/internal/ir"
+	rsPkg    = "regsat/internal/rs"
+	graphPkg = "regsat/internal/graph"
+)
+
+// scoped reports whether the pass's package is one the analyzer's invariant
+// targets. Fixture packages (analysistest runs) are always in scope.
+func scoped(pass *framework.Pass, prefixes ...string) bool {
+	if pass.Fixture {
+		return true
+	}
+	path := pass.Pkg.Path()
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// derefNamed unwraps pointers and aliases down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// isNamedType reports whether t (through pointers/aliases) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// typeOf is a nil-safe lookup of an expression's type.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgFuncCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. context.Background, time.Now).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// parentMap records each node's syntactic parent under a root.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// enclosingFunc walks up the parent chain to the nearest function literal
+// or declaration containing n.
+func enclosingFunc(pm parentMap, n ast.Node) ast.Node {
+	for p := pm[n]; p != nil; p = pm[p] {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return p
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body and type of a FuncDecl or FuncLit node.
+func funcBody(n ast.Node) (*ast.BlockStmt, *ast.FuncType) {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		return f.Body, f.Type
+	case *ast.FuncLit:
+		return f.Body, f.Type
+	}
+	return nil, nil
+}
+
+// hasCtxParam reports whether a function type declares a context.Context
+// parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isNamedType(typeOf(info, field.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFunc invokes fn for every function declaration in the files, with the
+// node itself and its declared name. Function literals are NOT visited
+// separately: a closure belongs to the declaration that creates it — its
+// body is walked as part of the enclosing function, sharing that function's
+// alias and lock state — and visiting it twice double-reports.
+func eachFunc(files []*ast.File, fn func(node ast.Node, name string)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				fn(d, d.Name.Name)
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -85,8 +85,8 @@ type ReduceSpec struct {
 
 // HeuristicReduce is the default ReduceSpec Run: Touati's value-serialization
 // heuristic.
-func HeuristicReduce(_ context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
-	return reduce.Heuristic(g, t, budget)
+func HeuristicReduce(ctx context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
+	return reduce.Heuristic(ctx, g, t, budget)
 }
 
 // Result is the analysis outcome of one stream item.

@@ -26,11 +26,14 @@ const DefaultCacheSize = 1024
 // semantics: concurrent workers that hit the same fingerprint block on the
 // first computation instead of duplicating it.
 type memo struct {
+	// cap and l2 are set once in newMemo and immutable afterwards, so they
+	// live above the mutex: mu guards only the fields below it.
+	cap int
+	l2  ResultCache
+
 	mu      sync.Mutex
-	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
-	l2      ResultCache
 
 	hits, misses, l2hits atomic.Int64
 }

@@ -283,7 +283,7 @@ type GlobalRSResult struct {
 }
 
 // GlobalRS computes the global register saturation of the CFG for type t.
-func (c *CFG) GlobalRS(t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) {
+func (c *CFG) GlobalRS(ctx context.Context, t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) {
 	vals, err := c.resolve()
 	if err != nil {
 		return nil, err
@@ -305,7 +305,7 @@ func (c *CFG) GlobalRS(t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) 
 			return nil, err
 		}
 		res.Blocks = append(res.Blocks, ab)
-		r, err := rs.Compute(context.Background(), ab.Graph, t, opts)
+		r, err := rs.Compute(ctx, ab.Graph, t, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -322,8 +322,8 @@ func (c *CFG) GlobalRS(t ddg.RegType, opts rs.Options) (*GlobalRSResult, error) 
 // (minus the merge safety margin), protecting entry values from
 // serialization arcs that would delay their pinned births. It returns the
 // per-block reductions; spill is reported per block.
-func (c *CFG) GlobalReduce(t ddg.RegType, available int, opts rs.Options) (map[string]*reduce.Result, *GlobalRSResult, error) {
-	global, err := c.GlobalRS(t, opts)
+func (c *CFG) GlobalReduce(ctx context.Context, t ddg.RegType, available int, opts rs.Options) (map[string]*reduce.Result, *GlobalRSResult, error) {
+	global, err := c.GlobalRS(ctx, t, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,7 +338,7 @@ func (c *CFG) GlobalReduce(t ddg.RegType, available int, opts rs.Options) (map[s
 		for _, e := range ab.EntryNodes {
 			entries[e] = true
 		}
-		red, err := reduce.HeuristicFiltered(ab.Graph, t, budget, func(u, v int) bool {
+		red, err := reduce.HeuristicFiltered(ctx, ab.Graph, t, budget, func(u, v int) bool {
 			return !entries[v] // never delay an entry value's birth
 		})
 		if err != nil {

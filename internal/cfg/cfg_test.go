@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"context"
 	"testing"
 
 	"regsat/internal/ddg"
@@ -53,7 +54,7 @@ func diamondCFG(t *testing.T) (*CFG, *Block, *Block, *Block, *Block) {
 
 func TestGlobalRSDiamond(t *testing.T) {
 	c, _, _, _, _ := diamondCFG(t)
-	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	res, err := c.GlobalRS(context.Background(), ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestMergeValueSafetyMargin(t *testing.T) {
 	c.AddEdge(b1, j)
 	c.AddEdge(b2, j)
 
-	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	res, err := c.GlobalRS(context.Background(), ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestCyclicCFGRejected(t *testing.T) {
 	a.Body.SetWrites(n, ddg.Float, 0)
 	c.AddEdge(a, b)
 	c.AddEdge(b, a)
-	if _, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true}); err == nil {
+	if _, err := c.GlobalRS(context.Background(), ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true}); err == nil {
 		t.Fatal("cyclic CFG must be rejected (the paper excludes loops)")
 	}
 }
@@ -160,7 +161,7 @@ func TestImportUndefinedValueRejected(t *testing.T) {
 	a := c.AddBlock("a")
 	n := a.Body.AddNode("n", "store", 1)
 	a.Import("ghost", n)
-	if _, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy}); err == nil {
+	if _, err := c.GlobalRS(context.Background(), ddg.Float, rs.Options{Method: rs.MethodGreedy}); err == nil {
 		t.Fatal("undefined import must be rejected")
 	}
 }
@@ -168,7 +169,7 @@ func TestImportUndefinedValueRejected(t *testing.T) {
 func TestGlobalReduceProtectsEntries(t *testing.T) {
 	c, _, _, _, _ := diamondCFG(t)
 	// Force reduction nearly everywhere with a budget of 1 (+margin 0).
-	reductions, global, err := c.GlobalReduce(ddg.Float, 2, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	reductions, global, err := c.GlobalReduce(context.Background(), ddg.Float, 2, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestGlobalReduceProtectsEntries(t *testing.T) {
 
 func TestAugmentedGraphsValidate(t *testing.T) {
 	c, _, _, _, _ := diamondCFG(t)
-	res, err := c.GlobalRS(ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	res, err := c.GlobalRS(context.Background(), ddg.Float, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 	if err != nil {
 		t.Fatal(err)
 	}

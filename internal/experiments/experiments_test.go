@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestE2Figure2(t *testing.T) {
-	res, err := Figure2()
+	res, err := Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestE4ReduceOptimality(t *testing.T) {
 	}
 	p := smallPop()
 	p.MaxValues = 8 // keep exact reduction quick in tests
-	sum, err := ReduceOptimality(p, 1)
+	sum, err := ReduceOptimality(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestE5ModelSize(t *testing.T) {
 func TestE6Timing(t *testing.T) {
 	p := smallPop()
 	p.RandomGraphs = 0
-	sum, err := Timing(p, 5, solver.Options{MaxNodes: 50000, TimeLimit: 10 * time.Second})
+	sum, err := Timing(context.Background(), p, 5, solver.Options{MaxNodes: 50000, TimeLimit: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestE6Timing(t *testing.T) {
 func TestE7Versus(t *testing.T) {
 	p := smallPop()
 	p.MaxValues = 9
-	sum, err := Versus(p)
+	sum, err := Versus(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestE7Versus(t *testing.T) {
 func TestE8Theorem42(t *testing.T) {
 	p := smallPop()
 	p.RandomGraphs = 4
-	sum, err := Theorem42(p, 3, 5)
+	sum, err := Theorem42(context.Background(), p, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestE8Theorem42(t *testing.T) {
 func TestE1Pipeline(t *testing.T) {
 	p := smallPop()
 	p.RandomGraphs = 0
-	sum, err := Pipeline(p)
+	sum, err := Pipeline(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,15 +28,15 @@ type Figure2Result struct {
 }
 
 // Figure2 runs E2 on the reconstructed Figure 2 DAG.
-func Figure2() (*Figure2Result, error) {
+func Figure2(ctx context.Context) (*Figure2Result, error) {
 	g := kernels.Figure2(ddg.Superscalar)
-	base, err := rs.Compute(context.Background(), g, ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	base, err := rs.Compute(ctx, g, ddg.Float, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return nil, err
 	}
 	res := &Figure2Result{InitialRS: base.RS, InitialCP: g.CriticalPath()}
 
-	toThree, err := reduce.ExactCombinatorial(g, ddg.Float, 3, reduce.ExactOptions{})
+	toThree, err := reduce.ExactCombinatorial(ctx, g, ddg.Float, 3, reduce.ExactOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +47,7 @@ func Figure2() (*Figure2Result, error) {
 	// Minimization: smallest budget preserving the critical path.
 	cp := g.CriticalPath()
 	for r := 3; r >= 1; r-- {
-		red, err := reduce.ExactCombinatorial(g, ddg.Float, r, reduce.ExactOptions{})
+		red, err := reduce.ExactCombinatorial(ctx, g, ddg.Float, r, reduce.ExactOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +59,7 @@ func Figure2() (*Figure2Result, error) {
 		res.MinimalCP = red.CPAfter
 	}
 
-	fits, err := reduce.ExactCombinatorial(g, ddg.Float, 4, reduce.ExactOptions{})
+	fits, err := reduce.ExactCombinatorial(ctx, g, ddg.Float, 4, reduce.ExactOptions{})
 	if err != nil {
 		return nil, err
 	}

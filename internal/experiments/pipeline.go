@@ -35,10 +35,10 @@ type PipelineSummary struct {
 // Pipeline runs E1: for every case, compute RS, reduce to roughly half the
 // saturation when needed, list-schedule on a 4-issue VLIW, and allocate —
 // verifying the end-to-end no-spill guarantee of the RS approach.
-func Pipeline(p Population) (*PipelineSummary, error) {
+func Pipeline(ctx context.Context, p Population) (*PipelineSummary, error) {
 	sum := &PipelineSummary{}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		base, err := rs.Compute(ctx, c.Graph, c.Type, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +46,7 @@ func Pipeline(p Population) (*PipelineSummary, error) {
 		row := PipelineRow{Case: c.Name, RS: base.RS, R: R, CPBefore: c.Graph.CriticalPath()}
 		work := c.Graph
 		if base.RS > R {
-			red, err := reduce.Heuristic(c.Graph, c.Type, R)
+			red, err := reduce.Heuristic(ctx, c.Graph, c.Type, R)
 			if err != nil {
 				return nil, err
 			}

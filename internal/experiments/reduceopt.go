@@ -65,13 +65,13 @@ type ReduceOptSummary struct {
 // register budget (swept from RS−1 downward), reduce with the heuristic and
 // with the exact combinatorial optimum, and classify the outcome exactly as
 // the paper's Section 5 does.
-func ReduceOptimality(p Population, budgetsPerCase int) (*ReduceOptSummary, error) {
+func ReduceOptimality(ctx context.Context, p Population, budgetsPerCase int) (*ReduceOptSummary, error) {
 	if budgetsPerCase <= 0 {
 		budgetsPerCase = 2
 	}
 	sum := &ReduceOptSummary{Counts: map[ReduceClass]int{}}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+		base, err := rs.Compute(ctx, c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +80,7 @@ func ReduceOptimality(p Population, budgetsPerCase int) (*ReduceOptSummary, erro
 		}
 		for k := 1; k <= budgetsPerCase && base.RS-k >= 1; k++ {
 			R := base.RS - k
-			row, skip, err := classifyOne(c, R, base.RS)
+			row, skip, err := classifyOne(ctx, c, R, base.RS)
 			if err != nil {
 				return nil, err
 			}
@@ -100,12 +100,12 @@ func ReduceOptimality(p Population, budgetsPerCase int) (*ReduceOptSummary, erro
 	return sum, nil
 }
 
-func classifyOne(c Case, R, rsInit int) (*ReduceOptRow, bool, error) {
-	heur, err := reduce.Heuristic(c.Graph, c.Type, R)
+func classifyOne(ctx context.Context, c Case, R, rsInit int) (*ReduceOptRow, bool, error) {
+	heur, err := reduce.Heuristic(ctx, c.Graph, c.Type, R)
 	if err != nil {
 		return nil, false, err
 	}
-	opt, err := reduce.ExactCombinatorial(c.Graph, c.Type, R, reduce.ExactOptions{})
+	opt, err := reduce.ExactCombinatorial(ctx, c.Graph, c.Type, R, reduce.ExactOptions{})
 	if err != nil {
 		return nil, false, err
 	}
@@ -130,7 +130,7 @@ func classifyOne(c Case, R, rsInit int) (*ReduceOptRow, bool, error) {
 		return row, false, nil
 	}
 	// Verify the heuristic's claim with the true saturation of its graph.
-	heurTrue, err := rs.Compute(context.Background(), heur.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	heurTrue, err := rs.Compute(ctx, heur.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return nil, false, err
 	}

@@ -31,7 +31,7 @@ type Thm42Summary struct {
 
 // Theorem42 runs E8: for every case, drive the construction with ASAP, ALAP
 // and randomized schedules and verify the proof's guarantees.
-func Theorem42(p Population, schedulesPerCase int, seed int64) (*Thm42Summary, error) {
+func Theorem42(ctx context.Context, p Population, schedulesPerCase int, seed int64) (*Thm42Summary, error) {
 	if schedulesPerCase <= 0 {
 		schedulesPerCase = 3
 	}
@@ -58,7 +58,7 @@ func Theorem42(p Population, schedulesPerCase int, seed int64) (*Thm42Summary, e
 				continue
 			}
 			sum.DAGPreserved++
-			res, err := rs.Compute(context.Background(), ext, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+			res, err := rs.Compute(ctx, ext, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 			if err != nil || !res.Exact {
 				continue
 			}

@@ -37,7 +37,7 @@ type TimingSummary struct {
 // the heuristics are near-instant; the shape to reproduce is the orders-of-
 // magnitude gap, not absolute numbers. intLP solves are capped to instances
 // with at most ilpMaxValues values.
-func Timing(p Population, ilpMaxValues int, ilpOpts solver.Options) (*TimingSummary, error) {
+func Timing(ctx context.Context, p Population, ilpMaxValues int, ilpOpts solver.Options) (*TimingSummary, error) {
 	if ilpMaxValues == 0 {
 		ilpMaxValues = 6
 	}
@@ -62,7 +62,7 @@ func Timing(p Population, ilpMaxValues int, ilpOpts solver.Options) (*TimingSumm
 		row.ExactBB = time.Since(start)
 		if len(an.Values) <= ilpMaxValues {
 			start = time.Now()
-			ires, err := rs.ExactILP(context.Background(), an, true, ilpOpts)
+			ires, err := rs.ExactILP(ctx, an, true, ilpOpts)
 			if err == nil {
 				row.IntLP = time.Since(start)
 				row.IntLPExact = ires.Exact

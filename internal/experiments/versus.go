@@ -42,17 +42,17 @@ type VersusSummary struct {
 // R = RS for the zero-pressure rows, emulating a minimizing pass by reducing
 // to the smallest budget that does not stretch the critical path (the
 // "minimize under critical-path constraint" strategy of Figure 2(b)).
-func Versus(p Population) (*VersusSummary, error) {
+func Versus(ctx context.Context, p Population) (*VersusSummary, error) {
 	sum := &VersusSummary{}
 	for _, c := range p.Cases() {
-		base, err := rs.Compute(context.Background(), c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+		base, err := rs.Compute(ctx, c.Graph, c.Type, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
 		if !base.Exact || base.RS < 2 {
 			continue
 		}
-		minRes := minimizeUnderCP(c, base.RS)
+		minRes := minimizeUnderCP(ctx, c, base.RS)
 
 		// Zero-pressure row: R = RS.
 		sum.ZeroPressureCases++
@@ -62,7 +62,7 @@ func Versus(p Population) (*VersusSummary, error) {
 
 		// Tight row: R = RS − 1.
 		R := base.RS - 1
-		sat, err := reduce.Heuristic(c.Graph, c.Type, R)
+		sat, err := reduce.Heuristic(ctx, c.Graph, c.Type, R)
 		if err != nil {
 			return nil, err
 		}
@@ -88,11 +88,11 @@ func Versus(p Population) (*VersusSummary, error) {
 
 // minimizeUnderCP reduces to ever-smaller budgets while the critical path is
 // preserved, returning the last success (the minimizing pass of Figure 2(b)).
-func minimizeUnderCP(c Case, rsInit int) *reduce.Result {
+func minimizeUnderCP(ctx context.Context, c Case, rsInit int) *reduce.Result {
 	cp := c.Graph.CriticalPath()
 	var best *reduce.Result
 	for r := rsInit - 1; r >= 1; r-- {
-		red, err := reduce.Heuristic(c.Graph, c.Type, r)
+		red, err := reduce.Heuristic(ctx, c.Graph, c.Type, r)
 		if err != nil || red.Spill || red.CPAfter > cp {
 			break
 		}

@@ -108,7 +108,7 @@ func (o CheckOptions) withDefaults() CheckOptions {
 // CheckAll runs the metamorphic invariant catalog on the finalized graph g
 // and returns the first *Violation found (or a plain error if an analysis
 // itself fails, which is also a bug: every finalized DAG must analyze).
-func CheckAll(g *ddg.Graph, opt CheckOptions) error {
+func CheckAll(ctx context.Context, g *ddg.Graph, opt CheckOptions) error {
 	opt = opt.withDefaults()
 	if !g.Finalized() {
 		return fmt.Errorf("gen: CheckAll needs a finalized graph")
@@ -117,7 +117,7 @@ func CheckAll(g *ddg.Graph, opt CheckOptions) error {
 		return err
 	}
 	for _, t := range g.Types() {
-		if err := checkType(g, t, opt); err != nil {
+		if err := checkType(ctx, g, t, opt); err != nil {
 			return err
 		}
 	}
@@ -144,7 +144,7 @@ func checkRoundTrip(g *ddg.Graph) error {
 	return nil
 }
 
-func checkType(g *ddg.Graph, t ddg.RegType, opt CheckOptions) error {
+func checkType(ctx context.Context, g *ddg.Graph, t ddg.RegType, opt CheckOptions) error {
 	an, err := rs.NewAnalysis(g, t)
 	if err != nil {
 		return fmt.Errorf("gen: %s/%s: analysis failed: %w", g.Name, t, err)
@@ -218,16 +218,16 @@ func checkType(g *ddg.Graph, t ddg.RegType, opt CheckOptions) error {
 	if err := checkSerialRemoval(g, t, exact.RS, opt); err != nil {
 		return err
 	}
-	if err := checkHeuristicReduction(g, t, exact.RS); err != nil {
+	if err := checkHeuristicReduction(ctx, g, t, exact.RS); err != nil {
 		return err
 	}
 	if opt.MaxReduceValues < 0 || nv <= opt.MaxReduceValues {
-		if err := checkExactReduction(g, t, exact.RS, opt); err != nil {
+		if err := checkExactReduction(ctx, g, t, exact.RS, opt); err != nil {
 			return err
 		}
 	}
 	if opt.MaxILPValues < 0 || nv <= opt.MaxILPValues {
-		if err := checkSolverBackends(g, an, exact.RS, opt); err != nil {
+		if err := checkSolverBackends(ctx, g, an, exact.RS, opt); err != nil {
 			return err
 		}
 	}
@@ -271,7 +271,7 @@ func checkSerialRemoval(g *ddg.Graph, t ddg.RegType, exactRS int, opt CheckOptio
 // checkHeuristicReduction: a reduction that reports success must deliver
 // what it reports — a valid DAG whose arcs reapply cleanly, a (Greedy)
 // saturation within budget, and a critical path that did not shrink.
-func checkHeuristicReduction(g *ddg.Graph, t ddg.RegType, exactRS int) error {
+func checkHeuristicReduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, exactRS int) error {
 	R := exactRS - 1
 	if R < 1 {
 		return nil
@@ -280,7 +280,7 @@ func checkHeuristicReduction(g *ddg.Graph, t ddg.RegType, exactRS int) error {
 		return &Violation{Invariant: "heuristic-reduction-valid", Graph: g.Name, Type: t,
 			Detail: fmt.Sprintf(format, args...)}
 	}
-	res, err := reduce.Heuristic(g, t, R)
+	res, err := reduce.Heuristic(ctx, g, t, R)
 	if err != nil {
 		return fmt.Errorf("gen: %s/%s: heuristic reduction failed: %w", g.Name, t, err)
 	}
@@ -309,12 +309,12 @@ func checkHeuristicReduction(g *ddg.Graph, t ddg.RegType, exactRS int) error {
 // checkExactReduction: the exact reducer's certificate is re-proved — the
 // extension it returns must *really* have exact RS ≤ R, not just a Greedy
 // estimate ≤ R.
-func checkExactReduction(g *ddg.Graph, t ddg.RegType, exactRS int, opt CheckOptions) error {
+func checkExactReduction(ctx context.Context, g *ddg.Graph, t ddg.RegType, exactRS int, opt CheckOptions) error {
 	R := exactRS - 1
 	if R < 1 {
 		return nil
 	}
-	res, err := reduce.ExactCombinatorial(g, t, R, reduce.ExactOptions{MaxNodes: 50_000})
+	res, err := reduce.ExactCombinatorial(ctx, g, t, R, reduce.ExactOptions{MaxNodes: 50_000})
 	if err != nil {
 		return fmt.Errorf("gen: %s/%s: exact reduction failed: %w", g.Name, t, err)
 	}
@@ -352,7 +352,7 @@ func checkExactReduction(g *ddg.Graph, t ddg.RegType, exactRS int, opt CheckOpti
 // over all schedules) may strictly exceed ExactBB (which excludes killings
 // whose enforcement arcs form non-positive circuits), so only
 // ILP ≥ combinatorial is required.
-func checkSolverBackends(g *ddg.Graph, an *rs.Analysis, exactRS int, opt CheckOptions) error {
+func checkSolverBackends(ctx context.Context, g *ddg.Graph, an *rs.Analysis, exactRS int, opt CheckOptions) error {
 	type answer struct {
 		backend string
 		res     *rs.Result
@@ -360,7 +360,7 @@ func checkSolverBackends(g *ddg.Graph, an *rs.Analysis, exactRS int, opt CheckOp
 	var proven []answer
 	var capped []answer
 	for _, backend := range opt.Backends {
-		res, err := rs.ComputeWithAnalysis(context.Background(), an, rs.Options{
+		res, err := rs.ComputeWithAnalysis(ctx, an, rs.Options{
 			Method:          rs.MethodExactILP,
 			ApplyReductions: true,
 			SkipWitness:     true,

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestMetamorphicSweep(t *testing.T) {
 				if err != nil {
 					t.Fatalf("generate %s [%s]: %v", f.Name, p, err)
 				}
-				if err := CheckAll(g, opt); err != nil {
+				if err := CheckAll(context.Background(), g, opt); err != nil {
 					reportViolation(t, g, err, opt)
 				}
 			}
@@ -84,10 +85,10 @@ func reportViolation(t *testing.T, g *ddg.Graph, err error, opt CheckOptions) {
 	if !ok {
 		t.Fatalf("analysis failure (not an invariant violation): %v\n%s", err, g.Format())
 	}
-	small := Shrink(g, FailsInvariant(v.Invariant, opt))
+	small := Shrink(g, FailsInvariant(context.Background(), v.Invariant, opt))
 	// Re-derive the violation on the minimized graph so the repro's header
 	// describes what the committed file actually shows.
-	if verr := CheckAll(small, opt); verr != nil {
+	if verr := CheckAll(context.Background(), small, opt); verr != nil {
 		if sv, ok := verr.(*Violation); ok {
 			v = sv
 		}
@@ -105,7 +106,7 @@ func TestCheckAllDetectsBadGraph(t *testing.T) {
 	// An unfinalized graph is rejected outright.
 	g := ddg.New("unfinalized", ddg.Superscalar)
 	g.AddNode("a", "op", 1)
-	if err := CheckAll(g, CheckOptions{Cheap: true}); err == nil {
+	if err := CheckAll(context.Background(), g, CheckOptions{Cheap: true}); err == nil {
 		t.Fatal("CheckAll accepted an unfinalized graph")
 	}
 }
@@ -114,7 +115,7 @@ func TestCheckAllDetectsBadGraph(t *testing.T) {
 // the paper's own kernels must satisfy the whole catalog.
 func TestCheckAllOnFigure2(t *testing.T) {
 	g := figure2(t)
-	if err := CheckAll(g, CheckOptions{}); err != nil {
+	if err := CheckAll(context.Background(), g, CheckOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

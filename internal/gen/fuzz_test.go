@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,9 +133,9 @@ func FuzzAnalyzeProperties(f *testing.F) {
 			t.Fatalf("valid params %s rejected: %v", p, err)
 		}
 		opt := CheckOptions{Cheap: true, MaxExactLeaves: 20_000}
-		if err := CheckAll(g, opt); err != nil {
+		if err := CheckAll(context.Background(), g, opt); err != nil {
 			if v, ok := err.(*Violation); ok {
-				small := Shrink(g, FailsInvariant(v.Invariant, opt))
+				small := Shrink(g, FailsInvariant(context.Background(), v.Invariant, opt))
 				if path, werr := WriteRepro(regressionsDir, v, small); werr == nil {
 					t.Fatalf("%v\nminimized repro written to %s", err, path)
 				}
@@ -170,7 +171,7 @@ func FuzzReduce(f *testing.F) {
 				t.Fatal(err)
 			}
 			R := 1 + int(budget)%greedyMax(greedy.RS)
-			res, err := reduce.Heuristic(g, rt, R)
+			res, err := reduce.Heuristic(context.Background(), g, rt, R)
 			if err != nil {
 				t.Fatalf("%s/%s R=%d: %v", g.Name, rt, R, err)
 			}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -54,7 +55,7 @@ func TestRegressionCorpusReplay(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := CheckAll(g, opt); err != nil {
+			if err := CheckAll(context.Background(), g, opt); err != nil {
 				t.Fatalf("regression resurfaced: %v", err)
 			}
 		})

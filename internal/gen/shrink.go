@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -91,9 +92,9 @@ func Shrink(g *ddg.Graph, fails func(*ddg.Graph) bool) *ddg.Graph {
 
 // FailsInvariant returns a Shrink predicate that holds when CheckAll reports
 // a violation of the named invariant (any invariant if name is empty).
-func FailsInvariant(name string, opt CheckOptions) func(*ddg.Graph) bool {
+func FailsInvariant(ctx context.Context, name string, opt CheckOptions) func(*ddg.Graph) bool {
 	return func(g *ddg.Graph) bool {
-		err := CheckAll(g, opt)
+		err := CheckAll(ctx, g, opt)
 		if err == nil {
 			return false
 		}

@@ -122,6 +122,7 @@ type bbNode struct {
 
 // Solve runs branch and bound and returns the best integer solution found.
 func (m *Model) Solve(p Params) *Solution {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper; SolveCtx is the threaded form
 	return m.SolveCtx(context.Background(), p)
 }
 

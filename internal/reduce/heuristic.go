@@ -13,15 +13,15 @@ import (
 // exceeds R, pick two currently-saturating values (u, v) and serialize
 // u before v, choosing the pair whose arcs increase the critical path least
 // (ties: larger saturation drop, then lexicographic for determinism).
-func Heuristic(g *ddg.Graph, t ddg.RegType, available int) (*Result, error) {
-	return HeuristicFiltered(g, t, available, nil)
+func Heuristic(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int) (*Result, error) {
+	return HeuristicFiltered(ctx, g, t, available, nil)
 }
 
 // HeuristicFiltered is Heuristic with a serialization filter: candidate
 // pairs (u, v) for which allow returns false are never serialized. Global
 // CFG analysis uses this to protect entry values, whose birth is pinned to
 // the block entry and must not be delayed by added arcs.
-func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u, v int) bool) (*Result, error) {
+func HeuristicFiltered(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, allow func(u, v int) bool) (*Result, error) {
 	cur := g
 	cpBefore := g.CriticalPath()
 	var allArcs []ddg.SerialArc
@@ -29,7 +29,7 @@ func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u,
 	maxIter := len(g.Values(t))*len(g.Values(t)) + 8
 
 	for {
-		res, err := rs.Compute(context.Background(), cur, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		res, err := rs.Compute(ctx, cur, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func HeuristicFiltered(g *ddg.Graph, t ddg.RegType, available int, allow func(u,
 				if err != nil {
 					continue // would create a circuit
 				}
-				extRS, err := rs.Compute(context.Background(), ext, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+				extRS, err := rs.Compute(ctx, ext, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 				if err != nil {
 					continue
 				}

@@ -155,7 +155,7 @@ func ExactILP(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, o
 		// constraints the quick check cannot certify, so seeding is skipped
 		// there.
 		if !(opt.GuaranteeDAG && g.Machine.HasOffsets()) {
-			if hs, cut, ok := heuristicMakespanBound(g, t, an, available, StrictSlack(g)); ok {
+			if hs, cut, ok := heuristicMakespanBound(ctx, g, t, an, available, StrictSlack(g)); ok {
 				if opt.MakespanBound <= 0 || cut <= float64(opt.MakespanBound) {
 					heurSched = hs
 					sopt.Cutoff = solver.CutoffAt(cut)
@@ -237,8 +237,8 @@ func ExactILP(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, o
 // widened-interference graph of the schedule colorable with ≤ R registers —
 // returns that schedule (over the original graph) and its makespan as an
 // achievable objective value.
-func heuristicMakespanBound(g *ddg.Graph, t ddg.RegType, an *rs.Analysis, R int, slack int64) (*schedule.Schedule, float64, bool) {
-	red, err := Heuristic(g, t, R)
+func heuristicMakespanBound(ctx context.Context, g *ddg.Graph, t ddg.RegType, an *rs.Analysis, R int, slack int64) (*schedule.Schedule, float64, bool) {
+	red, err := Heuristic(ctx, g, t, R)
 	if err != nil || red.Spill {
 		return nil, 0, false
 	}

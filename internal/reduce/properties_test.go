@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,14 +28,14 @@ func TestReductionIdempotent(t *testing.T) {
 		if R < 1 {
 			continue
 		}
-		first, err := Heuristic(g, ddg.Float, R)
+		first, err := Heuristic(context.Background(), g, ddg.Float, R)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if first.Spill {
 			continue
 		}
-		second, err := Heuristic(first.Graph, ddg.Float, R)
+		second, err := Heuristic(context.Background(), first.Graph, ddg.Float, R)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestReductionMonotonicity(t *testing.T) {
 		var prevCP int64 = -1
 		ok := true
 		for R := rsv - 1; R >= 1 && ok; R-- {
-			res, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+			res, err := ExactCombinatorial(context.Background(), g, ddg.Float, R, ExactOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func TestReductionNeverIncreasesSaturation(t *testing.T) {
 		if rsv < 2 {
 			continue
 		}
-		res, err := Heuristic(g, ddg.Float, rsv-1)
+		res, err := Heuristic(context.Background(), g, ddg.Float, rsv-1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestReductionNeverIncreasesSaturation(t *testing.T) {
 func TestSchedulesOfExtensionAreSchedulesOfOriginal(t *testing.T) {
 	g := kernels.ByNameMust("liv-l2").Build(ddg.Superscalar)
 	R := exactRS(t, g, ddg.Float) - 2
-	res, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+	res, err := ExactCombinatorial(context.Background(), g, ddg.Float, R, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

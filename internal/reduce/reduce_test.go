@@ -34,7 +34,7 @@ func TestHeuristicFigure2(t *testing.T) {
 	if got := exactRS(t, g, ddg.Float); got != 4 {
 		t.Fatalf("fig2 RS=%d, want 4", got)
 	}
-	res, err := Heuristic(g, ddg.Float, 3)
+	res, err := Heuristic(context.Background(), g, ddg.Float, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestHeuristicFigure2(t *testing.T) {
 
 func TestHeuristicNoopWhenRSFits(t *testing.T) {
 	g := kernels.Figure2(ddg.Superscalar)
-	res, err := Heuristic(g, ddg.Float, 4)
+	res, err := Heuristic(context.Background(), g, ddg.Float, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestHeuristicSpillWhenImpossible(t *testing.T) {
 	if err := g.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Heuristic(g, ddg.Float, 1)
+	res, err := Heuristic(context.Background(), g, ddg.Float, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestHeuristicSpillWhenImpossible(t *testing.T) {
 
 func TestExactCombinatorialFigure2(t *testing.T) {
 	g := kernels.Figure2(ddg.Superscalar)
-	res, err := ExactCombinatorial(g, ddg.Float, 3, ExactOptions{})
+	res, err := ExactCombinatorial(context.Background(), g, ddg.Float, 3, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestExactCombinatorialFigure2(t *testing.T) {
 func TestExactReducesToEveryFeasibleR(t *testing.T) {
 	g := kernels.Figure2(ddg.Superscalar)
 	for _, R := range []int{1, 2, 3} {
-		res, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+		res, err := ExactCombinatorial(context.Background(), g, ddg.Float, R, ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,11 +148,11 @@ func TestHeuristicNeverBeatsExactCPWhenSound(t *testing.T) {
 		if exactRS(t, g, ddg.Float) <= R {
 			continue
 		}
-		h, err := Heuristic(g, ddg.Float, R)
+		h, err := Heuristic(context.Background(), g, ddg.Float, R)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+		e, err := ExactCombinatorial(context.Background(), g, ddg.Float, R, ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +256,7 @@ func TestExactILPMatchesCombinatorial(t *testing.T) {
 		if rsv := exactRS(t, g, ddg.Float); rsv <= R || len(g.Values(ddg.Float)) > 5 {
 			continue
 		}
-		comb, err := ExactCombinatorial(g, ddg.Float, R, ExactOptions{})
+		comb, err := ExactCombinatorial(context.Background(), g, ddg.Float, R, ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,7 +328,7 @@ func TestReductionOnKernelSuite(t *testing.T) {
 				continue
 			}
 			R := rsv - 1
-			res, err := Heuristic(g, typ, R)
+			res, err := Heuristic(context.Background(), g, typ, R)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", spec.Name, typ, err)
 			}
@@ -394,7 +394,7 @@ func TestVLIWReductionKeepsDAG(t *testing.T) {
 			if rsv < 2 {
 				continue
 			}
-			res, err := Heuristic(g, typ, rsv-1)
+			res, err := Heuristic(context.Background(), g, typ, rsv-1)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", spec.Name, typ, err)
 			}

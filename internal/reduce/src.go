@@ -28,11 +28,11 @@ type ExactOptions struct {
 // The returned critical path CPAfter is the minimum achievable by any
 // serialization-arc reduction, so the heuristic's ILP loss can be compared
 // against it.
-func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOptions) (*Result, error) {
+func ExactCombinatorial(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, opt ExactOptions) (*Result, error) {
 	if opt.MaxNodes == 0 {
 		opt.MaxNodes = 2_000_000
 	}
-	exactRS, err := exactSaturation(g, t)
+	exactRS, err := exactSaturation(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
@@ -48,9 +48,9 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 	// Feasible upper bound for P from the heuristic's extension (verified
 	// with the exact saturation of the extended graph).
 	pub := g.Horizon()
-	heur, herr := Heuristic(g, t, available)
+	heur, herr := Heuristic(ctx, g, t, available)
 	if herr == nil && !heur.Spill {
-		if hRS, err := exactSaturation(heur.Graph, t); err == nil && hRS <= available {
+		if hRS, err := exactSaturation(ctx, heur.Graph, t); err == nil && hRS <= available {
 			pub = heur.Graph.CriticalPath()
 		}
 	}
@@ -59,7 +59,7 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 	budget := opt.MaxNodes
 	var found *leaf
 	for P := cp; P <= pub; P++ {
-		l, used, err := srcDecision(g, t, available, P, budget)
+		l, used, err := srcDecision(ctx, g, t, available, P, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +89,7 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 	// Secondary objective: among minimal-makespan reductions, keep the
 	// register need as high as possible (fewest superfluous constraints).
 	if !opt.SkipMaxRN {
-		if l2, _, err := srcMaxRN(g, t, available, found.sched.Makespan(), opt.MaxNodes); err == nil && l2 != nil {
+		if l2, _, err := srcMaxRN(ctx, g, t, available, found.sched.Makespan(), opt.MaxNodes); err == nil && l2 != nil {
 			if l2.extRS > found.extRS {
 				found = l2
 			}
@@ -99,7 +99,7 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 	// Report the true saturation of the chosen extension. A value above the
 	// budget here means acceptLeaf's verification logic has a hole — fail
 	// loudly rather than hand back a "certified" extension that does not fit.
-	finalRS, err := exactSaturation(found.ext, t)
+	finalRS, err := exactSaturation(ctx, found.ext, t)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +118,8 @@ func ExactCombinatorial(g *ddg.Graph, t ddg.RegType, available int, opt ExactOpt
 	}, nil
 }
 
-func exactSaturation(g *ddg.Graph, t ddg.RegType) (int, error) {
-	res, err := rs.Compute(context.Background(), g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+func exactSaturation(ctx context.Context, g *ddg.Graph, t ddg.RegType) (int, error) {
+	res, err := rs.Compute(ctx, g, t, rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
 	if err != nil {
 		return 0, err
 	}
@@ -139,8 +139,8 @@ type leaf struct {
 
 // srcDecision answers: does a valid schedule with makespan ≤ P exist whose
 // Theorem 4.2 extension has RS ≤ R? Returns the first accepted leaf.
-func srcDecision(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*leaf, int64, error) {
-	search, err := newSrcSearch(g, t, R, P, budget)
+func srcDecision(ctx context.Context, g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*leaf, int64, error) {
+	search, err := newSrcSearch(ctx, g, t, R, P, budget)
 	if err != nil {
 		return nil, 0, nil // horizon below critical path: infeasible at this P
 	}
@@ -150,8 +150,8 @@ func srcDecision(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*le
 
 // srcMaxRN searches, at fixed makespan bound P, for the accepted leaf whose
 // extension keeps the highest saturation still ≤ R.
-func srcMaxRN(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*leaf, int64, error) {
-	search, err := newSrcSearch(g, t, R, P, budget)
+func srcMaxRN(ctx context.Context, g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*leaf, int64, error) {
+	search, err := newSrcSearch(ctx, g, t, R, P, budget)
 	if err != nil {
 		return nil, 0, nil
 	}
@@ -166,6 +166,7 @@ func srcMaxRN(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*leaf,
 }
 
 type srcSearch struct {
+	ctx    context.Context
 	g      *ddg.Graph
 	t      ddg.RegType
 	R      int
@@ -187,7 +188,7 @@ type predEdge struct {
 	lat  int64
 }
 
-func newSrcSearch(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*srcSearch, error) {
+func newSrcSearch(ctx context.Context, g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*srcSearch, error) {
 	// One snapshot serves every decision phase of the search: the per-P
 	// restarts of ExactCombinatorial all intern to the same artifact, so the
 	// topological order, value/consumer tables, and window substrate are
@@ -201,7 +202,8 @@ func newSrcSearch(g *ddg.Graph, t ddg.RegType, R int, P int64, budget int64) (*s
 		return nil, err
 	}
 	s := &srcSearch{
-		g: g, t: t, R: R,
+		ctx: ctx,
+		g:   g, t: t, R: R,
 		topo: snap.Topo, lo: lo, hi: hi,
 		times:  make([]int64, g.NumNodes()),
 		placed: make([]bool, g.NumNodes()),
@@ -254,7 +256,7 @@ func (s *srcSearch) acceptLeaf(times []int64) *leaf {
 		needVerify = !s.orderFullyPinned(sched)
 	}
 	if needVerify {
-		extRS, err := exactSaturation(ext, s.t)
+		extRS, err := exactSaturation(s.ctx, ext, s.t)
 		if err != nil || extRS > s.R {
 			return nil
 		}

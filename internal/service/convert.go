@@ -81,8 +81,8 @@ func reduceSpec(r *client.ReduceSpec, solverOpts solver.Options) (*batch.ReduceS
 	case "exact":
 		return &batch.ReduceSpec{
 			Budget: r.Budget,
-			Run: func(_ context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
-				return reduce.ExactCombinatorial(g, t, budget, reduce.ExactOptions{})
+			Run: func(ctx context.Context, g *ddg.Graph, t ddg.RegType, budget int) (*reduce.Result, error) {
+				return reduce.ExactCombinatorial(ctx, g, t, budget, reduce.ExactOptions{})
 			},
 			Key: "exact",
 		}, nil

@@ -125,6 +125,13 @@ type searcher struct {
 	opt Options
 	ctx context.Context
 
+	// deadline, cutoff, and exclusiveCutoff are fixed before workers start
+	// and read lock-free on the per-node hot path, so they live above the
+	// mutex: mu guards only the fields below it.
+	deadline        time.Time
+	cutoff          float64 // internal sense; +inf when unseeded
+	exclusiveCutoff bool
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	open     nodeHeap
@@ -144,10 +151,6 @@ type searcher struct {
 	cold     atomic.Int64
 	fallback atomic.Int64
 	incumb   atomic.Int64
-
-	deadline        time.Time
-	cutoff          float64 // internal sense; +inf when unseeded
-	exclusiveCutoff bool
 }
 
 func (s *searcher) incumbentObj() float64 {
@@ -486,8 +489,12 @@ func (s *searcher) denseFallback(w *spx) {
 	}
 }
 
-// finish assembles the Solution from the search state.
+// finish assembles the Solution from the search state. Workers have joined
+// by the time it runs, but it reads mu-guarded fields (unbounded, limitHit,
+// openBound, incX), so it takes the — by now uncontended — lock anyway.
 func (s *searcher) finish() *Solution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := s.p
 	sol := &Solution{
 		Stats: Stats{

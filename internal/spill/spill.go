@@ -54,14 +54,14 @@ type Result struct {
 // UntilFits alternates RS reduction and spill insertion until the
 // saturation fits the budget or no further spill helps. maxSpills bounds
 // the number of inserted store/reload pairs (0 = number of values).
-func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Result, error) {
+func UntilFits(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Result, error) {
 	if maxSpills == 0 {
 		maxSpills = len(g.Values(t))
 	}
 	res := &Result{Graph: g}
 	spilled := map[string]bool{}
 	for len(res.Sites) <= maxSpills {
-		red, err := reduce.Heuristic(res.Graph, t, available)
+		red, err := reduce.Heuristic(ctx, res.Graph, t, available)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +77,7 @@ func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Resu
 		// Pick a spill candidate among the currently saturating values (the
 		// analysis rides on the snapshot the heuristic reduction above
 		// already interned for the same graph).
-		sat, err := rs.Compute(context.Background(), res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+		sat, err := rs.Compute(ctx, res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +96,7 @@ func UntilFits(g *ddg.Graph, t ddg.RegType, available int, maxSpills int) (*Resu
 		res.Sites = append(res.Sites, site)
 	}
 	// Out of spill budget: report the best we know.
-	sat, err := rs.Compute(context.Background(), res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
+	sat, err := rs.Compute(ctx, res.Graph, t, rs.Options{Method: rs.MethodGreedy, SkipWitness: true})
 	if err != nil {
 		return nil, err
 	}

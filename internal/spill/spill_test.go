@@ -20,7 +20,7 @@ func exactRS(t *testing.T, g *ddg.Graph, typ ddg.RegType) int {
 
 func TestNoSpillWhenReducible(t *testing.T) {
 	g := kernels.Figure2(ddg.Superscalar)
-	res, err := UntilFits(g, ddg.Float, 3, 0)
+	res, err := UntilFits(context.Background(), g, ddg.Float, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSpillBreaksIrreducible(t *testing.T) {
 	// reach 3 registers, but spilling can't help either — a reload still
 	// has to be live at s1. Spilling helps only when consumers differ.
 	// Here we check the loop terminates and reports honestly.
-	res, err := UntilFits(g, ddg.Float, 3, 4)
+	res, err := UntilFits(context.Background(), g, ddg.Float, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestUntilFitsOnSuite(t *testing.T) {
 				continue
 			}
 			R := 2
-			res, err := UntilFits(g, typ, R, 3)
+			res, err := UntilFits(context.Background(), g, typ, R, 3)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", spec.Name, typ, err)
 			}
@@ -165,7 +165,7 @@ func TestSpillBreaksReductionTree(t *testing.T) {
 	// node does. This is the paper's future-work scenario: spill decisions
 	// taken at the DDG level, breaking the schedule-then-spill iteration.
 	g := kernels.ByNameMust("syn-wide8").Build(ddg.Superscalar)
-	res, err := UntilFits(g, ddg.Float, 3, 6)
+	res, err := UntilFits(context.Background(), g, ddg.Float, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestSpillBreaksReductionTree(t *testing.T) {
 
 func TestSpillSiteNaming(t *testing.T) {
 	g := splitConsumers(t)
-	res, err := UntilFits(g, ddg.Float, 2, 2)
+	res, err := UntilFits(context.Background(), g, ddg.Float, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -138,6 +138,7 @@ func SolverBackends() []string { return solver.Names() }
 // of the register requirement of type t over all valid schedules of g.
 // The graph must be finalized.
 func ComputeRS(g *Graph, t RegType, opts RSOptions) (*RSResult, error) {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper; ComputeRSContext is the threaded form
 	return rs.Compute(context.Background(), g, t, opts)
 }
 
@@ -149,6 +150,7 @@ func ComputeRSContext(ctx context.Context, g *Graph, t RegType, opts RSOptions) 
 
 // ComputeRSAll computes the saturation of every register type of g.
 func ComputeRSAll(g *Graph, opts RSOptions) (map[RegType]*RSResult, error) {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper over ComputeRSContext per type
 	return rs.ComputeAll(context.Background(), g, opts)
 }
 
@@ -183,6 +185,7 @@ type ReduceResult = reduce.Result
 // critical path as little as possible (Section 4 of the paper). Spill is
 // reported when impossible.
 func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceResult, error) {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper; ReduceRSContext is the threaded form
 	return ReduceRSContext(context.Background(), g, t, available, opts)
 }
 
@@ -191,11 +194,11 @@ func ReduceRS(g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceRe
 func ReduceRSContext(ctx context.Context, g *Graph, t RegType, available int, opts ReduceOptions) (*ReduceResult, error) {
 	switch opts.Method {
 	case ReduceExact:
-		return reduce.ExactCombinatorial(g, t, available, reduce.ExactOptions{MaxNodes: opts.MaxNodes})
+		return reduce.ExactCombinatorial(ctx, g, t, available, reduce.ExactOptions{MaxNodes: opts.MaxNodes})
 	case ReduceExactILP:
 		return reduce.ExactILP(ctx, g, t, available, opts.ILP)
 	default:
-		return reduce.Heuristic(g, t, available)
+		return reduce.Heuristic(ctx, g, t, available)
 	}
 }
 
@@ -352,5 +355,12 @@ type (
 // SpillUntilFits alternates RS reduction and DDG-level spill insertion until
 // the saturation fits the budget (or reports honest failure).
 func SpillUntilFits(g *Graph, t RegType, available, maxSpills int) (*SpillResult, error) {
-	return spill.UntilFits(g, t, available, maxSpills)
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper; SpillUntilFitsContext is the threaded form
+	return spill.UntilFits(context.Background(), g, t, available, maxSpills)
+}
+
+// SpillUntilFitsContext is SpillUntilFits under a context: cancellation
+// interrupts the saturation computations between spill rounds.
+func SpillUntilFitsContext(ctx context.Context, g *Graph, t RegType, available, maxSpills int) (*SpillResult, error) {
+	return spill.UntilFits(ctx, g, t, available, maxSpills)
 }
