@@ -153,6 +153,16 @@ type SolverStats struct {
 	Incumbents   int64 `json:"incumbents"`
 	Workers      int   `json:"workers"`
 	DurationNs   int64 `json:"durationNs"`
+	// Presolve/cut/branching accounting of the sparse engine (zero for
+	// backends without those layers).
+	PresolveRows        int64 `json:"presolveRows,omitempty"`
+	PresolveCols        int64 `json:"presolveCols,omitempty"`
+	PresolveTightenings int64 `json:"presolveTightenings,omitempty"`
+	CutsAdded           int64 `json:"cutsAdded,omitempty"`
+	CutsActive          int64 `json:"cutsActive,omitempty"`
+	BranchProbes        int64 `json:"branchProbes,omitempty"`
+	ReliableVars        int64 `json:"reliableVars,omitempty"`
+	BlandIters          int64 `json:"blandIters,omitempty"`
 }
 
 // ReduceOutcome is one register type's reduction.

@@ -10,14 +10,18 @@
 //	rsbench -exp corpus -dir testdata -parallel 8
 //	rsbench -exp corpus -json BENCH.json   # machine-readable timings
 //	rsbench -exp families -json BENCH.json # generated structured families
-//	rsbench -exp corpus -json BENCH.json -baseline old.json -threshold 0.25
+//	rsbench -exp corpus,solver -json BENCH.json -baseline old.json -threshold 0.25
+//
+// -exp accepts a comma-separated list (e.g. -exp corpus,solver); "all" runs
+// the paper experiments but still excludes corpus/solver/families, which
+// read -dir or generate inputs and only run when named explicitly.
 //
 // -json writes a machine-readable summary (per-experiment wall times; for
-// -exp corpus/families also per-file timings, ns/op, and memo behavior) for
-// CI artifacts and performance tracking. -baseline diffs the current run
-// against a previous BENCH.json via internal/benchcmp and exits non-zero
-// when the median per-file ns/op regresses beyond -threshold — the hook the
-// CI bench-regression gate stands on.
+// -exp corpus/solver/families also per-case timings, ns/op, and solver work
+// accounting) for CI artifacts and performance tracking. -baseline diffs the
+// current run against a previous BENCH.json via internal/benchcmp and exits
+// non-zero when the median per-file ns/op regresses beyond -threshold — the
+// hook the CI bench-regression gate stands on.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"regsat/internal/batch"
@@ -58,8 +63,45 @@ type benchJSON struct {
 	Machine     string           `json:"machine"`
 	Experiments []experimentJSON `json:"experiments,omitempty"`
 	Corpus      *corpusJSON      `json:"corpus,omitempty"`
+	Solver      *solverJSON      `json:"solver,omitempty"`
 	Families    *familiesJSON    `json:"families,omitempty"`
 	Interner    ir.CacheStats    `json:"interner"`
+}
+
+// solverJSON is the -exp solver section: per-(instance, backend) solve
+// timings plus the engine's work accounting, feeding both the BENCH.json
+// artifact and the benchcmp regression gate (entries appear under the
+// "solver/" namespace there).
+type solverJSON struct {
+	Dir      string           `json:"dir"`
+	Cases    int              `json:"cases"`
+	Skipped  int              `json:"skipped"`
+	Disagree int              `json:"disagree"`
+	PerFile  []solverCaseJSON `json:"perFile"`
+}
+
+// solverCaseJSON is one backend's solve of one corpus instance. Name and
+// NsOp match the benchcmp per-file schema; the rest is the per-solve
+// instrumentation (branch-and-bound size, simplex work, presolve and cut
+// effect, probing, dense fallbacks).
+type solverCaseJSON struct {
+	Name                string `json:"name"` // "graph/type [backend]"
+	Values              int    `json:"values,omitempty"`
+	NsOp                int64  `json:"nsOp"`
+	RS                  int    `json:"rs"`
+	Exact               bool   `json:"exact"`
+	Nodes               int64  `json:"nodes,omitempty"`
+	SimplexIters        int64  `json:"simplexIters,omitempty"`
+	PresolveRows        int64  `json:"presolveRows,omitempty"`
+	PresolveCols        int64  `json:"presolveCols,omitempty"`
+	PresolveTightenings int64  `json:"presolveTightenings,omitempty"`
+	CutsAdded           int64  `json:"cutsAdded,omitempty"`
+	CutsActive          int64  `json:"cutsActive,omitempty"`
+	BranchProbes        int64  `json:"branchProbes,omitempty"`
+	ReliableVars        int64  `json:"reliableVars,omitempty"`
+	BlandIters          int64  `json:"blandIters,omitempty"`
+	Fallbacks           int64  `json:"fallbacks,omitempty"`
+	Error               string `json:"error,omitempty"`
 }
 
 // familiesJSON is the -exp families section: per-generated-graph exact-RS
@@ -107,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir) / families (generated; none part of all)")
+		exp      = fs.String("exp", "all", "comma-separated experiments: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir) / families (generated; none part of all)")
 		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		random   = fs.Int("random", 20, "number of random loop bodies added to the kernel suite")
 		seed     = fs.Int64("seed", 2004, "random population seed")
@@ -159,9 +201,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Machine:    *machine,
 	}
 
+	// -exp is a comma-separated set; "all" covers the paper experiments below
+	// but not corpus/solver/families, which must stay opt-in.
+	wants := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			wants[name] = true
+		}
+	}
+
 	var firstErr error
 	runExp := func(name string, f func() (string, error)) {
-		if (*exp != "all" && *exp != name) || firstErr != nil {
+		if (!wants["all"] && !wants[name]) || firstErr != nil {
 			return
 		}
 		start := time.Now()
@@ -247,7 +298,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The corpus and solver experiments read -dir from disk, so they only run
 	// when asked for explicitly: a plain `rsbench` must keep working from any
 	// directory.
-	if *exp == "corpus" {
+	if wants["corpus"] {
 		start := time.Now()
 		report, cj, err := corpusReport(*dir, *parallel)
 		if err != nil {
@@ -259,18 +310,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "[corpus completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
-	if *exp == "solver" {
+	if wants["solver"] {
 		start := time.Now()
-		report, err := solverReport(*dir, *maxVals)
+		report, sj, err := solverReport(*dir, *maxVals)
 		if err != nil {
 			return fmt.Errorf("solver: %w", err)
 		}
 		elapsed := time.Since(start)
+		summary.Solver = sj
 		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "solver", WallNs: int64(elapsed)})
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "[solver completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
-	if *exp == "families" {
+	if wants["families"] {
 		start := time.Now()
 		report, fj, err := familiesReport(mk, *famCount, *seed, *parallel)
 		if err != nil {
@@ -398,10 +450,13 @@ func familiesReport(mk ddg.MachineKind, perFamily int, seedBase int64, parallel 
 // solverReport compares every registered MILP backend on the corpus: per
 // instance, nodes explored, simplex iterations, warm-start hit rate, and
 // wall clock, each backend verified against the combinatorial exact search.
-func solverReport(dir string, maxValues int) (string, error) {
+// The JSON section carries one entry per (instance, backend) with the full
+// per-solve instrumentation for the BENCH.json artifact and the regression
+// gate.
+func solverReport(dir string, maxValues int) (string, *solverJSON, error) {
 	src, err := batch.Dir(dir)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	var graphs []*ddg.Graph
 	var names []string
@@ -411,11 +466,11 @@ func solverReport(dir string, maxValues int) (string, error) {
 			break
 		}
 		if it.Err != nil {
-			return "", it.Err
+			return "", nil, it.Err
 		}
 		if !it.Graph.Finalized() {
 			if err := it.Graph.Finalize(); err != nil {
-				return "", fmt.Errorf("%s: %w", it.Name, err)
+				return "", nil, fmt.Errorf("%s: %w", it.Name, err)
 			}
 		}
 		graphs = append(graphs, it.Graph)
@@ -424,9 +479,37 @@ func solverReport(dir string, maxValues int) (string, error) {
 	sum, err := experiments.SolverBench(context.Background(), graphs, names, nil, maxValues,
 		solver.Options{MaxNodes: 400000, TimeLimit: 60 * time.Second})
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return sum.Report(), nil
+	sj := &solverJSON{Dir: dir, Cases: len(sum.Cases), Skipped: sum.Skipped, Disagree: sum.Disagree}
+	for _, c := range sum.Cases {
+		for _, r := range c.Rows {
+			entry := solverCaseJSON{
+				Name:   fmt.Sprintf("%s [%s]", c.Name, r.Backend),
+				Values: c.Values,
+				NsOp:   int64(r.Elapsed),
+			}
+			if r.Err != nil {
+				entry.Error = r.Err.Error()
+			} else {
+				entry.RS = r.RS
+				entry.Exact = r.Exact
+				entry.Nodes = r.Stats.Nodes
+				entry.SimplexIters = r.Stats.SimplexIters
+				entry.PresolveRows = r.Stats.PresolveRows
+				entry.PresolveCols = r.Stats.PresolveCols
+				entry.PresolveTightenings = r.Stats.PresolveTightenings
+				entry.CutsAdded = r.Stats.CutsAdded
+				entry.CutsActive = r.Stats.CutsActive
+				entry.BranchProbes = r.Stats.BranchProbes
+				entry.ReliableVars = r.Stats.ReliableVars
+				entry.BlandIters = r.Stats.BlandIters
+				entry.Fallbacks = r.Stats.Fallbacks
+			}
+			sj.PerFile = append(sj.PerFile, entry)
+		}
+	}
+	return sum.Report(), sj, nil
 }
 
 // corpusReport shards exact RS analysis of every corpus file across the

@@ -132,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			st := red.SolverStats
 			fmt.Fprintf(stdout, "  solver: %d nodes, %d simplex iters, warm-start %.0f%%, %d incumbents, %v\n",
 				st.Nodes, st.SimplexIters, 100*st.WarmRate(), st.Incumbents, st.Duration.Round(time.Microsecond))
+			fmt.Fprintf(stdout, "  presolve: %d rows, %d cols removed, %d tightenings; cuts: %d added, %d active; branching: %d probes, %d reliable vars\n",
+				st.PresolveRows, st.PresolveCols, st.PresolveTightenings,
+				st.CutsAdded, st.CutsActive, st.BranchProbes, st.ReliableVars)
 		}
 		fmt.Fprintf(stdout, "  critical path: %d → %d (ILP loss %d)\n", red.CPBefore, red.CPAfter, red.CPAfter-red.CPBefore)
 		for _, a := range red.Arcs {

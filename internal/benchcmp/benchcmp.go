@@ -1,6 +1,7 @@
 // Package benchcmp diffs two of rsbench's machine-readable BENCH.json
-// summaries: per-file ns/op ratios over the corpus (and generated-family)
-// sweeps, experiment wall-time ratios for context, and a median-based
+// summaries: per-file ns/op ratios over the corpus, solver-backend, and
+// generated-family sweeps, experiment wall-time ratios for context, and a
+// median-based
 // regression verdict against a configurable threshold. It is the engine
 // behind `rsbench -baseline old.json` and the CI bench-regression gate,
 // which restores the previous main-branch BENCH.json from the actions cache
@@ -24,6 +25,7 @@ type Run struct {
 	Machine     string       `json:"machine"`
 	Experiments []Experiment `json:"experiments"`
 	Corpus      *Sweep       `json:"corpus"`
+	Solver      *Sweep       `json:"solver"`
 	Families    *Sweep       `json:"families"`
 }
 
@@ -160,6 +162,7 @@ func collectFiles(r *Run) map[string]int64 {
 		}
 	}
 	add("corpus/", r.Corpus)
+	add("solver/", r.Solver)
 	add("families/", r.Families)
 	return out
 }

@@ -32,6 +32,9 @@ type SolverRow struct {
 	WarmRate float64
 	Elapsed  time.Duration
 	Err      error
+	// Stats is the backend's full work accounting (presolve, cuts,
+	// branching probes, fallbacks) for instrumented reports.
+	Stats solver.Stats
 }
 
 // SolverBenchSummary aggregates the backend comparison (rsbench -exp solver).
@@ -99,6 +102,7 @@ func SolverBench(ctx context.Context, graphs []*ddg.Graph, names []string, backe
 					row.Nodes = ires.Stats.Nodes
 					row.Iters = ires.Stats.SimplexIters
 					row.WarmRate = ires.Stats.WarmRate()
+					row.Stats = ires.Stats
 					if ires.RS != ref.RS {
 						sum.Disagree++
 					}

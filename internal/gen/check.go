@@ -47,6 +47,12 @@ import (
 //	                          making ExactBB a certified lower bound there
 //	                          (see testdata/regressions/solver-backends-
 //	                          agree-*.ddg for the 3-node witness)
+//	presolve-onoff-agree      the sparse engine with its presolve and cut
+//	                          layers enabled proves the same RS as the raw
+//	                          engine (the layers are speed, never semantics)
+//	clique-cuts-valid         every clique inequality the model builder hints
+//	                          to the solver is satisfied by an incumbent of
+//	                          the unmodified model solved without cuts
 
 // Violation is one falsified invariant: which one, where, and the concrete
 // numbers that contradict it.
@@ -229,6 +235,69 @@ func checkType(ctx context.Context, g *ddg.Graph, t ddg.RegType, opt CheckOption
 	if opt.MaxILPValues < 0 || nv <= opt.MaxILPValues {
 		if err := checkSolverBackends(ctx, g, an, exact.RS, opt); err != nil {
 			return err
+		}
+		if err := checkPresolveAgreement(ctx, g, an); err != nil {
+			return err
+		}
+		if err := checkCliqueCuts(ctx, g, an); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPresolveAgreement: the sparse engine's presolve and clique-cut
+// layers are pure speed — with both on and both off, a proven saturation
+// must be identical.
+func checkPresolveAgreement(ctx context.Context, g *ddg.Graph, an *rs.Analysis) error {
+	base := solver.Options{Backend: "sparse", MaxNodes: 100_000, TimeLimit: 5 * time.Second}
+	on, err := rs.ExactILP(ctx, an, true, base)
+	if err != nil {
+		return fmt.Errorf("gen: %s/%s: presolved solve failed: %w", g.Name, an.Type, err)
+	}
+	raw := base
+	raw.DisablePresolve, raw.DisableCuts = true, true
+	off, err := rs.ExactILP(ctx, an, true, raw)
+	if err != nil {
+		return fmt.Errorf("gen: %s/%s: raw solve failed: %w", g.Name, an.Type, err)
+	}
+	if on.Exact && off.Exact && on.RS != off.RS {
+		return &Violation{Invariant: "presolve-onoff-agree", Graph: g.Name, Type: an.Type,
+			Detail: fmt.Sprintf("presolve+cuts proved RS=%d, raw engine proved RS=%d", on.RS, off.RS)}
+	}
+	return nil
+}
+
+// checkCliqueCuts: every never-alive clique the saturation-model builder
+// would hint to the solver must hold at an incumbent of the *unmodified*
+// model, solved without the cut layer — a direct validity certificate for
+// the hinted inequalities.
+func checkCliqueCuts(ctx context.Context, g *ddg.Graph, an *rs.Analysis) error {
+	m, vars, _, err := rs.BuildSaturationModel(an, true)
+	if err != nil {
+		return fmt.Errorf("gen: %s/%s: saturation model failed: %w", g.Name, an.Type, err)
+	}
+	cliques := rs.SaturationCliques(an, vars)
+	if len(cliques) == 0 {
+		return nil
+	}
+	sol, err := solver.Solve(ctx, m, solver.Options{
+		Backend: "sparse", MaxNodes: 100_000, TimeLimit: 5 * time.Second, DisableCuts: true})
+	if err != nil {
+		return fmt.Errorf("gen: %s/%s: cut-free solve failed: %w", g.Name, an.Type, err)
+	}
+	if !sol.Feasible() || sol.AtCutoff {
+		return nil
+	}
+	for _, c := range cliques {
+		sum := 0.0
+		for _, v := range c.Vars {
+			sum += sol.Value(v)
+		}
+		if sum > float64(c.RHS)+1e-6 {
+			return &Violation{Invariant: "clique-cuts-valid", Graph: g.Name, Type: an.Type,
+				Detail: fmt.Sprintf("hinted clique %s sums to %g > %d at a cut-free incumbent",
+					c.Name, sum, c.RHS)}
 		}
 	}
 	return nil

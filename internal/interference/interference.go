@@ -148,3 +148,61 @@ func (c *Coloring) Verify(g *Graph) bool {
 	}
 	return true
 }
+
+// MaximalCliques greedily grows one clique per seed vertex of the abstract
+// conflict relation over n vertices and returns the distinct cliques of at
+// least minSize members, capped at maxCliques, each sorted ascending and the
+// list ordered lexicographically — fully deterministic for a deterministic
+// conflicts predicate. The greedy cliques are maximal (no vertex outside a
+// returned clique conflicts with all its members), which is what makes them
+// useful as set-packing cut supports for the exact MILPs: the paper's
+// statically-derived relations (never simultaneously alive, always
+// interfering) are exactly such conflict predicates.
+func MaximalCliques(n int, conflicts func(i, j int) bool, minSize, maxCliques int) [][]int {
+	if n < minSize || minSize < 2 || maxCliques <= 0 {
+		return nil
+	}
+	var out [][]int
+	seen := make(map[string]bool)
+	var keyBuf []byte
+	for seed := 0; seed < n && len(out) < maxCliques; seed++ {
+		clique := []int{seed}
+		for v := 0; v < n; v++ {
+			if v == seed {
+				continue
+			}
+			ok := true
+			for _, m := range clique {
+				if !conflicts(v, m) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) < minSize {
+			continue
+		}
+		sort.Ints(clique)
+		keyBuf = keyBuf[:0]
+		for _, m := range clique {
+			keyBuf = append(keyBuf, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+		}
+		if k := string(keyBuf); !seen[k] {
+			seen[k] = true
+			out = append(out, clique)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := out[a], out[b]
+		for i := 0; i < len(ca) && i < len(cb); i++ {
+			if ca[i] != cb[i] {
+				return ca[i] < cb[i]
+			}
+		}
+		return len(ca) < len(cb)
+	})
+	return out
+}

@@ -151,3 +151,114 @@ func TestBuildFromIRMatchesBuild(t *testing.T) {
 		}
 	}
 }
+
+// TestMaximalCliques: greedy maximal cliques over an explicit conflict
+// relation — every emitted set is a clique, maximal, deduplicated, at least
+// minSize large, and deterministically ordered.
+func TestMaximalCliques(t *testing.T) {
+	// Conflict graph on 6 vertices: triangle {0,1,2}, edge-glued triangle
+	// {2,3,4}, isolated vertex 5.
+	edges := map[[2]int]bool{
+		{0, 1}: true, {0, 2}: true, {1, 2}: true,
+		{2, 3}: true, {2, 4}: true, {3, 4}: true,
+	}
+	conflicts := func(i, j int) bool {
+		if i > j {
+			i, j = j, i
+		}
+		return edges[[2]int{i, j}]
+	}
+	got := MaximalCliques(6, conflicts, 3, 16)
+	want := [][]int{{0, 1, 2}, {2, 3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for ci, c := range got {
+		for i := range c {
+			if i > 0 && c[i-1] >= c[i] {
+				t.Fatalf("clique %v not in strict ascending order", c)
+			}
+			if c[i] != want[ci][i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+	}
+
+	// Randomized properties: clique-ness, maximality, dedup, determinism.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(10)
+		adj := make([]bool, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					adj[i*n+j], adj[j*n+i] = true, true
+				}
+			}
+		}
+		pred := func(i, j int) bool { return adj[i*n+j] }
+		cliques := MaximalCliques(n, pred, 2, 100)
+		seen := map[string]bool{}
+		for _, c := range cliques {
+			key := ""
+			for _, v := range c {
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate clique %v", trial, c)
+			}
+			seen[key] = true
+			for i := range c {
+				for j := i + 1; j < len(c); j++ {
+					if !pred(c[i], c[j]) {
+						t.Fatalf("trial %d: %v is not a clique (%d-%d)", trial, c, c[i], c[j])
+					}
+				}
+			}
+			// Maximality: no outside vertex conflicts with every member.
+			for v := 0; v < n; v++ {
+				inClique := false
+				for _, m := range c {
+					if m == v {
+						inClique = true
+						break
+					}
+				}
+				if inClique {
+					continue
+				}
+				all := true
+				for _, m := range c {
+					if !pred(v, m) {
+						all = false
+						break
+					}
+				}
+				if all {
+					t.Fatalf("trial %d: clique %v not maximal (vertex %d extends it)", trial, c, v)
+				}
+			}
+		}
+		again := MaximalCliques(n, pred, 2, 100)
+		if len(again) != len(cliques) {
+			t.Fatalf("trial %d: nondeterministic output", trial)
+		}
+		for i := range cliques {
+			if len(again[i]) != len(cliques[i]) {
+				t.Fatalf("trial %d: nondeterministic output", trial)
+			}
+			for j := range cliques[i] {
+				if again[i][j] != cliques[i][j] {
+					t.Fatalf("trial %d: nondeterministic output", trial)
+				}
+			}
+		}
+	}
+
+	// Degenerate parameters return nothing.
+	if MaximalCliques(1, conflicts, 2, 8) != nil ||
+		MaximalCliques(6, conflicts, 1, 8) != nil ||
+		MaximalCliques(6, conflicts, 3, 0) != nil {
+		t.Fatal("degenerate parameters produced cliques")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"regsat/internal/ddg"
 	"regsat/internal/ilp"
+	"regsat/internal/interference"
 	"regsat/internal/lp"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
@@ -146,6 +147,15 @@ func ExactILP(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, o
 	}
 
 	sopt := opt.Solver
+	if sopt.Hints == nil && !sopt.DisableCuts {
+		// Thread the always-interfering clique structure down to the
+		// solver's cut layer: values forced to overlap in every schedule
+		// must take pairwise distinct registers, so each clique admits at
+		// most one member per color.
+		if cl := coloringCliques(an, core, colors, StrictSlack(g)); len(cl) > 0 {
+			sopt.Hints = &solver.Hints{Cliques: cl}
+		}
+	}
 	var heurSched *schedule.Schedule
 	if sopt.Cutoff == nil {
 		// Incumbent seeding: the heuristic reduction's makespan is a valid
@@ -229,6 +239,49 @@ func ExactILP(ctx context.Context, g *ddg.Graph, t ddg.RegType, available int, o
 		Exact:       sol.Status == lp.StatusOptimal,
 		SolverStats: &stats,
 	}, nil
+}
+
+// coloringCliques derives the always-interfere clique hints of the Section 4
+// coloring model: for pairs that still carry an interference binary, both
+// half-interference directions forced by the precedence structure
+// (rs.ForcedInterference) pin s_{ij} = 1 in every feasible point, so the
+// members of a clique of that relation must take pairwise distinct
+// registers — per color c, Σ_{i∈C} x^c_i ≤ 1.
+func coloringCliques(an *rs.Analysis, core *rs.CoreVars, colors [][]lp.Var, slack int64) []solver.Clique {
+	nv := len(an.Values)
+	if nv < 3 {
+		return nil
+	}
+	adj := make([]bool, nv*nv)
+	any := false
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			if core.NeverAlive[[2]int{i, j}] {
+				continue // no s variable, no col rows: colors may coincide
+			}
+			if an.ForcedInterference(i, j, slack) && an.ForcedInterference(j, i, slack) {
+				adj[i*nv+j] = true
+				adj[j*nv+i] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	cliques := interference.MaximalCliques(nv,
+		func(i, j int) bool { return adj[i*nv+j] }, 3, 16)
+	var out []solver.Clique
+	for ci, c := range cliques {
+		for reg := range colors[0] {
+			cl := solver.Clique{Name: fmt.Sprintf("livec%d/r%d", ci, reg), RHS: 1}
+			for _, i := range c {
+				cl.Vars = append(cl.Vars, colors[i][reg])
+			}
+			out = append(out, cl)
+		}
+	}
+	return out
 }
 
 // heuristicMakespanBound runs the value-serialization heuristic and, when

@@ -8,6 +8,7 @@ import (
 	"regsat/internal/ddg"
 	"regsat/internal/graph"
 	"regsat/internal/ilp"
+	"regsat/internal/interference"
 	"regsat/internal/lp"
 	"regsat/internal/schedule"
 	"regsat/internal/solver"
@@ -211,6 +212,62 @@ func (an *Analysis) neverAlive(i, j int) bool {
 	return true
 }
 
+// ForcedInterference reports a static sufficient condition for the
+// half-interference binary h_{i→j} to be 1 in every feasible point of the
+// intLP core: some consumer v of value i lies on a path from u_j, so
+// k_i ≥ σ_v + δr(v) ≥ σ_{u_j} + lp(u_j, v) + δr(v) in every schedule the
+// precedence constraints admit, and when lp(u_j, v) + δr(v) ≥
+// δw(j) + 1 − strictSlack that makes the IffGE body nonnegative always.
+// Pairs forced in both directions have s_{ij} = 1 in every feasible point
+// (the interference AND-link), i.e. they always interfere.
+func (an *Analysis) ForcedInterference(i, j int, strictSlack int64) bool {
+	uj := an.Values[j]
+	for _, v := range an.Cons[i] {
+		lpw := an.AP.Path(uj, v)
+		if lpw == graph.NoPath {
+			continue
+		}
+		if lpw+an.G.Node(v).DelayR >= an.DelayW(j)+1-strictSlack {
+			return true
+		}
+	}
+	return false
+}
+
+// SaturationCliques derives the clique cuts of the saturation model from
+// the never-alive relation: any two values that can never be simultaneously
+// alive exclude each other from the maximal antichain (the is0/is rows
+// enforce the pairs one by one), so for a clique C of the relation
+// Σ_{i∈C} x_i ≤ 1 is valid for every integer-feasible point — a much
+// tighter LP statement than the pairwise rows. The cliques come from
+// interference.MaximalCliques and are deterministic for a given analysis.
+func SaturationCliques(an *Analysis, vars *ILPVars) []solver.Clique {
+	n := len(an.Values)
+	if n < 3 {
+		return nil
+	}
+	adj := make([]bool, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if an.neverAlive(i, j) || an.neverAlive(j, i) {
+				adj[i*n+j] = true
+				adj[j*n+i] = true
+			}
+		}
+	}
+	cliques := interference.MaximalCliques(n,
+		func(i, j int) bool { return adj[i*n+j] }, 3, 64)
+	out := make([]solver.Clique, 0, len(cliques))
+	for ci, c := range cliques {
+		cl := solver.Clique{Name: fmt.Sprintf("nacq%d", ci), RHS: 1}
+		for _, i := range c {
+			cl.Vars = append(cl.Vars, vars.X[i])
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
 // ILPResult is the outcome of the exact intLP computation.
 type ILPResult struct {
 	RS        int
@@ -236,6 +293,13 @@ func ExactILP(ctx context.Context, an *Analysis, reduceModel bool, opt solver.Op
 	m, vars, info, err := BuildSaturationModel(an, reduceModel)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Hints == nil && !opt.DisableCuts {
+		// Thread the never-alive clique structure down to the solver's cut
+		// layer, so it never re-derives graph facts from the matrix.
+		if cl := SaturationCliques(an, vars); len(cl) > 0 {
+			opt.Hints = &solver.Hints{Cliques: cl}
+		}
 	}
 	var seed *RSResult
 	if opt.Cutoff == nil {

@@ -273,13 +273,21 @@ func (s *Server) reduceToWire(r *reduce.Result, wantDDG, computed bool) *client.
 
 func solverToWire(st *solver.Stats) *client.SolverStats {
 	return &client.SolverStats{
-		Nodes:        st.Nodes,
-		SimplexIters: st.SimplexIters,
-		WarmStarts:   st.WarmStarts,
-		ColdStarts:   st.ColdStarts,
-		Fallbacks:    st.Fallbacks,
-		Incumbents:   st.Incumbents,
-		Workers:      st.Workers,
-		DurationNs:   int64(st.Duration),
+		Nodes:               st.Nodes,
+		SimplexIters:        st.SimplexIters,
+		WarmStarts:          st.WarmStarts,
+		ColdStarts:          st.ColdStarts,
+		Fallbacks:           st.Fallbacks,
+		Incumbents:          st.Incumbents,
+		Workers:             st.Workers,
+		DurationNs:          int64(st.Duration),
+		PresolveRows:        st.PresolveRows,
+		PresolveCols:        st.PresolveCols,
+		PresolveTightenings: st.PresolveTightenings,
+		CutsAdded:           st.CutsAdded,
+		CutsActive:          st.CutsActive,
+		BranchProbes:        st.BranchProbes,
+		ReliableVars:        st.ReliableVars,
+		BlandIters:          st.BlandIters,
 	}
 }

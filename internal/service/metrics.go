@@ -85,6 +85,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("regsat_solver_incumbents_total %d\n", agg.Incumbents)
 	p("# TYPE regsat_solver_fallbacks_total counter\n")
 	p("regsat_solver_fallbacks_total %d\n", agg.Fallbacks)
+	p("# TYPE regsat_solver_presolve_rows_total counter\n")
+	p("regsat_solver_presolve_rows_total %d\n", agg.PresolveRows)
+	p("# TYPE regsat_solver_presolve_cols_total counter\n")
+	p("regsat_solver_presolve_cols_total %d\n", agg.PresolveCols)
+	p("# TYPE regsat_solver_presolve_tightenings_total counter\n")
+	p("regsat_solver_presolve_tightenings_total %d\n", agg.PresolveTightenings)
+	p("# TYPE regsat_solver_cuts_added_total counter\n")
+	p("regsat_solver_cuts_added_total %d\n", agg.CutsAdded)
+	p("# TYPE regsat_solver_cuts_active_total counter\n")
+	p("regsat_solver_cuts_active_total %d\n", agg.CutsActive)
+	p("# TYPE regsat_solver_branch_probes_total counter\n")
+	p("regsat_solver_branch_probes_total %d\n", agg.BranchProbes)
+	p("# TYPE regsat_solver_bland_iters_total counter\n")
+	p("regsat_solver_bland_iters_total %d\n", agg.BlandIters)
 	p("# TYPE regsat_solver_seconds_total counter\n")
 	p("regsat_solver_seconds_total %g\n", agg.Duration.Seconds())
 }

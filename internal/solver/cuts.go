@@ -1,0 +1,204 @@
+package solver
+
+// Hint-driven cutting planes. Model builders (internal/rs, internal/reduce)
+// know graph structure the matrix obscures — cliques of values that can
+// never be simultaneously live, or that interfere in every schedule. They
+// pass that structure down as Options.Hints; the cut layer turns it into
+// clique inequalities Σ_{v∈C} x_v ≤ rhs, separates the violated ones at the
+// root, and uses the same cliques for domain propagation at tree nodes. The
+// generator never re-derives graph structure from the matrix.
+//
+// Hints are trusted valid: the builder asserts every hinted inequality
+// holds for every integer-feasible point of the model it built. The layer
+// still defends cheaply — non-binary variables disqualify a clique, and
+// fixed variables are folded through the presolve column map.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"regsat/internal/lp"
+)
+
+// Clique is one hinted set-packing inequality: at most RHS of the listed
+// binary variables may be 1 in any integer-feasible solution.
+type Clique struct {
+	Name string
+	Vars []lp.Var
+	RHS  int
+}
+
+// Hints carries builder-derived model structure into the solver.
+type Hints struct {
+	Cliques []Clique
+}
+
+const (
+	cutMaxRounds  = 8
+	cutMaxAdded   = 500
+	cutMinViol    = 1e-4
+	cutIntegerTol = 1e-6
+)
+
+// cutClique is a clique remapped into reduced (post-presolve) column space.
+type cutClique struct {
+	name string
+	cols []int // reduced column indices, ascending
+	rhs  float64
+	row  int // row index in the reduced model once added, -1 otherwise
+}
+
+// remapCliques folds the hinted cliques through the presolve column map:
+// variables fixed at 1 consume right-hand side, variables fixed at 0 drop
+// out. Cliques that become trivial (fewer than two free members, or slack
+// right-hand side covering all members) are discarded; a clique whose
+// right-hand side goes negative proves infeasibility (the builder fixed
+// more ones than the clique admits — presolve found a contradiction).
+// The result is deterministically ordered.
+func remapCliques(h *Hints, ps *presolved) (cliques []*cutClique, infeasible bool) {
+	if h == nil {
+		return nil, false
+	}
+	seen := make(map[string]bool, len(h.Cliques))
+	for _, c := range h.Cliques {
+		rhs := float64(c.RHS)
+		cols := make([]int, 0, len(c.Vars))
+		ok := true
+		for _, v := range c.Vars {
+			if int(v) < 0 || int(v) >= ps.nOrig {
+				ok = false
+				break
+			}
+			rc := ps.colMap[v]
+			if rc < 0 {
+				rhs -= ps.fixed[v]
+				continue
+			}
+			if lo, hi := ps.m.Bounds(lp.Var(rc)); !ps.m.IsInteger(lp.Var(rc)) || lo < 0 || hi > 1 {
+				ok = false
+				break
+			}
+			cols = append(cols, rc)
+		}
+		if !ok {
+			continue
+		}
+		if rhs < -cutIntegerTol {
+			return nil, true
+		}
+		if len(cols) < 2 || float64(len(cols)) <= rhs+cutIntegerTol {
+			continue
+		}
+		sort.Ints(cols)
+		key := fmt.Sprintf("%v|%g", cols, rhs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cliques = append(cliques, &cutClique{name: c.Name, cols: cols, rhs: math.Round(rhs), row: -1})
+	}
+	sort.SliceStable(cliques, func(a, b int) bool {
+		ca, cb := cliques[a], cliques[b]
+		for i := 0; i < len(ca.cols) && i < len(cb.cols); i++ {
+			if ca.cols[i] != cb.cols[i] {
+				return ca.cols[i] < cb.cols[i]
+			}
+		}
+		return len(ca.cols) < len(cb.cols)
+	})
+	return cliques, false
+}
+
+// separateRoot solves the root LP relaxation of rm repeatedly, appending the
+// hinted cliques the fractional point violates, until no violation remains
+// or a round/cut cap is hit. rm is solver-owned (presolve always re-emits),
+// so appending rows is safe. Returns the number of cuts added.
+func separateRoot(rm *lp.Model, cliques []*cutClique, cancelled func() bool) (added int64) {
+	if len(cliques) == 0 {
+		return 0
+	}
+	for round := 0; round < cutMaxRounds; round++ {
+		if cancelled != nil && cancelled() {
+			return added
+		}
+		p, err := buildProb(rm)
+		if err != nil {
+			return added
+		}
+		w := newSpx(p)
+		w.cancel = cancelled
+		w.reset(p.rootLo, p.rootHi)
+		if st := w.dual(math.Inf(1)); st != spxOptimal {
+			return added
+		}
+		x := w.solution()
+		any := false
+		for _, c := range cliques {
+			if c.row >= 0 {
+				continue
+			}
+			act := 0.0
+			for _, j := range c.cols {
+				act += x[j]
+			}
+			if act > c.rhs+cutMinViol {
+				terms := make([]lp.Term, len(c.cols))
+				for i, j := range c.cols {
+					terms[i] = lp.Term{Var: lp.Var(j), Coef: 1}
+				}
+				c.row = rm.AddConstr(terms, lp.LE, c.rhs, c.name)
+				added++
+				any = true
+				if added >= cutMaxAdded {
+					return added
+				}
+			}
+		}
+		if !any {
+			return added
+		}
+	}
+	return added
+}
+
+// activeCuts counts the added cuts tight at x (a reduced-space incumbent).
+func activeCuts(cliques []*cutClique, x []float64) int64 {
+	if x == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range cliques {
+		if c.row < 0 {
+			continue
+		}
+		act := 0.0
+		for _, j := range c.cols {
+			act += x[j]
+		}
+		if act >= c.rhs-cutIntegerTol {
+			n++
+		}
+	}
+	return n
+}
+
+// cliqueIndex maps each reduced column to the cliques containing it, for
+// node-level domain propagation: once the variables fixed to 1 in a clique
+// reach its right-hand side, every other member must be 0.
+type cliqueIndex struct {
+	byCol map[int][]*cutClique
+}
+
+func buildCliqueIndex(cliques []*cutClique) *cliqueIndex {
+	if len(cliques) == 0 {
+		return nil
+	}
+	ix := &cliqueIndex{byCol: make(map[int][]*cutClique)}
+	for _, c := range cliques {
+		for _, j := range c.cols {
+			ix.byCol[j] = append(ix.byCol[j], c)
+		}
+	}
+	return ix
+}

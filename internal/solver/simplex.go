@@ -170,9 +170,16 @@ type spx struct {
 	xB     []float64 // length m: value of the basic column of each row
 	d      []float64 // length N: reduced costs
 
-	iters  int64 // simplex iterations since the last flush
-	pivots int   // pivots since the last rebuild (refactorization trigger)
-	cancel func() bool
+	// dweight holds the devex reference weights, one per row. The reference
+	// framework is reset to all-ones on every tableau rebuild (reset), so a
+	// refactorization doubles as the periodic devex reference reset.
+	dweight []float64
+
+	iters      int64 // simplex iterations since the last flush
+	blandIters int64 // iterations under the anti-cycling Bland override
+	pivots     int   // pivots since the last rebuild (refactorization trigger)
+	iterLimit  int   // per-call iteration cap when > 0 (probe solves); else spxIterCap
+	cancel     func() bool
 }
 
 func newSpx(p *prob) *spx {
@@ -186,7 +193,31 @@ func newSpx(p *prob) *spx {
 	s.xval = make([]float64, p.N)
 	s.xB = make([]float64, p.m)
 	s.d = make([]float64, p.N)
+	s.dweight = make([]float64, p.m)
 	return s
+}
+
+// copyFrom makes s an exact clone of src (same prob), for iteration-capped
+// probe solves that must not disturb the worker's live basis.
+func (s *spx) copyFrom(src *spx) {
+	copy(s.tab, src.tab)
+	copy(s.lo, src.lo)
+	copy(s.hi, src.hi)
+	copy(s.basis, src.basis)
+	copy(s.rowOf, src.rowOf)
+	copy(s.status, src.status)
+	copy(s.xval, src.xval)
+	copy(s.xB, src.xB)
+	copy(s.d, src.d)
+	copy(s.dweight, src.dweight)
+	s.pivots = src.pivots
+}
+
+// solution extracts the structural solution into a fresh slice.
+func (s *spx) solution() []float64 {
+	x := make([]float64, s.p.n)
+	s.extract(x)
+	return x
 }
 
 func (s *spx) row(i int) []float64 { return s.tab[i*s.stride : (i+1)*s.stride] }
@@ -253,6 +284,9 @@ func (s *spx) reset(lo, hi []float64) {
 		}
 		s.xB[i] = v
 	}
+	for i := range s.dweight {
+		s.dweight[i] = 1
+	}
 	s.pivots = 0
 }
 
@@ -313,9 +347,13 @@ func (s *spx) extract(x []float64) {
 // sense; +inf disables the check).
 func (s *spx) dual(pruneTarget float64) spxStatus {
 	p := s.p
+	iterCap := spxIterCap
+	if s.iterLimit > 0 && s.iterLimit < iterCap {
+		iterCap = s.iterLimit
+	}
 	for iter := 0; ; iter++ {
 		s.iters++
-		if iter > spxIterCap {
+		if iter > iterCap {
 			return spxIterLimit
 		}
 		if iter%64 == 0 {
@@ -327,12 +365,15 @@ func (s *spx) dual(pruneTarget float64) spxStatus {
 			}
 		}
 		bland := iter > spxBlandCut
+		if bland {
+			s.blandIters++
+		}
 
-		// Leaving row: the most infeasible basic column (Dantzig), or the
-		// violated row with the smallest basic column under the anti-cycling
-		// rule.
+		// Leaving row: devex pricing — maximize squared violation over the
+		// row's reference weight — or the violated row with the smallest
+		// basic column under the anti-cycling rule.
 		r, tooLow := -1, false
-		worst := spxFeasTol
+		best := 0.0
 		for i := 0; i < p.m; i++ {
 			b := s.basis[i]
 			v := s.xB[i]
@@ -349,8 +390,8 @@ func (s *spx) dual(pruneTarget float64) spxStatus {
 				if r < 0 || b < s.basis[r] {
 					r, tooLow = i, low
 				}
-			} else if viol > worst {
-				r, tooLow, worst = i, low, viol
+			} else if score := viol * viol / s.dweight[i]; score > best {
+				r, tooLow, best = i, low, score
 			}
 		}
 		if r < 0 {
@@ -427,8 +468,13 @@ func (s *spx) dual(pruneTarget float64) spxStatus {
 		s.status[q] = spBasic
 		s.xB[r] = newQ
 
-		// Pivot the tableau (rhs column included) and the reduced costs.
+		// Pivot the tableau (rhs column included) and the reduced costs,
+		// propagating the devex reference weights: with pivot α_rq and
+		// entering multipliers α_iq, γ_i ← max(γ_i, (α_iq/α_rq)²·γ_r) and
+		// γ_r ← max(γ_r/α_rq², 1).
 		inv := 1.0 / arq
+		gr := s.dweight[r]
+		wmax := 0.0
 		for j := 0; j <= p.N; j++ {
 			row[j] *= inv
 		}
@@ -447,6 +493,21 @@ func (s *spx) dual(pruneTarget float64) spxStatus {
 				}
 			}
 			ri[q] = 0
+			m := f * inv
+			if w := m * m * gr; w > s.dweight[i] {
+				s.dweight[i] = w
+			}
+			if s.dweight[i] > wmax {
+				wmax = s.dweight[i]
+			}
+		}
+		s.dweight[r] = math.Max(gr*inv*inv, 1)
+		if wmax > 1e12 || s.dweight[r] > 1e12 {
+			// Drifted reference framework: reset early rather than price on
+			// meaningless weights.
+			for i := range s.dweight {
+				s.dweight[i] = 1
+			}
 		}
 		if f := s.d[q]; f != 0 {
 			for j := 0; j < p.N; j++ {

@@ -62,6 +62,18 @@ type Options struct {
 	// solution is optimal — without ever materializing an incumbent.
 	// Ignored when Cutoff is nil.
 	ExclusiveCutoff bool
+	// Hints carries model structure the builder already knows (named clique
+	// sets over binary variables), so the cut generator never re-derives it
+	// from the matrix. Hints are trusted: every hinted inequality must hold
+	// for every integer-feasible point of the model (see Hints). Nil means
+	// no hints; backends without a cut layer ignore them.
+	Hints *Hints
+	// DisablePresolve skips the presolve reductions of the sparse engine
+	// (the solve semantics are unchanged — presolve+postsolve is invisible
+	// to callers — so this exists for differential testing and debugging).
+	DisablePresolve bool
+	// DisableCuts skips hint-derived cutting planes and clique propagation.
+	DisableCuts bool
 }
 
 func (o Options) withDefaults() Options {
@@ -90,8 +102,19 @@ func (o Options) Key() string {
 			cut += "!"
 		}
 	}
-	return fmt.Sprintf("%s|n%d|t%s|i%g|p%d|c%s",
+	key := fmt.Sprintf("%s|n%d|t%s|i%g|p%d|c%s",
 		o.Backend, o.MaxNodes, o.TimeLimit, o.IntTol, o.Parallel, cut)
+	// The debug switches are appended only when set so that keys for default
+	// options — the ones persisted in result stores — stay stable across
+	// releases. Hints are deliberately excluded: they change solve speed,
+	// never the answer.
+	if o.DisablePresolve {
+		key += "|nopre"
+	}
+	if o.DisableCuts {
+		key += "|nocuts"
+	}
+	return key
 }
 
 // Stats reports the work one solve performed. The JSON tags fix the wire
@@ -118,6 +141,26 @@ type Stats struct {
 	Workers int `json:"workers"`
 	// Duration is the wall time of the solve, in nanoseconds on the wire.
 	Duration time.Duration `json:"durationNs"`
+	// PresolveRows and PresolveCols count constraints and variables the
+	// presolve pass eliminated before the search; PresolveTightenings counts
+	// bound and coefficient tightenings it applied. All zero when presolve is
+	// disabled or the backend has none.
+	PresolveRows        int64 `json:"presolveRows,omitempty"`
+	PresolveCols        int64 `json:"presolveCols,omitempty"`
+	PresolveTightenings int64 `json:"presolveTightenings,omitempty"`
+	// CutsAdded counts hint-derived clique cuts appended during root
+	// separation; CutsActive counts those tight at the final incumbent.
+	CutsAdded  int64 `json:"cutsAdded,omitempty"`
+	CutsActive int64 `json:"cutsActive,omitempty"`
+	// BranchProbes counts iteration-capped strong-branching probe solves run
+	// to initialize pseudo-costs; ReliableVars counts variables whose
+	// pseudo-costs had at least one observation in each direction by the end
+	// of the search.
+	BranchProbes int64 `json:"branchProbes,omitempty"`
+	ReliableVars int64 `json:"reliableVars,omitempty"`
+	// BlandIters counts simplex iterations where the anti-cycling Bland rule
+	// overrode devex pricing (SimplexIters − BlandIters ran under devex).
+	BlandIters int64 `json:"blandIters,omitempty"`
 }
 
 // WarmRate is the fraction of node solves served warm from the parent basis.
@@ -141,6 +184,14 @@ func (s *Stats) Add(other Stats) {
 		s.Workers = other.Workers
 	}
 	s.Duration += other.Duration
+	s.PresolveRows += other.PresolveRows
+	s.PresolveCols += other.PresolveCols
+	s.PresolveTightenings += other.PresolveTightenings
+	s.CutsAdded += other.CutsAdded
+	s.CutsActive += other.CutsActive
+	s.BranchProbes += other.BranchProbes
+	s.ReliableVars += other.ReliableVars
+	s.BlandIters += other.BlandIters
 }
 
 // Solution is the uniform result of a backend solve.

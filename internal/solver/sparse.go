@@ -5,6 +5,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,10 +13,13 @@ import (
 	"regsat/internal/lp"
 )
 
-// sparseBackend is the rewritten MILP engine: sparse constraint storage, a
-// dual-simplex reoptimizer, best-bound node selection with single-bound
-// deltas, warm-started dives from the parent basis, incumbent/cutoff
-// seeding, and a parallel tree search sharing an atomic incumbent.
+// sparseBackend is the rewritten MILP engine: presolve with postsolve
+// mapping, hint-derived clique cuts separated at the root, sparse constraint
+// storage, a dual-simplex reoptimizer with devex pricing, best-bound node
+// selection with single-bound deltas, warm-started dives from the parent
+// basis, pseudo-cost branching with reliability initialization,
+// incumbent/cutoff seeding, and a parallel tree search sharing an atomic
+// incumbent.
 //
 // Node processing is organized as dives: a worker pops the best-bound open
 // node, solves it from a cold (all-slack, dual-feasible) start, then keeps
@@ -41,15 +45,71 @@ func (b sparseBackend) Name() string { return b.name }
 func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
-	p, err := buildProb(m)
+
+	// Presolve works on a private copy, so the reduced model rm is owned by
+	// this solve: the cut layer may append rows to it freely.
+	ps := presolve(m, opt.IntTol, !opt.DisablePresolve)
+	infeasible := func() (*Solution, error) {
+		sol := &Solution{Status: lp.StatusInfeasible, Stats: ps.stats()}
+		sol.Stats.Workers = 1
+		sol.Stats.Duration = time.Since(start)
+		return sol, ctx.Err()
+	}
+	if ps.infeasible {
+		return infeasible()
+	}
+	rm := ps.m
+
+	var cliques []*cutClique
+	if !opt.DisableCuts {
+		var bad bool
+		cliques, bad = remapCliques(opt.Hints, ps)
+		if bad {
+			return infeasible()
+		}
+	}
+
+	p, err := buildProb(rm)
 	if err == errDense {
 		// Infinite bounds on a cost-bearing variable: the general-purpose
-		// dense engine handles those (and detects unboundedness).
-		return denseBackend{}.Solve(ctx, m, opt)
+		// dense engine handles those (and detects unboundedness). The
+		// delegation is a whole-model fallback — count it so it never
+		// happens silently — and its solution lives in reduced space, so it
+		// goes through postsolve like any other.
+		sol, derr := denseBackend{}.Solve(ctx, rm, opt)
+		if sol != nil {
+			sol.X = ps.postsolve(sol.X)
+			sol.Stats.Fallbacks++
+			sol.Stats.PresolveRows += ps.rows
+			sol.Stats.PresolveCols += ps.cols
+			sol.Stats.PresolveTightenings += ps.tightenings
+		}
+		return sol, derr
 	}
 	if err != nil {
 		return nil, err
 	}
+
+	var deadline time.Time
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+	cancelled := func() bool {
+		return ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline))
+	}
+
+	var cutsAdded int64
+	if len(cliques) > 0 {
+		cutsAdded = separateRoot(rm, cliques, cancelled)
+		if cutsAdded > 0 {
+			// The matrix grew; rebuild the shared sparse form. Cut rows add
+			// no variables, so sparse eligibility cannot change.
+			if p, err = buildProb(rm); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	// An explicit Parallel is honored as given (oversubscription is just
 	// goroutines); only the default is derived from the machine.
 	workers := opt.Parallel
@@ -64,14 +124,17 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 		p:         p,
 		opt:       opt,
 		ctx:       ctx,
+		deadline:  deadline,
+		cliqueIx:  buildCliqueIndex(cliques),
 		openBound: math.Inf(1),
 		cutoff:    math.Inf(1),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.incObj.Store(math.Float64bits(math.Inf(1)))
-	if opt.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opt.TimeLimit)
-	}
+	s.pcDownSum = make([]float64, p.n)
+	s.pcUpSum = make([]float64, p.n)
+	s.pcDownN = make([]int32, p.n)
+	s.pcUpN = make([]int32, p.n)
 	if opt.Cutoff != nil {
 		s.cutoff = p.internalObj(*opt.Cutoff)
 		s.exclusiveCutoff = opt.ExclusiveCutoff
@@ -90,6 +153,19 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 
 	sol := s.finish()
 	sol.Stats.Workers = workers
+	sol.Stats.PresolveRows = ps.rows
+	sol.Stats.PresolveCols = ps.cols
+	sol.Stats.PresolveTightenings = ps.tightenings
+	sol.Stats.CutsAdded = cutsAdded
+	if sol.Feasible() && !sol.AtCutoff {
+		xr := sol.X
+		if xr == nil {
+			// Presolve fixed every variable: the reduced assignment is empty.
+			xr = make([]float64, rm.NumVars())
+		}
+		sol.Stats.CutsActive = activeCuts(cliques, xr)
+		sol.X = ps.postsolve(xr)
+	}
 	sol.Stats.Duration = time.Since(start)
 	return sol, ctx.Err()
 }
@@ -97,12 +173,16 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 // qnode is one open subtree: a single {variable, bounds} delta against its
 // parent chain (the chain is walked to reconstruct full bounds on pop — no
 // per-node O(n) bound copies) plus the parent relaxation objective, which is
-// a valid bound on everything below.
+// a valid bound on everything below, and the branching context feeding the
+// pseudo-cost statistics once the child's own relaxation is solved.
 type qnode struct {
 	parent *qnode
 	vr     int     // branched variable; -1 for the root
 	lo, hi float64 // bounds of vr in this subtree
-	bound  float64 // parent LP objective, internal minimize sense
+	bound  float64 // parent LP objective (integral-rounded), internal sense
+	pobj   float64 // parent LP objective, unrounded, for pseudo-cost updates
+	frac   float64 // fractionality removed by this branch direction
+	up     bool    // true for the x ≥ ceil child
 }
 
 type nodeHeap []*qnode
@@ -120,17 +200,29 @@ func (h *nodeHeap) Pop() any {
 	return x
 }
 
+const (
+	// pcReliable is the pseudo-cost observation count per direction below
+	// which a branching candidate is "unreliable" and worth a strong-
+	// branching probe.
+	pcReliable = 1
+	// pcMaxProbes caps the candidates probed per node.
+	pcMaxProbes = 2
+	// pcProbeIters is the dual-simplex iteration cap of one probe solve.
+	pcProbeIters = 100
+)
+
 type searcher struct {
 	p   *prob
 	opt Options
 	ctx context.Context
 
-	// deadline, cutoff, and exclusiveCutoff are fixed before workers start
-	// and read lock-free on the per-node hot path, so they live above the
-	// mutex: mu guards only the fields below it.
+	// deadline, cutoff, exclusiveCutoff, and cliqueIx are fixed before
+	// workers start and read lock-free on the per-node hot path, so they
+	// live above the mutex: mu guards only the fields below it.
 	deadline        time.Time
 	cutoff          float64 // internal sense; +inf when unseeded
 	exclusiveCutoff bool
+	cliqueIx        *cliqueIndex
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -144,6 +236,14 @@ type searcher struct {
 	openBound   float64   // min bound over abandoned subtrees (internal)
 	incX        []float64 // incumbent assignment (model variables, snapped)
 
+	// pcMu guards the pseudo-cost statistics: per-variable sums and counts
+	// of LP degradation per unit of fractionality removed, by direction.
+	pcMu      sync.Mutex
+	pcDownSum []float64
+	pcUpSum   []float64
+	pcDownN   []int32
+	pcUpN     []int32
+
 	incObj   atomic.Uint64 // math.Float64bits of the internal incumbent obj
 	nodes    atomic.Int64
 	iters    atomic.Int64
@@ -151,6 +251,8 @@ type searcher struct {
 	cold     atomic.Int64
 	fallback atomic.Int64
 	incumb   atomic.Int64
+	probes   atomic.Int64
+	bland    atomic.Int64
 }
 
 func (s *searcher) incumbentObj() float64 {
@@ -294,6 +396,37 @@ func (s *searcher) updateIncumbent(objInternal float64, x []float64) {
 	}
 }
 
+// pcUpdate records one observed LP degradation per unit of fractionality for
+// branching variable j in the given direction.
+func (s *searcher) pcUpdate(j int, up bool, perUnit float64) {
+	s.pcMu.Lock()
+	if up {
+		s.pcUpSum[j] += perUnit
+		s.pcUpN[j]++
+	} else {
+		s.pcDownSum[j] += perUnit
+		s.pcDownN[j]++
+	}
+	s.pcMu.Unlock()
+}
+
+// pcCounts returns the observation counts of variable j.
+func (s *searcher) pcCounts(j int) (down, up int32) {
+	s.pcMu.Lock()
+	down, up = s.pcDownN[j], s.pcUpN[j]
+	s.pcMu.Unlock()
+	return down, up
+}
+
+// flushIters folds a worker tableau's iteration counters into the shared
+// totals.
+func (s *searcher) flushIters(w *spx) {
+	s.iters.Add(w.iters)
+	w.iters = 0
+	s.bland.Add(w.blandIters)
+	w.blandIters = 0
+}
+
 // boundsOf reconstructs the full structural bounds of nd into lo/hi by
 // walking the delta chain from the root.
 func (s *searcher) boundsOf(nd *qnode, lo, hi []float64, path []*qnode) []*qnode {
@@ -319,6 +452,11 @@ func (s *searcher) worker() {
 	p := s.p
 	w := newSpx(p)
 	w.cancel = s.cancelled
+	// scratch hosts iteration-capped strong-branching probes; they must not
+	// disturb the live basis mid-dive.
+	scratch := newSpx(p)
+	scratch.cancel = s.cancelled
+	scratch.iterLimit = pcProbeIters
 	lo := make([]float64, p.n)
 	hi := make([]float64, p.n)
 	var path []*qnode
@@ -330,17 +468,25 @@ func (s *searcher) worker() {
 		path = s.boundsOf(nd, lo, hi, path)
 		w.reset(lo, hi)
 		s.cold.Add(1)
-		s.dive(w, nd, false)
+		s.dive(w, scratch, nd, false)
 		s.done()
 	}
+}
+
+// brCand is one fractional branching candidate at a node.
+type brCand struct {
+	j     int
+	f     float64 // fractional part of x_j
+	floor float64
 }
 
 // dive processes nd with the state already loaded in w, then keeps
 // descending into one child per branching (warm-starting from the basis the
 // tableau already holds) until the chain is pruned, infeasible, or integer.
-func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
+func (s *searcher) dive(w, scratch *spx, nd *qnode, warm bool) {
 	p := s.p
 	x := make([]float64, p.n)
+	cands := make([]brCand, 0, 16)
 	for {
 		if s.shouldStop() {
 			s.abandon(nd.bound)
@@ -351,8 +497,7 @@ func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
 		}
 		st := w.dual(s.pruneTarget())
 		s.nodes.Add(1)
-		s.iters.Add(w.iters)
-		w.iters = 0
+		s.flushIters(w)
 		switch st {
 		case spxInfeasible:
 			return
@@ -366,6 +511,15 @@ func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
 			return
 		}
 		obj := w.obj()
+		// Pseudo-cost observation: the LP degradation this branch caused,
+		// per unit of fractionality it removed.
+		if nd.vr >= 0 && nd.frac > 1e-9 {
+			deg := obj - nd.pobj
+			if deg < 0 {
+				deg = 0
+			}
+			s.pcUpdate(nd.vr, nd.up, deg/nd.frac)
+		}
 		bound := obj
 		if p.intObj {
 			// Integral objective: the subtree optimum is an integer ≥ obj.
@@ -376,18 +530,18 @@ func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
 		}
 		w.extract(x)
 
-		// Most fractional integer variable.
-		branch, fracDist := -1, s.opt.IntTol
+		cands = cands[:0]
 		for j := 0; j < p.n; j++ {
 			if !p.integer[j] {
 				continue
 			}
-			f := x[j] - math.Floor(x[j])
-			if dist := math.Min(f, 1-f); dist > fracDist {
-				branch, fracDist = j, dist
+			fl := math.Floor(x[j])
+			f := x[j] - fl
+			if math.Min(f, 1-f) > s.opt.IntTol {
+				cands = append(cands, brCand{j: j, f: f, floor: fl})
 			}
 		}
-		if branch < 0 {
+		if len(cands) == 0 {
 			// Integer feasible: snap, verify against the original rows, and
 			// publish. A failed verification means the warm tableau drifted —
 			// hand the subtree to the dense engine instead of trusting it.
@@ -410,15 +564,32 @@ func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
 			return
 		}
 
-		// Branch. The sibling farther from the fractional value goes to the
-		// shared queue as a single-bound delta; the nearer child is solved in
-		// place, reusing the parent's final basis.
+		// Reliability initialization: strong-branching probes on candidates
+		// whose pseudo-costs have too few observations. A probe can prove a
+		// direction dead, forcing the other child (or killing the node).
+		forced, dead := s.reliabilityProbes(w, scratch, cands, nd, obj, bound)
+		if dead {
+			return
+		}
+		if forced != nil {
+			nd = forced
+			warm = true
+			w.applyBound(forced.vr, forced.lo, forced.hi)
+			if s.propagateCliques(w, forced) {
+				return
+			}
+			continue
+		}
+
+		branch, f, diveUp := s.selectBranch(cands)
 		floorV := math.Floor(x[branch])
 		ceilV := floorV + 1
-		down := &qnode{parent: nd, vr: branch, lo: w.lo[branch], hi: floorV, bound: bound}
-		up := &qnode{parent: nd, vr: branch, lo: ceilV, hi: w.hi[branch], bound: bound}
+		down := &qnode{parent: nd, vr: branch, lo: w.lo[branch], hi: floorV,
+			bound: bound, pobj: obj, frac: f, up: false}
+		up := &qnode{parent: nd, vr: branch, lo: ceilV, hi: w.hi[branch],
+			bound: bound, pobj: obj, frac: 1 - f, up: true}
 		var diveNd *qnode
-		if x[branch]-floorV > 0.5 {
+		if diveUp {
 			s.push(down)
 			diveNd = up
 		} else {
@@ -436,8 +607,167 @@ func (s *searcher) dive(w *spx, nd *qnode, warm bool) {
 			w.applyBound(diveNd.vr, diveNd.lo, diveNd.hi)
 			warm = true
 		}
+		if s.propagateCliques(w, diveNd) {
+			return
+		}
 		nd = diveNd
 	}
+}
+
+// reliabilityProbes runs iteration-capped strong-branching probes on the
+// most fractional candidates whose pseudo-costs are still unreliable,
+// feeding the results into the pseudo-cost statistics. When a probe proves
+// one direction cannot contain an improving solution, the returned forced
+// child replaces branching; when both directions are dead the node is
+// resolved (dead = true).
+func (s *searcher) reliabilityProbes(w, scratch *spx, cands []brCand, nd *qnode, obj, bound float64) (forced *qnode, dead bool) {
+	if len(cands) < 2 {
+		return nil, false
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := math.Min(cands[order[a]].f, 1-cands[order[a]].f)
+		db := math.Min(cands[order[b]].f, 1-cands[order[b]].f)
+		return da > db
+	})
+	prune := s.pruneTarget()
+	probed := 0
+	for _, ci := range order {
+		if probed >= pcMaxProbes {
+			break
+		}
+		c := cands[ci]
+		dN, uN := s.pcCounts(c.j)
+		if dN >= pcReliable && uN >= pcReliable {
+			continue
+		}
+		probed++
+		var downDead, upDead bool
+		if dN < pcReliable {
+			res := s.probeDir(w, scratch, c.j, w.lo[c.j], c.floor, prune)
+			if res.dead {
+				downDead = true
+			} else if res.known {
+				s.pcUpdate(c.j, false, math.Max(0, res.obj-obj)/c.f)
+			}
+		}
+		if uN < pcReliable {
+			res := s.probeDir(w, scratch, c.j, c.floor+1, w.hi[c.j], prune)
+			if res.dead {
+				upDead = true
+			} else if res.known {
+				s.pcUpdate(c.j, true, math.Max(0, res.obj-obj)/(1-c.f))
+			}
+		}
+		switch {
+		case downDead && upDead:
+			return nil, true
+		case downDead:
+			return &qnode{parent: nd, vr: c.j, lo: c.floor + 1, hi: w.hi[c.j],
+				bound: bound, pobj: obj, frac: 1 - c.f, up: true}, false
+		case upDead:
+			return &qnode{parent: nd, vr: c.j, lo: w.lo[c.j], hi: c.floor,
+				bound: bound, pobj: obj, frac: c.f, up: false}, false
+		}
+	}
+	return nil, false
+}
+
+type probeOutcome struct {
+	dead  bool
+	known bool // obj is a usable child bound
+	obj   float64
+}
+
+// probeDir solves the child [lo, hi] of variable j on the scratch tableau
+// with a tight iteration cap. The dual objective is a monotone lower bound
+// on the child LP, so even an iteration-capped probe yields a valid
+// pseudo-cost estimate, and exceeding the prune target proves the child
+// dead regardless of how the solve would have ended.
+func (s *searcher) probeDir(w, scratch *spx, j int, lo, hi, prune float64) probeOutcome {
+	scratch.copyFrom(w)
+	scratch.applyBound(j, lo, hi)
+	st := scratch.dual(prune)
+	s.probes.Add(1)
+	s.flushIters(scratch)
+	switch st {
+	case spxInfeasible, spxCutoff:
+		return probeOutcome{dead: true}
+	case spxOptimal, spxIterLimit:
+		o := scratch.obj()
+		if o > prune {
+			return probeOutcome{dead: true}
+		}
+		return probeOutcome{known: true, obj: o}
+	default: // canceled
+		return probeOutcome{}
+	}
+}
+
+// selectBranch picks the branching variable maximizing the pseudo-cost
+// product score max(ε, down·f)·max(ε, up·(1−f)); directions without
+// observations fall back to unit pseudo-costs, which degenerates to
+// most-fractional selection on a cold start. The dive follows the direction
+// with the smaller estimated degradation.
+func (s *searcher) selectBranch(cands []brCand) (branch int, f float64, diveUp bool) {
+	s.pcMu.Lock()
+	defer s.pcMu.Unlock()
+	const eps = 1e-6
+	branch, f = cands[0].j, cands[0].f
+	bestScore := math.Inf(-1)
+	for _, c := range cands {
+		dAvg, uAvg := 1.0, 1.0
+		if n := s.pcDownN[c.j]; n > 0 {
+			dAvg = s.pcDownSum[c.j] / float64(n)
+		}
+		if n := s.pcUpN[c.j]; n > 0 {
+			uAvg = s.pcUpSum[c.j] / float64(n)
+		}
+		dDeg, uDeg := dAvg*c.f, uAvg*(1-c.f)
+		score := math.Max(dDeg, eps) * math.Max(uDeg, eps)
+		if score > bestScore {
+			branch, f, bestScore = c.j, c.f, score
+			if uDeg != dDeg {
+				diveUp = uDeg < dDeg
+			} else {
+				diveUp = c.f > 0.5
+			}
+		}
+	}
+	return branch, f, diveUp
+}
+
+// propagateCliques runs clique domain propagation after the dive fixed a
+// binary to 1: in every hinted clique containing it whose members fixed to
+// 1 have reached the right-hand side, all remaining members must be 0. The
+// tightenings apply to the live tableau only — siblings reconstructing
+// bounds from the qnode chain see the looser (still correct) domain.
+// Reports whether the node became infeasible (fixed ones exceed a clique's
+// right-hand side).
+func (s *searcher) propagateCliques(w *spx, nd *qnode) bool {
+	if s.cliqueIx == nil || !nd.up || nd.lo < 0.5 {
+		return false
+	}
+	for _, c := range s.cliqueIx.byCol[nd.vr] {
+		ones := 0.0
+		for _, m := range c.cols {
+			ones += w.lo[m]
+		}
+		if ones > c.rhs+1e-6 {
+			return true
+		}
+		if ones >= c.rhs-1e-6 {
+			for _, m := range c.cols {
+				if w.lo[m] < 0.5 && w.hi[m] > 0.5 {
+					w.applyBound(m, w.lo[m], 0)
+				}
+			}
+		}
+	}
+	return false
 }
 
 // applyBoundOnlyStore records the child's bounds without touching the basis
@@ -504,8 +834,17 @@ func (s *searcher) finish() *Solution {
 			ColdStarts:   s.cold.Load(),
 			Fallbacks:    s.fallback.Load(),
 			Incumbents:   s.incumb.Load(),
+			BranchProbes: s.probes.Load(),
+			BlandIters:   s.bland.Load(),
 		},
 	}
+	s.pcMu.Lock()
+	for j := 0; j < p.n; j++ {
+		if s.pcDownN[j] > 0 && s.pcUpN[j] > 0 {
+			sol.Stats.ReliableVars++
+		}
+	}
+	s.pcMu.Unlock()
 	if s.unbounded {
 		sol.Status = lp.StatusUnbounded
 		return sol

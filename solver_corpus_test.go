@@ -56,7 +56,9 @@ func loadSingleGraph(path string) (*ddg.Graph, error) {
 // within the exactness budget, every backend's intLP saturation equals the
 // exact-BB saturation when the solve completes, and never exceeds it when a
 // search limit capped the solve (RS is then a valid lower bound, with the
-// reported interval bracketing the exact value).
+// reported interval bracketing the exact value). The sparse engine runs
+// twice — once with its presolve and clique-cut layers, once raw — so the
+// speed layers are differentially proven semantics-free on the whole corpus.
 func TestSolverBackendsAgreeOnCorpus(t *testing.T) {
 	maxValues := 8
 	limit := 15 * time.Second
@@ -64,7 +66,16 @@ func TestSolverBackendsAgreeOnCorpus(t *testing.T) {
 		maxValues = 5
 		limit = 5 * time.Second
 	}
-	backends := solver.Names()
+	type config struct {
+		label string
+		opt   solver.Options
+	}
+	var configs []config
+	for _, b := range solver.Names() {
+		configs = append(configs, config{b, solver.Options{Backend: b, TimeLimit: limit}})
+	}
+	configs = append(configs, config{"sparse/raw", solver.Options{
+		Backend: "sparse", TimeLimit: limit, DisablePresolve: true, DisableCuts: true}})
 	for _, g := range loadCorpus(t) {
 		for _, typ := range g.Types() {
 			an, err := rs.NewAnalysis(g, typ)
@@ -78,26 +89,23 @@ func TestSolverBackendsAgreeOnCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: exact-bb: %v", g.Name, typ, err)
 			}
-			for _, b := range backends {
-				res, err := rs.ExactILP(context.Background(), an, true, solver.Options{
-					Backend:   b,
-					TimeLimit: limit,
-				})
+			for _, c := range configs {
+				res, err := rs.ExactILP(context.Background(), an, true, c.opt)
 				if err != nil {
-					t.Fatalf("%s/%s [%s]: %v", g.Name, typ, b, err)
+					t.Fatalf("%s/%s [%s]: %v", g.Name, typ, c.label, err)
 				}
 				switch {
 				case res.Exact && res.RS != ref.RS:
-					t.Errorf("%s/%s [%s]: intLP RS=%d, exact-bb RS=%d", g.Name, typ, b, res.RS, ref.RS)
+					t.Errorf("%s/%s [%s]: intLP RS=%d, exact-bb RS=%d", g.Name, typ, c.label, res.RS, ref.RS)
 				case !res.Exact && res.RS > ref.RS:
-					t.Errorf("%s/%s [%s]: capped intLP RS=%d exceeds exact %d", g.Name, typ, b, res.RS, ref.RS)
+					t.Errorf("%s/%s [%s]: capped intLP RS=%d exceeds exact %d", g.Name, typ, c.label, res.RS, ref.RS)
 				case !res.Exact && res.UpperBound < ref.RS:
 					t.Errorf("%s/%s [%s]: capped interval [%d,%d] excludes exact %d",
-						g.Name, typ, b, res.RS, res.UpperBound, ref.RS)
+						g.Name, typ, c.label, res.RS, res.UpperBound, ref.RS)
 				}
 				if res.Witness != nil {
 					if err := res.Witness.Validate(); err != nil {
-						t.Errorf("%s/%s [%s]: witness invalid: %v", g.Name, typ, b, err)
+						t.Errorf("%s/%s [%s]: witness invalid: %v", g.Name, typ, c.label, err)
 					}
 				}
 			}
