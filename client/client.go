@@ -13,24 +13,61 @@ import (
 )
 
 // ErrOverloaded is wrapped by errors returned when the daemon sheds load
-// (HTTP 429: the admission queue is full). Callers back off and retry.
+// (HTTP 429: the admission queue is full). The concrete error is
+// *OverloadedError, which carries the server's Retry-After suggestion;
+// clients constructed with a Backoff retry these automatically.
 var ErrOverloaded = errors.New("rsd: server overloaded")
 
 // Client talks to one rsd daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	header  http.Header
+	backoff *Backoff
+}
+
+// Options configures a Client beyond the base URL.
+type Options struct {
+	// HTTPClient overrides http.DefaultClient (transport timeouts,
+	// connection pooling policy).
+	HTTPClient *http.Client
+	// Header is added to every request. The daemon's cluster layer uses
+	// this for its single-hop forwarding guard.
+	Header http.Header
+	// Backoff, when non-nil, enables built-in retry of overloaded (429)
+	// responses with jittered exponential backoff honoring the server's
+	// Retry-After header. Only shed requests are retried — the daemon
+	// refused them before doing any work, so the retry is always safe.
+	Backoff *Backoff
 }
 
 // New returns a client for the daemon at baseURL (e.g. "http://127.0.0.1:8735").
 // httpClient nil uses http.DefaultClient; pass a custom one for transport
 // timeouts or connection pooling policy.
 func New(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	return NewWithOptions(baseURL, Options{HTTPClient: httpClient})
 }
+
+// NewWithOptions returns a client with extra configuration (headers on
+// every request, built-in 429 backoff).
+func NewWithOptions(baseURL string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	if len(opts.Header) > 0 {
+		c.header = opts.Header.Clone()
+	}
+	if opts.Backoff != nil {
+		b := opts.Backoff.withDefaults()
+		c.backoff = &b
+	}
+	return c
+}
+
+// BaseURL returns the normalized base URL this client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // Analyze submits the request and returns the response. The context
 // cancels the request server-side as well: the daemon threads it into
@@ -106,6 +143,22 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
+// Ring fetches /v1/ring: the daemon's cluster topology (membership,
+// virtual-node count, this replica's identity). On a single-process daemon
+// Enabled is false and the member list is empty.
+func (c *Client) Ring(ctx context.Context) (*RingInfo, error) {
+	resp, err := c.get(ctx, "/v1/ring")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info RingInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("rsd: decoding ring info: %w", err)
+	}
+	return &info, nil
+}
+
 // Metrics fetches the /metrics text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.get(ctx, "/metrics")
@@ -125,25 +178,61 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req)
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
-	}
-	return c.do(req)
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
 }
 
-// do sends the request and converts non-2xx statuses into errors carrying
-// the server's plain-text diagnostic.
+// doRetry sends the request, retrying overloaded (429) responses under the
+// client's backoff policy. build is called per attempt so each retry gets
+// a fresh body reader.
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	attempts := 1
+	var policy Backoff
+	if c.backoff != nil {
+		policy = *c.backoff
+		attempts = policy.Attempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, policy.retryWait(lastErr, attempt-1)); err != nil {
+				return nil, lastErr
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.do(req)
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// do sends the request and converts non-2xx statuses into typed errors
+// carrying the server's plain-text diagnostic: *OverloadedError (wrapping
+// ErrOverloaded) for 429, *StatusError for everything else.
 func (c *Client) do(req *http.Request) (*http.Response, error) {
+	for k, vs := range c.header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -155,7 +244,7 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	text := strings.TrimSpace(string(msg))
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, fmt.Errorf("%w: %s", ErrOverloaded, text)
+		return nil, &OverloadedError{RetryAfter: retryAfter(resp), Message: text}
 	}
-	return nil, fmt.Errorf("rsd: %s: %s", resp.Status, text)
+	return nil, &StatusError{Code: resp.StatusCode, Message: text}
 }

@@ -1,0 +1,388 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster is a cluster-aware rsd client: it holds one Client per fleet
+// member, routes each request to the replica the consistent-hash ring says
+// owns it (fingerprint affinity — the replica whose shard-local caches
+// hold the result), fails over to the next member on connection errors and
+// 5xx responses, and optionally hedges slow requests with a second attempt
+// to a different replica after a p99-derived delay (first response wins,
+// the loser is cancelled).
+type Cluster struct {
+	ring     *Ring
+	members  []string // sorted; tryOrder rotates over it
+	clients  map[string]*Client
+	hedge    *HedgeOptions
+	tryLimit int // distinct members one call may try
+
+	rr        atomic.Uint64 // round-robin cursor for affinity-free requests
+	failovers atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+
+	lat *latWindow
+}
+
+// ClusterOptions configures a Cluster.
+type ClusterOptions struct {
+	// HTTPClient is shared by every member client (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Backoff is each member client's 429 retry policy. Nil enables the
+	// default policy — a cluster caller asked for resilience; pass an
+	// explicit &Backoff{Attempts: 1} to disable per-member retries.
+	Backoff *Backoff
+	// VNodes is the ring's virtual-node count per member
+	// (0 = DefaultVNodes). It must match the fleet's -vnodes setting for
+	// affinity routing to land on the owning replica.
+	VNodes int
+	// Hedge enables hedged requests (nil disables them).
+	Hedge *HedgeOptions
+	// MaxFailovers caps how many distinct members one call tries
+	// (0 = every member).
+	MaxFailovers int
+}
+
+// HedgeOptions tunes hedged requests.
+type HedgeOptions struct {
+	// Delay is the fixed wait before launching the hedge. Zero derives the
+	// delay from the observed p99 of recent request latencies, clamped to
+	// [MinDelay, MaxDelay].
+	Delay time.Duration
+	// MinDelay and MaxDelay clamp the adaptive delay (0 = 10ms and 2s
+	// respectively). Until enough latency samples exist the adaptive delay
+	// sits at MaxDelay — hedging only helps once "slow" is measurable.
+	MinDelay, MaxDelay time.Duration
+}
+
+func (h HedgeOptions) withDefaults() HedgeOptions {
+	if h.MinDelay <= 0 {
+		h.MinDelay = 10 * time.Millisecond
+	}
+	if h.MaxDelay <= 0 {
+		h.MaxDelay = 2 * time.Second
+	}
+	return h
+}
+
+// ClusterStats is the cluster client's cumulative resilience accounting.
+type ClusterStats struct {
+	// Failovers counts attempts re-routed to another member after a
+	// retryable failure (connection error, 5xx, exhausted 429 backoff).
+	Failovers int64
+	// Hedges counts hedge attempts launched; HedgeWins counts hedges whose
+	// response was the one returned to the caller.
+	Hedges    int64
+	HedgeWins int64
+}
+
+// NewCluster builds a cluster client over the member base URLs.
+func NewCluster(members []string, opts ClusterOptions) (*Cluster, error) {
+	ring := NewRing(members, opts.VNodes)
+	ms := ring.Members()
+	if len(ms) == 0 {
+		return nil, errors.New("rsd: cluster needs at least one member")
+	}
+	backoff := opts.Backoff
+	if backoff == nil {
+		backoff = &Backoff{}
+	}
+	limit := opts.MaxFailovers
+	if limit <= 0 || limit > len(ms) {
+		limit = len(ms)
+	}
+	c := &Cluster{
+		ring:     ring,
+		members:  ms,
+		clients:  make(map[string]*Client, len(ms)),
+		tryLimit: limit,
+		lat:      newLatWindow(256),
+	}
+	for _, m := range ms {
+		c.clients[m] = NewWithOptions(m, Options{HTTPClient: opts.HTTPClient, Backoff: backoff})
+	}
+	if opts.Hedge != nil {
+		h := opts.Hedge.withDefaults()
+		c.hedge = &h
+	}
+	return c, nil
+}
+
+// Ring returns the cluster's consistent-hash ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Members returns the normalized, sorted member list.
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// Client returns the member's underlying single-daemon client (nil for an
+// unknown member) — the hook for per-replica Health/Metrics scraping.
+func (c *Cluster) Client(member string) *Client {
+	return c.clients[NormalizeMember(member)]
+}
+
+// Stats returns the cumulative failover/hedging counters.
+func (c *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		Failovers: c.failovers.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+	}
+}
+
+// Analyze submits the request to the fleet. Routing: the ring owner of the
+// first graph carrying a Fingerprint; otherwise round-robin. On retryable
+// failures the request fails over to the next member (up to the failover
+// budget); with hedging enabled each attempt may race a second replica.
+func (c *Cluster) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	order := c.tryOrder(c.route(req))
+	var lastErr error
+	for i, m := range order {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		backup := ""
+		if c.hedge != nil && len(order) > 1 {
+			backup = order[(i+1)%len(order)]
+		}
+		resp, err := c.attempt(ctx, m, backup, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Health fans /healthz out to every member and returns per-member results
+// and errors (unreachable replicas appear only in the error map).
+func (c *Cluster) Health(ctx context.Context) (map[string]*Health, map[string]error) {
+	healths := make(map[string]*Health, len(c.members))
+	errs := map[string]error{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range c.members {
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			h, err := c.clients[m].Health(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[m] = err
+				return
+			}
+			healths[m] = h
+		}(m)
+	}
+	wg.Wait()
+	return healths, errs
+}
+
+// route picks the member a request should go to first: the ring owner of
+// the first fingerprinted graph, else round-robin.
+func (c *Cluster) route(req *AnalyzeRequest) string {
+	for _, g := range req.Graphs {
+		if g.Fingerprint != "" {
+			if owner := c.ring.Owner(g.Fingerprint); owner != "" {
+				return owner
+			}
+		}
+	}
+	return c.members[int(c.rr.Add(1)-1)%len(c.members)]
+}
+
+// tryOrder returns the members to try, primary first, wrapping through the
+// sorted member list, truncated to the failover budget.
+func (c *Cluster) tryOrder(primary string) []string {
+	start := indexOf(c.members, primary)
+	if start < 0 {
+		start = 0
+	}
+	order := make([]string, 0, c.tryLimit)
+	for i := 0; i < len(c.members) && len(order) < c.tryLimit; i++ {
+		order = append(order, c.members[(start+i)%len(c.members)])
+	}
+	return order
+}
+
+// outcome is one attempt's result, tagged with the member that produced it
+// so hedge wins are attributed correctly.
+type outcome struct {
+	member string
+	resp   *AnalyzeResponse
+	err    error
+}
+
+// attempt runs one try against member m, hedged with backup when hedging
+// is enabled: if m has not answered within the hedge delay (or fails
+// outright), a second attempt races it on backup. The first success wins
+// and the other attempt is cancelled; if both fail, the primary's error is
+// returned.
+func (c *Cluster) attempt(ctx context.Context, m, backup string, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	if c.hedge == nil || backup == "" || backup == m {
+		return c.timedAnalyze(ctx, m, req)
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, 2)
+	launch := func(member string) {
+		go func() {
+			resp, err := c.timedAnalyze(actx, member, req)
+			results <- outcome{member, resp, err}
+		}()
+	}
+	launch(m)
+
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	inFlight := 1
+	hedged := false
+	startHedge := func() {
+		hedged = true
+		inFlight++
+		c.hedges.Add(1)
+		launch(backup)
+	}
+	var primaryErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				startHedge()
+			}
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				if out.member == backup {
+					c.hedgeWins.Add(1)
+				}
+				return out.resp, nil
+			}
+			if out.member == m {
+				primaryErr = out.err
+			}
+			if inFlight == 0 {
+				if hedged && primaryErr != nil {
+					return nil, primaryErr
+				}
+				return nil, out.err
+			}
+			if !hedged {
+				// The primary failed before the hedge delay elapsed: start
+				// the backup immediately instead of waiting out the timer.
+				startHedge()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// timedAnalyze runs one member attempt and feeds successful latencies into
+// the hedge-delay window.
+func (c *Cluster) timedAnalyze(ctx context.Context, member string, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	start := time.Now()
+	resp, err := c.clients[member].Analyze(ctx, req)
+	if err == nil {
+		c.lat.record(time.Since(start))
+	}
+	return resp, err
+}
+
+// hedgeDelay resolves the delay before a hedge launches: the fixed Delay,
+// or the observed p99 clamped to [MinDelay, MaxDelay]. With too few
+// samples to call anything "slow", it sits at MaxDelay.
+func (c *Cluster) hedgeDelay() time.Duration {
+	h := *c.hedge
+	if h.Delay > 0 {
+		return h.Delay
+	}
+	p99, n := c.lat.quantile(0.99)
+	if n < 20 {
+		return h.MaxDelay
+	}
+	if p99 < h.MinDelay {
+		return h.MinDelay
+	}
+	if p99 > h.MaxDelay {
+		return h.MaxDelay
+	}
+	return p99
+}
+
+// retryable reports whether err warrants trying another replica: transport
+// failures and replica-side errors do; request-side 4xx errors do not
+// (every replica would refuse identically), and a cancelled or expired
+// context means the caller, not the replica, gave up.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) {
+		return true // this member's queue is full; a peer's may not be
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	// Anything non-HTTP is a transport error (refused connection, reset,
+	// DNS): the classic failover trigger.
+	return true
+}
+
+func indexOf(ss []string, s string) int {
+	i := sort.SearchStrings(ss, s)
+	if i < len(ss) && ss[i] == s {
+		return i
+	}
+	return -1
+}
+
+// latWindow is a fixed-size sliding window of recent request latencies,
+// the sample base for the adaptive hedge delay.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newLatWindow(size int) *latWindow {
+	return &latWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latWindow) record(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// quantile returns the q-quantile of the window and the sample count.
+func (w *latWindow) quantile(q float64) (time.Duration, int) {
+	w.mu.Lock()
+	samples := make([]time.Duration, w.n)
+	copy(samples, w.buf[:w.n])
+	w.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q * float64(len(samples)-1))
+	return samples[idx], len(samples)
+}

@@ -1,0 +1,219 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const okBody = `{"items":[{"index":0,"name":"g"}],"stats":{}}`
+
+// fakeReplica is an httptest analyze endpoint with a switchable behavior.
+type fakeReplica struct {
+	hs    *httptest.Server
+	calls atomic.Int64
+	mode  atomic.Int32 // 0 = ok, 1 = 500, 2 = slow-ok, 3 = 400
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.calls.Add(1)
+		switch f.mode.Load() {
+		case 1:
+			http.Error(w, "replica exploded", http.StatusInternalServerError)
+		case 2:
+			select {
+			case <-time.After(300 * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+			fmt.Fprint(w, okBody)
+		case 3:
+			http.Error(w, "bad request", http.StatusBadRequest)
+		default:
+			fmt.Fprint(w, okBody)
+		}
+	}))
+	t.Cleanup(f.hs.Close)
+	return f
+}
+
+func testFleet(t *testing.T, n int, opts ClusterOptions) ([]*fakeReplica, *Cluster) {
+	t.Helper()
+	replicas := make([]*fakeReplica, n)
+	members := make([]string, n)
+	for i := range replicas {
+		replicas[i] = newFakeReplica(t)
+		members[i] = replicas[i].hs.URL
+	}
+	c, err := NewCluster(members, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replicas, c
+}
+
+// byMember returns the fake replica behind a normalized member URL.
+func byMember(replicas []*fakeReplica, member string) *fakeReplica {
+	for _, f := range replicas {
+		if NormalizeMember(f.hs.URL) == member {
+			return f
+		}
+	}
+	return nil
+}
+
+// affineRequest is a request whose fingerprint the ring routes to owner.
+func affineRequest(t *testing.T, c *Cluster, owner string) *AnalyzeRequest {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		fp := fmt.Sprintf("fp-%d", i)
+		if c.Ring().Owner(fp) == owner {
+			return &AnalyzeRequest{Graphs: []GraphInput{{Name: "g", DDG: "x", Fingerprint: fp}}}
+		}
+	}
+	t.Fatal("no fingerprint maps to the wanted owner")
+	return nil
+}
+
+func TestClusterRoutesByFingerprint(t *testing.T) {
+	replicas, c := testFleet(t, 3, ClusterOptions{})
+	owner := c.Members()[1]
+	req := affineRequest(t, c, owner)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Analyze(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := byMember(replicas, owner)
+	if f.calls.Load() != 5 {
+		t.Fatalf("owner saw %d calls, want all 5", f.calls.Load())
+	}
+	for _, other := range replicas {
+		if other != f && other.calls.Load() != 0 {
+			t.Fatalf("non-owner %s saw %d calls", other.hs.URL, other.calls.Load())
+		}
+	}
+}
+
+func TestClusterFailsOverOn5xx(t *testing.T) {
+	replicas, c := testFleet(t, 3, ClusterOptions{})
+	owner := c.Members()[0]
+	byMember(replicas, owner).mode.Store(1) // owner answers 500
+	resp, err := c.Analyze(context.Background(), affineRequest(t, c, owner))
+	if err != nil {
+		t.Fatalf("failover did not rescue the request: %v", err)
+	}
+	if len(resp.Items) != 1 {
+		t.Fatalf("wrong response: %+v", resp)
+	}
+	if got := c.Stats().Failovers; got < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", got)
+	}
+}
+
+func TestClusterFailsOverOnConnectionError(t *testing.T) {
+	replicas, c := testFleet(t, 3, ClusterOptions{})
+	owner := c.Members()[2]
+	req := affineRequest(t, c, owner)
+	byMember(replicas, owner).hs.Close() // owner is gone entirely
+	if _, err := c.Analyze(context.Background(), req); err != nil {
+		t.Fatalf("connection-refused failover failed: %v", err)
+	}
+	if got := c.Stats().Failovers; got < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", got)
+	}
+}
+
+// TestClusterDoesNotFailOverOn4xx: a request fault is deterministic — every
+// replica would refuse it identically, so trying peers just multiplies load.
+func TestClusterDoesNotFailOverOn4xx(t *testing.T) {
+	replicas, c := testFleet(t, 3, ClusterOptions{})
+	for _, f := range replicas {
+		f.mode.Store(3)
+	}
+	_, err := c.Analyze(context.Background(), &AnalyzeRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	var total int64
+	for _, f := range replicas {
+		total += f.calls.Load()
+	}
+	if total != 1 {
+		t.Fatalf("fleet saw %d calls for a 4xx, want exactly 1", total)
+	}
+	if c.Stats().Failovers != 0 {
+		t.Fatalf("Failovers = %d for a request fault", c.Stats().Failovers)
+	}
+}
+
+// TestClusterAllDownSurfacesError: with the entire fleet gone the last
+// transport error is returned after exhausting every member.
+func TestClusterAllDownSurfacesError(t *testing.T) {
+	replicas, c := testFleet(t, 2, ClusterOptions{})
+	for _, f := range replicas {
+		f.hs.Close()
+	}
+	if _, err := c.Analyze(context.Background(), &AnalyzeRequest{}); err == nil {
+		t.Fatal("all-down fleet returned success")
+	}
+}
+
+// TestClusterHedgeWinsOnSlowPrimary: with a fixed hedge delay far below the
+// primary's response time, the backup replica answers first and the call
+// returns at backup speed.
+func TestClusterHedgeWinsOnSlowPrimary(t *testing.T) {
+	replicas, c := testFleet(t, 2, ClusterOptions{
+		Hedge: &HedgeOptions{Delay: 10 * time.Millisecond},
+	})
+	owner := c.Members()[0]
+	byMember(replicas, owner).mode.Store(2) // owner: 300ms before answering
+	start := time.Now()
+	if _, err := c.Analyze(context.Background(), affineRequest(t, c, owner)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedge did not beat the slow primary: %v", elapsed)
+	}
+	st := c.Stats()
+	if st.Hedges < 1 || st.HedgeWins < 1 {
+		t.Fatalf("hedge accounting wrong: %+v", st)
+	}
+}
+
+// TestClusterHedgeIdleOnFastPrimary: a fast primary means the hedge timer
+// never fires — no duplicate work.
+func TestClusterHedgeIdleOnFastPrimary(t *testing.T) {
+	replicas, c := testFleet(t, 2, ClusterOptions{
+		Hedge: &HedgeOptions{Delay: time.Second},
+	})
+	owner := c.Members()[0]
+	req := affineRequest(t, c, owner)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Analyze(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Fatalf("fast primary still hedged %d times", st.Hedges)
+	}
+	other := byMember(replicas, c.Members()[1])
+	if other.calls.Load() != 0 {
+		t.Fatalf("backup saw %d calls without a hedge", other.calls.Load())
+	}
+}
+
+func TestClusterRejectsEmptyMembership(t *testing.T) {
+	if _, err := NewCluster(nil, ClusterOptions{}); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// OverloadedError is the concrete error behind ErrOverloaded: the daemon
+// shed the request with HTTP 429 because its admission queue was full.
+// RetryAfter carries the server's Retry-After suggestion when it sent one;
+// the built-in Backoff honors it, and hand-rolled retry loops should too.
+type OverloadedError struct {
+	// RetryAfter is the server-suggested wait before retrying (zero when
+	// the response carried no usable Retry-After header).
+	RetryAfter time.Duration
+	// Message is the server's plain-text diagnostic.
+	Message string
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v: %s", ErrOverloaded, e.Message)
+}
+
+// Unwrap keeps errors.Is(err, ErrOverloaded) working for every caller that
+// matched the sentinel before RetryAfter existed.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// StatusError is a non-2xx, non-429 response: the status code plus the
+// server's plain-text diagnostic. Cluster failover uses the code to
+// separate replica faults (5xx → try the next member) from request faults
+// (4xx → give up immediately, every replica would refuse the same way).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("rsd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// Backoff is the client's jittered exponential retry policy for
+// overloaded (429) responses. The zero value is ready to use with the
+// defaults below; the policy sleeps max(server Retry-After, jittered
+// exponential delay) between attempts, so a loaded daemon's explicit
+// guidance is never undercut.
+type Backoff struct {
+	// Attempts is the total number of tries including the first
+	// (0 = DefaultBackoffAttempts).
+	Attempts int
+	// Base is the first retry's nominal delay (0 = 25ms); each further
+	// retry doubles it.
+	Base time.Duration
+	// Max caps the nominal delay (0 = 2s).
+	Max time.Duration
+}
+
+// Backoff defaults.
+const (
+	DefaultBackoffAttempts = 4
+	DefaultBackoffBase     = 25 * time.Millisecond
+	DefaultBackoffMax      = 2 * time.Second
+)
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = DefaultBackoffAttempts
+	}
+	if b.Base <= 0 {
+		b.Base = DefaultBackoffBase
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBackoffMax
+	}
+	return b
+}
+
+// delay computes the wait before retry number retry (0-based): the
+// exponential delay with full-half jitter — uniformly drawn from
+// [nominal/2, nominal] — so a thundering herd of rejected clients
+// decorrelates instead of re-arriving in lockstep.
+func (b Backoff) delay(retry int) time.Duration {
+	b = b.withDefaults()
+	nominal := b.Base << uint(retry)
+	if nominal <= 0 || nominal > b.Max { // shifted past Max (or overflowed)
+		nominal = b.Max
+	}
+	half := nominal / 2
+	return half + time.Duration(jitterRand.Float64()*float64(nominal-half))
+}
+
+// jitterRand is the client package's jitter source: explicitly seeded,
+// mutex-guarded. Jitter only needs decorrelation, not reproducibility.
+var jitterRand = newLockedRand()
+
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand() *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+func (l *lockedRand) Intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Intn(n)
+}
+
+// sleep waits for d or until the context ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfter extracts the wait suggested by a 429's Retry-After header.
+// Only the delta-seconds form is parsed (it is what rsd emits); anything
+// else yields zero.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryWait returns how long to wait before retry number retry of an
+// overloaded request: the larger of the server's Retry-After and the
+// policy's jittered exponential delay.
+func (b Backoff) retryWait(err error, retry int) time.Duration {
+	wait := b.delay(retry)
+	var oe *OverloadedError
+	if errors.As(err, &oe) && oe.RetryAfter > wait {
+		wait = oe.RetryAfter
+	}
+	return wait
+}

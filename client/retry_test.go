@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	for retry := 0; retry < 8; retry++ {
+		nominal := b.Base << uint(retry)
+		if nominal > b.Max || nominal <= 0 {
+			nominal = b.Max
+		}
+		for i := 0; i < 50; i++ {
+			d := b.delay(retry)
+			if d < nominal/2 || d > nominal {
+				t.Fatalf("retry %d: delay %v outside [%v, %v]", retry, d, nominal/2, nominal)
+			}
+		}
+	}
+}
+
+func TestRetryWaitHonorsRetryAfter(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	err := &OverloadedError{RetryAfter: 5 * time.Second}
+	if wait := b.retryWait(err, 0); wait != 5*time.Second {
+		t.Fatalf("retryWait = %v, want the server's 5s Retry-After to dominate", wait)
+	}
+	// Without a server suggestion the jittered policy delay applies.
+	if wait := b.retryWait(&OverloadedError{}, 0); wait > 2*time.Millisecond {
+		t.Fatalf("retryWait = %v, want the policy delay", wait)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form: unsupported, not an error
+		{"", 0},
+	} {
+		if got := retryAfter(mk(tc.header)); got != tc.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffRetries429UntilSuccess: a client constructed with a Backoff
+// transparently retries shed requests and returns the eventual success.
+func TestBackoffRetries429UntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"items":[],"stats":{"computed":7}}`)
+	}))
+	defer hs.Close()
+	c := NewWithOptions(hs.URL, Options{
+		HTTPClient: hs.Client(),
+		Backoff:    &Backoff{Attempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	resp, err := c.Analyze(context.Background(), &AnalyzeRequest{})
+	if err != nil {
+		t.Fatalf("backoff did not absorb the 429s: %v", err)
+	}
+	if resp.Stats.Computed != 7 {
+		t.Fatalf("wrong response after retries: %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 shed + 1 success)", calls.Load())
+	}
+}
+
+// TestBackoffExhaustionSurfacesOverload: when every attempt is shed the
+// caller still gets ErrOverloaded (with the server's Retry-After attached).
+func TestBackoffExhaustionSurfacesOverload(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	c := NewWithOptions(hs.URL, Options{
+		HTTPClient: hs.Client(),
+		Backoff:    &Backoff{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	_, err := c.Analyze(context.Background(), &AnalyzeRequest{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries lost the overload sentinel: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly Attempts=3", calls.Load())
+	}
+}
+
+// TestNoBackoffMeansOneAttempt: without a Backoff the legacy behavior holds
+// — one attempt, immediate ErrOverloaded.
+func TestNoBackoffMeansOneAttempt(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	if _, err := c.Analyze(context.Background(), &AnalyzeRequest{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1", calls.Load())
+	}
+}
+
+// TestBackoffRespectsContext: a context cancelled during the backoff sleep
+// aborts the retry loop promptly with the overload error.
+func TestBackoffRespectsContext(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	c := NewWithOptions(hs.URL, Options{
+		HTTPClient: hs.Client(),
+		Backoff:    &Backoff{Attempts: 4, Base: time.Millisecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Analyze(ctx, &AnalyzeRequest{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop ignored the cancelled context for %v", elapsed)
+	}
+}
+
+func TestStatusErrorCarriesCode(t *testing.T) {
+	e := &StatusError{Code: 500, Message: "boom"}
+	if got := e.Error(); got != "rsd: 500 Internal Server Error: boom" {
+		t.Fatalf("StatusError format changed: %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+package client
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per ring member when a caller
+// leaves it zero. 64 points per member keeps the per-member load imbalance
+// of a uniform key population within a few percent while the ring stays
+// small enough to rebuild on every membership change.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes over cluster member
+// base URLs, keyed by ir structural fingerprints (or any string). Both
+// sides of the rsd cluster protocol share this implementation: every
+// replica and every cluster-aware client builds the ring from the same
+// member list and therefore agrees on which replica owns which
+// fingerprint — that agreement is what turns N replicas into N shard-local
+// caches instead of N copies of the same cache.
+//
+// The ring is immutable after construction; membership changes build a new
+// Ring. Construction is deterministic: member order, duplicates, and
+// trailing slashes do not affect the resulting ownership map.
+type Ring struct {
+	members []string
+	vnodes  int
+	hashes  []uint64 // sorted virtual-node positions
+	owners  []string // owners[i] is the member at hashes[i]
+}
+
+// NormalizeMember canonicalizes a member base URL for ring and map
+// identity: surrounding whitespace and trailing slashes are dropped.
+// Every Ring/Cluster entry point applies it, so "http://a:1/" and
+// "http://a:1" name the same member.
+func NormalizeMember(m string) string {
+	return strings.TrimRight(strings.TrimSpace(m), "/")
+}
+
+// NewRing builds the ring over the given members with vnodes virtual nodes
+// per member (0 = DefaultVNodes). Members are normalized, deduplicated,
+// and sorted, so any permutation of the same list yields an identical
+// ring. An empty member list yields a ring whose Owner is always "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var ms []string
+	for _, m := range members {
+		m = NormalizeMember(m)
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		ms = append(ms, m)
+	}
+	sort.Strings(ms)
+
+	r := &Ring{members: ms, vnodes: vnodes}
+	type point struct {
+		h     uint64
+		owner string
+	}
+	points := make([]point, 0, len(ms)*vnodes)
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, point{h: ringHash(m + "#" + strconv.Itoa(i)), owner: m})
+		}
+	}
+	// Ties (astronomically unlikely with 64-bit points) break on the owner
+	// name so the ring stays order-independent.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		return points[i].owner < points[j].owner
+	})
+	r.hashes = make([]uint64, len(points))
+	r.owners = make([]string, len(points))
+	for i, p := range points {
+		r.hashes[i] = p.h
+		r.owners[i] = p.owner
+	}
+	return r
+}
+
+// ringHash positions a string on the ring: the first 8 bytes of its
+// SHA-256. A cryptographic hash costs nanoseconds here and guarantees the
+// uniformity the balance of the whole cluster rests on, for both the
+// random-looking fingerprints and the very regular "host#index" vnode
+// labels.
+func ringHash(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's position, wrapping at the top. Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// Members returns the normalized, sorted member list.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Contains reports whether member (after normalization) is on the ring.
+func (r *Ring) Contains(member string) bool {
+	member = NormalizeMember(member)
+	for _, m := range r.members {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}

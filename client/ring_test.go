@@ -1,0 +1,89 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicUnderPresentation(t *testing.T) {
+	base := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	variants := []*Ring{
+		NewRing([]string{"http://c:1", "http://a:1", "http://b:1"}, 0),
+		NewRing([]string{"http://a:1/", " http://b:1 ", "http://c:1", "http://a:1"}, 0),
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		want := base.Owner(key)
+		for vi, v := range variants {
+			if got := v.Owner(key); got != want {
+				t.Fatalf("variant %d: Owner(%q) = %q, want %q", vi, key, got, want)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const keys = 12000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("fingerprint-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		// A perfectly balanced 3-way split is 33%; 64 vnodes keeps every
+		// member within a loose band of it.
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys, outside [15%%, 55%%]", m, share*100)
+		}
+	}
+}
+
+// TestRingConsistency: removing one member must only remap the keys it
+// owned — every key owned by a survivor keeps its owner. This is the
+// property that makes a rolling restart cheap: N-1/N of the shard map
+// stays put.
+func TestRingConsistency(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := NewRing(members, 0)
+	without := NewRing(members[:3], 0) // drop d
+	moved := 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before == "http://d:1" {
+			if after == "http://d:1" {
+				t.Fatalf("removed member still owns %q", key)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q owned by survivor %q moved to %q after unrelated removal", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; balance test should have caught this")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("x"); owner != "" {
+		t.Errorf("empty ring owns %q", owner)
+	}
+	one := NewRing([]string{"http://only:1/"}, 8)
+	if got := one.Owner("anything"); got != "http://only:1" {
+		t.Errorf("single-member ring routed to %q", got)
+	}
+	if !one.Contains(" http://only:1/ ") {
+		t.Error("Contains must normalize its argument")
+	}
+	if one.VNodes() != 8 {
+		t.Errorf("VNodes = %d, want 8", one.VNodes())
+	}
+	if NewRing([]string{"a"}, 0).VNodes() != DefaultVNodes {
+		t.Error("zero vnodes must default")
+	}
+}

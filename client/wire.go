@@ -26,6 +26,12 @@ type GraphInput struct {
 	Name string `json:"name,omitempty"`
 	// DDG is the graph source (see the format in internal/ddg/format.go).
 	DDG string `json:"ddg"`
+	// Fingerprint is the graph's ir structural fingerprint when the caller
+	// can compute it (regsat users: ir.Fingerprint). It is advisory — the
+	// server always re-derives ownership from the parsed graph — but it
+	// lets a cluster-aware client route the request to the replica whose
+	// shard-local caches hold this graph's results.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // AnalyzeOptions mirrors regsat.RSOptions plus the batch-level knobs.
@@ -208,6 +214,20 @@ type StreamEvent struct {
 	Item  *Item     `json:"item,omitempty"`
 	Stats *RunStats `json:"stats,omitempty"`
 	Error string    `json:"error,omitempty"`
+}
+
+// RingInfo is the /v1/ring body: the daemon's cluster topology. A client
+// that builds NewRing(Members, VNodes) owns exactly the same ownership map
+// as the fleet itself.
+type RingInfo struct {
+	// Enabled reports whether this daemon runs as part of a cluster.
+	Enabled bool `json:"enabled"`
+	// Self is this replica's member identity (its -self base URL).
+	Self string `json:"self,omitempty"`
+	// Members is the full normalized, sorted membership, including Self.
+	Members []string `json:"members,omitempty"`
+	// VNodes is the ring's virtual-node count per member.
+	VNodes int `json:"vnodes,omitempty"`
 }
 
 // Health is the /healthz body.

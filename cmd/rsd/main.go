@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		internCap   = fs.Int("intern-cap", 0, "analysis-snapshot interner capacity (0 = default)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
 		drainNotice = fs.Duration("drain-notice", 2*time.Second, "how long /healthz answers 503 before the listener closes (load-balancer deregistration window)")
+		peers       = fs.String("peers", "", "comma-separated base URLs of every fleet replica, including this one (empty = single-process)")
+		self        = fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
+		vnodes      = fs.Int("vnodes", 0, "consistent-hash virtual nodes per replica (0 = default; must match across the fleet and its clients)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,6 +87,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxBodyBytes:   *maxBody,
 		CacheSize:      *cacheSize,
 		Logger:         logger,
+		Self:           *self,
+		VNodes:         *vnodes,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -92,7 +105,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Store = st
 		logger.Printf("result store at %s", st.Dir())
 	}
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Peers) > 0 {
+		logger.Printf("cluster mode: self=%s peers=%v", *self, cfg.Peers)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net"
 	"regexp"
 	"strings"
 	"sync"
@@ -113,6 +114,73 @@ func TestDaemonBootServeDrain(t *testing.T) {
 
 	if err := shutdown(); err != nil {
 		t.Fatalf("graceful drain failed: %v", err)
+	}
+}
+
+// TestDaemonClusterBoot: -peers/-self boot the daemon as a fleet replica —
+// /v1/ring reports the topology, and a batch completes even though the
+// other configured peer does not exist (forward failure falls back to
+// local computation).
+func TestDaemonClusterBoot(t *testing.T) {
+	// Reserve a port so -self can be known before boot (tiny reuse race,
+	// fine for a test).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	self := "http://" + addr
+	deadPeer := "http://127.0.0.1:1"
+
+	c, shutdown := bootDaemon(t,
+		"-addr", addr,
+		"-peers", self+","+deadPeer,
+		"-self", self,
+		"-vnodes", "16",
+	)
+	info, err := c.Ring(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Enabled || len(info.Members) != 2 || info.VNodes != 16 || info.Self != self {
+		t.Fatalf("ring info wrong: %+v", info)
+	}
+
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs: []client.GraphInput{{Name: "t", DDG: "ddg \"t\"\nnode a op=x lat=1 writes=float\nnode b op=y lat=1\nedge a b flow float\n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 1 || resp.Items[0].Error != "" {
+		t.Fatalf("cluster daemon with a dead peer failed the batch: %+v", resp.Items)
+	}
+
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "regsat_cluster_members 2") {
+		t.Fatalf("metrics missing cluster gauges:\n%s", metrics)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+}
+
+// TestDaemonClusterFlagValidation: an inconsistent cluster config must fail
+// boot, not limp along as a single process.
+func TestDaemonClusterFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-peers", "http://a:1,http://b:2"},
+		io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("-peers without -self accepted")
+	}
+	err = run(context.Background(), []string{"-addr", "127.0.0.1:0", "-peers", "http://a:1", "-self", "http://c:3"},
+		io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("-self outside -peers accepted")
 	}
 }
 

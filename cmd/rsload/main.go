@@ -1,0 +1,422 @@
+// Command rsload is the rsd load harness: it drives a fleet of analysis
+// daemons with a sustained, open-loop stream of analyze requests over a
+// generated-family corpus and reports the latency distribution (p50, p99,
+// p999 from an HDR-style histogram), achieved QPS, and the fleet's
+// shard-local hit rate, optionally writing the numbers into a BENCH.json
+// the benchcmp gate can diff against a baseline.
+//
+// Usage:
+//
+//	rsload -targets http://h1:8735,http://h2:8735,http://h3:8735 \
+//	       -qps 50 -duration 30s -families unroll,grid -json BENCH.json
+//
+// The arrival process is open-loop: requests launch on a fixed tick
+// regardless of how many are still in flight (bounded by -max-outstanding;
+// arrivals beyond the bound are dropped and counted, not queued), so a
+// slow fleet shows up as rising latency and drops instead of a silently
+// falling request rate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"regsat/client"
+	"regsat/internal/gen"
+	"regsat/internal/hdrhist"
+	"regsat/internal/ir"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rsload:", err)
+		os.Exit(1)
+	}
+}
+
+// workItem is one corpus graph, pre-rendered for the wire.
+type workItem struct {
+	name string
+	ddg  string
+	fp   string
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		targets       = fs.String("targets", "", "comma-separated rsd base URLs (required)")
+		qps           = fs.Float64("qps", 20, "open-loop arrival rate (requests/second)")
+		duration      = fs.Duration("duration", 10*time.Second, "timed run length")
+		families      = fs.String("families", "", "comma-separated generator families (empty = all)")
+		famCount      = fs.Int("fam-count", 8, "graphs generated per family")
+		seed          = fs.Int64("seed", 1, "base generation seed")
+		method        = fs.String("method", "greedy", "analysis method: greedy, bb, or ilp")
+		reqTimeout    = fs.Duration("req-timeout", 30*time.Second, "per-request deadline")
+		maxOut        = fs.Int("max-outstanding", 256, "in-flight bound; arrivals beyond it are dropped and counted")
+		hedge         = fs.Bool("hedge", false, "hedge slow requests with a second replica")
+		hedgeDelay    = fs.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive p99)")
+		vnodes        = fs.Int("vnodes", 0, "ring virtual nodes per member (must match the fleet)")
+		label         = fs.String("label", "cluster", "name prefix of the BENCH.json load entries")
+		jsonPath      = fs.String("json", "", "write the machine-readable summary to this BENCH.json file")
+		warm          = fs.Bool("warm", false, "run one untimed pass over the corpus first (prime caches)")
+		maxErrors     = fs.Int64("max-errors", 0, "fail when more than this many timed requests errored")
+		minShardLocal = fs.Float64("min-shard-local", 0, "fail when the fleet's shard-local hit rate over the timed run is below this (0 = no check)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *targets == "" {
+		return errors.New("-targets is required")
+	}
+	var members []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			members = append(members, t)
+		}
+	}
+	if *qps <= 0 {
+		return fmt.Errorf("-qps must be positive (got %v)", *qps)
+	}
+	switch *method {
+	case "greedy", "bb", "ilp":
+	default:
+		return fmt.Errorf("unknown -method %q (want greedy, bb, or ilp)", *method)
+	}
+
+	corpus, err := buildCorpus(*families, *famCount, *seed)
+	if err != nil {
+		return err
+	}
+
+	opts := client.ClusterOptions{VNodes: *vnodes}
+	if *hedge {
+		opts.Hedge = &client.HedgeOptions{Delay: *hedgeDelay}
+	}
+	cluster, err := client.NewCluster(members, opts)
+	if err != nil {
+		return err
+	}
+	reqOptions := client.AnalyzeOptions{Method: *method}
+
+	fmt.Fprintf(stdout, "rsload: %d graphs over %d replicas, %.4g qps for %v\n",
+		len(corpus), len(cluster.Members()), *qps, *duration)
+
+	if *warm {
+		warmErrs := 0
+		for _, it := range corpus {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := oneRequest(ctx, cluster, it, reqOptions, *reqTimeout); err != nil {
+				warmErrs++
+				fmt.Fprintf(stderr, "rsload: warm %s: %v\n", it.name, err)
+			}
+		}
+		fmt.Fprintf(stdout, "rsload: warm pass done (%d/%d ok)\n", len(corpus)-warmErrs, len(corpus))
+	}
+
+	before := scrapeShardCounts(ctx, cluster)
+
+	hist := hdrhist.New()
+	var requests, reqErrors, dropped, outstanding atomic.Int64
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *qps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	start := time.Now()
+	deadline := time.NewTimer(*duration)
+	defer deadline.Stop()
+
+	next := 0
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-deadline.C:
+			break arrivals
+		case <-ticker.C:
+			it := corpus[next%len(corpus)]
+			next++
+			if outstanding.Load() >= int64(*maxOut) {
+				dropped.Add(1)
+				continue
+			}
+			outstanding.Add(1)
+			wg.Add(1)
+			go func(it workItem) {
+				defer wg.Done()
+				defer outstanding.Add(-1)
+				t0 := time.Now()
+				err := oneRequest(ctx, cluster, it, reqOptions, *reqTimeout)
+				requests.Add(1)
+				if err != nil {
+					reqErrors.Add(1)
+					errOnce.Do(func() { fmt.Fprintf(stderr, "rsload: first error: %s: %v\n", it.name, err) })
+					return
+				}
+				hist.RecordDuration(time.Since(t0))
+			}(it)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := scrapeShardCounts(ctx, cluster)
+	localDelta, remoteDelta := shardDelta(before, after)
+	shardRate := -1.0
+	if localDelta+remoteDelta > 0 {
+		shardRate = float64(localDelta) / float64(localDelta+remoteDelta)
+	}
+
+	stats := cluster.Stats()
+	ok := hist.Count()
+	achieved := float64(ok) / elapsed.Seconds()
+	p50, p99, p999 := hist.QuantileDuration(0.50), hist.QuantileDuration(0.99), hist.QuantileDuration(0.999)
+
+	fmt.Fprintf(stdout, "rsload: %d requests in %v (%.4g qps ok), %d errors, %d dropped\n",
+		requests.Load(), elapsed.Round(time.Millisecond), achieved, reqErrors.Load(), dropped.Load())
+	fmt.Fprintf(stdout, "rsload: latency p50 %v  p99 %v  p999 %v  max %v\n",
+		p50, p99, p999, time.Duration(hist.Max()))
+	fmt.Fprintf(stdout, "rsload: failovers %d, hedges %d (wins %d)\n", stats.Failovers, stats.Hedges, stats.HedgeWins)
+	if shardRate >= 0 {
+		fmt.Fprintf(stdout, "rsload: shard-local hit rate %.1f%% (%d local / %d remote)\n",
+			shardRate*100, localDelta, remoteDelta)
+	} else {
+		fmt.Fprintf(stdout, "rsload: shard-local hit rate unavailable (no cluster metrics scraped)\n")
+	}
+
+	if *jsonPath != "" {
+		doc := benchJSON{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Load: &loadJSON{
+				Targets:        cluster.Members(),
+				TargetQPS:      *qps,
+				AchievedQPS:    achieved,
+				DurationNs:     int64(elapsed),
+				Requests:       requests.Load(),
+				Errors:         reqErrors.Load(),
+				Dropped:        dropped.Load(),
+				Failovers:      stats.Failovers,
+				Hedges:         stats.Hedges,
+				HedgeWins:      stats.HedgeWins,
+				ShardLocal:     localDelta,
+				ShardRemote:    remoteDelta,
+				ShardLocalRate: shardRate,
+				MeanNs:         int64(hist.Mean()),
+				MaxNs:          hist.Max(),
+				PerFile: []loadEntry{
+					{Name: *label + "/p50", NsOp: int64(p50)},
+					{Name: *label + "/p99", NsOp: int64(p99)},
+					{Name: *label + "/p999", NsOp: int64(p999)},
+				},
+			},
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "rsload: wrote %s\n", *jsonPath)
+	}
+
+	if reqErrors.Load() > *maxErrors {
+		return fmt.Errorf("%d request errors exceed -max-errors %d", reqErrors.Load(), *maxErrors)
+	}
+	if *minShardLocal > 0 {
+		if shardRate < 0 {
+			return fmt.Errorf("-min-shard-local %.2f set but no cluster metrics were scraped", *minShardLocal)
+		}
+		if shardRate < *minShardLocal {
+			return fmt.Errorf("shard-local hit rate %.3f below -min-shard-local %.2f", shardRate, *minShardLocal)
+		}
+	}
+	return nil
+}
+
+// oneRequest submits a single-graph analyze carrying the fingerprint, so
+// the cluster client routes it to the owning replica.
+func oneRequest(ctx context.Context, cluster *client.Cluster, it workItem, opts client.AnalyzeOptions, timeout time.Duration) error {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := cluster.Analyze(rctx, &client.AnalyzeRequest{
+		Graphs:  []client.GraphInput{{Name: it.name, DDG: it.ddg, Fingerprint: it.fp}},
+		Options: opts,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("batch error: %s", resp.Error)
+	}
+	if len(resp.Items) != 1 {
+		return fmt.Errorf("got %d items, want 1", len(resp.Items))
+	}
+	if resp.Items[0].Error != "" {
+		return fmt.Errorf("item error: %s", resp.Items[0].Error)
+	}
+	return nil
+}
+
+// buildCorpus generates famCount graphs per requested family (family
+// defaults, consecutive seeds) and pre-renders each for the wire.
+func buildCorpus(famSpec string, famCount int, seed int64) ([]workItem, error) {
+	if famCount <= 0 {
+		return nil, fmt.Errorf("-fam-count must be positive (got %d)", famCount)
+	}
+	var fams []*gen.Family
+	if famSpec == "" {
+		fams = gen.Families()
+	} else {
+		for _, name := range strings.Split(famSpec, ",") {
+			name = strings.TrimSpace(name)
+			f, ok := gen.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown family %q (have %s)", name, strings.Join(gen.Names(), ", "))
+			}
+			fams = append(fams, f)
+		}
+	}
+	var corpus []workItem
+	for _, f := range fams {
+		for i := 0; i < famCount; i++ {
+			p := f.Defaults
+			p.Seed = seed + int64(i)
+			g, err := f.Generate(p)
+			if err != nil {
+				return nil, fmt.Errorf("generating %s[%d]: %w", f.Name, i, err)
+			}
+			corpus = append(corpus, workItem{
+				name: fmt.Sprintf("%s-%d", f.Name, i),
+				ddg:  g.Format(),
+				fp:   ir.Fingerprint(g),
+			})
+		}
+	}
+	return corpus, nil
+}
+
+// shardCounts is one replica's cluster item counters at scrape time.
+type shardCounts struct {
+	local, remote int64
+	ok            bool
+}
+
+// scrapeShardCounts reads every replica's regsat_cluster_{local,remote}
+// counters. Unreachable replicas (mid-restart) are marked absent, not fatal.
+func scrapeShardCounts(ctx context.Context, cluster *client.Cluster) map[string]shardCounts {
+	out := map[string]shardCounts{}
+	for _, m := range cluster.Members() {
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		body, err := cluster.Client(m).Metrics(sctx)
+		cancel()
+		if err != nil {
+			out[m] = shardCounts{}
+			continue
+		}
+		local, okl := scrapeCounter(body, "regsat_cluster_local_items_total")
+		remote, okr := scrapeCounter(body, "regsat_cluster_remote_items_total")
+		out[m] = shardCounts{local: local, remote: remote, ok: okl && okr}
+	}
+	return out
+}
+
+// shardDelta sums per-replica counter movement between two scrapes. A
+// counter that went backwards means the replica restarted in between; its
+// post-restart absolute value is the delta.
+func shardDelta(before, after map[string]shardCounts) (local, remote int64) {
+	for m, b := range before {
+		a := after[m]
+		if !a.ok {
+			continue
+		}
+		dl, dr := a.local, a.remote
+		if b.ok {
+			if d := a.local - b.local; d >= 0 {
+				dl = d
+			}
+			if d := a.remote - b.remote; d >= 0 {
+				dr = d
+			}
+		}
+		local += dl
+		remote += dr
+	}
+	return local, remote
+}
+
+// scrapeCounter extracts one un-labeled counter from a Prometheus text
+// exposition.
+func scrapeCounter(body, name string) (int64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// benchJSON is rsload's -json schema: the same envelope rsbench writes,
+// with only the load section populated, so benchcmp diffs the quantile
+// entries (load/<label>/p50, …) exactly like per-file timings.
+type benchJSON struct {
+	GoVersion  string    `json:"goVersion"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Load       *loadJSON `json:"load,omitempty"`
+}
+
+type loadJSON struct {
+	Targets        []string    `json:"targets"`
+	TargetQPS      float64     `json:"targetQps"`
+	AchievedQPS    float64     `json:"achievedQps"`
+	DurationNs     int64       `json:"durationNs"`
+	Requests       int64       `json:"requests"`
+	Errors         int64       `json:"errors"`
+	Dropped        int64       `json:"dropped"`
+	Failovers      int64       `json:"failovers"`
+	Hedges         int64       `json:"hedges"`
+	HedgeWins      int64       `json:"hedgeWins"`
+	ShardLocal     int64       `json:"shardLocal"`
+	ShardRemote    int64       `json:"shardRemote"`
+	ShardLocalRate float64     `json:"shardLocalRate"` // -1 when unavailable
+	MeanNs         int64       `json:"meanNs"`
+	MaxNs          int64       `json:"maxNs"`
+	PerFile        []loadEntry `json:"perFile"`
+}
+
+type loadEntry struct {
+	Name string `json:"name"`
+	NsOp int64  `json:"nsOp"`
+}

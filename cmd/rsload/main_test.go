@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsat/internal/benchcmp"
+	"regsat/internal/service"
+)
+
+// startFleet boots n in-process rsd replicas in cluster mode and returns
+// their base URLs.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		s, err := service.New(service.Config{Peers: urls, Self: urls[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewUnstartedServer(s.Handler())
+		hs.Listener.Close()
+		hs.Listener = listeners[i]
+		hs.Start()
+		t.Cleanup(hs.Close)
+	}
+	return urls
+}
+
+// TestLoadHarnessEndToEnd: rsload against a live 3-replica fleet must
+// complete with zero errors, report a perfect shard-local rate (affinity
+// routing plus a warm pass), and write a BENCH.json whose load section
+// benchcmp can read back.
+func TestLoadHarnessEndToEnd(t *testing.T) {
+	urls := startFleet(t, 3)
+	jsonPath := filepath.Join(t.TempDir(), "BENCH.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-targets", strings.Join(urls, ","),
+		"-qps", "200",
+		"-duration", "600ms",
+		"-families", "unroll",
+		"-fam-count", "4",
+		"-warm",
+		"-label", "smoke",
+		"-json", jsonPath,
+		"-min-shard-local", "0.9",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("rsload failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"latency p50", "shard-local hit rate", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchJSON
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Load == nil {
+		t.Fatal("BENCH.json has no load section")
+	}
+	if doc.Load.Errors != 0 {
+		t.Fatalf("timed run had %d errors", doc.Load.Errors)
+	}
+	if doc.Load.Requests == 0 {
+		t.Fatal("timed run issued no requests")
+	}
+	if doc.Load.ShardLocalRate < 0.9 {
+		t.Fatalf("shard-local rate %.3f below 0.9 with affinity routing", doc.Load.ShardLocalRate)
+	}
+	if len(doc.Load.PerFile) != 3 {
+		t.Fatalf("want 3 quantile entries, got %+v", doc.Load.PerFile)
+	}
+	for _, e := range doc.Load.PerFile {
+		if !strings.HasPrefix(e.Name, "smoke/") || e.NsOp <= 0 {
+			t.Errorf("bad quantile entry %+v", e)
+		}
+	}
+
+	// The written file must round-trip through benchcmp with the load
+	// entries visible under the load/ namespace.
+	runDoc, err := benchcmp.Load(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := benchcmp.Compare(runDoc, runDoc)
+	if len(diff.Files) != 3 || diff.MedianRatio != 1 {
+		t.Fatalf("benchcmp self-compare over the load sweep: %+v", diff)
+	}
+}
+
+func TestScrapeCounter(t *testing.T) {
+	body := "# TYPE regsat_cluster_local_items_total counter\n" +
+		"regsat_cluster_local_items_total 42\n" +
+		"regsat_cluster_remote_items_total 7\n"
+	if v, ok := scrapeCounter(body, "regsat_cluster_local_items_total"); !ok || v != 42 {
+		t.Fatalf("local = %d,%v", v, ok)
+	}
+	if v, ok := scrapeCounter(body, "regsat_cluster_remote_items_total"); !ok || v != 7 {
+		t.Fatalf("remote = %d,%v", v, ok)
+	}
+	if _, ok := scrapeCounter(body, "regsat_cluster_forwards_sent_total"); ok {
+		t.Fatal("absent counter reported present")
+	}
+}
+
+// TestShardDeltaSurvivesRestart: a counter that went backwards means the
+// replica restarted between scrapes; its post-restart value is the delta.
+func TestShardDeltaSurvivesRestart(t *testing.T) {
+	before := map[string]shardCounts{
+		"a": {local: 100, remote: 10, ok: true},
+		"b": {local: 500, remote: 50, ok: true},
+		"c": {ok: false}, // unreachable on the first scrape
+	}
+	after := map[string]shardCounts{
+		"a": {local: 150, remote: 12, ok: true}, // normal movement
+		"b": {local: 30, remote: 1, ok: true},   // restarted in between
+		"c": {local: 20, remote: 2, ok: true},   // came up mid-run
+	}
+	local, remote := shardDelta(before, after)
+	if local != 50+30+20 || remote != 2+1+2 {
+		t.Fatalf("delta = %d/%d, want 100/5", local, remote)
+	}
+}
+
+func TestBuildCorpusValidation(t *testing.T) {
+	if _, err := buildCorpus("no-such-family", 2, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := buildCorpus("", 0, 1); err == nil {
+		t.Error("zero fam-count accepted")
+	}
+	corpus, err := buildCorpus("unroll,grid", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 6 {
+		t.Fatalf("corpus size %d, want 6", len(corpus))
+	}
+	seen := map[string]bool{}
+	for _, it := range corpus {
+		if it.fp == "" || it.ddg == "" {
+			t.Fatalf("item %s not rendered: %+v", it.name, it)
+		}
+		if seen[it.fp] {
+			t.Fatalf("duplicate fingerprint %s; seeds must vary structure", it.fp)
+		}
+		seen[it.fp] = true
+	}
+}

@@ -27,6 +27,10 @@ type Run struct {
 	Corpus      *Sweep       `json:"corpus"`
 	Solver      *Sweep       `json:"solver"`
 	Families    *Sweep       `json:"families"`
+	// Load is rsload's latency section: per-quantile nanoseconds
+	// (e.g. "cluster/p99") instead of per-file ns/op, but the same
+	// shape, so quantile regressions gate exactly like file regressions.
+	Load *Sweep `json:"load"`
 }
 
 // Experiment is one experiment's wall time.
@@ -164,6 +168,7 @@ func collectFiles(r *Run) map[string]int64 {
 	add("corpus/", r.Corpus)
 	add("solver/", r.Solver)
 	add("families/", r.Families)
+	add("load/", r.Load)
 	return out
 }
 

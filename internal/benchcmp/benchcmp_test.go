@@ -118,6 +118,29 @@ func TestExperimentsInformationalOnly(t *testing.T) {
 	}
 }
 
+// TestLoadSweepNamespaced: rsload's quantile entries live under the load/
+// namespace and gate like any per-file timing.
+func TestLoadSweepNamespaced(t *testing.T) {
+	old := &Run{Load: &Sweep{PerFile: []File{
+		{Name: "cluster/p50", NsOp: 1000},
+		{Name: "cluster/p99", NsOp: 5000},
+	}}}
+	cur := &Run{Load: &Sweep{PerFile: []File{
+		{Name: "cluster/p50", NsOp: 1000},
+		{Name: "cluster/p99", NsOp: 50000},
+	}}}
+	d := Compare(old, cur)
+	if len(d.Files) != 2 {
+		t.Fatalf("want 2 load entries, got %+v", d.Files)
+	}
+	if d.Files[0].Name != "load/cluster/p99" || d.Files[0].Ratio != 10 {
+		t.Fatalf("p99 regression not ranked first: %+v", d.Files[0])
+	}
+	if !d.Regressed(0.25) {
+		t.Fatal("a 10x p99 regression must fail the gate")
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	doc := `{

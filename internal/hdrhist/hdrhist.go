@@ -1,0 +1,124 @@
+// Package hdrhist is a fixed-memory, lock-free latency histogram in the
+// HDR style: log-linear buckets — one block of 32 linear sub-buckets per
+// power-of-two magnitude — bounding the relative quantile error at ~3%
+// (1/32) across the full int64 nanosecond range. Recording is one atomic
+// add, so the load harness can feed it from hundreds of goroutines without
+// the histogram itself showing up in the latency it measures.
+package hdrhist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// subBits is the log2 of the linear sub-bucket count per magnitude block.
+const subBits = 5
+
+// bucketCount covers the full int64 range: 64 exact buckets for values
+// below 2^(subBits+1), then 32 buckets per remaining magnitude.
+const bucketCount = (1 << (subBits + 1)) + (1<<subBits)*(63-subBits)
+
+// Histogram is a concurrent log-linear histogram of non-negative int64
+// values (nanoseconds, by convention). The zero value is NOT ready; use New.
+type Histogram struct {
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// New returns an empty histogram (~15KB, fixed).
+func New() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, bucketCount)}
+}
+
+// bucketIndex maps a value to its bucket: values below 64 map exactly;
+// above, the top six bits select a bucket within the value's magnitude
+// block, so every bucket spans at most 1/32 of its lower bound.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < 1<<(subBits+1) {
+		return int(u)
+	}
+	m := bits.Len64(u) - 1 // floor(log2 u), >= subBits+1
+	shift := m - subBits
+	return int(u>>uint(shift)) + (1<<subBits)*shift
+}
+
+// bucketUpper is the inclusive upper bound of bucket i — quantiles report
+// it, so a reported percentile is never below the true one.
+func bucketUpper(i int) int64 {
+	if i < 1<<(subBits+1) {
+		return int64(i)
+	}
+	shift := i/(1<<subBits) - 1
+	base := int64(i-(1<<subBits)*shift) << uint(shift)
+	return base + (int64(1) << uint(shift)) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration adds one observation in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the exact mean of recorded values (0 when empty) — the sum
+// is tracked outside the buckets, so the mean carries no bucketing error.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) within
+// ~3% relative error; 0 when empty. Concurrent Record calls may land in
+// buckets the scan has already passed — under concurrency the result is a
+// consistent-enough snapshot, not an exact cut.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n-1)) + 1 // 1-based rank of the target sample
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// QuantileDuration is Quantile for nanosecond-valued histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}

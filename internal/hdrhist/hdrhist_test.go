@@ -1,0 +1,101 @@
+package hdrhist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 7} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone: v=%d idx=%d prev=%d", v, i, prev)
+		}
+		if i < 0 || i >= bucketCount {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, bucketCount)
+		}
+		if up := bucketUpper(i); up < v {
+			t.Fatalf("bucketUpper(%d)=%d below value %d", i, up, v)
+		}
+		prev = i
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := r.Int63n(1 << 50)
+		up := bucketUpper(bucketIndex(v))
+		if up < v {
+			t.Fatalf("upper bound %d below value %d", up, v)
+		}
+		if v >= 64 && float64(up-v) > float64(v)/16 {
+			t.Fatalf("bucket error too large: v=%d upper=%d", v, up)
+		}
+	}
+}
+
+func TestQuantilesAgainstSortedSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	h := New()
+	samples := make([]int64, 50000)
+	for i := range samples {
+		// Log-uniform-ish latencies from ~1us to ~1s.
+		v := int64(1000) << uint(r.Intn(20))
+		v += r.Int63n(v)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%v: histogram %d below exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.04+64 {
+			t.Errorf("q=%v: histogram %d more than ~4%% above exact %d", q, got, exact)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(samples))
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Errorf("Max = %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d q99=%d max=%d mean=%v",
+			h.Count(), h.Quantile(0.99), h.Max(), h.Mean())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.RecordDuration(time.Duration(r.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if q := h.QuantileDuration(0.5); q <= 0 || q > time.Second+time.Millisecond {
+		t.Fatalf("p50 out of range: %v", q)
+	}
+}

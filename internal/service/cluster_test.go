@@ -1,0 +1,486 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regsat/client"
+	"regsat/internal/gen"
+	"regsat/internal/ir"
+	"regsat/internal/service/store"
+)
+
+// testCluster is an in-process fleet of n replicas with shared membership.
+type testCluster struct {
+	urls    []string
+	servers []*Server
+	https   []*httptest.Server
+}
+
+// startTestCluster boots n replicas. Peer URLs must be known before any
+// Server exists, so listeners are created first and each httptest server is
+// started on its pre-allocated listener. mutate (optional) adjusts each
+// replica's Config before New.
+func startTestCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		tc.urls = append(tc.urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{Peers: tc.urls, Self: tc.urls[i]}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewUnstartedServer(s.Handler())
+		hs.Listener.Close()
+		hs.Listener = listeners[i]
+		hs.Start()
+		tc.servers = append(tc.servers, s)
+		tc.https = append(tc.https, hs)
+	}
+	t.Cleanup(func() {
+		for _, hs := range tc.https {
+			hs.Close()
+		}
+	})
+	return tc
+}
+
+// testCorpus generates count structurally distinct graphs and returns their
+// wire inputs (fingerprint included) plus the fingerprints.
+func testCorpus(t *testing.T, count int) ([]client.GraphInput, []string) {
+	t.Helper()
+	fam := gen.Families()[0]
+	inputs := make([]client.GraphInput, count)
+	fps := make([]string, count)
+	for i := 0; i < count; i++ {
+		p := fam.Defaults
+		p.Seed = int64(1000 + i)
+		g, err := fam.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = ir.Fingerprint(g)
+		inputs[i] = client.GraphInput{Name: fmt.Sprintf("g%d", i), DDG: g.Format(), Fingerprint: fps[i]}
+	}
+	return inputs, fps
+}
+
+// TestClusterForwardsToOwners: a batch sent to one replica comes back
+// complete and correct, with non-owned items forwarded — the coordinator
+// records sends, some peer records receives, and every item lands at a
+// replica that owns it (zero remote items fleet-wide).
+func TestClusterForwardsToOwners(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, fps := testCorpus(t, 12)
+
+	c := client.New(tc.urls[0], nil)
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs:  inputs,
+		Options: client.AnalyzeOptions{Method: "greedy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("batch error: %s", resp.Error)
+	}
+	if len(resp.Items) != len(inputs) {
+		t.Fatalf("got %d items, want %d", len(resp.Items), len(inputs))
+	}
+	for i, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("item %s failed: %s", it.Name, it.Error)
+		}
+		if it.Index != i || it.Name != inputs[i].Name {
+			t.Fatalf("item %d out of order: index=%d name=%s", i, it.Index, it.Name)
+		}
+		if len(it.RS) == 0 {
+			t.Fatalf("item %s has no RS results", it.Name)
+		}
+	}
+
+	coord := tc.servers[0].cluster
+	if coord.forwardsSent.Load() == 0 {
+		t.Fatal("coordinator forwarded nothing; 12 distinct graphs across 3 replicas should shard")
+	}
+	var received, local, remote int64
+	for _, s := range tc.servers {
+		received += s.cluster.forwardsReceived.Load()
+		local += s.cluster.localItems.Load()
+		remote += s.cluster.remoteItems.Load()
+	}
+	if received == 0 {
+		t.Fatal("no replica recorded a received forward")
+	}
+	if remote != 0 {
+		t.Fatalf("%d items served off-owner in a healthy fleet", remote)
+	}
+	if local != int64(len(inputs)) {
+		t.Fatalf("fleet served %d items locally, want %d", local, len(inputs))
+	}
+
+	// Ownership sanity: every fingerprint's owner is one of the members.
+	ring := client.NewRing(tc.urls, 0)
+	for _, fp := range fps {
+		if owner := ring.Owner(fp); !ring.Contains(owner) {
+			t.Fatalf("fingerprint %s owned by non-member %q", fp, owner)
+		}
+	}
+}
+
+// TestForwardGuardPreventsLoops: a request already carrying the forward
+// guard is served entirely locally — even for items the receiver does not
+// own — so a forwarded request can never trigger another hop.
+func TestForwardGuardPreventsLoops(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, _ := testCorpus(t, 9)
+
+	// Stamp the guard as if some other replica forwarded the whole batch.
+	hdr := http.Header{}
+	hdr.Set(forwardHeader, "http://nowhere.invalid")
+	guarded := client.NewWithOptions(tc.urls[1], client.Options{Header: hdr})
+	resp, err := guarded.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs:  inputs,
+		Options: client.AnalyzeOptions{Method: "greedy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != len(inputs) {
+		t.Fatalf("guarded request returned %d items, want %d", len(resp.Items), len(inputs))
+	}
+	for _, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("item %s failed: %s", it.Name, it.Error)
+		}
+	}
+	for i, s := range tc.servers {
+		if sent := s.cluster.forwardsSent.Load(); sent != 0 {
+			t.Fatalf("replica %d re-forwarded a guarded request %d times (loop!)", i, sent)
+		}
+	}
+	recv := tc.servers[1].cluster
+	if recv.forwardsReceived.Load() != 1 {
+		t.Fatalf("receiver counted %d received forwards, want 1", recv.forwardsReceived.Load())
+	}
+	// 9 distinct graphs on a 3-replica ring: the receiver cannot own all of
+	// them, so serving the guarded batch locally must count remote items.
+	if recv.remoteItems.Load() == 0 {
+		t.Fatal("receiver owned every item of the guarded batch; corpus too small to exercise the guard")
+	}
+}
+
+// TestClusterAffinityIsShardLocal: a client that routes by fingerprint
+// sends every item straight to its owner — no forwards at all, and the
+// second pass is served from the owners' warm caches.
+func TestClusterAffinityIsShardLocal(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, _ := testCorpus(t, 10)
+
+	cl, err := client.NewCluster(tc.urls, client.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		for _, in := range inputs {
+			resp, err := cl.Analyze(context.Background(), &client.AnalyzeRequest{
+				Graphs:  []client.GraphInput{in},
+				Options: client.AnalyzeOptions{Method: "greedy"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Items[0].Error != "" {
+				t.Fatalf("%s: %s", in.Name, resp.Items[0].Error)
+			}
+		}
+	}
+	run()
+	var sent, local, remote int64
+	for _, s := range tc.servers {
+		sent += s.cluster.forwardsSent.Load()
+		local += s.cluster.localItems.Load()
+		remote += s.cluster.remoteItems.Load()
+	}
+	if sent != 0 {
+		t.Fatalf("affinity routing still caused %d forwards", sent)
+	}
+	if remote != 0 || local != int64(len(inputs)) {
+		t.Fatalf("shard locality broken: local=%d remote=%d want local=%d remote=0", local, remote, len(inputs))
+	}
+
+	// Second pass: same items, warm caches — every request is a cache hit
+	// at its owner.
+	var hits int64
+	for _, in := range inputs {
+		resp, err := cl.Analyze(context.Background(), &client.AnalyzeRequest{
+			Graphs:  []client.GraphInput{in},
+			Options: client.AnalyzeOptions{Method: "greedy"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Items[0].CacheHit {
+			hits++
+		}
+	}
+	if hits != int64(len(inputs)) {
+		t.Fatalf("second pass hit caches on %d/%d items, want all", hits, len(inputs))
+	}
+}
+
+// TestRingEndpoint: /v1/ring reports the topology a client needs to build
+// the identical ring; single-process daemons report disabled.
+func TestRingEndpoint(t *testing.T) {
+	tc := startTestCluster(t, 3, func(_ int, cfg *Config) { cfg.VNodes = 32 })
+	info, err := client.New(tc.urls[2], nil).Ring(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Enabled || info.VNodes != 32 || len(info.Members) != 3 {
+		t.Fatalf("ring info wrong: %+v", info)
+	}
+	if info.Self != client.NormalizeMember(tc.urls[2]) {
+		t.Fatalf("Self = %q, want %q", info.Self, tc.urls[2])
+	}
+
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	solo, err := c.Ring(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Enabled || len(solo.Members) != 0 {
+		t.Fatalf("single-process daemon claims a cluster: %+v", solo)
+	}
+}
+
+// TestClusterMetricsExposition: the per-replica Prometheus exposition
+// carries the cluster counters, visible through client.Metrics.
+func TestClusterMetricsExposition(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, _ := testCorpus(t, 6)
+	if _, err := client.New(tc.urls[0], nil).Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs:  inputs,
+		Options: client.AnalyzeOptions{Method: "greedy"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := client.New(tc.urls[0], nil).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"regsat_cluster_members 3",
+		"regsat_cluster_vnodes",
+		"regsat_cluster_forwards_sent_total",
+		"regsat_cluster_forwards_received_total",
+		"regsat_cluster_forwards_failed_total",
+		"regsat_cluster_local_items_total",
+		"regsat_cluster_remote_items_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics exposition missing %q", metric)
+		}
+	}
+
+	// Single-process daemons must not expose cluster series at all.
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	solo, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(solo, "regsat_cluster_") {
+		t.Error("single-process daemon exposes cluster metrics")
+	}
+}
+
+// TestClusterSurvivesReplicaDeathMidStream is the availability acceptance
+// test: three replicas, a cluster client driving a batch of requests, one
+// replica killed partway through. The batch must complete with zero errors
+// — forward fallback on the coordinators, failover in the client — and the
+// client must record at least one failover.
+func TestClusterSurvivesReplicaDeathMidStream(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, fps := testCorpus(t, 18)
+
+	cl, err := client.NewCluster(tc.urls, client.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the replica owning the most items, right after the first third
+	// of the batch — requests routed to it afterwards must fail over.
+	ring := cl.Ring()
+	ownedBy := map[string]int{}
+	for _, fp := range fps {
+		ownedBy[ring.Owner(fp)]++
+	}
+	victim, most := "", -1
+	for m, n := range ownedBy {
+		if n > most {
+			victim, most = m, n
+		}
+	}
+	victimIdx := -1
+	for i, u := range tc.urls {
+		if client.NormalizeMember(u) == victim {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatalf("victim %q not in fleet", victim)
+	}
+
+	var errCount, done int
+	for i, in := range inputs {
+		if i == len(inputs)/3 {
+			tc.https[victimIdx].Close()
+		}
+		resp, err := cl.Analyze(context.Background(), &client.AnalyzeRequest{
+			Graphs:  []client.GraphInput{in},
+			Options: client.AnalyzeOptions{Method: "greedy"},
+		})
+		if err != nil {
+			errCount++
+			t.Errorf("request %s failed: %v", in.Name, err)
+			continue
+		}
+		if resp.Items[0].Error != "" {
+			errCount++
+			t.Errorf("item %s failed: %s", in.Name, resp.Items[0].Error)
+			continue
+		}
+		done++
+	}
+	if errCount != 0 {
+		t.Fatalf("%d/%d requests failed across the replica death", errCount, len(inputs))
+	}
+	if done != len(inputs) {
+		t.Fatalf("only %d/%d requests completed", done, len(inputs))
+	}
+	if cl.Stats().Failovers < 1 {
+		t.Fatalf("no failover recorded despite killing the owner of %d/%d items", most, len(inputs))
+	}
+}
+
+// TestTwoDaemonsOneStoreDir: two independent daemons (separate engines,
+// separate admission, separate Store handles) sharing one store directory
+// must tolerate concurrent write-through — the atomic tmp+rename protocol
+// means readers never observe a torn result — and afterwards a fresh
+// daemon serves the whole corpus from the shared store without computing
+// anything.
+func TestTwoDaemonsOneStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	inputs, _ := testCorpus(t, 8)
+	req := func() *client.AnalyzeRequest {
+		return &client.AnalyzeRequest{Graphs: inputs, Options: client.AnalyzeOptions{Method: "bb"}}
+	}
+
+	open := func() *store.Store {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	_, c1, done1 := newTestServer(t, Config{Store: open()})
+	defer done1()
+	_, c2, done2 := newTestServer(t, Config{Store: open()})
+	defer done2()
+
+	// Both daemons analyze the same fresh corpus at the same time: every
+	// result is written through to the same files from two processes' worth
+	// of workers.
+	var wg sync.WaitGroup
+	responses := make([]*client.AnalyzeResponse, 2)
+	for i, c := range []*client.Client{c1, c2} {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			resp, err := c.Analyze(ctx, req())
+			if err != nil {
+				t.Errorf("daemon %d: %v", i, err)
+				return
+			}
+			responses[i] = resp
+		}(i, c)
+	}
+	wg.Wait()
+	for i, resp := range responses {
+		if resp == nil {
+			t.Fatalf("daemon %d returned nothing", i)
+		}
+		for _, it := range resp.Items {
+			if it.Error != "" {
+				t.Fatalf("daemon %d: item %s: %s", i, it.Name, it.Error)
+			}
+		}
+	}
+	// Identical inputs must yield identical RS values regardless of which
+	// daemon (or whose store write) served them.
+	for j := range responses[0].Items {
+		a, b := responses[0].Items[j], responses[1].Items[j]
+		for typ, ra := range a.RS {
+			rb := b.RS[typ]
+			if rb == nil || ra.RS != rb.RS {
+				t.Fatalf("item %s type %s: daemons disagree (%+v vs %+v)", a.Name, typ, ra, rb)
+			}
+		}
+	}
+
+	// A third daemon on the same directory serves everything from L2.
+	_, c3, done3 := newTestServer(t, Config{Store: open()})
+	defer done3()
+	resp, err := c3.Analyze(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Computed != 0 {
+		t.Fatalf("fresh daemon recomputed %d results; the shared store should hold them all", resp.Stats.Computed)
+	}
+	for _, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("fresh daemon: item %s: %s", it.Name, it.Error)
+		}
+	}
+}
+
+// TestClusterConfigValidation: inconsistent cluster configs fail at New,
+// not at first request.
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://a:1"}}); err == nil {
+		t.Error("Peers without Self accepted")
+	}
+	if _, err := New(Config{Peers: []string{"http://a:1"}, Self: "http://b:2"}); err == nil {
+		t.Error("Self outside Peers accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1"}); err == nil {
+		t.Error("Self without Peers accepted")
+	}
+	if _, err := New(Config{Peers: []string{"http://a:1/", "http://b:2"}, Self: "http://a:1"}); err != nil {
+		t.Errorf("valid cluster config rejected: %v", err)
+	}
+}

@@ -162,6 +162,9 @@ func inlineItem(i int, gi client.GraphInput) batch.Item {
 // server aggregate on the way out.
 func (s *Server) itemToWire(res batch.Result, withWitness, wantDDG bool) client.Item {
 	s.items.Add(1)
+	if s.cluster != nil && res.Graph != nil {
+		s.cluster.countItem(batch.Fingerprint(res.Graph))
+	}
 	item := client.Item{
 		Index:     res.Index,
 		Name:      res.Name,

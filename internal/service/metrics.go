@@ -54,6 +54,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("regsat_store_errors_total %d\n", st.Errors)
 	}
 
+	// Cluster sharding, when this daemon is a fleet replica.
+	if c := s.cluster; c != nil {
+		p("# TYPE regsat_cluster_members gauge\n")
+		p("regsat_cluster_members %d\n", len(c.ring.Members()))
+		p("# TYPE regsat_cluster_vnodes gauge\n")
+		p("regsat_cluster_vnodes %d\n", c.ring.VNodes())
+		p("# TYPE regsat_cluster_forwards_sent_total counter\n")
+		p("regsat_cluster_forwards_sent_total %d\n", c.forwardsSent.Load())
+		p("# TYPE regsat_cluster_forwards_received_total counter\n")
+		p("regsat_cluster_forwards_received_total %d\n", c.forwardsReceived.Load())
+		p("# TYPE regsat_cluster_forwards_failed_total counter\n")
+		p("regsat_cluster_forwards_failed_total %d\n", c.forwardsFailed.Load())
+		p("# TYPE regsat_cluster_local_items_total counter\n")
+		p("regsat_cluster_local_items_total %d\n", c.localItems.Load())
+		p("# TYPE regsat_cluster_remote_items_total counter\n")
+		p("regsat_cluster_remote_items_total %d\n", c.remoteItems.Load())
+	}
+
 	// Process-wide analysis-snapshot interner.
 	cs := ir.Stats()
 	p("# TYPE regsat_interner_hits_total counter\n")

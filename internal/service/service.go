@@ -8,8 +8,16 @@
 //	POST /v1/analyze              submit inline .ddg text and/or corpus
 //	                              references; single-shot JSON response
 //	POST /v1/analyze?stream=ndjson same, streamed as NDJSON items
+//	GET  /v1/ring                 cluster topology (membership, vnodes)
 //	GET  /healthz                 liveness + admission-queue snapshot
 //	GET  /metrics                 Prometheus text exposition
+//
+// With Config.Peers set the daemon runs as one replica of a
+// fingerprint-sharded fleet: a consistent-hash ring over the membership
+// assigns every graph fingerprint an owning replica, requests are
+// partitioned per item and non-owned items forwarded to their owners
+// (batched, exactly one hop — see forwardHeader), so each replica's memo
+// and store converge on its shard instead of N copies of everything.
 //
 // The daemon guarantees:
 //
@@ -69,6 +77,19 @@ type Config struct {
 	CacheSize int
 	// Logger receives request-level diagnostics (nil = log.Default()).
 	Logger *log.Logger
+
+	// Peers enables cluster mode: the full fleet membership as base URLs,
+	// including this replica. Each replica builds a consistent-hash ring
+	// over the list and serves the items it owns, forwarding the rest to
+	// their owners (one hop, guarded). Empty runs single-process.
+	Peers []string
+	// Self is this replica's own entry in Peers — required in cluster mode
+	// so the replica knows which ring shard is local.
+	Self string
+	// VNodes is the ring's virtual-node count per member
+	// (0 = client.DefaultVNodes). Every replica and every cluster-aware
+	// client must agree on it.
+	VNodes int
 }
 
 // DefaultMaxQueue bounds the admission queue when Config.MaxQueue is zero.
@@ -100,9 +121,10 @@ func (c Config) withDefaults() Config {
 // http.Server, and call SetDraining(true) before shutting that server down
 // so load balancers see /healthz flip before in-flight work drains.
 type Server struct {
-	cfg  Config
-	base *batch.Engine // owns the shared L1 memo (and L2 write-through)
-	adm  *admission
+	cfg     Config
+	base    *batch.Engine // owns the shared L1 memo (and L2 write-through)
+	adm     *admission
+	cluster *cluster // nil in single-process mode
 
 	draining atomic.Bool
 
@@ -117,18 +139,24 @@ type Server struct {
 }
 
 // New creates a Server. The batch engine, its memo, and the store are
-// shared by every request the server ever handles.
-func New(cfg Config) *Server {
+// shared by every request the server ever handles. It fails only on an
+// inconsistent cluster configuration (Peers without Self, Self not a peer).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	cl, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
 	opts := batch.Options{CacheSize: cfg.CacheSize}
 	if cfg.Store != nil {
 		opts.L2 = cfg.Store
 	}
 	return &Server{
-		cfg:  cfg,
-		base: batch.New(opts),
-		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-	}
+		cfg:     cfg,
+		base:    batch.New(opts),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		cluster: cl,
+	}, nil
 }
 
 // Engine exposes the shared batch engine (tests and metrics).
@@ -142,6 +170,7 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/ring", s.handleRing)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -170,6 +199,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
+	}
+	forwarded := r.Header.Get(forwardHeader) != ""
+	if s.cluster != nil && forwarded {
+		s.cluster.forwardsReceived.Add(1)
 	}
 
 	var req client.AnalyzeRequest
@@ -222,6 +255,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	engine := s.base.WithOptions(batchOpts)
 	before := engine.Stats()
+
+	// Cluster mode: a request straight from a client is coordinated —
+	// partitioned by ring ownership and forwarded (one hop). A request
+	// already carrying the forward guard is served entirely locally.
+	if s.cluster != nil && !forwarded {
+		s.serveClustered(ctx, w, r, &req, engine, before, src)
+		return
+	}
+
 	ch, err := engine.Run(ctx, src)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -17,7 +17,10 @@ const corpusRoot = "../../testdata"
 // newTestServer boots a service over httptest and returns a client for it.
 func newTestServer(t *testing.T, cfg Config) (*Server, *client.Client, func()) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	return s, client.New(hs.URL, hs.Client()), hs.Close
 }
