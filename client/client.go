@@ -10,6 +10,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"regsat/internal/obs"
 )
 
 // ErrOverloaded is wrapped by errors returned when the daemon sheds load
@@ -159,6 +161,35 @@ func (c *Client) Ring(ctx context.Context) (*RingInfo, error) {
 	return &info, nil
 }
 
+// Trace fetches a recorded trace's spans from GET /v1/trace/{id} (NDJSON,
+// one span per line). The daemon's trace ring is bounded: a trace that was
+// recorded but since evicted returns a *StatusError with code 404.
+func (c *Client) Trace(ctx context.Context, id string) ([]TraceSpan, error) {
+	resp, err := c.get(ctx, "/v1/trace/"+id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var spans []TraceSpan
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sp TraceSpan
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return nil, fmt.Errorf("rsd: decoding trace span: %w", err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rsd: reading trace: %w", err)
+	}
+	return spans, nil
+}
+
 // Metrics fetches the /metrics text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.get(ctx, "/metrics")
@@ -196,13 +227,18 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 
 // doRetry sends the request, retrying overloaded (429) responses under the
 // client's backoff policy. build is called per attempt so each retry gets
-// a fresh body reader.
+// a fresh body reader. One correlation ID covers every attempt of a logical
+// request, so the daemon's logs show the retries as one story.
 func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	attempts := 1
 	var policy Backoff
 	if c.backoff != nil {
 		policy = *c.backoff
 		attempts = policy.Attempts
+	}
+	reqID := obs.RequestIDFromContext(ctx)
+	if reqID == "" && c.header.Get(obs.RequestIDHeader) == "" {
+		reqID = obs.NewRequestID()
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -215,7 +251,7 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 		if err != nil {
 			return nil, err
 		}
-		resp, err := c.do(req)
+		resp, err := c.do(req, reqID)
 		if err == nil || !errors.Is(err, ErrOverloaded) {
 			return resp, err
 		}
@@ -225,14 +261,22 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 }
 
 // do sends the request and converts non-2xx statuses into typed errors
-// carrying the server's plain-text diagnostic: *OverloadedError (wrapping
-// ErrOverloaded) for 429, *StatusError for everything else.
-func (c *Client) do(req *http.Request) (*http.Response, error) {
+// carrying the server's diagnostic and correlation ID: *OverloadedError
+// (wrapping ErrOverloaded) for 429, *StatusError for everything else. The
+// outgoing request carries the client's standing headers, the correlation
+// ID, and — when the context holds an active obs span — a W3C traceparent
+// header, which is how a trace originated here (or on a forwarding
+// coordinator) continues on the serving replica.
+func (c *Client) do(req *http.Request, reqID string) (*http.Response, error) {
 	for k, vs := range c.header {
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
 	}
+	if reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
+	obs.Inject(req.Context(), req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -241,10 +285,27 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 		return resp, nil
 	}
 	defer resp.Body.Close()
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	text := strings.TrimSpace(string(msg))
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, &OverloadedError{RetryAfter: retryAfter(resp), Message: text}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	text, respID := parseErrorBody(raw)
+	if respID == "" {
+		respID = resp.Header.Get(obs.RequestIDHeader)
 	}
-	return nil, &StatusError{Code: resp.StatusCode, Message: text}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, &OverloadedError{RetryAfter: retryAfter(resp), Message: text, RequestID: respID}
+	}
+	return nil, &StatusError{Code: resp.StatusCode, Message: text, RequestID: respID}
+}
+
+// parseErrorBody reads the daemon's JSON error payload
+// ({"error": "...", "requestId": "..."}), falling back to the raw text for
+// plain-text responses (proxies, older daemons).
+func parseErrorBody(raw []byte) (msg, reqID string) {
+	var body struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		return body.Error, body.RequestID
+	}
+	return strings.TrimSpace(string(raw)), ""
 }

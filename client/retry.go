@@ -19,8 +19,11 @@ type OverloadedError struct {
 	// RetryAfter is the server-suggested wait before retrying (zero when
 	// the response carried no usable Retry-After header).
 	RetryAfter time.Duration
-	// Message is the server's plain-text diagnostic.
+	// Message is the server's diagnostic.
 	Message string
+	// RequestID is the correlation ID of the shed request — the handle for
+	// finding it in the daemon's logs.
+	RequestID string
 }
 
 func (e *OverloadedError) Error() string {
@@ -38,9 +41,15 @@ func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 type StatusError struct {
 	Code    int
 	Message string
+	// RequestID is the failed request's correlation ID when the server
+	// reported one.
+	RequestID string
 }
 
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("rsd: %d %s: %s (request %s)", e.Code, http.StatusText(e.Code), e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("rsd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 

@@ -18,6 +18,17 @@ type AnalyzeRequest struct {
 	// in-flight simplex iterations and branch-and-bound nodes. 0 uses the
 	// server default; the server may clamp large values.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+
+	// Trace forces this request to be recorded regardless of the daemon's
+	// sampling rate; the response then always echoes TraceID. (A request
+	// arriving with a traceparent header is recorded unconditionally too —
+	// the upstream already made the sampling decision.)
+	Trace bool `json:"trace,omitempty"`
+	// TraceSpans additionally attaches the request's finished spans inline
+	// on the response (Spans). The cluster layer sets it on forwarded
+	// sub-requests so the coordinator can stitch the owning replica's spans
+	// into the exported trace.
+	TraceSpans bool `json:"traceSpans,omitempty"`
 }
 
 // GraphInput is one inline DDG in the textual format.
@@ -82,6 +93,37 @@ type AnalyzeResponse struct {
 	// disconnect): Items then holds only what finished, in order, and MUST
 	// NOT be read as the complete result set.
 	Error string `json:"error,omitempty"`
+	// RequestID echoes the request's X-Regsat-Request-Id correlation ID.
+	RequestID string `json:"requestId,omitempty"`
+	// TraceID is set when the request was recorded (sampled, forced via
+	// Trace, or joined from a traceparent header): the key for
+	// GET /v1/trace/{id} on the serving daemon.
+	TraceID string `json:"traceId,omitempty"`
+	// Spans is the inline span attachment (TraceSpans requests only).
+	Spans []TraceSpan `json:"spans,omitempty"`
+}
+
+// TraceSpan is one finished span of a recorded trace on the wire — the same
+// JSON schema as internal/obs.SpanData and each NDJSON line of
+// GET /v1/trace/{id}.
+type TraceSpan struct {
+	TraceID       string            `json:"traceId"`
+	SpanID        string            `json:"spanId"`
+	Parent        string            `json:"parent,omitempty"`
+	Name          string            `json:"name"`
+	Service       string            `json:"service,omitempty"`
+	StartUnixNs   int64             `json:"startUnixNs"`
+	DurationNs    int64             `json:"durationNs"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Events        []TraceEvent      `json:"events,omitempty"`
+	DroppedEvents int64             `json:"droppedEvents,omitempty"`
+}
+
+// TraceEvent is one point event on a span's timeline.
+type TraceEvent struct {
+	Name     string            `json:"name"`
+	OffsetNs int64             `json:"offsetNs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
 // Item is the outcome of one submitted graph.
@@ -214,6 +256,8 @@ type StreamEvent struct {
 	Item  *Item     `json:"item,omitempty"`
 	Stats *RunStats `json:"stats,omitempty"`
 	Error string    `json:"error,omitempty"`
+	// TraceID rides on the final stats event when the request was recorded.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // RingInfo is the /v1/ring body: the daemon's cluster topology. A client

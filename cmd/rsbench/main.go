@@ -44,6 +44,7 @@ import (
 	"regsat/internal/experiments"
 	"regsat/internal/gen"
 	"regsat/internal/ir"
+	"regsat/internal/obs"
 	"regsat/internal/rs"
 	"regsat/internal/solver"
 )
@@ -65,7 +66,26 @@ type benchJSON struct {
 	Corpus      *corpusJSON      `json:"corpus,omitempty"`
 	Solver      *solverJSON      `json:"solver,omitempty"`
 	Families    *familiesJSON    `json:"families,omitempty"`
+	Tracing     *tracingJSON     `json:"tracing,omitempty"`
 	Interner    ir.CacheStats    `json:"interner"`
+}
+
+// tracingJSON is the -exp tracing section: the observability tax, measured
+// as the corpus sweep with tracing disabled (the production default) vs
+// force-sampled. The disabled-path per-file numbers feed the benchcmp gate
+// under the "tracing/" namespace — a regression there means the disabled
+// path stopped being free; the enabled numbers are informational.
+type tracingJSON struct {
+	Dir         string  `json:"dir"`
+	Parallel    int     `json:"parallel"`
+	DisabledNs  int64   `json:"disabledNs"`
+	EnabledNs   int64   `json:"enabledNs"`
+	OverheadPct float64 `json:"overheadPct"`
+	// Spans and Events count what the force-sampled run actually recorded —
+	// zero means the enabled column measured nothing.
+	Spans   int              `json:"spans"`
+	Events  int              `json:"events"`
+	PerFile []corpusFileJSON `json:"perFile"`
 }
 
 // solverJSON is the -exp solver section: per-(instance, backend) solve
@@ -149,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver (need -dir) / families (generated; none part of all)")
+		exp      = fs.String("exp", "all", "comma-separated experiments: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver/tracing (need -dir) / families (generated; none part of all)")
 		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		random   = fs.Int("random", 20, "number of random loop bodies added to the kernel suite")
 		seed     = fs.Int64("seed", 2004, "random population seed")
@@ -321,6 +341,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "solver", WallNs: int64(elapsed)})
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "[solver completed in %v]\n\n", elapsed.Round(time.Millisecond))
+	}
+	if wants["tracing"] {
+		start := time.Now()
+		report, tj, err := tracingReport(*dir, *parallel)
+		if err != nil {
+			return fmt.Errorf("tracing: %w", err)
+		}
+		elapsed := time.Since(start)
+		summary.Tracing = tj
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "tracing", WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[tracing completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
 	if wants["families"] {
 		start := time.Now()
@@ -510,6 +542,88 @@ func solverReport(dir string, maxValues int) (string, *solverJSON, error) {
 		}
 	}
 	return sum.Report(), sj, nil
+}
+
+// tracingReport measures the observability tax: the full corpus sweep once
+// with tracing disabled — the production default, where StartSpan on an
+// untraced context is one map lookup and a nil check — and once under a
+// force-sampled recording trace that exercises every span and event site in
+// the batch/solver stack. Each pass gets a fresh engine so neither inherits
+// the other's memo. The disabled per-file numbers land in BENCH.json under
+// "tracing/" and gate in benchcmp exactly like corpus files.
+func tracingReport(dir string, parallel int) (string, *tracingJSON, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	rsOpts := rs.Options{Method: rs.MethodExactBB, SkipWitness: true}
+	runOnce := func(ctx context.Context) ([]batch.Result, time.Duration, error) {
+		src, err := batch.Dir(dir)
+		if err != nil {
+			return nil, 0, err
+		}
+		eng := batch.New(batch.Options{Parallel: parallel, RS: rsOpts})
+		start := time.Now()
+		results, err := eng.Collect(ctx, src)
+		return results, time.Since(start), err
+	}
+
+	disResults, disWall, err := runOnce(context.Background())
+	if err != nil {
+		return "", nil, err
+	}
+	tracer := obs.NewTracer(obs.Config{Service: "rsbench", SampleRate: 1})
+	tctx, root := tracer.StartRequest(context.Background(), "bench.sweep", obs.Link{}, true)
+	defer root.End()
+	enResults, enWall, err := runOnce(tctx)
+	if err != nil {
+		return "", nil, err
+	}
+	root.End()
+	spans := tracer.Collect(root.TraceID())
+	events := 0
+	for _, sp := range spans {
+		events += len(sp.Events)
+	}
+
+	tj := &tracingJSON{
+		Dir:        dir,
+		Parallel:   parallel,
+		DisabledNs: int64(disWall),
+		EnabledNs:  int64(enWall),
+		Spans:      len(spans),
+		Events:     events,
+	}
+	if disWall > 0 {
+		tj.OverheadPct = (float64(enWall) - float64(disWall)) / float64(disWall) * 100
+	}
+	enByName := make(map[string]time.Duration, len(enResults))
+	for _, res := range enResults {
+		enByName[res.Name] = res.Elapsed
+	}
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("Tracing overhead on the corpus sweep (%s, parallel %d)\n", dir, parallel)
+	add("%-40s %12s %12s %7s\n", "FILE", "OFF ns/op", "ON ns/op", "RATIO")
+	for _, res := range disResults {
+		file := corpusFileJSON{Name: res.Name, NsOp: int64(res.Elapsed)}
+		if res.Err != nil {
+			file.Error = res.Err.Error()
+			tj.PerFile = append(tj.PerFile, file)
+			add("%-40s %v\n", res.Name, res.Err)
+			continue
+		}
+		file.Nodes = res.Graph.NumNodes()
+		tj.PerFile = append(tj.PerFile, file)
+		on := enByName[res.Name]
+		ratio := 0.0
+		if res.Elapsed > 0 {
+			ratio = float64(on) / float64(res.Elapsed)
+		}
+		add("%-40s %12d %12d %6.2fx\n", res.Name, int64(res.Elapsed), int64(on), ratio)
+	}
+	add("tracing sweep: disabled %v, enabled %v (%+.1f%%), %d spans / %d events recorded\n",
+		disWall.Round(time.Millisecond), enWall.Round(time.Millisecond), tj.OverheadPct, len(spans), events)
+	return string(b), tj, nil
 }
 
 // corpusReport shards exact RS analysis of every corpus file across the

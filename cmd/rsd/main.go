@@ -19,7 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"regsat/internal/ir"
+	"regsat/internal/obs"
 	"regsat/internal/service"
 	"regsat/internal/service/store"
 )
@@ -65,6 +66,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		peers       = fs.String("peers", "", "comma-separated base URLs of every fleet replica, including this one (empty = single-process)")
 		self        = fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
 		vnodes      = fs.Int("vnodes", 0, "consistent-hash virtual nodes per replica (0 = default; must match across the fleet and its clients)")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of requests to trace (0..1; requests carrying a traceparent or asking via \"trace\" are always recorded)")
+		traceRing   = fs.Int("trace-ring", 0, "traces retained for GET /v1/trace/{id} (0 = default)")
+		traceSpans  = fs.Int("trace-spans", 0, "spans retained per trace (0 = default)")
+		enablePprof = fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,7 +82,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ir.SetInternCapacity(*internCap)
 	}
 
-	logger := log.New(stderr, "rsd: ", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	// JSON records on stderr: machine-parseable, one request's records
+	// joined by the requestId/traceId fields the service layer attaches.
+	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level}))
+
+	svc := "rsd"
+	if *self != "" {
+		svc = *self
+	}
+	tracer := obs.NewTracer(obs.Config{
+		Service:    svc,
+		SampleRate: *traceSample,
+		RingTraces: *traceRing,
+		RingSpans:  *traceSpans,
+	})
+
 	cfg := service.Config{
 		CorpusRoot:     *corpusRoot,
 		MaxInFlight:    *inflight,
@@ -87,6 +111,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxBodyBytes:   *maxBody,
 		CacheSize:      *cacheSize,
 		Logger:         logger,
+		Tracer:         tracer,
+		EnablePprof:    *enablePprof,
 		Self:           *self,
 		VNodes:         *vnodes,
 	}
@@ -103,14 +129,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cfg.Store = st
-		logger.Printf("result store at %s", st.Dir())
+		logger.Info("result store opened", "dir", st.Dir())
 	}
 	srv, err := service.New(cfg)
 	if err != nil {
 		return err
 	}
 	if len(cfg.Peers) > 0 {
-		logger.Printf("cluster mode: self=%s peers=%v", *self, cfg.Peers)
+		logger.Info("cluster mode", "self", *self, "peers", cfg.Peers)
+	}
+	if *enablePprof {
+		logger.Info("pprof enabled at /debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -122,7 +151,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -137,7 +166,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// window, so load balancers observe the 503 and deregister this
 	// instance before connections start being refused; then let in-flight
 	// requests finish within the budget.
-	logger.Printf("draining (notice %v, budget %v)", *drainNotice, *drain)
+	logger.Info("draining", "notice", *drainNotice, "budget", *drain)
 	srv.SetDraining(true)
 	if *drainNotice > 0 {
 		select {
@@ -154,6 +183,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }

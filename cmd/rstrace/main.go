@@ -1,0 +1,180 @@
+// Command rstrace is the trace toolchain for rsd's span exports: it renders
+// a single trace as a waterfall or timeline report and aggregates trace
+// corpora into per-span latency tables (p50/p90/p99 from an HDR-style
+// histogram).
+//
+// Input is the NDJSON span format served by rsd's GET /v1/trace/{id} — one
+// span object per line — read from files or stdin. The fetch subcommand
+// pulls a trace straight off a daemon.
+//
+// Usage:
+//
+//	rstrace show trace.ndjson                 # waterfall of each trace
+//	rstrace show -format timeline trace.ndjson
+//	curl -s $RSD/v1/trace/$ID | rstrace show  # pipe from an export
+//	rstrace agg traces/*.ndjson               # p50/p90/p99 per span name
+//	rstrace agg -by service traces/*.ndjson
+//	rstrace fetch -server http://127.0.0.1:8735 -id $TRACEID > trace.ndjson
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"regsat/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rstrace:", err)
+		os.Exit(1)
+	}
+}
+
+const usageText = `usage: rstrace <command> [flags] [files...]
+
+Commands:
+  show   render traces as waterfall or timeline reports (files or stdin)
+  agg    aggregate a trace corpus into per-span latency tables
+  fetch  download one trace from an rsd daemon as NDJSON
+
+Run "rstrace <command> -h" for command flags.
+`
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usageText)
+		return errors.New("missing command")
+	}
+	switch args[0] {
+	case "show":
+		return runShow(args[1:], stdout, stderr)
+	case "agg":
+		return runAgg(args[1:], stdout, stderr)
+	case "fetch":
+		return runFetch(ctx, args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usageText)
+		return nil
+	}
+	fmt.Fprint(stderr, usageText)
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+func runShow(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rstrace show", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format = fs.String("format", "waterfall", "report format: waterfall or timeline")
+		events = fs.Bool("events", true, "include span events in the report")
+		width  = fs.Int("width", 48, "waterfall bar width in columns")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	switch *format {
+	case "waterfall", "timeline":
+	default:
+		return fmt.Errorf("unknown -format %q (want waterfall or timeline)", *format)
+	}
+	if *width < 8 {
+		*width = 8
+	}
+	spans, err := readSpanFiles(fs.Args())
+	if err != nil {
+		return err
+	}
+	traces := groupTraces(spans)
+	if len(traces) == 0 {
+		return errors.New("no spans in input")
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if *format == "timeline" {
+			renderTimeline(stdout, tr, *events)
+		} else {
+			renderWaterfall(stdout, tr, *width, *events)
+		}
+	}
+	return nil
+}
+
+func runAgg(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rstrace agg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		by   = fs.String("by", "name", "aggregation key: name, service, or service/name")
+		sort = fs.String("sort", "p99", "table order: p99, count, or key")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	switch *by {
+	case "name", "service", "service/name":
+	default:
+		return fmt.Errorf("unknown -by %q (want name, service, or service/name)", *by)
+	}
+	switch *sort {
+	case "p99", "count", "key":
+	default:
+		return fmt.Errorf("unknown -sort %q (want p99, count, or key)", *sort)
+	}
+	spans, err := readSpanFiles(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return errors.New("no spans in input")
+	}
+	renderAgg(stdout, spans, *by, *sort)
+	return nil
+}
+
+func runFetch(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rstrace fetch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server = fs.String("server", "", "rsd base URL (required)")
+		id     = fs.String("id", "", "trace ID to download (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *server == "" || *id == "" {
+		return errors.New("fetch requires -server and -id")
+	}
+	spans, err := client.New(*server, nil).Trace(ctx, *id)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %s has no spans (expired from the ring, or never recorded?)", *id)
+	}
+	enc := json.NewEncoder(stdout)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

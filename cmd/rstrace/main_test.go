@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsat/internal/obs"
+)
+
+// testTrace is a two-service waterfall: a coordinator request span with a
+// queue child and a forwarded remote span, as the cluster produces.
+func testTrace(traceID string) []obs.SpanData {
+	base := int64(1_700_000_000_000_000_000)
+	return []obs.SpanData{
+		{TraceID: traceID, SpanID: "aaaaaaaaaaaaaaaa", Name: "server.analyze",
+			Service: "rsd-1", StartUnixNs: base, DurationNs: 10_000_000,
+			Attrs: map[string]string{"graphs": "3"},
+			Events: []obs.EventData{
+				{Name: "memo.hit", OffsetNs: 4_000_000, Attrs: map[string]string{"type": "int32"}},
+			}},
+		{TraceID: traceID, SpanID: "bbbbbbbbbbbbbbbb", Parent: "aaaaaaaaaaaaaaaa",
+			Name: "server.queue", Service: "rsd-1",
+			StartUnixNs: base + 100_000, DurationNs: 50_000},
+		{TraceID: traceID, SpanID: "cccccccccccccccc", Parent: "aaaaaaaaaaaaaaaa",
+			Name: "cluster.forward", Service: "rsd-1",
+			StartUnixNs: base + 1_000_000, DurationNs: 8_000_000},
+		{TraceID: traceID, SpanID: "dddddddddddddddd", Parent: "cccccccccccccccc",
+			Name: "server.analyze", Service: "rsd-2",
+			StartUnixNs: base + 2_000_000, DurationNs: 6_000_000},
+	}
+}
+
+func writeNDJSON(t *testing.T, path string, spans []obs.SpanData) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), args, &out, &errOut)
+	return out.String(), err
+}
+
+func TestShowWaterfall(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "trace.ndjson")
+	writeNDJSON(t, p, testTrace(strings.Repeat("ab", 16)))
+	out, err := runCLI(t, "show", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace " + strings.Repeat("ab", 16),
+		"4 spans",
+		"server.analyze", "server.queue", "cluster.forward",
+		"rsd-1", "rsd-2",
+		"memo.hit", "type=int32",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q in:\n%s", want, out)
+		}
+	}
+	// The forwarded remote span must be indented under cluster.forward.
+	fwd := strings.Index(out, "cluster.forward")
+	remote := strings.LastIndex(out, "server.analyze")
+	if remote < fwd {
+		t.Errorf("remote span not rendered after its forward parent:\n%s", out)
+	}
+}
+
+func TestShowTimelineAndStdin(t *testing.T) {
+	spans := testTrace(strings.Repeat("cd", 16))
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range spans {
+		enc.Encode(&spans[i])
+	}
+	// Route stdin through a file to exercise the "-" path.
+	p := filepath.Join(t.TempDir(), "in.ndjson")
+	if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = f
+	defer func() { os.Stdin = old; f.Close() }()
+
+	out, err := runCLI(t, "show", "-format", "timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "server.queue") || !strings.Contains(out, "+") {
+		t.Errorf("timeline output unexpected:\n%s", out)
+	}
+}
+
+func TestAggTable(t *testing.T) {
+	dir := t.TempDir()
+	// Two traces across two files — the corpus case.
+	writeNDJSON(t, filepath.Join(dir, "a.ndjson"), testTrace(strings.Repeat("ab", 16)))
+	writeNDJSON(t, filepath.Join(dir, "b.ndjson"), testTrace(strings.Repeat("cd", 16)))
+	out, err := runCLI(t, "agg", filepath.Join(dir, "a.ndjson"), filepath.Join(dir, "b.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"8 spans, 2 traces", "P50", "P99", "server.analyze", "cluster.forward"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("agg missing %q in:\n%s", want, out)
+		}
+	}
+
+	out, err = runCLI(t, "agg", "-by", "service", "-sort", "count",
+		filepath.Join(dir, "a.ndjson"), filepath.Join(dir, "b.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rsd-1") || !strings.Contains(out, "rsd-2") {
+		t.Errorf("agg -by service missing services:\n%s", out)
+	}
+}
+
+func TestBadInputErrors(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(p, []byte("{\"traceId\":\"x\",\"spanId\":\"y\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "show", p); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("want line-numbered parse error, got %v", err)
+	}
+
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if _, err := runCLI(t); err == nil {
+		t.Error("missing command should fail")
+	}
+	if _, err := runCLI(t, "show", "-format", "flame", p); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if _, err := runCLI(t, "agg", "-by", "phase", p); err == nil {
+		t.Error("unknown agg key should fail")
+	}
+	if _, err := runCLI(t, "fetch"); err == nil {
+		t.Error("fetch without -server/-id should fail")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	spans := testTrace(strings.Repeat("ef", 16))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/trace/"+strings.Repeat("ef", 16) {
+			http.NotFound(w, r)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for i := range spans {
+			enc.Encode(&spans[i])
+		}
+	}))
+	defer srv.Close()
+
+	out, err := runCLI(t, "fetch", "-server", srv.URL, "-id", strings.Repeat("ef", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output must round-trip: rstrace show should accept it.
+	got, err := readSpans(strings.NewReader(out), "fetched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round-trip lost spans: got %d want %d", len(got), len(spans))
+	}
+}

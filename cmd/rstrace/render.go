@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"regsat/internal/hdrhist"
+	"regsat/internal/obs"
+)
+
+// readSpanFiles parses the NDJSON span exports named by paths ("-" or an
+// empty list means stdin) into one flat span slice, preserving input order.
+func readSpanFiles(paths []string) ([]obs.SpanData, error) {
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	var spans []obs.SpanData
+	for _, p := range paths {
+		got, err := readOneFile(p)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, got...)
+	}
+	return spans, nil
+}
+
+func readOneFile(p string) ([]obs.SpanData, error) {
+	if p == "-" {
+		return readSpans(os.Stdin, "<stdin>")
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readSpans(f, p)
+}
+
+func readSpans(r io.Reader, name string) ([]obs.SpanData, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var spans []obs.SpanData
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sp obs.SpanData
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+		if sp.TraceID == "" || sp.SpanID == "" {
+			return nil, fmt.Errorf("%s:%d: span missing traceId/spanId", name, lineNo)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return spans, nil
+}
+
+// trace is one trace's spans, grouped for rendering.
+type trace struct {
+	id    string
+	spans []obs.SpanData
+}
+
+// groupTraces buckets spans by trace ID, keeping traces in first-appearance
+// order and each trace's spans in start-time order.
+func groupTraces(spans []obs.SpanData) []trace {
+	idx := map[string]int{}
+	var traces []trace
+	for _, sp := range spans {
+		i, ok := idx[sp.TraceID]
+		if !ok {
+			i = len(traces)
+			idx[sp.TraceID] = i
+			traces = append(traces, trace{id: sp.TraceID})
+		}
+		traces[i].spans = append(traces[i].spans, sp)
+	}
+	for i := range traces {
+		sort.SliceStable(traces[i].spans, func(a, b int) bool {
+			return traces[i].spans[a].StartUnixNs < traces[i].spans[b].StartUnixNs
+		})
+	}
+	return traces
+}
+
+// bounds returns the trace's wall-clock extent (min start, max end).
+func (t trace) bounds() (start, end int64) {
+	start = t.spans[0].StartUnixNs
+	for _, sp := range t.spans {
+		if sp.StartUnixNs < start {
+			start = sp.StartUnixNs
+		}
+		if e := sp.StartUnixNs + sp.DurationNs; e > end {
+			end = e
+		}
+	}
+	return start, end
+}
+
+// children maps each span ID to its child spans (already start-ordered).
+// Spans whose parent is absent from the trace — the roots, plus any span
+// orphaned by ring eviction — are returned under the empty key.
+func (t trace) children() map[string][]obs.SpanData {
+	present := make(map[string]bool, len(t.spans))
+	for _, sp := range t.spans {
+		present[sp.SpanID] = true
+	}
+	kids := map[string][]obs.SpanData{}
+	for _, sp := range t.spans {
+		key := sp.Parent
+		if !present[key] {
+			key = ""
+		}
+		kids[key] = append(kids[key], sp)
+	}
+	return kids
+}
+
+// renderWaterfall prints the trace as an indented tree, one bar per span
+// positioned on a shared time axis.
+func renderWaterfall(w io.Writer, t trace, width int, events bool) {
+	start, end := t.bounds()
+	total := end - start
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace %s  (%d spans, %s)\n", t.id, len(t.spans), fmtDur(total))
+	kids := t.children()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range kids[parent] {
+			bar := renderBar(sp.StartUnixNs-start, sp.DurationNs, total, width)
+			label := strings.Repeat("  ", depth) + sp.Name
+			svc := sp.Service
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", label, fmtDur(sp.DurationNs), bar, svc)
+			if events {
+				for _, ev := range sp.Events {
+					fmt.Fprintf(tw, "  %s· %s\t+%s\t\t%s\n",
+						strings.Repeat("  ", depth+1), ev.Name, fmtDur(ev.OffsetNs), fmtAttrs(ev.Attrs))
+				}
+				if sp.DroppedEvents > 0 {
+					fmt.Fprintf(tw, "  %s· (%d events dropped)\t\t\t\n",
+						strings.Repeat("  ", depth+1), sp.DroppedEvents)
+				}
+			}
+			walk(sp.SpanID, depth+1)
+		}
+	}
+	walk("", 0)
+	tw.Flush()
+}
+
+// renderBar draws a span's extent on a width-column axis.
+func renderBar(offset, dur, total int64, width int) string {
+	lead := int(offset * int64(width) / total)
+	span := int(dur * int64(width) / total)
+	if span < 1 {
+		span = 1
+	}
+	if lead+span > width {
+		span = width - lead
+		if span < 1 {
+			span, lead = 1, width-1
+		}
+	}
+	return strings.Repeat(" ", lead) + strings.Repeat("=", span)
+}
+
+// renderTimeline prints the trace flat, ordered by start offset, with span
+// events inline — the view for following one request's story line by line.
+func renderTimeline(w io.Writer, t trace, events bool) {
+	start, end := t.bounds()
+	fmt.Fprintf(w, "trace %s  (%d spans, %s)\n", t.id, len(t.spans), fmtDur(end-start))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, sp := range t.spans {
+		off := sp.StartUnixNs - start
+		fmt.Fprintf(tw, "  +%s\t%s\t%s\t%s\t%s\n",
+			fmtDur(off), fmtDur(sp.DurationNs), sp.Service, sp.Name, fmtAttrs(sp.Attrs))
+		if events {
+			for _, ev := range sp.Events {
+				fmt.Fprintf(tw, "  +%s\t·\t\t  %s\t%s\n",
+					fmtDur(off+ev.OffsetNs), ev.Name, fmtAttrs(ev.Attrs))
+			}
+		}
+	}
+	tw.Flush()
+}
+
+// renderAgg aggregates span durations into per-key HDR histograms and prints
+// the latency table.
+func renderAgg(w io.Writer, spans []obs.SpanData, by, sortBy string) {
+	hists := map[string]*hdrhist.Histogram{}
+	traceIDs := map[string]bool{}
+	for _, sp := range spans {
+		var key string
+		switch by {
+		case "service":
+			key = sp.Service
+			if key == "" {
+				key = "(none)"
+			}
+		case "service/name":
+			svc := sp.Service
+			if svc == "" {
+				svc = "(none)"
+			}
+			key = svc + "/" + sp.Name
+		default:
+			key = sp.Name
+		}
+		h, ok := hists[key]
+		if !ok {
+			h = hdrhist.New()
+			hists[key] = h
+		}
+		h.Record(sp.DurationNs)
+		traceIDs[sp.TraceID] = true
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ha, hb := hists[keys[a]], hists[keys[b]]
+		switch sortBy {
+		case "count":
+			if ha.Count() != hb.Count() {
+				return ha.Count() > hb.Count()
+			}
+		case "key":
+		default: // p99
+			if pa, pb := ha.Quantile(0.99), hb.Quantile(0.99); pa != pb {
+				return pa > pb
+			}
+		}
+		return keys[a] < keys[b]
+	})
+	fmt.Fprintf(w, "%d spans, %d traces\n", len(spans), len(traceIDs))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  SPAN\tCOUNT\tP50\tP90\tP99\tMAX\tMEAN\n")
+	for _, k := range keys {
+		h := hists[k]
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			k, h.Count(),
+			fmtDur(h.Quantile(0.50)), fmtDur(h.Quantile(0.90)), fmtDur(h.Quantile(0.99)),
+			fmtDur(h.Max()), fmtDur(int64(h.Mean())))
+	}
+	tw.Flush()
+}
+
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtDur renders a nanosecond duration at a precision readable in a table.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+	return d.String()
+}

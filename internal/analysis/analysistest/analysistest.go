@@ -27,6 +27,7 @@ var fixtureDeps = []string{
 	"regsat/internal/rs",
 	"regsat/internal/graph",
 	"regsat/internal/ddg",
+	"regsat/internal/obs",
 	"context",
 	"fmt",
 	"math/rand",

@@ -17,6 +17,8 @@ func TestFPKey(t *testing.T) { analysistest.Run(t, analysis.FPKey, "fpkey") }
 
 func TestNoDeterminism(t *testing.T) { analysistest.Run(t, analysis.NoDeterminism, "nodeterminism") }
 
+func TestSpanBalance(t *testing.T) { analysistest.Run(t, analysis.SpanBalance, "spanbalance") }
+
 func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
 }
@@ -32,7 +34,7 @@ func TestSuiteNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 6 {
-		t.Errorf("suite has %d analyzers, want at least 6", len(seen))
+	if len(seen) < 7 {
+		t.Errorf("suite has %d analyzers, want at least 7", len(seen))
 	}
 }

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"regsat/internal/analysis/framework"
+)
+
+// SpanBalance enforces the obs span lifecycle: a span started with
+// obs.StartSpan or (*obs.Tracer).StartRequest must be ended on every control
+// path. A span that is never ended never reaches the trace ring — the
+// request's export silently loses that subtree — and since *Span methods are
+// nil-safe, nothing crashes to reveal the leak. The accepted idioms are
+// block-local, mirroring undobalance: `defer sp.End()` (directly or inside a
+// deferred closure) registered before control can escape, or a
+// statement-level `sp.End()` with no un-ended path out of the region in
+// between (an early-exit branch may End the span itself before leaving).
+var SpanBalance = &framework.Analyzer{
+	Name: "spanbalance",
+	Doc: "end obs spans on every control path\n\n" +
+		"Spans deliver themselves to the trace ring only in End. A path that\n" +
+		"returns between StartSpan and End drops the span (and every event\n" +
+		"recorded on it) from the trace export without any runtime symptom.\n" +
+		"Flags: span results assigned to the blank identifier, spans with no\n" +
+		"block-local End or defer End, and control leaving the Start..End\n" +
+		"region on a path that has not ended the span.",
+	Run: runSpanBalance,
+}
+
+func runSpanBalance(pass *framework.Pass) error {
+	if !scoped(pass, modulePkg) {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	// startCall matches the span-creating calls: the package function
+	// obs.StartSpan and the method (*obs.Tracer).StartRequest. Both return
+	// (context.Context, *obs.Span).
+	startCall := func(e ast.Expr) *ast.CallExpr {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if pkgFuncCall(info, call, obsPkg, "StartSpan") {
+			return call
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "StartRequest" && isNamedType(typeOf(info, sel.X), obsPkg, "Tracer") {
+			return call
+		}
+		return nil
+	}
+	// endsVar reports whether e is `sp.End()` for the given span object.
+	endsVar := func(e ast.Expr, sp types.Object) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && objOf(info, id) == sp
+	}
+	// endStmt reports whether st ends the span: a plain `sp.End()`, a
+	// `defer sp.End()`, or a deferred closure that calls sp.End() inside
+	// (the attribute-stamping cleanup idiom).
+	endStmt := func(st ast.Stmt, sp types.Object) bool {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			return endsVar(s.X, sp)
+		case *ast.DeferStmt:
+			if endsVar(s.Call, sp) {
+				return true
+			}
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				found := false
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					if e, ok := n.(ast.Expr); ok && endsVar(e, sp) {
+						found = true
+					}
+					return !found
+				})
+				return found
+			}
+		}
+		return false
+	}
+
+	// walkRegion checks the statements between a start and its top-level
+	// closer: every Return or region-escaping Branch must be preceded, on
+	// its own path, by an End of the span. `ended` is the path state coming
+	// in; the return value is the state at fall-through. Branch bodies are
+	// walked with the incoming state but do not upgrade the fall-through
+	// state — a branch-local End covers only paths through that branch, and
+	// those paths must leave the region themselves. Nested function literals
+	// are separate control flow and are skipped.
+	var walkRegion func(stmts []ast.Stmt, sp types.Object, ended bool, depth int) bool
+	walkRegion = func(stmts []ast.Stmt, sp types.Object, ended bool, depth int) bool {
+		for _, st := range stmts {
+			if endStmt(st, sp) {
+				ended = true
+				continue
+			}
+			switch s := st.(type) {
+			case *ast.ReturnStmt:
+				if !ended {
+					pass.Reportf(s.Pos(), "control leaves the function between StartSpan and End: the span is never delivered on this path")
+				}
+			case *ast.BranchStmt:
+				if !ended && (s.Label != nil || (depth == 0 && s.Tok.String() != "fallthrough")) {
+					pass.Reportf(s.Pos(), "%s between StartSpan and End: the span is never delivered on this path", s.Tok)
+				}
+			case *ast.BlockStmt:
+				ended = walkRegion(s.List, sp, ended, depth)
+			case *ast.IfStmt:
+				walkRegion(s.Body.List, sp, ended, depth)
+				if s.Else != nil {
+					walkRegion([]ast.Stmt{s.Else}, sp, ended, depth)
+				}
+			case *ast.ForStmt:
+				walkRegion(s.Body.List, sp, ended, depth+1)
+			case *ast.RangeStmt:
+				walkRegion(s.Body.List, sp, ended, depth+1)
+			case *ast.SwitchStmt:
+				walkRegion(s.Body.List, sp, ended, depth+1)
+			case *ast.TypeSwitchStmt:
+				walkRegion(s.Body.List, sp, ended, depth+1)
+			case *ast.SelectStmt:
+				walkRegion(s.Body.List, sp, ended, depth+1)
+			case *ast.CaseClause:
+				walkRegion(s.Body, sp, ended, depth)
+			case *ast.CommClause:
+				walkRegion(s.Body, sp, ended, depth)
+			case *ast.LabeledStmt:
+				ended = walkRegion([]ast.Stmt{s.Stmt}, sp, ended, depth)
+			}
+		}
+		return ended
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				as, ok := st.(*ast.AssignStmt)
+				if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+					continue
+				}
+				call := startCall(as.Rhs[0])
+				if call == nil {
+					continue
+				}
+				id, ok := as.Lhs[1].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span result discarded: a span assigned to _ can never be ended or delivered")
+					continue
+				}
+				sp := objOf(info, id)
+				if sp == nil {
+					continue
+				}
+				closer := -1
+				for j := i + 1; j < len(block.List); j++ {
+					if endStmt(block.List[j], sp) {
+						closer = j
+						break
+					}
+				}
+				if closer < 0 {
+					pass.Reportf(call.Pos(), "span has no block-local End: end it with defer %s.End() or a statement-level %s.End() in this block", id.Name, id.Name)
+					continue
+				}
+				walkRegion(block.List[i+1:closer], sp, false, 0)
+			}
+			return true
+		})
+	}
+	return nil
+}

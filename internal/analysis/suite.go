@@ -12,6 +12,7 @@ func Suite() []*framework.Analyzer {
 		IRImmutable,
 		LockDiscipline,
 		NoDeterminism,
+		SpanBalance,
 		UndoBalance,
 	}
 }

@@ -1,0 +1,99 @@
+// Fixture for the spanbalance analyzer: spans started with obs.StartSpan or
+// Tracer.StartRequest must be ended on every control path.
+package spanbalance
+
+import (
+	"context"
+
+	"regsat/internal/obs"
+)
+
+func work() {}
+
+// Deferred End covers every path: no diagnostics.
+func goodDefer(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "good")
+	defer sp.End()
+	work()
+	_ = ctx
+}
+
+// Straight-line End: no diagnostics.
+func goodInline(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "good")
+	work()
+	sp.End()
+}
+
+// A deferred closure that ends the span (the attribute-stamping cleanup
+// idiom): no diagnostics.
+func goodDeferClosure(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "good")
+	defer func() {
+		sp.SetAttr(obs.Str("done", "yes"))
+		sp.End()
+	}()
+	work()
+	return nil
+}
+
+// An early-exit branch may End the span itself before leaving: no
+// diagnostics.
+func goodBranchEnd(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "good")
+	if fail {
+		sp.Event("failed")
+		sp.End()
+		return nil
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// StartRequest follows the same discipline: no diagnostics.
+func goodRequest(ctx context.Context, t *obs.Tracer) {
+	ctx, root := t.StartRequest(ctx, "req", obs.Link{}, false)
+	defer root.End()
+	_ = ctx
+}
+
+func discarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "leak") // want "span result discarded"
+	work()
+}
+
+func neverEnded(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "leak") // want "span has no block-local End"
+	work()
+	_ = sp
+}
+
+func escapes(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "leak")
+	if fail {
+		return nil // want "control leaves the function between StartSpan and End"
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func breaksOut(ctx context.Context, xs []int) {
+	for range xs {
+		_, sp := obs.StartSpan(ctx, "leak")
+		if len(xs) > 3 {
+			continue // want "continue between StartSpan and End"
+		}
+		sp.End()
+	}
+}
+
+func requestEscapes(ctx context.Context, t *obs.Tracer, fail bool) error {
+	_, root := t.StartRequest(ctx, "req", obs.Link{}, false)
+	if fail {
+		return nil // want "control leaves the function between StartSpan and End"
+	}
+	root.End()
+	return nil
+}

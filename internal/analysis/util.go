@@ -14,11 +14,14 @@ import (
 	"regsat/internal/analysis/framework"
 )
 
-// irPkg, rsPkg, graphPkg are the engine packages the analyzers model.
+// irPkg, rsPkg, graphPkg, obsPkg are the engine packages the analyzers
+// model; modulePkg scopes module-wide invariants.
 const (
-	irPkg    = "regsat/internal/ir"
-	rsPkg    = "regsat/internal/rs"
-	graphPkg = "regsat/internal/graph"
+	irPkg     = "regsat/internal/ir"
+	rsPkg     = "regsat/internal/rs"
+	graphPkg  = "regsat/internal/graph"
+	obsPkg    = "regsat/internal/obs"
+	modulePkg = "regsat"
 )
 
 // scoped reports whether the pass's package is one the analyzer's invariant

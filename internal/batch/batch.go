@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"regsat/internal/ddg"
+	"regsat/internal/obs"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
 	"regsat/internal/solver"
@@ -287,6 +288,18 @@ func (e *Engine) Collect(ctx context.Context, src Source) ([]Result, error) {
 func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 	start := time.Now()
 	res = Result{Index: wk.index, Name: wk.item.Name}
+	// The item span (registered before the recover defer, so it ends last)
+	// is one lane of a traced request's waterfall: its children are the
+	// IR-build, per-type RS, and reduction spans below.
+	ctx, isp := obs.StartSpan(ctx, "batch.item",
+		obs.Str("item", wk.item.Name), obs.Int("index", int64(wk.index)))
+	defer func() {
+		if res.Err != nil {
+			isp.SetAttr(obs.Str("err", res.Err.Error()))
+		}
+		isp.SetAttr(obs.Bool("cacheHit", res.CacheHit))
+		isp.End()
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("batch: %s: panic: %v", wk.item.Name, p)
@@ -332,7 +345,9 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 		}
 		res.RS[t] = r
 		if e.opts.Reduce != nil && e.opts.Reduce.Budget > 0 && r.RS > e.opts.Reduce.Budget {
-			rr, ran, err := ent.reduction(ctx, g, t, e.opts.Reduce)
+			rctx, rsp := obs.StartSpan(ctx, "batch.reduce", obs.Str("type", string(t)))
+			rr, ran, err := ent.reduction(rctx, g, t, e.opts.Reduce)
+			rsp.End()
 			if err != nil {
 				res.Err = fmt.Errorf("%s/%s: reduce: %w", wk.item.Name, t, err)
 				return res

@@ -10,6 +10,7 @@ import (
 
 	"regsat/internal/ddg"
 	"regsat/internal/ir"
+	"regsat/internal/obs"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
 	"regsat/internal/schedule"
@@ -146,17 +147,22 @@ func (m *memo) lookup(fp string) *entry {
 // snapshot returns the entry's interned ir.Snapshot, building it from g on
 // first use. The entry's fingerprint doubles as the intern key, so the hash
 // is never recomputed, and one snapshot serves every register type and
-// every structural twin of the graph.
-func (e *entry) snapshot(g *ddg.Graph) (*ir.Snapshot, error) {
+// every structural twin of the graph. The context is used only for tracing:
+// when the winning caller's request is recorded, the one-time IR build
+// appears as its span (later hitters see nothing — they didn't pay it).
+func (e *entry) snapshot(ctx context.Context, g *ddg.Graph) (*ir.Snapshot, error) {
 	e.snapOnce.Do(func() {
+		_, sp := obs.StartSpan(ctx, "ir.build", obs.Int("nodes", int64(len(g.Nodes()))))
 		e.snap, e.snapErr = ir.InternFingerprint(g, e.fp)
+		sp.End()
 	})
 	return e.snap, e.snapErr
 }
 
 // analysis returns the entry's rs.Analysis for register type t, computing it
-// on first use (all types share the entry's snapshot).
-func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
+// on first use (all types share the entry's snapshot). The context only
+// carries tracing, as in snapshot.
+func (e *entry) analysis(ctx context.Context, g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 	e.mu.Lock()
 	slot, ok := e.analyses[t]
 	if !ok {
@@ -165,12 +171,14 @@ func (e *entry) analysis(g *ddg.Graph, t ddg.RegType) (*rs.Analysis, error) {
 	}
 	e.mu.Unlock()
 	slot.once.Do(func() {
-		snap, err := e.snapshot(g)
+		snap, err := e.snapshot(ctx, g)
 		if err != nil {
 			slot.err = err
 			return
 		}
+		_, sp := obs.StartSpan(ctx, "rs.analysis", obs.Str("type", string(t)))
 		slot.an, slot.err = rs.NewAnalysisIR(snap, t)
+		sp.End()
 	})
 	return slot.an, slot.err
 }
@@ -193,25 +201,35 @@ func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType
 	e.mu.Unlock()
 	fromL2 := false
 	res, ran, err := slot.get(func() (*rs.Result, error) {
+		cctx, sp := obs.StartSpan(ctx, "batch.rs", obs.Str("type", string(t)))
+		defer sp.End()
 		if m.l2 != nil {
-			if r, ok := m.l2.Get(e.fp, g, t, key); ok {
+			_, lsp := obs.StartSpan(cctx, "l2.get")
+			r, ok := m.l2.Get(e.fp, g, t, key)
+			lsp.End()
+			if ok {
 				fromL2 = true
+				sp.Event("l2.hit")
 				return r, nil
 			}
+			sp.Event("l2.miss")
 		}
-		an, aerr := e.analysis(g, t)
+		an, aerr := e.analysis(cctx, g, t)
 		if aerr != nil {
 			return nil, aerr
 		}
-		r, cerr := rs.ComputeWithAnalysis(ctx, an, opts)
+		r, cerr := rs.ComputeWithAnalysis(cctx, an, opts)
 		if cerr == nil && m.l2 != nil {
+			_, psp := obs.StartSpan(cctx, "l2.put")
 			m.l2.Put(e.fp, t, key, r)
+			psp.End()
 		}
 		return r, cerr
 	})
 	switch {
 	case !ran:
 		m.hits.Add(1)
+		obs.FromContext(ctx).Event("memo.hit", obs.Str("type", string(t)))
 	case fromL2:
 		m.l2hits.Add(1)
 	default:

@@ -27,6 +27,10 @@ type Run struct {
 	Corpus      *Sweep       `json:"corpus"`
 	Solver      *Sweep       `json:"solver"`
 	Families    *Sweep       `json:"families"`
+	// Tracing is the tracing-disabled corpus sweep (rsbench -exp tracing):
+	// per-file ns/op with the observability layer present but off, gating
+	// that the disabled path stays free.
+	Tracing *Sweep `json:"tracing"`
 	// Load is rsload's latency section: per-quantile nanoseconds
 	// (e.g. "cluster/p99") instead of per-file ns/op, but the same
 	// shape, so quantile regressions gate exactly like file regressions.
@@ -168,6 +172,7 @@ func collectFiles(r *Run) map[string]int64 {
 	add("corpus/", r.Corpus)
 	add("solver/", r.Solver)
 	add("families/", r.Families)
+	add("tracing/", r.Tracing)
 	add("load/", r.Load)
 	return out
 }

@@ -1,0 +1,36 @@
+package obs
+
+import "context"
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the active span. A nil sp
+// returns ctx unchanged, so callers never create a "traced but recording
+// nothing" context.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// FromContext returns the active span, or nil when the request is untraced.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's active span. On an untraced
+// context it returns (ctx, nil) without allocating — this is the one call
+// instrumented library code makes, and its disabled cost is a context
+// lookup plus a nil check. The returned span must be ended on every path
+// (the spanbalance rsvet analyzer enforces this).
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.tracer.newSpan(parent.trace, parent.id, name)
+	sp.SetAttr(attrs...)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

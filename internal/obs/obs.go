@@ -1,0 +1,406 @@
+// Package obs is the engine's stdlib-only distributed tracing library: a
+// span/event model shaped like W3C Trace Context (a 16-byte trace ID naming
+// the whole request, an 8-byte span ID per operation, parent links forming
+// the tree) with the properties a hot analysis daemon needs:
+//
+//   - zero-cost when off: an untraced context carries no span, StartSpan
+//     returns nil, and every Span method is nil-safe, so instrumented code
+//     pays one context lookup and a nil check;
+//   - bounded memory always: each span's event buffer and the tracer's
+//     finished-trace ring are capped, dropping (and counting) overflow
+//     instead of growing;
+//   - monotonic timing: span durations and event offsets come from the
+//     monotonic clock (time.Time's hidden reading), so a stepped wall clock
+//     never produces negative latencies;
+//   - an atomic sampling knob: the sample rate can be turned up on a live
+//     daemon to debug an incident and back down afterwards, without locks on
+//     the request path.
+//
+// Propagation across processes uses the W3C `traceparent` header (see
+// propagate.go), so a trace started by a cluster coordinator continues on
+// the replica that owns the forwarded items, and the exported trace
+// stitches spans from every replica involved.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is 16 random bytes as 32 lowercase hex characters; it names one
+// end-to-end request across every process it touches.
+type TraceID string
+
+// SpanID is 8 random bytes as 16 lowercase hex characters; it names one
+// operation within a trace.
+type SpanID string
+
+// NewTraceID returns a fresh random trace ID.
+func NewTraceID() TraceID { return TraceID(randHex(16)) }
+
+// NewSpanID returns a fresh random span ID.
+func NewSpanID() SpanID { return SpanID(randHex(8)) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	// crypto/rand never fails on the supported platforms; a zero ID on a
+	// broken one is still a valid (if colliding) identifier.
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// Attr is one key/value annotation on a span or event. Values are strings on
+// purpose: the wire format is JSON-with-string-values everywhere, and the
+// formatting cost is only paid on sampled requests.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: itoa(v)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	if v {
+		return Attr{Key: k, Value: "true"}
+	}
+	return Attr{Key: k, Value: "false"}
+}
+
+// itoa is strconv.FormatInt(v, 10) without the import weight on the hot
+// path's inliner budget.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [20]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// EventData is one timestamped point event on a span's timeline, exported as
+// one element of SpanData.Events. OffsetNs is monotonic nanoseconds since
+// the span started.
+type EventData struct {
+	Name     string            `json:"name"`
+	OffsetNs int64             `json:"offsetNs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanData is the immutable export form of a finished span — exactly the
+// NDJSON schema of the daemon's GET /v1/trace/{id} endpoint and the input
+// of cmd/rstrace. Service names which replica produced the span, so a
+// stitched cross-replica trace remains attributable.
+type SpanData struct {
+	TraceID       string            `json:"traceId"`
+	SpanID        string            `json:"spanId"`
+	Parent        string            `json:"parent,omitempty"`
+	Name          string            `json:"name"`
+	Service       string            `json:"service,omitempty"`
+	StartUnixNs   int64             `json:"startUnixNs"`
+	DurationNs    int64             `json:"durationNs"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Events        []EventData       `json:"events,omitempty"`
+	DroppedEvents int64             `json:"droppedEvents,omitempty"`
+}
+
+// Span is one in-flight operation of a recorded trace. A nil *Span is the
+// "not recording" state: every method is nil-safe and does nothing, so
+// instrumented code never branches on whether tracing is on.
+type Span struct {
+	tracer *Tracer
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time // carries the monotonic reading
+
+	mu      sync.Mutex
+	attrs   map[string]string
+	events  []EventData
+	dropped int64
+	ended   bool
+}
+
+// TraceID returns the span's trace ID ("" when not recording).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// ID returns the span's own ID ("" when not recording).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Recording reports whether the span records (false for nil).
+func (s *Span) Recording() bool { return s != nil }
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		for _, a := range attrs {
+			s.attrs[a.Key] = a.Value
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Event appends a point event to the span's timeline. The buffer is bounded
+// by the tracer's MaxEvents: overflow is dropped and counted, never grown —
+// a pathological solve cannot turn its trace into the memory problem it was
+// supposed to diagnose.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	off := time.Since(s.start).Nanoseconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if len(s.events) >= s.tracer.maxEvents {
+		s.dropped++
+		return
+	}
+	ev := EventData{Name: name, OffsetNs: off}
+	if len(attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	s.events = append(s.events, ev)
+}
+
+// End finishes the span and delivers it to the tracer's ring. End is
+// idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start).Nanoseconds()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	data := SpanData{
+		TraceID:       string(s.trace),
+		SpanID:        string(s.id),
+		Parent:        string(s.parent),
+		Name:          s.name,
+		Service:       s.tracer.service,
+		StartUnixNs:   s.start.UnixNano(),
+		DurationNs:    dur,
+		Attrs:         s.attrs,
+		Events:        s.events,
+		DroppedEvents: s.dropped,
+	}
+	s.mu.Unlock()
+	s.tracer.ring.add(data)
+}
+
+// Config configures a Tracer. The zero value is a valid tracer that never
+// samples on its own but still records joined traces (incoming traceparent)
+// and forced ones.
+type Config struct {
+	// Service names this process in exported spans (replica base URL in
+	// cluster mode, "rsd" single-process, "cli" in command-line tools).
+	Service string
+	// SampleRate is the initial fraction of unforced root requests to trace,
+	// in [0, 1]. 0 records only joined/forced traces; 1 records everything.
+	SampleRate float64
+	// RingTraces bounds distinct traces retained for export
+	// (0 = DefaultRingTraces).
+	RingTraces int
+	// RingSpans bounds spans retained per trace (0 = DefaultRingSpans).
+	RingSpans int
+	// MaxEvents bounds the event buffer of each span (0 = DefaultMaxEvents).
+	MaxEvents int
+}
+
+// Bounds used when the corresponding Config field is zero.
+const (
+	DefaultRingTraces = 256
+	DefaultRingSpans  = 512
+	DefaultMaxEvents  = 128
+)
+
+// Tracer owns sampling, span creation, and the bounded ring of finished
+// traces. All methods are safe for concurrent use.
+type Tracer struct {
+	service   string
+	maxEvents int
+	ring      *ring
+
+	// rateBits holds math.Float64bits of the sample rate; ctr drives the
+	// deterministic 1-in-N sampler derived from it.
+	rateBits atomic.Uint64
+	ctr      atomic.Uint64
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg Config) *Tracer {
+	if cfg.RingTraces <= 0 {
+		cfg.RingTraces = DefaultRingTraces
+	}
+	if cfg.RingSpans <= 0 {
+		cfg.RingSpans = DefaultRingSpans
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	t := &Tracer{
+		service:   cfg.Service,
+		maxEvents: cfg.MaxEvents,
+		ring:      newRing(cfg.RingTraces, cfg.RingSpans),
+	}
+	t.SetSampleRate(cfg.SampleRate)
+	return t
+}
+
+// SetSampleRate atomically replaces the sampling rate (clamped to [0, 1]) —
+// the live-daemon debugging knob.
+func (t *Tracer) SetSampleRate(r float64) {
+	if math.IsNaN(r) || r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	t.rateBits.Store(math.Float64bits(r))
+}
+
+// SampleRate returns the current sampling rate.
+func (t *Tracer) SampleRate() float64 {
+	return math.Float64frombits(t.rateBits.Load())
+}
+
+// sample is the deterministic counter sampler: rate r admits every
+// round(1/r)-th unforced root request. Deterministic (no RNG on the request
+// path) and exact in the long run: rate 0.25 admits precisely 1 in 4.
+func (t *Tracer) sample() bool {
+	r := t.SampleRate()
+	if r <= 0 {
+		return false
+	}
+	if r >= 1 {
+		return true
+	}
+	period := uint64(math.Round(1 / r))
+	if period < 1 {
+		period = 1
+	}
+	return t.ctr.Add(1)%period == 0
+}
+
+// Link is an incoming parent reference extracted from a carrier (the
+// traceparent header). The zero Link means "no parent".
+type Link struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the link names a parent.
+func (l Link) Valid() bool { return l.Trace != "" && l.Span != "" }
+
+// StartRequest opens the root span of one incoming request. A valid link
+// joins the caller's trace unconditionally — the upstream already paid the
+// sampling decision — while an unlinked request is recorded only when
+// forced (the request asked for tracing explicitly) or when the sampler
+// picks it. When not recording it returns ctx unchanged and a nil span.
+func (t *Tracer) StartRequest(ctxIn context.Context, name string, link Link, force bool) (context.Context, *Span) {
+	if t == nil {
+		return ctxIn, nil
+	}
+	var trace TraceID
+	var parent SpanID
+	switch {
+	case link.Valid():
+		trace, parent = link.Trace, link.Span
+	case force || t.sample():
+		trace = NewTraceID()
+	default:
+		return ctxIn, nil
+	}
+	sp := t.newSpan(trace, parent, name)
+	return ContextWithSpan(ctxIn, sp), sp
+}
+
+func (t *Tracer) newSpan(trace TraceID, parent SpanID, name string) *Span {
+	return &Span{
+		tracer: t,
+		trace:  trace,
+		id:     NewSpanID(),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  map[string]string{},
+	}
+}
+
+// Collect returns a copy of the finished spans of one trace, in end order
+// (nil when the trace is unknown or already evicted).
+func (t *Tracer) Collect(id TraceID) []SpanData {
+	if t == nil {
+		return nil
+	}
+	return t.ring.get(id)
+}
+
+// AddSpans merges externally produced spans (a forwarded sub-request's
+// inline attachment) into the ring, stitching a cross-process trace into
+// one exportable timeline.
+func (t *Tracer) AddSpans(spans []SpanData) {
+	if t == nil {
+		return
+	}
+	for _, sp := range spans {
+		if sp.TraceID != "" {
+			t.ring.add(sp)
+		}
+	}
+}
+
+// Stats reports the ring's movement for metrics.
+func (t *Tracer) Stats() RingStats {
+	if t == nil {
+		return RingStats{}
+	}
+	return t.ring.stats()
+}

@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestSamplingRate(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want int // sampled out of 1000 unforced root requests
+	}{
+		{0, 0},
+		{1, 1000},
+		{0.5, 500},
+		{0.25, 250},
+		{0.01, 10},
+	}
+	for _, tc := range cases {
+		tr := NewTracer(Config{Service: "test", SampleRate: tc.rate})
+		got := 0
+		for i := 0; i < 1000; i++ {
+			_, sp := tr.StartRequest(context.Background(), "req", Link{}, false)
+			if sp != nil {
+				got++
+				sp.End()
+			}
+		}
+		if got != tc.want {
+			t.Errorf("rate %v: sampled %d of 1000, want exactly %d (counter sampler is deterministic)",
+				tc.rate, got, tc.want)
+		}
+	}
+}
+
+func TestSampleRateKnobIsLive(t *testing.T) {
+	tr := NewTracer(Config{Service: "test"})
+	if _, sp := tr.StartRequest(context.Background(), "req", Link{}, false); sp != nil {
+		t.Fatal("rate 0 sampled a request")
+	}
+	tr.SetSampleRate(1)
+	if tr.SampleRate() != 1 {
+		t.Fatalf("SampleRate = %v after SetSampleRate(1)", tr.SampleRate())
+	}
+	if _, sp := tr.StartRequest(context.Background(), "req", Link{}, false); sp == nil {
+		t.Fatal("rate 1 skipped a request")
+	}
+	tr.SetSampleRate(-3)
+	if tr.SampleRate() != 0 {
+		t.Fatalf("negative rate not clamped to 0, got %v", tr.SampleRate())
+	}
+	tr.SetSampleRate(7)
+	if tr.SampleRate() != 1 {
+		t.Fatalf("rate > 1 not clamped to 1, got %v", tr.SampleRate())
+	}
+}
+
+func TestForceAndLinkBypassSampling(t *testing.T) {
+	tr := NewTracer(Config{Service: "test"}) // rate 0
+	if _, sp := tr.StartRequest(context.Background(), "req", Link{}, true); sp == nil {
+		t.Fatal("forced request not recorded at rate 0")
+	}
+	link := Link{Trace: NewTraceID(), Span: NewSpanID()}
+	_, sp := tr.StartRequest(context.Background(), "req", link, false)
+	if sp == nil {
+		t.Fatal("linked request not recorded at rate 0")
+	}
+	if sp.TraceID() != link.Trace {
+		t.Fatalf("joined trace = %s, want %s", sp.TraceID(), link.Trace)
+	}
+	sp.End()
+	spans := tr.Collect(link.Trace)
+	if len(spans) != 1 || SpanID(spans[0].Parent) != link.Span {
+		t.Fatalf("joined span parent = %+v, want parent %s", spans, link.Span)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1, RingTraces: 4})
+	var ids []TraceID
+	for i := 0; i < 10; i++ {
+		ctx, sp := tr.StartRequest(context.Background(), "req", Link{}, false)
+		_, child := StartSpan(ctx, "child")
+		child.End()
+		sp.End()
+		ids = append(ids, sp.TraceID())
+	}
+	// Only the 4 most recent traces survive; the first 6 were evicted.
+	for i, id := range ids {
+		spans := tr.Collect(id)
+		if i < 6 && spans != nil {
+			t.Errorf("trace %d should have been evicted, still holds %d spans", i, len(spans))
+		}
+		if i >= 6 && len(spans) != 2 {
+			t.Errorf("trace %d: got %d spans, want 2 (child + root)", i, len(spans))
+		}
+	}
+	st := tr.Stats()
+	if st.Traces != 4 || st.EvictedTraces != 6 {
+		t.Errorf("Stats = %+v, want 4 retained / 6 evicted", st)
+	}
+}
+
+func TestRingEvictionIsLRU(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1, RingTraces: 2})
+	_, a := tr.StartRequest(context.Background(), "a", Link{}, false)
+	a.End()
+	_, b := tr.StartRequest(context.Background(), "b", Link{}, false)
+	b.End()
+	// Touch a so b becomes the eviction victim.
+	tr.Collect(a.TraceID())
+	_, c := tr.StartRequest(context.Background(), "c", Link{}, false)
+	c.End()
+	if tr.Collect(a.TraceID()) == nil {
+		t.Error("recently read trace a was evicted")
+	}
+	if tr.Collect(b.TraceID()) != nil {
+		t.Error("least recently used trace b survived")
+	}
+}
+
+func TestPerTraceSpanCap(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1, RingSpans: 3})
+	ctx, root := tr.StartRequest(context.Background(), "req", Link{}, false)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	spans := tr.Collect(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want cap of 3", len(spans))
+	}
+	if st := tr.Stats(); st.DroppedSpans != 3 {
+		t.Fatalf("DroppedSpans = %d, want 3 (2 children + root)", st.DroppedSpans)
+	}
+}
+
+func TestBoundedEvents(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1, MaxEvents: 4})
+	_, sp := tr.StartRequest(context.Background(), "req", Link{}, false)
+	for i := 0; i < 10; i++ {
+		sp.Event("tick", Int("i", int64(i)))
+	}
+	sp.End()
+	spans := tr.Collect(sp.TraceID())
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if got := len(spans[0].Events); got != 4 {
+		t.Errorf("events = %d, want cap of 4", got)
+	}
+	if spans[0].DroppedEvents != 6 {
+		t.Errorf("DroppedEvents = %d, want 6", spans[0].DroppedEvents)
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := NewTracer(Config{Service: "svc", SampleRate: 1})
+	ctx, root := tr.StartRequest(context.Background(), "server.analyze", Link{}, false)
+	cctx, child := StartSpan(ctx, "batch.item", Str("graph", "g1"))
+	child.SetAttr(Int("nodes", 42), Bool("hit", true))
+	_, grand := StartSpan(cctx, "solver.solve")
+	grand.End()
+	child.End()
+	root.SetAttr(Str("method", "ilp"))
+	root.End()
+
+	spans := tr.Collect(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.TraceID != string(root.TraceID()) {
+			t.Errorf("span %s trace = %s, want %s", s.Name, s.TraceID, root.TraceID())
+		}
+		if s.Service != "svc" {
+			t.Errorf("span %s service = %q, want svc", s.Name, s.Service)
+		}
+		if s.DurationNs < 0 {
+			t.Errorf("span %s has negative duration %d", s.Name, s.DurationNs)
+		}
+	}
+	if byName["batch.item"].Parent != byName["server.analyze"].SpanID {
+		t.Error("child span not parented to root")
+	}
+	if byName["solver.solve"].Parent != byName["batch.item"].SpanID {
+		t.Error("grandchild span not parented to child")
+	}
+	if byName["batch.item"].Attrs["nodes"] != "42" || byName["batch.item"].Attrs["hit"] != "true" {
+		t.Errorf("child attrs = %v", byName["batch.item"].Attrs)
+	}
+	if byName["server.analyze"].Attrs["method"] != "ilp" {
+		t.Errorf("root attrs = %v", byName["server.analyze"].Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	ctx := context.Background()
+	cctx, sp := StartSpan(ctx, "noop") // untraced context -> nil span
+	if sp != nil {
+		t.Fatal("StartSpan on untraced context returned a recording span")
+	}
+	if cctx != ctx {
+		t.Fatal("StartSpan on untraced context should return ctx unchanged")
+	}
+	// None of these may panic.
+	sp.SetAttr(Str("k", "v"))
+	sp.Event("e")
+	sp.End()
+	sp.End()
+	if sp.Recording() || sp.TraceID() != "" || sp.ID() != "" {
+		t.Fatal("nil span should report not-recording and empty IDs")
+	}
+	var tr *Tracer
+	if _, got := tr.StartRequest(ctx, "r", Link{}, true); got != nil {
+		t.Fatal("nil tracer started a span")
+	}
+	tr.AddSpans([]SpanData{{TraceID: "x"}})
+	if tr.Collect("x") != nil || tr.Stats() != (RingStats{}) {
+		t.Fatal("nil tracer should collect nothing")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1})
+	_, sp := tr.StartRequest(context.Background(), "req", Link{}, false)
+	sp.End()
+	sp.End()
+	sp.Event("after-end") // must not land
+	if spans := tr.Collect(sp.TraceID()); len(spans) != 1 || len(spans[0].Events) != 0 {
+		t.Fatalf("double End / post-End event leaked: %+v", spans)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	trace, span := NewTraceID(), NewSpanID()
+	v := FormatTraceparent(trace, span)
+	want := fmt.Sprintf("00-%s-%s-01", trace, span)
+	if v != want {
+		t.Fatalf("FormatTraceparent = %q, want %q", v, want)
+	}
+	link := ParseTraceparent(v)
+	if link.Trace != trace || link.Span != span {
+		t.Fatalf("round trip lost the link: %+v", link)
+	}
+
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+	}
+	for _, v := range bad {
+		if l := ParseTraceparent(v); l.Valid() {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header: %+v", v, l)
+		}
+	}
+	// Future version with extra fields still parses.
+	if l := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !l.Valid() {
+		t.Error("future-version traceparent with trailing fields rejected")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1})
+	ctx, sp := tr.StartRequest(context.Background(), "req", Link{}, false)
+	h := http.Header{}
+	Inject(ctx, h)
+	link := Extract(h)
+	if link.Trace != sp.TraceID() || link.Span != sp.ID() {
+		t.Fatalf("Extract(Inject(ctx)) = %+v, want trace %s span %s", link, sp.TraceID(), sp.ID())
+	}
+	// Untraced contexts inject nothing.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("untraced context injected a traceparent")
+	}
+	if Extract(h2).Valid() {
+		t.Fatal("empty header extracted a link")
+	}
+}
+
+func TestAddSpansStitches(t *testing.T) {
+	tr := NewTracer(Config{Service: "coord", SampleRate: 1})
+	_, root := tr.StartRequest(context.Background(), "req", Link{}, false)
+	root.End()
+	remote := SpanData{
+		TraceID: string(root.TraceID()),
+		SpanID:  string(NewSpanID()),
+		Parent:  string(root.ID()),
+		Name:    "server.analyze",
+		Service: "replica-2",
+	}
+	tr.AddSpans([]SpanData{remote, {TraceID: ""}}) // blank trace ID is skipped
+	spans := tr.Collect(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans after stitch, want 2", len(spans))
+	}
+	services := map[string]bool{}
+	for _, s := range spans {
+		services[s.Service] = true
+	}
+	if !services["coord"] || !services["replica-2"] {
+		t.Fatalf("stitched trace missing a replica: %v", services)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("NewRequestID length = %d, want 16 hex chars", len(id))
+	}
+	ctx := ContextWithRequestID(context.Background(), id)
+	if got := RequestIDFromContext(ctx); got != id {
+		t.Fatalf("RequestIDFromContext = %q, want %q", got, id)
+	}
+	if got := RequestIDFromContext(context.Background()); got != "" {
+		t.Fatalf("unset request ID = %q, want empty", got)
+	}
+	if ctx := ContextWithRequestID(context.Background(), ""); RequestIDFromContext(ctx) != "" {
+		t.Fatal("empty request ID should not be stored")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(Config{Service: "test", SampleRate: 1, RingTraces: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := tr.StartRequest(context.Background(), "req", Link{}, false)
+				_, sp := StartSpan(ctx, "child")
+				sp.Event("tick")
+				sp.SetAttr(Int("i", int64(i)))
+				sp.End()
+				root.End()
+				tr.Collect(root.TraceID())
+				tr.SetSampleRate(0.5)
+				tr.SetSampleRate(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tr.Stats(); st.Traces != 8 {
+		t.Fatalf("ring holds %d traces, want 8", st.Traces)
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "op")
+		sp.Event("e")
+		sp.End()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	tr := NewTracer(Config{Service: "bench", SampleRate: 1, RingTraces: 4})
+	ctx, root := tr.StartRequest(context.Background(), "req", Link{}, false)
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "op")
+		sp.End()
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// HTTP carrier headers. Traceparent is the W3C Trace Context header
+// (https://www.w3.org/TR/trace-context/): version "00", a 32-hex trace ID,
+// a 16-hex parent span ID, and a flags byte ("01" = sampled — the only
+// state this library propagates, since an unsampled trace is never
+// injected). RequestIDHeader is the engine's own correlation ID: unlike a
+// trace it exists on *every* request, sampled or not, so a failed forwarded
+// item can always be matched across replica logs.
+const (
+	TraceparentHeader = "traceparent"
+	RequestIDHeader   = "X-Regsat-Request-Id"
+)
+
+// FormatTraceparent renders the header value for an outgoing hop.
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return "00-" + string(trace) + "-" + string(span) + "-01"
+}
+
+// ParseTraceparent extracts the parent link from a header value, tolerating
+// future versions per the spec (any 2-hex version, extra fields ignored).
+// Malformed or all-zero IDs yield the zero Link.
+func ParseTraceparent(v string) Link {
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return Link{}
+	}
+	version, trace, span := parts[0], parts[1], parts[2]
+	if len(version) != 2 || version == "ff" || !isHex(version) {
+		return Link{}
+	}
+	if len(trace) != 32 || !isHex(trace) || allZero(trace) {
+		return Link{}
+	}
+	if len(span) != 16 || !isHex(span) || allZero(span) {
+		return Link{}
+	}
+	return Link{Trace: TraceID(trace), Span: SpanID(span)}
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject writes the active span's traceparent onto an outgoing request's
+// headers. Untraced contexts write nothing.
+func Inject(ctx context.Context, h http.Header) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	h.Set(TraceparentHeader, FormatTraceparent(sp.trace, sp.id))
+}
+
+// Extract reads the parent link from an incoming request's headers.
+func Extract(h http.Header) Link {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+// NewRequestID returns a fresh request correlation ID (16 hex chars).
+func NewRequestID() string { return randHex(8) }
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches the request's correlation ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the correlation ID ("" when unset).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

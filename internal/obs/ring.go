@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ring is the bounded in-memory store of finished spans behind the daemon's
+// GET /v1/trace/{id} export: an LRU over trace IDs (touching a trace — a new
+// span or a read — refreshes it) with a per-trace span cap. Both bounds drop
+// and count instead of growing, so a daemon that traces every request still
+// holds a fixed amount of trace data.
+type ring struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	traces    map[TraceID]*list.Element // -> *traceEntry
+	order     *list.List                // front = most recently touched
+
+	evictedTraces int64
+	droppedSpans  int64
+}
+
+type traceEntry struct {
+	id    TraceID
+	spans []SpanData
+}
+
+func newRing(maxTraces, maxSpans int) *ring {
+	return &ring{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+		traces:    make(map[TraceID]*list.Element, maxTraces),
+		order:     list.New(),
+	}
+}
+
+func (r *ring) add(sp SpanData) {
+	id := TraceID(sp.TraceID)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.traces[id]
+	if !ok {
+		if r.order.Len() >= r.maxTraces {
+			oldest := r.order.Back()
+			delete(r.traces, oldest.Value.(*traceEntry).id)
+			r.order.Remove(oldest)
+			r.evictedTraces++
+		}
+		el = r.order.PushFront(&traceEntry{id: id})
+		r.traces[id] = el
+	} else {
+		r.order.MoveToFront(el)
+	}
+	ent := el.Value.(*traceEntry)
+	if len(ent.spans) >= r.maxSpans {
+		r.droppedSpans++
+		return
+	}
+	ent.spans = append(ent.spans, sp)
+}
+
+func (r *ring) get(id TraceID) []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.traces[id]
+	if !ok {
+		return nil
+	}
+	r.order.MoveToFront(el)
+	ent := el.Value.(*traceEntry)
+	out := make([]SpanData, len(ent.spans))
+	copy(out, ent.spans)
+	return out
+}
+
+// RingStats is the ring's cumulative movement, exposed as Prometheus
+// counters by the daemon.
+type RingStats struct {
+	Traces        int   // traces currently retained
+	EvictedTraces int64 // traces pushed out by the LRU bound
+	DroppedSpans  int64 // spans dropped by the per-trace cap
+}
+
+func (r *ring) stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingStats{
+		Traces:        r.order.Len(),
+		EvictedTraces: r.evictedTraces,
+		DroppedSpans:  r.droppedSpans,
+	}
+}

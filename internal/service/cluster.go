@@ -12,6 +12,7 @@ import (
 
 	"regsat/client"
 	"regsat/internal/batch"
+	"regsat/internal/obs"
 )
 
 // forwardHeader is the single-hop forwarding guard. A replica forwarding
@@ -112,10 +113,11 @@ func (s *Server) serveClustered(ctx context.Context, w http.ResponseWriter, r *h
 	req *client.AnalyzeRequest, engine *batch.Engine, before batch.Stats, src batch.Source) {
 	items, stats := s.clusterAnalyze(ctx, engine, before, req, src)
 
+	root := obs.FromContext(ctx)
 	var interrupted string
 	if err := ctx.Err(); err != nil {
 		interrupted = fmt.Sprintf("batch interrupted: %v", err)
-		s.cfg.Logger.Printf("service: clustered analyze interrupted: %v", err)
+		s.log(ctx).Warn("clustered analyze interrupted", "err", err)
 	}
 
 	if r.URL.Query().Get("stream") != "" {
@@ -137,16 +139,22 @@ func (s *Server) serveClustered(ctx context.Context, w http.ResponseWriter, r *h
 		if interrupted != "" {
 			emit(client.StreamEvent{Error: interrupted})
 		}
-		emit(client.StreamEvent{Stats: &stats})
+		emit(client.StreamEvent{Stats: &stats, TraceID: string(root.TraceID())})
 		return
 	}
 
-	resp := client.AnalyzeResponse{Items: []client.Item{}, Stats: stats, Error: interrupted}
+	resp := client.AnalyzeResponse{
+		Items:     []client.Item{},
+		Stats:     stats,
+		Error:     interrupted,
+		RequestID: obs.RequestIDFromContext(ctx),
+	}
 	for _, it := range items {
 		if it != nil {
 			resp.Items = append(resp.Items, *it)
 		}
 	}
+	s.attachTrace(&resp, root, req.TraceSpans)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -256,17 +264,31 @@ func (s *Server) clusterAnalyze(ctx context.Context, engine *batch.Engine, befor
 			for k, it := range p.items {
 				fr.Graphs[k] = client.GraphInput{Name: it.Name, DDG: it.Graph.Format(), Fingerprint: p.fps[k]}
 			}
+			// The forward span covers the whole hop; the peer client injects
+			// its traceparent on the outgoing request, so the owning replica
+			// joins this trace and its server/batch/solver spans stitch under
+			// the same trace ID. The inline span attachment (TraceSpans) is
+			// how they travel back.
+			fctx, fsp := obs.StartSpan(ctx, "cluster.forward",
+				obs.Str("peer", owner), obs.Int("items", int64(len(p.items))))
+			if fsp != nil {
+				fr.TraceSpans = true
+			}
 			s.cluster.forwardsSent.Add(1)
-			resp, err := s.cluster.peers[owner].Analyze(ctx, fr)
+			resp, err := s.cluster.peers[owner].Analyze(fctx, fr)
 			if err != nil {
 				// Availability over shard purity: an unreachable owner's
 				// items are computed here (and counted remote).
 				s.cluster.forwardsFailed.Add(1)
-				s.cfg.Logger.Printf("service: forward of %d items to %s failed, computing locally: %v",
-					len(p.items), owner, err)
+				fsp.Event("forward.failed", obs.Str("err", err.Error()))
+				fsp.End()
+				s.log(ctx).Warn("forward failed, computing locally",
+					"peer", owner, "items", len(p.items), "err", err)
 				runLocal(p)
 				return
 			}
+			fsp.End()
+			s.tracer.AddSpans(wireToSpans(resp.Spans))
 			for _, item := range resp.Items {
 				if item.Index < 0 || item.Index >= len(p.indices) {
 					continue // a malformed peer answer must not corrupt other positions

@@ -484,3 +484,76 @@ func TestClusterConfigValidation(t *testing.T) {
 		t.Errorf("valid cluster config rejected: %v", err)
 	}
 }
+
+// TestClusterTraceStitching: a traced request to one replica produces ONE
+// trace whose exported spans come from at least two replicas — the
+// coordinator's server/forward spans plus the owning replicas' server and
+// batch spans, stitched via traceparent propagation on the forward hop and
+// the inline span attachments on the way back.
+func TestClusterTraceStitching(t *testing.T) {
+	tc := startTestCluster(t, 3, nil)
+	inputs, _ := testCorpus(t, 12)
+
+	c := client.New(tc.urls[0], nil)
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs:  inputs,
+		Options: client.AnalyzeOptions{Method: "greedy"},
+		Trace:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("batch error: %s", resp.Error)
+	}
+	if resp.RequestID == "" {
+		t.Error("traced response missing requestId echo")
+	}
+	if resp.TraceID == "" {
+		t.Fatal("traced response missing traceId")
+	}
+
+	spans, err := c.Trace(context.Background(), resp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("coordinator exported no spans for the trace")
+	}
+
+	services := map[string]bool{}
+	names := map[string]int{}
+	byID := map[string]client.TraceSpan{}
+	for _, sp := range spans {
+		if sp.TraceID != resp.TraceID {
+			t.Fatalf("span %s/%s carries trace %s, want %s (one request = one trace)",
+				sp.Service, sp.Name, sp.TraceID, resp.TraceID)
+		}
+		services[sp.Service] = true
+		names[sp.Name]++
+		byID[sp.SpanID] = sp
+	}
+	if len(services) < 2 {
+		t.Fatalf("trace has spans from %d replica(s) (%v); forwarding must stitch at least 2",
+			len(services), services)
+	}
+	for _, want := range []string{"server.analyze", "cluster.forward", "batch.item"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span (got %v)", want, names)
+		}
+	}
+	// The remote server.analyze span must hang off the coordinator's
+	// cluster.forward span: parent stitching, not just a shared ID.
+	stitched := false
+	for _, sp := range spans {
+		if sp.Name != "server.analyze" || sp.Service == tc.urls[0] {
+			continue
+		}
+		if parent, ok := byID[sp.Parent]; ok && parent.Name == "cluster.forward" && parent.Service == tc.urls[0] {
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Errorf("no remote server.analyze span parented under the coordinator's cluster.forward span")
+	}
+}

@@ -72,6 +72,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p("regsat_cluster_remote_items_total %d\n", c.remoteItems.Load())
 	}
 
+	// Trace ring movement and the live sampling knob.
+	ts := s.tracer.Stats()
+	p("# TYPE regsat_trace_sample_rate gauge\n")
+	p("regsat_trace_sample_rate %g\n", s.tracer.SampleRate())
+	p("# TYPE regsat_trace_ring_traces gauge\n")
+	p("regsat_trace_ring_traces %d\n", ts.Traces)
+	p("# TYPE regsat_trace_evicted_total counter\n")
+	p("regsat_trace_evicted_total %d\n", ts.EvictedTraces)
+	p("# TYPE regsat_trace_dropped_spans_total counter\n")
+	p("regsat_trace_dropped_spans_total %d\n", ts.DroppedSpans)
+
 	// Process-wide analysis-snapshot interner.
 	cs := ir.Stats()
 	p("# TYPE regsat_interner_hits_total counter\n")

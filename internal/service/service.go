@@ -38,8 +38,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 
 	"regsat/client"
 	"regsat/internal/batch"
+	"regsat/internal/obs"
 	"regsat/internal/service/store"
 	"regsat/internal/solver"
 )
@@ -75,8 +77,17 @@ type Config struct {
 	MaxBodyBytes int64
 	// CacheSize bounds the in-memory memo (0 = batch.DefaultCacheSize).
 	CacheSize int
-	// Logger receives request-level diagnostics (nil = log.Default()).
-	Logger *log.Logger
+	// Logger receives request-level diagnostics as structured records with
+	// request/trace IDs attached (nil = slog.Default()).
+	Logger *slog.Logger
+	// Tracer records request traces (nil = a tracer that samples nothing on
+	// its own but still records requests that force tracing or arrive with a
+	// traceparent). Its ring backs GET /v1/trace/{id}.
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the daemon's
+	// handler. Off by default: the profiling surface is a diagnostic tool,
+	// not part of the public API.
+	EnablePprof bool
 
 	// Peers enables cluster mode: the full fleet membership as base URLs,
 	// including this replica. Each replica builds a consistent-hash ring
@@ -112,7 +123,7 @@ func (c Config) withDefaults() Config {
 		c.MaxBodyBytes = 16 << 20
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -124,7 +135,8 @@ type Server struct {
 	cfg     Config
 	base    *batch.Engine // owns the shared L1 memo (and L2 write-through)
 	adm     *admission
-	cluster *cluster // nil in single-process mode
+	cluster *cluster    // nil in single-process mode
+	tracer  *obs.Tracer // never nil after New
 
 	draining atomic.Bool
 
@@ -151,11 +163,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store != nil {
 		opts.L2 = cfg.Store
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		// Exported spans name the replica in cluster mode, so a stitched
+		// cross-replica trace stays attributable to its producers.
+		svc := "rsd"
+		if cl != nil {
+			svc = cl.self
+		}
+		tracer = obs.NewTracer(obs.Config{Service: svc})
+	}
 	return &Server{
 		cfg:     cfg,
 		base:    batch.New(opts),
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		cluster: cl,
+		tracer:  tracer,
 	}, nil
 }
 
@@ -166,13 +189,24 @@ func (s *Server) Engine() *batch.Engine { return s.base }
 // requests are refused, while requests already admitted run to completion.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
+// Tracer exposes the server's tracer (tests and the trace export path).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/ring", s.handleRing)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -196,8 +230,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+
+	// Correlation ID: reuse the caller's (clients and forwarding
+	// coordinators send one), mint one otherwise. Every response — success,
+	// error, 429 — echoes it, and every log record of this request carries
+	// it, so one ID follows a request across replica logs.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	ctx := obs.ContextWithRequestID(r.Context(), reqID)
+
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.httpError(ctx, w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	forwarded := r.Header.Get(forwardHeader) != ""
@@ -208,21 +254,35 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req client.AnalyzeRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		s.httpError(ctx, w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
 		return
 	}
 	if len(req.Graphs) == 0 && len(req.Corpus) == 0 {
-		http.Error(w, "request names no graphs and no corpus references", http.StatusBadRequest)
+		s.httpError(ctx, w, "request names no graphs and no corpus references", http.StatusBadRequest)
 		return
 	}
+
+	// Trace: join the caller's trace when the request carries a traceparent
+	// (a forwarded sub-request, or a client that originated its own trace),
+	// record unconditionally when the body asks (Trace), sample otherwise.
+	ctx, root := s.tracer.StartRequest(ctx, "server.analyze", obs.Extract(r.Header), req.Trace)
+	defer root.End()
+	root.SetAttr(
+		obs.Str("requestId", reqID),
+		obs.Bool("forwarded", forwarded),
+		obs.Int("graphs", int64(len(req.Graphs))),
+		obs.Int("corpus", int64(len(req.Corpus))),
+		obs.Str("method", req.Options.Method),
+	)
+
 	batchOpts, err := s.batchOptions(req.Options)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(ctx, w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	src, err := s.buildSource(&req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(ctx, w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
@@ -235,20 +295,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	// Admission: shed immediately when the wait queue is full, otherwise
 	// queue for an execution slot (abandoning the wait if the client
-	// disconnects or the deadline passes first).
-	if err := s.adm.acquire(ctx); err != nil {
+	// disconnects or the deadline passes first). The queue span makes the
+	// wait visible: "slow request" and "queued request" look identical from
+	// outside, and this is the only place that can tell them apart.
+	_, qsp := obs.StartSpan(ctx, "server.queue")
+	err = s.adm.acquire(ctx)
+	qsp.End()
+	if err != nil {
 		if errors.Is(err, errOverloaded) {
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, "analysis queue is full, retry later", http.StatusTooManyRequests)
+			s.httpError(ctx, w, "analysis queue is full, retry later", http.StatusTooManyRequests)
 			return
 		}
-		http.Error(w, fmt.Sprintf("request expired while queued: %v", err), http.StatusServiceUnavailable)
+		s.httpError(ctx, w, fmt.Sprintf("request expired while queued: %v", err), http.StatusServiceUnavailable)
 		return
 	}
 	defer s.adm.release()
@@ -266,18 +331,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ch, err := engine.Run(ctx, src)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(ctx, w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 
 	withWitness := req.Options.Witness
 	wantDDG := req.Options.Reduce != nil
 	if r.URL.Query().Get("stream") != "" {
-		s.streamResults(ctx, w, ch, engine, before, withWitness, wantDDG)
+		s.streamResults(ctx, w, ch, engine, before, withWitness, wantDDG, root)
 		return
 	}
 
-	resp := client.AnalyzeResponse{Items: []client.Item{}}
+	resp := client.AnalyzeResponse{Items: []client.Item{}, RequestID: reqID}
 	for res := range ch {
 		resp.Items = append(resp.Items, s.itemToWire(res, withWitness, wantDDG))
 	}
@@ -285,17 +350,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// The batch was cut short; report what finished plus the cause, so
 		// the client never mistakes a truncated item list for a complete one.
 		resp.Error = fmt.Sprintf("batch interrupted: %v", err)
-		s.cfg.Logger.Printf("service: analyze interrupted: %v", err)
+		s.log(ctx).Warn("analyze interrupted", "err", err)
 	}
 	resp.Stats = runStatsSince(engine, before)
+	s.attachTrace(&resp, root, req.TraceSpans)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
 // streamResults writes one NDJSON StreamEvent per finished item, flushing
-// between items, then a final stats event.
+// between items, then a final stats event (carrying the trace ID when the
+// request was recorded).
 func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, ch <-chan batch.Result,
-	engine *batch.Engine, before batch.Stats, withWitness, wantDDG bool) {
+	engine *batch.Engine, before batch.Stats, withWitness, wantDDG bool, root *obs.Span) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -314,7 +381,7 @@ func (s *Server) streamResults(ctx context.Context, w http.ResponseWriter, ch <-
 		emit(client.StreamEvent{Error: fmt.Sprintf("batch interrupted: %v", err)})
 	}
 	stats := runStatsSince(engine, before)
-	emit(client.StreamEvent{Stats: &stats})
+	emit(client.StreamEvent{Stats: &stats, TraceID: string(root.TraceID())})
 }
 
 // runStatsSince renders the engine's counter movement as this request's

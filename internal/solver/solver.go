@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"regsat/internal/lp"
+	"regsat/internal/obs"
 )
 
 // DefaultBackend is used when Options.Backend is empty.
@@ -286,12 +287,38 @@ func namesLocked() []string {
 	return out
 }
 
-// Solve dispatches to the backend selected by opt.Backend.
+// Solve dispatches to the backend selected by opt.Backend. On a traced
+// context the solve gets its own span whose event timeline is the search
+// telemetry backends emit (presolve reductions, cut rounds, dives,
+// incumbents, refactorizations, dense fallbacks) and whose attributes
+// summarize the finished solve's Stats — for an untraced context the whole
+// layer is nil checks.
 func Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	b, err := Get(opt.Backend)
 	if err != nil {
 		return nil, err
 	}
-	return b.Solve(ctx, m, opt)
+	ctx, sp := obs.StartSpan(ctx, "solver.solve",
+		obs.Str("backend", opt.Backend),
+		obs.Int("vars", int64(m.NumVars())),
+		obs.Int("constrs", int64(m.NumConstrs())))
+	sol, err := b.Solve(ctx, m, opt)
+	if sol != nil {
+		sp.SetAttr(
+			obs.Str("status", sol.Status.String()),
+			obs.Bool("capped", sol.Capped),
+			obs.Int("nodes", sol.Stats.Nodes),
+			obs.Int("simplexIters", sol.Stats.SimplexIters),
+			obs.Int("warmStarts", sol.Stats.WarmStarts),
+			obs.Int("coldStarts", sol.Stats.ColdStarts),
+			obs.Int("incumbents", sol.Stats.Incumbents),
+			obs.Int("fallbacks", sol.Stats.Fallbacks),
+		)
+	}
+	if err != nil {
+		sp.SetAttr(obs.Str("err", err.Error()))
+	}
+	sp.End()
+	return sol, err
 }

@@ -6,11 +6,13 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"regsat/internal/lp"
+	"regsat/internal/obs"
 )
 
 // sparseBackend is the rewritten MILP engine: presolve with postsolve
@@ -45,10 +47,17 @@ func (b sparseBackend) Name() string { return b.name }
 func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
+	// The solve span (created by the Solve dispatcher; nil when untraced)
+	// carries the search telemetry: milestone events on a bounded buffer,
+	// never one per simplex iteration.
+	span := obs.FromContext(ctx)
 
 	// Presolve works on a private copy, so the reduced model rm is owned by
 	// this solve: the cut layer may append rows to it freely.
 	ps := presolve(m, opt.IntTol, !opt.DisablePresolve)
+	span.Event("presolve",
+		obs.Int("rows", ps.rows), obs.Int("cols", ps.cols),
+		obs.Int("tightenings", ps.tightenings), obs.Bool("infeasible", ps.infeasible))
 	infeasible := func() (*Solution, error) {
 		sol := &Solution{Status: lp.StatusInfeasible, Stats: ps.stats()}
 		sol.Stats.Workers = 1
@@ -71,6 +80,7 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 
 	p, err := buildProb(rm)
 	if err == errDense {
+		span.Event("fallback.dense", obs.Str("cause", "unbounded-cost-var"))
 		// Infinite bounds on a cost-bearing variable: the general-purpose
 		// dense engine handles those (and detects unboundedness). The
 		// delegation is a whole-model fallback — count it so it never
@@ -101,6 +111,7 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 	var cutsAdded int64
 	if len(cliques) > 0 {
 		cutsAdded = separateRoot(rm, cliques, cancelled)
+		span.Event("cuts.separated", obs.Int("added", cutsAdded), obs.Int("cliques", int64(len(cliques))))
 		if cutsAdded > 0 {
 			// The matrix grew; rebuild the shared sparse form. Cut rows add
 			// no variables, so sparse eligibility cannot change.
@@ -124,6 +135,7 @@ func (b sparseBackend) Solve(ctx context.Context, m *lp.Model, opt Options) (*So
 		p:         p,
 		opt:       opt,
 		ctx:       ctx,
+		span:      span,
 		deadline:  deadline,
 		cliqueIx:  buildCliqueIndex(cliques),
 		openBound: math.Inf(1),
@@ -212,9 +224,10 @@ const (
 )
 
 type searcher struct {
-	p   *prob
-	opt Options
-	ctx context.Context
+	p    *prob
+	opt  Options
+	ctx  context.Context
+	span *obs.Span // solve span for search events; nil when untraced
 
 	// deadline, cutoff, exclusiveCutoff, and cliqueIx are fixed before
 	// workers start and read lock-free on the per-node hot path, so they
@@ -393,6 +406,9 @@ func (s *searcher) updateIncumbent(objInternal float64, x []float64) {
 		s.incObj.Store(math.Float64bits(objInternal))
 		s.incX = append(s.incX[:0], x...)
 		s.incumb.Add(1)
+		s.span.Event("incumbent",
+			obs.Str("obj", strconv.FormatFloat(objInternal, 'g', 10, 64)),
+			obs.Int("nodes", s.nodes.Load()))
 	}
 }
 
@@ -466,6 +482,9 @@ func (s *searcher) worker() {
 			return
 		}
 		path = s.boundsOf(nd, lo, hi, path)
+		s.span.Event("dive",
+			obs.Int("depth", int64(len(path))),
+			obs.Str("bound", strconv.FormatFloat(nd.bound, 'g', 6, 64)))
 		w.reset(lo, hi)
 		s.cold.Add(1)
 		s.dive(w, scratch, nd, false)
@@ -599,6 +618,7 @@ func (s *searcher) dive(w, scratch *spx, nd *qnode, warm bool) {
 		if w.pivots >= refactorCut {
 			// Periodic refactorization: rebuild the tableau from the exact
 			// sparse matrix to shed accumulated floating-point drift.
+			s.span.Event("refactor", obs.Int("pivots", int64(w.pivots)))
 			w.applyBoundOnlyStore(diveNd)
 			w.reset(w.lo[:p.n], w.hi[:p.n])
 			s.cold.Add(1)
@@ -797,6 +817,7 @@ func (s *searcher) denseFallback(w *spx) {
 			break
 		}
 	}
+	s.span.Event("fallback.dense", obs.Int("nodeGrant", grant))
 	params := lp.Params{IntTol: s.opt.IntTol, MaxNodes: int(grant)}
 	if !s.deadline.IsZero() {
 		params.TimeLimit = time.Until(s.deadline)
