@@ -61,6 +61,22 @@ type AnalyzeOptions struct {
 	// Reduce, when non-nil with a positive budget, runs RS reduction on
 	// every graph whose saturation exceeds the budget.
 	Reduce *ReduceSpec `json:"reduce,omitempty"`
+	// Cyclic tunes the periodic analysis of loop-format inputs (DDGs whose
+	// header carries the `loop` flag). Loop inputs are accepted — and
+	// analyzed with default windows — even when this is nil.
+	Cyclic *CyclicSpec `json:"cyclic,omitempty"`
+}
+
+// CyclicSpec tunes the unrolled-window periodic analysis of loop inputs.
+type CyclicSpec struct {
+	// MaxWindow caps the number of unrolled iterations swept (0 = default).
+	MaxWindow int `json:"maxWindow,omitempty"`
+	// Stable is the number of identical per-iteration deltas that counts as
+	// convergence (0 = default).
+	Stable int `json:"stable,omitempty"`
+	// Certify additionally runs the exact periodic MILP on small kernels and
+	// cross-checks it against the unrolled windows.
+	Certify bool `json:"certify,omitempty"`
 }
 
 // SolverOptions mirrors regsat.SolverOptions on the wire.
@@ -146,6 +162,9 @@ type Item struct {
 	// Reductions maps each reduced type to its reduction outcome (only
 	// types whose saturation exceeded the budget appear).
 	Reductions map[string]*ReduceOutcome `json:"reductions,omitempty"`
+	// Cyclic maps each analyzed register type of a loop-format input to its
+	// periodic saturation outcome (loop items populate Cyclic instead of RS).
+	Cyclic map[string]*CyclicOutcome `json:"cyclic,omitempty"`
 
 	// CacheHit reports that every RS computation of this item was served
 	// from a cache (the in-memory memo or the persistent store).
@@ -171,6 +190,30 @@ type RSOutcome struct {
 	BB *BBInfo `json:"bb,omitempty"`
 	// SolverStats is the MILP backend's work accounting ("ilp" method).
 	SolverStats *SolverStats `json:"solverStats,omitempty"`
+}
+
+// CyclicOutcome is one register type's periodic saturation: the RS(k)
+// sequence over unrolled windows, its converged per-iteration delta and
+// Fekete slope bound, and the optional exact periodic certificate.
+type CyclicOutcome struct {
+	Windows   []int   `json:"windows"`
+	PerIter   int     `json:"perIter"`
+	Converged bool    `json:"converged"`
+	Window    int     `json:"window"`
+	Slope     float64 `json:"slope"`
+	Exact     bool    `json:"exact"`
+	// Periodic is the exact periodic MILP certificate (certify requests on
+	// small kernels only).
+	Periodic *PeriodicOutcome `json:"periodic,omitempty"`
+}
+
+// PeriodicOutcome mirrors the periodic MILP certificate on the wire.
+type PeriodicOutcome struct {
+	II         int64 `json:"ii"`
+	RS         int   `json:"rs"`
+	Exact      bool  `json:"exact"`
+	UpperBound int   `json:"upperBound"`
+	Jmax       int   `json:"jmax"`
 }
 
 // ILPModelInfo mirrors the Section 3 model accounting.

@@ -40,6 +40,7 @@ import (
 
 	"regsat/internal/batch"
 	"regsat/internal/benchcmp"
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/experiments"
 	"regsat/internal/gen"
@@ -67,7 +68,32 @@ type benchJSON struct {
 	Solver      *solverJSON      `json:"solver,omitempty"`
 	Families    *familiesJSON    `json:"families,omitempty"`
 	Tracing     *tracingJSON     `json:"tracing,omitempty"`
+	Cyclic      *cyclicJSON      `json:"cyclic,omitempty"`
 	Interner    ir.CacheStats    `json:"interner"`
+}
+
+// cyclicJSON is the -exp cyclic section: per-loop unrolled-window analysis
+// timings over the cyclic generator families, with each loop's convergence
+// window count alongside its ns/op. Entries gate in benchcmp under the
+// "cyclic/" namespace.
+type cyclicJSON struct {
+	Count    int              `json:"count"`
+	Parallel int              `json:"parallel"`
+	WallNs   int64            `json:"wallNs"`
+	PerFile  []cyclicLoopJSON `json:"perFile"`
+}
+
+// cyclicLoopJSON is one generated loop's periodic analysis cost and outcome.
+type cyclicLoopJSON struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	NsOp  int64  `json:"nsOp"`
+	// Windows is the number of unrolled windows the sweep ran before the
+	// per-iteration delta stabilized (or the cap).
+	Windows   int            `json:"windows,omitempty"`
+	Converged bool           `json:"converged,omitempty"`
+	PerIter   map[string]int `json:"perIter,omitempty"`
+	Error     string         `json:"error,omitempty"`
 }
 
 // tracingJSON is the -exp tracing section: the observability tax, measured
@@ -169,7 +195,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "comma-separated experiments: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver/tracing (need -dir) / families (generated; none part of all)")
+		exp      = fs.String("exp", "all", "comma-separated experiments: all|pipeline|fig2|rs|reduce|size|time|versus|thm42, or corpus/solver/tracing (need -dir) / families/cyclic (generated; none part of all)")
 		machine  = fs.String("machine", "superscalar", "machine kind: superscalar|vliw|epic")
 		random   = fs.Int("random", 20, "number of random loop bodies added to the kernel suite")
 		seed     = fs.Int64("seed", 2004, "random population seed")
@@ -354,6 +380,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "[tracing completed in %v]\n\n", elapsed.Round(time.Millisecond))
 	}
+	if wants["cyclic"] {
+		start := time.Now()
+		report, yj, err := cyclicReport(mk, *famCount, *seed, *parallel)
+		if err != nil {
+			return fmt.Errorf("cyclic: %w", err)
+		}
+		elapsed := time.Since(start)
+		yj.WallNs = int64(elapsed)
+		summary.Cyclic = yj
+		summary.Experiments = append(summary.Experiments, experimentJSON{Name: "cyclic", WallNs: int64(elapsed)})
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "[cyclic completed in %v]\n\n", elapsed.Round(time.Millisecond))
+	}
 	if wants["families"] {
 		start := time.Now()
 		report, fj, err := familiesReport(mk, *famCount, *seed, *parallel)
@@ -479,6 +518,83 @@ func familiesReport(mk ddg.MachineKind, perFamily int, seedBase int64, parallel 
 	return string(b), fj, nil
 }
 
+// cyclicReport generates a deterministic panel of loop kernels from every
+// cyclic generator family and shards the unrolled-window periodic analysis
+// over the batch engine: the loop counterpart of familiesReport, giving the
+// CI gate per-loop ns/op plus each loop's convergence window count.
+func cyclicReport(mk ddg.MachineKind, perFamily int, seedBase int64, parallel int) (string, *cyclicJSON, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	var loops []*cyclic.Loop
+	for _, f := range gen.CyclicFamilies() {
+		for i := 0; i < perFamily; i++ {
+			p := f.Defaults
+			p.Machine = mk
+			p.Seed = seedBase + int64(i)
+			p.Size = f.Defaults.Size + i%3
+			p.Types = []ddg.RegType{ddg.Int, ddg.Float}
+			if err := f.Validate(p); err != nil {
+				return "", nil, err
+			}
+			l, err := f.Generate(p)
+			if err != nil {
+				return "", nil, err
+			}
+			loops = append(loops, l)
+		}
+	}
+	eng := batch.New(batch.Options{Parallel: parallel, Cyclic: cyclic.Options{
+		MaxWindow: 6, RS: rs.Options{Method: rs.MethodExactBB, SkipWitness: true}}})
+	start := time.Now()
+	results, err := eng.Collect(context.Background(), batch.Loops(loops...))
+	if err != nil {
+		return "", nil, err
+	}
+	wall := time.Since(start)
+
+	yj := &cyclicJSON{Count: len(results), Parallel: parallel}
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("Cyclic loop-family periodic analysis: %d loops (%d per family, machine %s)\n", len(results), perFamily, mk)
+	add("%-40s %-8s %-9s %s\n", "LOOP", "NODES", "WINDOWS", "Δ/iteration per type")
+	for _, res := range results {
+		entry := cyclicLoopJSON{Name: res.Name, NsOp: int64(res.Elapsed)}
+		if res.Err != nil {
+			entry.Error = res.Err.Error()
+			yj.PerFile = append(yj.PerFile, entry)
+			add("%-40s %v\n", res.Name, res.Err)
+			continue
+		}
+		entry.Nodes = len(res.Loop.Nodes())
+		entry.Converged = true
+		entry.PerIter = make(map[string]int, len(res.Cyclic))
+		types := make([]string, 0, len(res.Cyclic))
+		for t, r := range res.Cyclic {
+			types = append(types, string(t))
+			entry.PerIter[string(t)] = r.PerIter
+			if r.Window > entry.Windows {
+				entry.Windows = r.Window
+			}
+			if !r.Converged {
+				entry.Converged = false
+			}
+		}
+		sort.Strings(types)
+		line := ""
+		for _, t := range types {
+			line += fmt.Sprintf("%s=%d ", t, res.Cyclic[ddg.RegType(t)].PerIter)
+		}
+		if !entry.Converged {
+			line += "(not converged)"
+		}
+		yj.PerFile = append(yj.PerFile, entry)
+		add("%-40s %-8d %-9d %s\n", res.Name, entry.Nodes, entry.Windows, line)
+	}
+	add("cyclic sweep: %d loops in %v (parallel %d)\n", len(results), wall.Round(time.Millisecond), parallel)
+	return string(b), yj, nil
+}
+
 // solverReport compares every registered MILP backend on the corpus: per
 // instance, nodes explored, simplex iterations, warm-start hit rate, and
 // wall clock, each backend verified against the combinatorial exact search.
@@ -499,6 +615,9 @@ func solverReport(dir string, maxValues int) (string, *solverJSON, error) {
 		}
 		if it.Err != nil {
 			return "", nil, it.Err
+		}
+		if it.Loop != nil {
+			continue // loop kernels are benchmarked by -exp cyclic
 		}
 		if !it.Graph.Finalized() {
 			if err := it.Graph.Finalize(); err != nil {
@@ -612,7 +731,11 @@ func tracingReport(dir string, parallel int) (string, *tracingJSON, error) {
 			add("%-40s %v\n", res.Name, res.Err)
 			continue
 		}
-		file.Nodes = res.Graph.NumNodes()
+		if res.Loop != nil {
+			file.Nodes = len(res.Loop.Nodes())
+		} else {
+			file.Nodes = res.Graph.NumNodes()
+		}
 		tj.PerFile = append(tj.PerFile, file)
 		on := enByName[res.Name]
 		ratio := 0.0
@@ -682,20 +805,36 @@ func corpusReport(dir string, parallel int) (string, *corpusJSON, error) {
 			add("%-40s %v\n", res.Name, res.Err)
 			continue
 		}
-		file.Nodes = res.Graph.NumNodes()
-		file.RS = make(map[string]int, len(res.RS))
-		types := make([]string, 0, len(res.RS))
-		for t, r := range res.RS {
-			types = append(types, string(t))
-			file.RS[string(t)] = r.RS
-		}
-		sort.Strings(types)
 		line := ""
-		for _, t := range types {
-			line += fmt.Sprintf("%s=%d ", t, res.RS[ddg.RegType(t)].RS)
+		if res.Loop != nil {
+			// Loop kernels in the corpus run the periodic window sweep;
+			// report the converged per-iteration delta as the RS column.
+			file.Nodes = len(res.Loop.Nodes())
+			file.RS = make(map[string]int, len(res.Cyclic))
+			types := make([]string, 0, len(res.Cyclic))
+			for t, r := range res.Cyclic {
+				types = append(types, string(t))
+				file.RS[string(t)] = r.PerIter
+			}
+			sort.Strings(types)
+			for _, t := range types {
+				line += fmt.Sprintf("%s=Δ%d/iter ", t, res.Cyclic[ddg.RegType(t)].PerIter)
+			}
+		} else {
+			file.Nodes = res.Graph.NumNodes()
+			file.RS = make(map[string]int, len(res.RS))
+			types := make([]string, 0, len(res.RS))
+			for t, r := range res.RS {
+				types = append(types, string(t))
+				file.RS[string(t)] = r.RS
+			}
+			sort.Strings(types)
+			for _, t := range types {
+				line += fmt.Sprintf("%s=%d ", t, res.RS[ddg.RegType(t)].RS)
+			}
 		}
 		cj.PerFile = append(cj.PerFile, file)
-		add("%-40s %-8d %s\n", res.Name, res.Graph.NumNodes(), line)
+		add("%-40s %-8d %s\n", res.Name, file.Nodes, line)
 	}
 	add("sequential: %v   parallel(%d): %v   speedup %.2fx\n",
 		seqTime.Round(time.Millisecond), parallel, parTime.Round(time.Millisecond),

@@ -112,6 +112,84 @@ func TestFamiliesExperiment(t *testing.T) {
 	}
 }
 
+// TestCyclicExperiment: the cyclic loop-family sweep produces a complete
+// machine-readable section covering every registered cyclic family, with
+// window counts and per-iteration deltas per loop.
+func TestCyclicExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	out, _, err := runCLI(t, "-exp", "cyclic", "-fam-count", "2", "-json", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[cyclic completed in") {
+		t.Fatalf("cyclic sweep did not complete:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cyclic == nil || b.Cyclic.Count != 4 || len(b.Cyclic.PerFile) != 4 {
+		t.Fatalf("cyclic summary incomplete: %+v", b.Cyclic)
+	}
+	for _, family := range []string{"recurrence", "stencil"} {
+		found := false
+		for _, f := range b.Cyclic.PerFile {
+			if strings.HasPrefix(f.Name, family+"-") {
+				found = true
+				if f.Error != "" {
+					t.Fatalf("%s failed: %s", f.Name, f.Error)
+				}
+				if f.NsOp <= 0 || f.Windows < 1 || len(f.PerIter) == 0 {
+					t.Fatalf("per-loop record incomplete: %+v", f)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("cyclic family %s missing from the sweep: %+v", family, b.Cyclic.PerFile)
+		}
+	}
+}
+
+// TestCyclicBaselineGate: cyclic entries participate in the benchcmp gate
+// under the cyclic/ namespace — a doctored baseline flags them.
+func TestCyclicBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if _, _, err := runCLI(t, "-exp", "cyclic", "-fam-count", "2", "-json", base); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Cyclic.PerFile {
+		b.Cyclic.PerFile[i].NsOp /= 1000
+	}
+	fast, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := filepath.Join(dir, "fast.json")
+	if err := os.WriteFile(doctored, fast, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-exp", "cyclic", "-fam-count", "2", "-baseline", doctored, "-threshold", "0.25")
+	if err == nil || !strings.Contains(err.Error(), "performance regressed") {
+		t.Fatalf("injected cyclic regression not flagged: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "cyclic/") {
+		t.Fatalf("cyclic namespace missing from report:\n%s", out)
+	}
+}
+
 // TestBaselineGate drives the full compare mode through the CLI: an
 // unchanged run passes, an injected 2x regression fails with the verdict on
 // stdout.

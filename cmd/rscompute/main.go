@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dot      = fs.Bool("dot", false, "emit the DDG in Graphviz format and exit (single input)")
 		witness  = fs.Bool("witness", false, "print a saturating schedule")
 		parallel = fs.Int("parallel", 0, "worker count for multi-file analysis (0 = GOMAXPROCS)")
+		certify  = fs.Bool("cyclic", false, "certify loop kernels with the exact periodic MILP (small kernels only)")
 		backend  = fs.String("solver", "", "MILP backend for -method ilp: dense|sparse|parallel (default sparse)")
 		stats    = fs.Bool("solver-stats", false, "print per-solve search statistics (MILP nodes/iterations or exact-BB leaves/prunes)")
 		irStats  = fs.Bool("ir-stats", false, "print the analysis-snapshot interner statistics after the run")
@@ -85,7 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	ch, err := regsat.AnalyzeAll(context.Background(), []regsat.GraphSource{src},
-		regsat.BatchOptions{Parallel: *parallel, RS: opts})
+		regsat.BatchOptions{Parallel: *parallel, RS: opts,
+			Cyclic: regsat.CyclicOptions{Certify: *certify}})
 	if err != nil {
 		return err
 	}
@@ -94,6 +96,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if res.Err != nil {
 			failed++
 			fmt.Fprintf(stderr, "rscompute: %s: %v\n", res.Name, res.Err)
+			continue
+		}
+		if res.Loop != nil {
+			printLoop(stdout, res)
 			continue
 		}
 		g := res.Graph
@@ -156,6 +162,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// printLoop renders a cyclic loop item's periodic analysis: the unrolled
+// RS(k) window sequence with its converged per-iteration delta and Fekete
+// slope bound, plus the periodic MILP certificate when one was computed.
+func printLoop(w io.Writer, res regsat.BatchResult) {
+	l := res.Loop
+	carried := 0
+	for _, e := range l.Edges() {
+		if e.Dist > 0 {
+			carried++
+		}
+	}
+	fmt.Fprintf(w, "Loop %s (%s): %d nodes, %d edges (%d loop-carried)\n",
+		l.Name, l.Machine, len(l.Nodes()), len(l.Edges()), carried)
+	for _, t := range l.Types() {
+		r := res.Cyclic[t]
+		if r == nil {
+			continue
+		}
+		conv := "not converged"
+		if r.Converged {
+			conv = fmt.Sprintf("Δ=%d/iteration", r.PerIter)
+		}
+		exact := "≥ (heuristic lower bounds)"
+		if r.Exact {
+			exact = "(exact windows)"
+		}
+		fmt.Fprintf(w, "  RS_%s windows %v %s   %s, slope ≤ %.3f\n",
+			t, r.Windows, exact, conv, r.Slope)
+		if p := r.Periodic; p != nil {
+			status := fmt.Sprintf("PRS ∈ [%d, %d]", p.RS, p.UpperBound)
+			if p.Exact {
+				status = fmt.Sprintf("PRS = %d (exact)", p.RS)
+			}
+			fmt.Fprintf(w, "    periodic MILP: II=%d, %s, jmax=%d\n", p.II, status, p.Jmax)
+		}
+	}
+}
+
 // printIRStats renders the process-wide interner counters (shared with
 // rsreduce via the same public API rsd's /metrics uses).
 func printIRStats(w io.Writer) {
@@ -179,18 +223,18 @@ func buildSource(file, kernel, machine string, args []string) (regsat.GraphSourc
 		}
 		return regsat.SourceGraphs(spec.Build(mk)), nil
 	case file == "-":
-		g, err := loadStdin()
+		src, err := loadStdinSource()
 		if err != nil {
 			return nil, err
 		}
 		if len(args) == 0 {
-			return regsat.SourceGraphs(g), nil
+			return src, nil
 		}
 		rest, err := regsat.SourcePaths(args...)
 		if err != nil {
 			return nil, err
 		}
-		return regsat.SourceConcat(regsat.SourceGraphs(g), rest), nil
+		return regsat.SourceConcat(src, rest), nil
 	case file != "" || len(args) > 0:
 		paths := args
 		if file != "" {
@@ -232,6 +276,30 @@ func loadStdin() (*regsat.Graph, error) {
 		return nil, err
 	}
 	return g, g.Finalize()
+}
+
+// loadStdinSource reads one DDG from stdin, routing loop kernels (the `loop`
+// header flag) to the cyclic pipeline.
+func loadStdinSource() (regsat.GraphSource, error) {
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return nil, err
+	}
+	if regsat.DetectLoop(string(raw)) {
+		l, err := regsat.ParseLoopString(string(raw))
+		if err != nil {
+			return nil, err
+		}
+		return regsat.SourceLoops(l), nil
+	}
+	g, err := regsat.ParseGraphString(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return regsat.SourceGraphs(g), nil
 }
 
 func loadSingle(path string) (*regsat.Graph, error) {

@@ -37,6 +37,40 @@ func TestCorpusDirectory(t *testing.T) {
 	}
 }
 
+func TestCyclicLoopFile(t *testing.T) {
+	out, _, err := runCLI(t, "-cyclic", "-method", "bb", "../../testdata/superscalar-loop-fib.ddg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Loop ", "loop-carried", "RS_float windows", "periodic MILP: II="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cyclic output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCyclicLoopStdin(t *testing.T) {
+	loop := "ddg \"inline-rec\" loop\nnode a op=x lat=2 writes=float\nedge a a flow float dist=1\n"
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteString(loop); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	out, _, err := runCLI(t, "-f", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Loop inline-rec") {
+		t.Fatalf("stdin loop not analyzed:\n%s", out)
+	}
+}
+
 func TestDotOutput(t *testing.T) {
 	out, _, err := runCLI(t, "-kernel", "fig2", "-dot")
 	if err != nil {

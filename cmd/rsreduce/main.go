@@ -110,6 +110,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "rsreduce: %s: %v\n", res.Name, res.Err)
 			continue
 		}
+		if res.Loop != nil {
+			fmt.Fprintf(stdout, "Loop %s (%s): cyclic kernel — reduction targets acyclic DDGs, skipped (use rscompute -cyclic)\n",
+				res.Loop.Name, res.Loop.Machine)
+			continue
+		}
 		g := res.Graph
 		before := res.RS[t]
 		if before == nil {

@@ -29,12 +29,16 @@ func TestCorpusFullPipeline(t *testing.T) {
 		t.Fatal("corpus is empty: no .ddg files in testdata/ (regenerate with `go run ./cmd/ddggen -corpus -out testdata`)")
 	}
 	for _, file := range files {
-		f, err := os.Open(file)
+		raw, err := os.ReadFile(file)
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := ParseGraph(f)
-		f.Close()
+		if DetectLoop(string(raw)) {
+			// Loop kernels go through the cyclic pipeline (AnalyzeLoop);
+			// internal/cyclic's corpus test covers them end to end.
+			continue
+		}
+		g, err := ParseGraphString(string(raw))
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
@@ -107,6 +111,15 @@ func analyzeCorpus(t *testing.T, parallel int) string {
 			if red := res.Reductions[typ]; red != nil {
 				fmt.Fprintf(&b, ",red=%d,arcs=%v,spill=%t", red.RS, red.Arcs, red.Spill)
 			}
+		}
+		ctypes := make([]string, 0, len(res.Cyclic))
+		for typ := range res.Cyclic {
+			ctypes = append(ctypes, string(typ))
+		}
+		sort.Strings(ctypes)
+		for _, ts := range ctypes {
+			r := res.Cyclic[RegType(ts)]
+			fmt.Fprintf(&b, " %s:win=%v,per=%d,conv=%t,exact=%t", ts, r.Windows, r.PerIter, r.Converged, r.Exact)
 		}
 		b.WriteString("\n")
 	}

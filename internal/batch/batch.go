@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/obs"
 	"regsat/internal/reduce"
@@ -38,6 +39,10 @@ type Options struct {
 	Parallel int
 	// RS configures the saturation computation of every item.
 	RS rs.Options
+	// Cyclic configures the periodic analysis of loop items. When its RS
+	// sub-options are the zero value they inherit the engine's RS options,
+	// so one method/solver selection governs both item kinds.
+	Cyclic cyclic.Options
 	// Solver, when non-zero, overrides RS.Solver: one place to select the
 	// MILP backend and its limits for the whole batch.
 	Solver solver.Options
@@ -71,6 +76,18 @@ type ResultCache interface {
 	Put(fp string, t ddg.RegType, optsKey string, res *rs.Result)
 }
 
+// CyclicCache is the optional loop-kernel extension of ResultCache: an L2
+// cache that also implements it serves and stores periodic analysis results,
+// keyed by the loop fingerprint (its domain is disjoint from acyclic ir
+// fingerprints), the register type, and the canonicalized cyclic options key.
+// L2 caches that do not implement it simply never see loop items.
+type CyclicCache interface {
+	// GetCyclic returns the cached periodic result for (fp, t, optsKey).
+	GetCyclic(fp string, t ddg.RegType, optsKey string) (*cyclic.Result, bool)
+	// PutCyclic stores res under (fp, t, optsKey).
+	PutCyclic(fp string, t ddg.RegType, optsKey string, res *cyclic.Result)
+}
+
 // ReduceSpec describes the optional reduction pass of a batch.
 type ReduceSpec struct {
 	// Budget is the available register count R_t to reduce below.
@@ -97,8 +114,12 @@ type Result struct {
 	Index int
 	// Name identifies the item (file path, kernel or graph name).
 	Name string
-	// Graph is the finalized DDG (nil when Err is set before loading).
+	// Graph is the finalized DDG (nil when Err is set before loading, or
+	// when the item is a loop kernel).
 	Graph *ddg.Graph
+	// Loop is the item's cyclic kernel when the input carried the `loop`
+	// flag; such items populate Cyclic instead of RS.
+	Loop *cyclic.Loop
 	// RS maps each analyzed register type to its saturation result. When the
 	// batch contains structurally identical graphs, duplicates share one
 	// *rs.Result — treat results as immutable.
@@ -114,6 +135,12 @@ type Result struct {
 	// ComputedReductions marks the reductions this item actually ran
 	// (mirror of ComputedRS for the reduction pass).
 	ComputedReductions map[ddg.RegType]bool
+	// Cyclic maps each analyzed register type of a loop item to its periodic
+	// saturation result. Structural twins share one *cyclic.Result — treat
+	// results as immutable.
+	Cyclic map[ddg.RegType]*cyclic.Result
+	// ComputedCyclic mirrors ComputedRS for loop items.
+	ComputedCyclic map[ddg.RegType]bool
 	// CacheHit reports that every RS computation of this item was served
 	// from the memo.
 	CacheHit bool
@@ -135,6 +162,9 @@ type Engine struct {
 func New(opts Options) *Engine {
 	if opts.Solver != (solver.Options{}) {
 		opts.RS.Solver = opts.Solver
+	}
+	if opts.Cyclic.RS == (rs.Options{}) {
+		opts.Cyclic.RS = opts.RS
 	}
 	if opts.Reduce != nil && opts.Reduce.Run == nil {
 		r := *opts.Reduce
@@ -310,6 +340,9 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 		res.Err = wk.item.Err
 		return res
 	}
+	if wk.item.Loop != nil {
+		return e.processLoop(ctx, wk, res)
+	}
 	g := wk.item.Graph
 	if !g.Finalized() {
 		if err := g.Finalize(); err != nil {
@@ -364,6 +397,57 @@ func (e *Engine) process(ctx context.Context, wk work) (res Result) {
 	}
 	res.CacheHit = allCached && len(res.RS) > 0
 	return res
+}
+
+// processLoop analyzes one loop item: unrolled-window convergence (plus the
+// periodic certificate when the options ask for it) per register type, with
+// results memoized under the loop's domain-tagged fingerprint exactly like
+// acyclic RS results.
+func (e *Engine) processLoop(ctx context.Context, wk work, res Result) Result {
+	l := wk.item.Loop
+	if err := l.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Loop = l
+	types := e.opts.Types
+	if len(types) == 0 {
+		types = l.Types()
+	}
+	ent := e.memo.lookup(l.Fingerprint())
+	res.Cyclic = make(map[ddg.RegType]*cyclic.Result, len(types))
+	res.ComputedCyclic = make(map[ddg.RegType]bool, len(types))
+	allCached := true
+	for _, t := range types {
+		if !loopWrites(l, t) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+		r, hit, err := ent.cyclicResult(ctx, e.memo, l, t, e.opts.Cyclic)
+		if err != nil {
+			res.Err = fmt.Errorf("%s/%s: %w", wk.item.Name, t, err)
+			return res
+		}
+		if !hit {
+			allCached = false
+			res.ComputedCyclic[t] = true
+		}
+		res.Cyclic[t] = r
+	}
+	res.CacheHit = allCached && len(res.Cyclic) > 0
+	return res
+}
+
+func loopWrites(l *cyclic.Loop, t ddg.RegType) bool {
+	for _, n := range l.Nodes() {
+		if n.WritesType(t) {
+			return true
+		}
+	}
+	return false
 }
 
 func writes(g *ddg.Graph, t ddg.RegType) bool {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/ir"
 	"regsat/internal/obs"
@@ -65,6 +66,7 @@ type entry struct {
 	analyses map[ddg.RegType]*analysisSlot
 	results  map[string]*resultSlot
 	reduces  map[string]*reduceSlot
+	cyclics  map[string]*cyclicSlot
 }
 
 type analysisSlot struct {
@@ -134,6 +136,7 @@ func (m *memo) lookup(fp string) *entry {
 		analyses: make(map[ddg.RegType]*analysisSlot),
 		results:  make(map[string]*resultSlot),
 		reduces:  make(map[string]*reduceSlot),
+		cyclics:  make(map[string]*cyclicSlot),
 	}
 	m.entries[fp] = m.order.PushFront(e)
 	for len(m.entries) > m.cap {
@@ -222,6 +225,81 @@ func (e *entry) result(ctx context.Context, m *memo, g *ddg.Graph, t ddg.RegType
 		if cerr == nil && m.l2 != nil {
 			_, psp := obs.StartSpan(cctx, "l2.put")
 			m.l2.Put(e.fp, t, key, r)
+			psp.End()
+		}
+		return r, cerr
+	})
+	switch {
+	case !ran:
+		m.hits.Add(1)
+		obs.FromContext(ctx).Event("memo.hit", obs.Str("type", string(t)))
+	case fromL2:
+		m.l2hits.Add(1)
+	default:
+		m.misses.Add(1)
+	}
+	return res, !ran || fromL2, err
+}
+
+// cyclicSlot is the loop-kernel analog of resultSlot: a singleflight cell
+// for one (type, cyclic options) periodic analysis, with the same
+// no-memoization-of-cancellation rule.
+type cyclicSlot struct {
+	mu   sync.Mutex
+	done bool
+	res  *cyclic.Result
+	err  error
+}
+
+func (s *cyclicSlot) get(compute func() (*cyclic.Result, error)) (*cyclic.Result, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.res, false, s.err
+	}
+	res, err := compute()
+	if isCtxErr(err) {
+		return nil, true, err
+	}
+	s.done = true
+	s.res, s.err = res, err
+	return res, true, err
+}
+
+// cyclicResult returns the memoized periodic analysis for (t, opts),
+// computing it on first use. Cyclic results carry no witness schedules (the
+// window engine forces SkipWitness), so — unlike acyclic RS results — an L2
+// hit needs no per-graph materialization and the L2 hook is the narrower
+// CyclicCache interface, type-asserted from the engine's ResultCache.
+func (e *entry) cyclicResult(ctx context.Context, m *memo, l *cyclic.Loop, t ddg.RegType, opts cyclic.Options) (*cyclic.Result, bool, error) {
+	key := string(t) + "|" + opts.Key()
+	e.mu.Lock()
+	slot, ok := e.cyclics[key]
+	if !ok {
+		slot = &cyclicSlot{}
+		e.cyclics[key] = slot
+	}
+	e.mu.Unlock()
+	l2, _ := m.l2.(CyclicCache)
+	fromL2 := false
+	res, ran, err := slot.get(func() (*cyclic.Result, error) {
+		cctx, sp := obs.StartSpan(ctx, "batch.cyclic", obs.Str("type", string(t)))
+		defer sp.End()
+		if l2 != nil {
+			_, lsp := obs.StartSpan(cctx, "l2.get")
+			r, ok := l2.GetCyclic(e.fp, t, key)
+			lsp.End()
+			if ok {
+				fromL2 = true
+				sp.Event("l2.hit")
+				return r, nil
+			}
+			sp.Event("l2.miss")
+		}
+		r, cerr := cyclic.Analyze(cctx, l, t, opts)
+		if cerr == nil && l2 != nil {
+			_, psp := obs.StartSpan(cctx, "l2.put")
+			l2.PutCyclic(e.fp, t, key, r)
 			psp.End()
 		}
 		return r, cerr

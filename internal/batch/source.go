@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 )
 
@@ -16,8 +17,12 @@ import (
 type Item struct {
 	// Name identifies the item in results (file path, kernel name, …).
 	Name string
-	// Graph is the finalized DDG (nil when Err is set).
+	// Graph is the finalized DDG (nil when Err or Loop is set).
 	Graph *ddg.Graph
+	// Loop is a cyclic loop kernel; items carry either Graph or Loop, never
+	// both. File sources set it automatically when the input carries the
+	// `loop` header flag.
+	Loop *cyclic.Loop
 	// Err is the load failure of this item, if any.
 	Err error
 }
@@ -65,6 +70,20 @@ func Graphs(gs ...*ddg.Graph) Source {
 	return &sliceSource{items: items}
 }
 
+// Loops streams already-built cyclic loop kernels, named by their Name.
+// Validation failures become per-item errors.
+func Loops(ls ...*cyclic.Loop) Source {
+	items := make([]Item, len(ls))
+	for i, l := range ls {
+		if err := l.Validate(); err != nil {
+			items[i] = Item{Name: l.Name, Err: err}
+			continue
+		}
+		items[i] = Item{Name: l.Name, Loop: l}
+	}
+	return &sliceSource{items: items}
+}
+
 // Files streams the given .ddg files lazily: each file is opened, parsed,
 // and finalized when the engine pulls it. Load failures become per-item
 // errors.
@@ -83,29 +102,36 @@ func (s *fileSource) Next() (Item, bool) {
 	}
 	path := s.paths[s.pos]
 	s.pos++
-	g, err := loadFile(path)
-	if err != nil {
-		return Item{Name: path, Err: err}, true
-	}
-	return Item{Name: path, Graph: g}, true
+	it := loadFile(path)
+	it.Name = path
+	return it, true
 }
 
-// loadFile parses and finalizes one .ddg file. Errors are not prefixed with
-// the path: the Item.Name / Result.Name reported alongside already carries it.
-func loadFile(path string) (*ddg.Graph, error) {
-	f, err := os.Open(path)
+// loadFile parses and finalizes one .ddg file, dispatching on the `loop`
+// header flag: loop kernels load as cyclic Loops, everything else as acyclic
+// graphs. Errors are not prefixed with the path: the Item.Name / Result.Name
+// reported alongside already carries it.
+func loadFile(path string) Item {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return Item{Err: err}
 	}
-	defer f.Close()
-	g, err := ddg.Parse(f)
+	text := string(raw)
+	if cyclic.Detect(text) {
+		l, err := cyclic.ParseString(text)
+		if err != nil {
+			return Item{Err: err}
+		}
+		return Item{Loop: l}
+	}
+	g, err := ddg.ParseString(text)
 	if err != nil {
-		return nil, err
+		return Item{Err: err}
 	}
 	if err := g.Finalize(); err != nil {
-		return nil, err
+		return Item{Err: err}
 	}
-	return g, nil
+	return Item{Graph: g}
 }
 
 // Dir streams every *.ddg file of a directory in sorted order. It fails up

@@ -35,6 +35,10 @@ type Run struct {
 	// (e.g. "cluster/p99") instead of per-file ns/op, but the same
 	// shape, so quantile regressions gate exactly like file regressions.
 	Load *Sweep `json:"load"`
+	// Cyclic is the periodic loop-kernel sweep (rsbench -exp cyclic):
+	// per-loop unrolled-window analysis ns/op across the cyclic generator
+	// families.
+	Cyclic *Sweep `json:"cyclic"`
 }
 
 // Experiment is one experiment's wall time.
@@ -174,6 +178,7 @@ func collectFiles(r *Run) map[string]int64 {
 	add("families/", r.Families)
 	add("tracing/", r.Tracing)
 	add("load/", r.Load)
+	add("cyclic/", r.Cyclic)
 	return out
 }
 

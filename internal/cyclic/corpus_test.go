@@ -1,0 +1,73 @@
+package cyclic
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsat/internal/rs"
+)
+
+// TestCommittedLoopCorpus: every committed loop kernel (testdata/cyclic/ plus
+// any loop file in the corpus root) must detect, parse, validate, round-trip,
+// and analyze across all of its register types.
+func TestCommittedLoopCorpus(t *testing.T) {
+	var paths []string
+	for _, dir := range []string{"../../testdata", "../../testdata/cyclic"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".ddg") {
+				continue
+			}
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	loops := 0
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Detect(string(raw)) {
+			continue
+		}
+		loops++
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			l, err := ParseString(string(raw))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			again, err := ParseString(l.Format())
+			if err != nil {
+				t.Fatalf("round-trip parse: %v", err)
+			}
+			if again.Fingerprint() != l.Fingerprint() {
+				t.Fatal("round-trip changed the fingerprint")
+			}
+			res, err := AnalyzeAll(context.Background(), l, Options{
+				MaxWindow: 4, RS: rs.Options{Method: rs.MethodExactBB}})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if len(res) != len(l.Types()) {
+				t.Fatalf("analyzed %d types, loop writes %d", len(res), len(l.Types()))
+			}
+			for typ, r := range res {
+				if len(r.Windows) == 0 || r.Windows[0] < 1 {
+					t.Fatalf("%s: degenerate windows %v", typ, r.Windows)
+				}
+			}
+		})
+	}
+	if loops < 6 {
+		t.Fatalf("found %d committed loop kernels, want at least 6", loops)
+	}
+}

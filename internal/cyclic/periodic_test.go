@@ -1,0 +1,148 @@
+package cyclic
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"regsat/internal/ddg"
+)
+
+func TestMinIIHandValues(t *testing.T) {
+	// Self-recurrence λ=1, ω=1: ⌈1/1⌉ = 1.
+	if ii, err := MinII(selfRec(t)); err != nil || ii != 1 {
+		t.Fatalf("selfRec MinII = %d, %v; want 1", ii, err)
+	}
+	// Cycle a →(λ2, ω0) b →(λ1, ω1) a: ⌈3/1⌉ = 3.
+	l := New("cyc3", ddg.Superscalar)
+	a := l.AddNode("a", "mul", 2)
+	b := l.AddNode("b", "add", 1)
+	l.SetWrites(a, ddg.Float, 0)
+	l.AddFlowEdge(a, b, ddg.Float, 0)
+	l.AddSerialEdge(b, a, 1, 1)
+	if ii, err := MinII(l); err != nil || ii != 3 {
+		t.Fatalf("cyc3 MinII = %d, %v; want 3", ii, err)
+	}
+	// Self-recurrence λ=3, ω=2: ⌈3/2⌉ = 2.
+	s := New("s32", ddg.Superscalar)
+	u := s.AddNode("u", "fma", 3)
+	s.SetWrites(u, ddg.Float, 0)
+	s.AddFlowEdge(u, u, ddg.Float, 2)
+	if ii, err := MinII(s); err != nil || ii != 2 {
+		t.Fatalf("s32 MinII = %d, %v; want 2", ii, err)
+	}
+	if big := l.BigII(); big < 3 {
+		t.Fatalf("BigII = %d below MinII", big)
+	}
+}
+
+func TestPeriodicRSHandValues(t *testing.T) {
+	ctx := context.Background()
+	// Self-recurrence: each copy is alive for exactly one instant, copies
+	// tile the timeline — steady-state pressure 1.
+	p, err := PeriodicRS(ctx, selfRec(t), ddg.Float, PeriodicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exact || p.RS != 1 || p.II != 1 {
+		t.Fatalf("selfRec PRS = %+v, want exact RS=1 at II=1", p)
+	}
+	// Two independent chains: pressure 2.
+	p, err = PeriodicRS(ctx, twoChains(t), ddg.Float, PeriodicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exact || p.RS != 2 {
+		t.Fatalf("twoChains PRS = %+v, want exact RS=2", p)
+	}
+	// Growing kernel at II=1: lifetime d − w = (x_v + δr + II·ω) − x_u is
+	// maximized at x_v = Hx = 3, x_u = 0, giving 3 + 2 = 5 overlapping copies.
+	p, err = PeriodicRS(ctx, growing(t), ddg.Float, PeriodicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exact || p.RS != 5 || p.II != 1 {
+		t.Fatalf("growing PRS = %+v, want exact RS=5 at II=1", p)
+	}
+}
+
+func TestPeriodicRSNoValues(t *testing.T) {
+	p, err := PeriodicRS(context.Background(), selfRec(t), ddg.Int, PeriodicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RS != 0 || !p.Exact {
+		t.Fatalf("no-writer type must give exact RS=0, got %+v", p)
+	}
+}
+
+func TestPeriodicRSSizeGuard(t *testing.T) {
+	_, err := PeriodicRS(context.Background(), growing(t), ddg.Float,
+		PeriodicOptions{MaxAliveBinaries: 1})
+	if err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("want size-guard refusal, got %v", err)
+	}
+}
+
+func TestPeriodicRSInfeasibleII(t *testing.T) {
+	// Forcing II=1 on the ⌈3/1⌉ = 3 cycle must be rejected up front.
+	l := New("cyc3b", ddg.Superscalar)
+	a := l.AddNode("a", "mul", 2)
+	b := l.AddNode("b", "add", 1)
+	l.SetWrites(a, ddg.Float, 0)
+	l.AddFlowEdge(a, b, ddg.Float, 0)
+	l.AddSerialEdge(b, a, 1, 1)
+	if _, err := PeriodicRS(context.Background(), l, ddg.Float, PeriodicOptions{II: 1}); err == nil {
+		t.Fatal("want infeasible-II rejection")
+	}
+}
+
+// TestCertifySandwich runs the full Analyze+Certify path on kernels small
+// enough for the exact periodic MILP and checks both containments the CI
+// differential enforces: PRS(MinII) ≤ RS(k) for k = Jmax (certify() hard-errors
+// on violation) and PRS(BigII) ≥ RS(1).
+func TestCertifySandwich(t *testing.T) {
+	ctx := context.Background()
+	for _, l := range []*Loop{selfRec(t), twoChains(t), growing(t)} {
+		opt := exactOpts(6)
+		opt.Certify = true
+		res, err := Analyze(ctx, l, ddg.Float, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if res.Periodic == nil {
+			t.Fatalf("%s: certify skipped on a tiny kernel", l.Name)
+		}
+		if !res.Periodic.Exact {
+			t.Fatalf("%s: periodic solve not exact: %+v", l.Name, res.Periodic)
+		}
+		// Lower sandwich: at a period longer than the one-iteration horizon
+		// the periodic schedule embeds any single window, so PRS ≥ RS(1).
+		big, err := PeriodicRS(ctx, l, ddg.Float, PeriodicOptions{II: l.BigII()})
+		if err != nil {
+			t.Fatalf("%s: big-II solve: %v", l.Name, err)
+		}
+		if big.RS < res.Windows[0] {
+			t.Fatalf("%s: PRS(BigII=%d) = %d < RS(1) = %d", l.Name, big.II, big.RS, res.Windows[0])
+		}
+	}
+}
+
+// TestCertifySkipsLargeJmax: a long reuse distance blows up the copy bound
+// Jmax past the certification cap; Analyze must skip the MILP, not fail.
+func TestCertifySkipsLargeJmax(t *testing.T) {
+	l := New("far", ddg.Superscalar)
+	u := l.AddNode("u", "ld", 1)
+	v := l.AddNode("v", "use", 1)
+	l.SetWrites(u, ddg.Float, 0)
+	l.AddFlowEdge(u, v, ddg.Float, 20)
+	opt := exactOpts(3)
+	opt.Certify = true
+	res, err := Analyze(context.Background(), l, ddg.Float, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periodic != nil {
+		t.Fatalf("want certification skipped for Jmax > %d, got %+v", maxCertifyJmax, res.Periodic)
+	}
+}

@@ -1,0 +1,172 @@
+package cyclic
+
+import (
+	"context"
+	"testing"
+
+	"regsat/internal/ddg"
+	"regsat/internal/rs"
+)
+
+// twoChains builds two independent first-order recurrences: steady-state
+// pressure 2, one value per chain alive at any instant.
+func twoChains(t *testing.T) *Loop {
+	t.Helper()
+	l := New("twochains", ddg.Superscalar)
+	a := l.AddNode("a", "add", 1)
+	b := l.AddNode("b", "add", 1)
+	l.SetWrites(a, ddg.Float, 0)
+	l.SetWrites(b, ddg.Float, 0)
+	l.AddFlowEdge(a, a, ddg.Float, 1)
+	l.AddFlowEdge(b, b, ddg.Float, 1)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// growing builds the accumulating kernel u →(λ1, ω2) v: iterations of u are
+// mutually unordered, so RS of the k-window is k (all values alive at once).
+func growing(t *testing.T) *Loop {
+	t.Helper()
+	l := New("growing", ddg.Superscalar)
+	u := l.AddNode("u", "ld", 1)
+	v := l.AddNode("v", "use", 1)
+	l.SetWrites(u, ddg.Float, 0)
+	l.AddFlowEdge(u, v, ddg.Float, 2)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func exactOpts(max int) Options {
+	return Options{MaxWindow: max, RS: rs.Options{Method: rs.MethodExactBB}}
+}
+
+func TestAnalyzeChainConverges(t *testing.T) {
+	res, err := Analyze(context.Background(), selfRec(t), ddg.Float, exactOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chained lifetimes ]σ_i, σ_{i+1}] never overlap: RS(k) = 1 for all k.
+	for i, w := range res.Windows {
+		if w != 1 {
+			t.Fatalf("RS(%d) = %d, want 1 (windows %v)", i+1, w, res.Windows)
+		}
+	}
+	if !res.Converged || res.PerIter != 0 || !res.Exact {
+		t.Fatalf("want converged exact perIter=0, got %+v", res)
+	}
+}
+
+func TestAnalyzeGrowingKernel(t *testing.T) {
+	res, err := Analyze(context.Background(), growing(t), ddg.Float, exactOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unordered iterations: the k-window holds k simultaneously-alive values.
+	for i, w := range res.Windows {
+		if w != i+1 {
+			t.Fatalf("RS(%d) = %d, want %d (windows %v)", i+1, w, i+1, res.Windows)
+		}
+	}
+	if !res.Converged || res.PerIter != 1 {
+		t.Fatalf("want converged perIter=1, got %+v", res)
+	}
+	if res.Slope != 1 {
+		t.Fatalf("slope = %v, want 1", res.Slope)
+	}
+}
+
+func TestAnalyzeWindowsMonotone(t *testing.T) {
+	for _, l := range []*Loop{selfRec(t), twoChains(t), growing(t)} {
+		res, err := Analyze(context.Background(), l, ddg.Float, exactOpts(5))
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		for i := 1; i < len(res.Windows); i++ {
+			if res.Windows[i] < res.Windows[i-1] {
+				t.Fatalf("%s: windows not monotone: %v", l.Name, res.Windows)
+			}
+		}
+		if res.Window != len(res.Windows) {
+			t.Fatalf("%s: Window=%d, len(Windows)=%d", l.Name, res.Window, len(res.Windows))
+		}
+	}
+}
+
+// TestDistZeroDegeneracy: a loop whose edges all carry ω = 0 is k independent
+// copies of its acyclic body, so RS(k) = k·RS(1) and RS(1) equals the plain
+// acyclic saturation of the body.
+func TestDistZeroDegeneracy(t *testing.T) {
+	l := New("d0", ddg.Superscalar)
+	a := l.AddNode("a", "ld", 2)
+	b := l.AddNode("b", "use", 1)
+	l.SetWrites(a, ddg.Float, 0)
+	l.AddFlowEdge(a, b, ddg.Float, 0)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Carried() {
+		t.Fatal("dist-0 loop must not report carried edges")
+	}
+	res, err := Analyze(context.Background(), l, ddg.Float, exactOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := l.Body()
+	if err := body.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	bres, err := rs.Compute(context.Background(), body, ddg.Float,
+		rs.Options{Method: rs.MethodExactBB, SkipWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows[0] != bres.RS {
+		t.Fatalf("RS(1) = %d, acyclic body RS = %d", res.Windows[0], bres.RS)
+	}
+	for i, w := range res.Windows {
+		if w != (i+1)*bres.RS {
+			t.Fatalf("RS(%d) = %d, want %d·%d (windows %v)", i+1, w, i+1, bres.RS, res.Windows)
+		}
+	}
+}
+
+func TestAnalyzeAllCoversTypes(t *testing.T) {
+	l := New("mixed", ddg.Superscalar)
+	a := l.AddNode("a", "fadd", 1)
+	b := l.AddNode("b", "iadd", 1)
+	l.SetWrites(a, ddg.Float, 0)
+	l.SetWrites(b, ddg.Int, 0)
+	l.AddFlowEdge(a, a, ddg.Float, 1)
+	l.AddFlowEdge(b, b, ddg.Int, 2)
+	res, err := AnalyzeAll(context.Background(), l, exactOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[ddg.Float] == nil || res[ddg.Int] == nil {
+		t.Fatalf("AnalyzeAll missing types: %v", res)
+	}
+}
+
+func TestAnalyzeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, growing(t), ddg.Float, exactOpts(6)); err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestOptionsKeyDistinguishes(t *testing.T) {
+	a := Options{}.Key()
+	b := Options{MaxWindow: 7}.Key()
+	c := Options{Certify: true}.Key()
+	if a == b || a == c || b == c {
+		t.Fatalf("option keys collide: %q %q %q", a, b, c)
+	}
+	if (Options{}).Key() != (Options{MaxWindow: DefaultMaxWindow, Stable: DefaultStable}).Key() {
+		t.Fatal("defaulted options must share a key with explicit defaults")
+	}
+}

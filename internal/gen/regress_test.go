@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 )
 
@@ -51,6 +52,23 @@ func TestRegressionCorpusReplay(t *testing.T) {
 		replayed++
 		path := filepath.Join(regressionsDir, e.Name())
 		t.Run(e.Name(), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Loop repros share the corpus directory; the `loop` header flag
+			// routes them to the cyclic catalog.
+			if cyclic.Detect(string(raw)) {
+				l, err := cyclic.ParseString(string(raw))
+				if err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				copt := CyclicCheckOptions{Certify: !testing.Short()}
+				if err := CheckCyclic(context.Background(), l, copt); err != nil {
+					t.Fatalf("cyclic regression resurfaced: %v", err)
+				}
+				return
+			}
 			g, err := readAndParseRepro(path)
 			if err != nil {
 				t.Fatal(err)

@@ -4,11 +4,35 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"regsat/internal/ddg"
 )
+
+// isLoopDDG reports whether a corpus file's header carries the `loop` flag:
+// cyclic loop kernels do not parse as flat DDGs and are covered by
+// internal/cyclic's own corpus test. (Inlined here because internal/cyclic
+// depends on this package.)
+func isLoopDDG(text string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "ddg") {
+			return false
+		}
+		for _, f := range strings.Fields(line)[1:] {
+			if f == "loop" {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
 
 func loadCorpus(t testing.TB) []*ddg.Graph {
 	t.Helper()
@@ -21,12 +45,14 @@ func loadCorpus(t testing.TB) []*ddg.Graph {
 	}
 	var out []*ddg.Graph
 	for _, file := range files {
-		f, err := os.Open(file)
+		raw, err := os.ReadFile(file)
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := ddg.Parse(f)
-		f.Close()
+		if isLoopDDG(string(raw)) {
+			continue
+		}
+		g, err := ddg.ParseString(string(raw))
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}

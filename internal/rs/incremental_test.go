@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -12,7 +13,31 @@ import (
 	"regsat/internal/ir"
 )
 
-// loadCorpus parses and finalizes every .ddg file of the repository corpus.
+// isLoopDDG reports whether a corpus file's header carries the `loop` flag:
+// cyclic loop kernels do not parse as flat DDGs and are covered by
+// internal/cyclic's own corpus test. (Inlined here because internal/cyclic
+// depends on this package.)
+func isLoopDDG(text string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "ddg") {
+			return false
+		}
+		for _, f := range strings.Fields(line)[1:] {
+			if f == "loop" {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// loadCorpus parses and finalizes every acyclic .ddg file of the repository
+// corpus.
 func loadCorpus(t testing.TB) []*ddg.Graph {
 	t.Helper()
 	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ddg"))
@@ -24,12 +49,14 @@ func loadCorpus(t testing.TB) []*ddg.Graph {
 	}
 	var out []*ddg.Graph
 	for _, file := range files {
-		f, err := os.Open(file)
+		raw, err := os.ReadFile(file)
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := ddg.Parse(f)
-		f.Close()
+		if isLoopDDG(string(raw)) {
+			continue
+		}
+		g, err := ddg.ParseString(string(raw))
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}

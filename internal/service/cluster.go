@@ -194,8 +194,13 @@ func (s *Server) clusterAnalyze(ctx context.Context, engine *batch.Engine, befor
 	local := &partition{}
 	remote := map[string]*partition{}
 	for i, it := range all {
-		if it.Err == nil && it.Graph != nil {
-			fp := batch.Fingerprint(it.Graph)
+		if it.Err == nil && (it.Graph != nil || it.Loop != nil) {
+			var fp string
+			if it.Loop != nil {
+				fp = it.Loop.Fingerprint()
+			} else {
+				fp = batch.Fingerprint(it.Graph)
+			}
 			if owner := s.cluster.ring.Owner(fp); owner != "" && owner != s.cluster.self {
 				p := remote[owner]
 				if p == nil {
@@ -262,7 +267,13 @@ func (s *Server) clusterAnalyze(ctx context.Context, engine *batch.Engine, befor
 				TimeoutMs: timeoutMs,
 			}
 			for k, it := range p.items {
-				fr.Graphs[k] = client.GraphInput{Name: it.Name, DDG: it.Graph.Format(), Fingerprint: p.fps[k]}
+				text := ""
+				if it.Loop != nil {
+					text = it.Loop.Format()
+				} else {
+					text = it.Graph.Format()
+				}
+				fr.Graphs[k] = client.GraphInput{Name: it.Name, DDG: text, Fingerprint: p.fps[k]}
 			}
 			// The forward span covers the whole hop; the peer client injects
 			// its traceparent on the outgoing request, so the owning replica

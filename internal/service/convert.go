@@ -9,6 +9,7 @@ import (
 
 	"regsat/client"
 	"regsat/internal/batch"
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/reduce"
 	"regsat/internal/rs"
@@ -49,6 +50,18 @@ func (s *Server) batchOptions(o client.AnalyzeOptions) (batch.Options, error) {
 		Parallel: s.cfg.Workers,
 		RS:       rsOpts,
 		Types:    types,
+	}
+	if o.Cyclic != nil {
+		if o.Cyclic.MaxWindow < 0 {
+			return batch.Options{}, fmt.Errorf("cyclic.maxWindow must be non-negative (got %d)", o.Cyclic.MaxWindow)
+		}
+		// The per-window RS options are left zero here: the engine inherits
+		// them from the request's RS options (batch.New).
+		opts.Cyclic = cyclic.Options{
+			MaxWindow: o.Cyclic.MaxWindow,
+			Stable:    o.Cyclic.Stable,
+			Certify:   o.Cyclic.Certify,
+		}
 	}
 	if o.Reduce != nil {
 		if o.Reduce.Budget <= 0 {
@@ -148,6 +161,16 @@ func inlineItem(i int, gi client.GraphInput) batch.Item {
 			return fmt.Sprintf("graph[%d]", i)
 		}
 	}
+	if cyclic.Detect(gi.DDG) {
+		l, err := cyclic.ParseString(gi.DDG)
+		if err != nil {
+			return batch.Item{Name: fallback(""), Err: err}
+		}
+		if err := l.Validate(); err != nil {
+			return batch.Item{Name: fallback(l.Name), Err: err}
+		}
+		return batch.Item{Name: fallback(l.Name), Loop: l}
+	}
 	g, err := ddg.ParseString(gi.DDG)
 	if err != nil {
 		return batch.Item{Name: fallback(""), Err: err}
@@ -162,7 +185,10 @@ func inlineItem(i int, gi client.GraphInput) batch.Item {
 // server aggregate on the way out.
 func (s *Server) itemToWire(res batch.Result, withWitness, wantDDG bool) client.Item {
 	s.items.Add(1)
-	if s.cluster != nil && res.Graph != nil {
+	switch {
+	case s.cluster != nil && res.Loop != nil:
+		s.cluster.countItem(res.Loop.Fingerprint())
+	case s.cluster != nil && res.Graph != nil:
 		s.cluster.countItem(batch.Fingerprint(res.Graph))
 	}
 	item := client.Item{
@@ -177,6 +203,17 @@ func (s *Server) itemToWire(res batch.Result, withWitness, wantDDG bool) client.
 		var perr *ddg.ParseError
 		if errors.As(res.Err, &perr) {
 			item.ErrorLine, item.ErrorCol = perr.Line, perr.Col
+		}
+		return item
+	}
+	if res.Loop != nil {
+		item.Nodes = len(res.Loop.Nodes())
+		item.Edges = len(res.Loop.Edges())
+		if len(res.Cyclic) > 0 {
+			item.Cyclic = make(map[string]*client.CyclicOutcome, len(res.Cyclic))
+			for t, r := range res.Cyclic {
+				item.Cyclic[string(t)] = cyclicToWire(r)
+			}
 		}
 		return item
 	}
@@ -197,6 +234,28 @@ func (s *Server) itemToWire(res batch.Result, withWitness, wantDDG bool) client.
 		}
 	}
 	return item
+}
+
+// cyclicToWire converts one periodic loop result.
+func cyclicToWire(r *cyclic.Result) *client.CyclicOutcome {
+	out := &client.CyclicOutcome{
+		Windows:   r.Windows,
+		PerIter:   r.PerIter,
+		Converged: r.Converged,
+		Window:    r.Window,
+		Slope:     r.Slope,
+		Exact:     r.Exact,
+	}
+	if p := r.Periodic; p != nil {
+		out.Periodic = &client.PeriodicOutcome{
+			II:         p.II,
+			RS:         p.RS,
+			Exact:      p.Exact,
+			UpperBound: p.UpperBound,
+			Jmax:       p.Jmax,
+		}
+	}
+	return out
 }
 
 // rsToWire converts one saturation result; computed reports whether this

@@ -54,13 +54,23 @@ func TestServiceEndToEndPersistence(t *testing.T) {
 	if len(first.Items) < 20 {
 		t.Fatalf("corpus run returned %d items, want the full testdata corpus", len(first.Items))
 	}
+	cyclicItems := 0
 	for _, it := range first.Items {
 		if it.Error != "" {
 			t.Fatalf("%s failed: %s", it.Name, it.Error)
 		}
+		if len(it.Cyclic) > 0 {
+			// Loop kernels in the corpus come back with periodic results
+			// instead of acyclic RS.
+			cyclicItems++
+			continue
+		}
 		if len(it.RS) == 0 {
 			t.Fatalf("%s has no RS results", it.Name)
 		}
+	}
+	if cyclicItems == 0 {
+		t.Fatal("corpus contains a loop kernel but no item has cyclic results")
 	}
 	if first.Stats.Computed == 0 {
 		t.Fatal("first pass computed nothing?")
@@ -94,6 +104,16 @@ func TestServiceEndToEndPersistence(t *testing.T) {
 			rb := b.RS[typ]
 			if rb == nil || rb.RS != ra.RS || rb.Exact != ra.Exact {
 				t.Fatalf("%s/%s: results differ across restart: %+v vs %+v", a.Name, typ, ra, rb)
+			}
+		}
+		if len(a.Cyclic) != len(b.Cyclic) {
+			t.Fatalf("%s: cyclic type count changed across restart", a.Name)
+		}
+		for typ, ca := range a.Cyclic {
+			cb := b.Cyclic[typ]
+			if cb == nil || cb.PerIter != ca.PerIter || cb.Converged != ca.Converged ||
+				len(cb.Windows) != len(ca.Windows) {
+				t.Fatalf("%s/%s: cyclic results differ across restart: %+v vs %+v", a.Name, typ, ca, cb)
 			}
 		}
 	}
@@ -152,6 +172,54 @@ func TestServiceInlineGraphsStreamAndParsePositions(t *testing.T) {
 	// again, so at most one computation per type ran.
 	if stats.Computed > 1 {
 		t.Fatalf("twin graphs computed separately: %+v", stats)
+	}
+}
+
+// TestServiceInlineLoopKernel: a cyclic DDG posted inline comes back with
+// periodic results — windows, per-iteration delta, and (with certify on) the
+// exact periodic MILP certificate — and a malformed loop fails cleanly.
+func TestServiceInlineLoopKernel(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+
+	loop := "ddg \"rec\" loop\nnode a op=mul lat=2 writes=float\nnode b op=add lat=1 writes=float\n" +
+		"edge a b flow float\nedge b a flow float dist=1\n"
+	zeroCycle := "ddg \"bad\" loop\nnode a op=x lat=1 writes=int\nedge a a flow int\n"
+	resp, err := c.Analyze(context.Background(), &client.AnalyzeRequest{
+		Graphs: []client.GraphInput{
+			{Name: "l0", DDG: loop},
+			{Name: "l1", DDG: zeroCycle},
+		},
+		Options: client.AnalyzeOptions{
+			Method: "bb",
+			Cyclic: &client.CyclicSpec{Certify: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("got %d items, want 2", len(resp.Items))
+	}
+	it := resp.Items[0]
+	if it.Error != "" {
+		t.Fatalf("loop kernel failed: %s", it.Error)
+	}
+	if it.Nodes != 2 || it.Edges != 2 {
+		t.Fatalf("loop shape lost on the wire: %d nodes, %d edges", it.Nodes, it.Edges)
+	}
+	if len(it.RS) != 0 {
+		t.Fatalf("loop item carries acyclic RS results: %+v", it.RS)
+	}
+	out := it.Cyclic["float"]
+	if out == nil || len(out.Windows) == 0 || !out.Converged || !out.Exact {
+		t.Fatalf("cyclic outcome incomplete: %+v", out)
+	}
+	if out.Periodic == nil || !out.Periodic.Exact || out.Periodic.RS < 1 {
+		t.Fatalf("certify requested but periodic certificate missing: %+v", out.Periodic)
+	}
+	if got := resp.Items[1]; got.Error == "" || !strings.Contains(got.Error, "zero-distance") {
+		t.Fatalf("zero-distance cycle accepted: %+v", got)
 	}
 }
 

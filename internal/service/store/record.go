@@ -24,6 +24,10 @@ type Record struct {
 	Fingerprint string `json:"fingerprint"`
 	Type        string `json:"type"`
 	OptionsKey  string `json:"optionsKey"`
+	// Kind discriminates record forms sharing the objects tree: empty for
+	// acyclic RS records, "cyclic" for CyclicRecord. Each reader rejects the
+	// other's kind, so a key collision can never cross-decode.
+	Kind string `json:"kind,omitempty"`
 
 	RS        int   `json:"rs"`
 	Antichain []int `json:"antichain,omitempty"`

@@ -108,7 +108,7 @@ func (s *Store) Get(fp string, g *ddg.Graph, t ddg.RegType, optsKey string) (*rs
 	}
 	var rec Record
 	if err := json.Unmarshal(raw, &rec); err != nil ||
-		rec.Schema != SchemaVersion ||
+		rec.Schema != SchemaVersion || rec.Kind != "" ||
 		rec.Fingerprint != fp || rec.Type != string(t) || rec.OptionsKey != optsKey {
 		s.errors.Add(1)
 		s.misses.Add(1)

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/ir"
 	"regsat/internal/kernels"
@@ -275,5 +276,93 @@ func TestStoreLen(t *testing.T) {
 	s.Put(fp, rt, "a", res)
 	if n, _ := s.Len(); n != 3 {
 		t.Fatalf("overwrite grew the store to %d", n)
+	}
+}
+
+// TestStoreCyclicRoundTrip: periodic loop results persist and reload through
+// the batch.CyclicCache side of the store, keyed by the loop's
+// distance-sensitive fingerprint.
+func TestStoreCyclicRoundTrip(t *testing.T) {
+	l, err := cyclic.ParseString(`ddg "rt" loop
+node a op=mul lat=2 writes=float
+node b op=add lat=1 writes=float
+edge a b flow float
+edge b a flow float dist=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cyclic.Analyze(context.Background(), l, ddg.Float, cyclic.Options{
+		Certify: true,
+		RS:      rs.Options{Method: rs.MethodExactBB, SkipWitness: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periodic == nil {
+		t.Fatal("small kernel did not certify")
+	}
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := l.Fingerprint()
+	key := (cyclic.Options{}).Key()
+	if _, ok := s.GetCyclic(fp, ddg.Float, key); ok {
+		t.Fatal("GetCyclic on empty store hit")
+	}
+	s.PutCyclic(fp, ddg.Float, key, res)
+	got, ok := s.GetCyclic(fp, ddg.Float, key)
+	if !ok {
+		t.Fatal("GetCyclic after PutCyclic missed")
+	}
+	if !reflect.DeepEqual(got.Windows, res.Windows) || got.PerIter != res.PerIter ||
+		got.Converged != res.Converged || got.Slope != res.Slope || got.Exact != res.Exact {
+		t.Fatalf("round trip changed result: %+v vs %+v", got, res)
+	}
+	if got.Periodic == nil || got.Periodic.II != res.Periodic.II || got.Periodic.RS != res.Periodic.RS ||
+		got.Periodic.Exact != res.Periodic.Exact {
+		t.Fatalf("periodic certificate changed: %+v vs %+v", got.Periodic, res.Periodic)
+	}
+
+	// Restart survives; key components are respected.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetCyclic(fp, ddg.Float, key); !ok {
+		t.Fatal("cyclic record did not survive reopen")
+	}
+	if _, ok := s2.GetCyclic(fp, ddg.Float, "other-options"); ok {
+		t.Fatal("options key ignored")
+	}
+	if _, ok := s2.GetCyclic(fp, ddg.Int, key); ok {
+		t.Fatal("register type ignored")
+	}
+
+	// A loop differing only in a carried distance has a different
+	// fingerprint, so its results can never alias this record.
+	far := l.Clone()
+	for i := range far.Edges() {
+		if far.Edges()[i].Dist == 1 {
+			far.Edges()[i].Dist = 2
+		}
+	}
+	if far.Fingerprint() == fp {
+		t.Fatal("fingerprint ignores loop-carried distance")
+	}
+	if _, ok := s2.GetCyclic(far.Fingerprint(), ddg.Float, key); ok {
+		t.Fatal("distance-shifted loop served another loop's record")
+	}
+
+	// An acyclic Get at the same coordinates must not decode a cyclic
+	// record (and vice versa the fingerprint domains are disjoint anyway).
+	g := kernels.ByNameMust("lin-daxpy").Build(ddg.Superscalar)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(fp, g, ddg.Float, key); ok {
+		t.Fatal("acyclic Get decoded a cyclic record")
 	}
 }

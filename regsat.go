@@ -33,6 +33,7 @@ import (
 
 	"regsat/internal/batch"
 	"regsat/internal/cfg"
+	"regsat/internal/cyclic"
 	"regsat/internal/ddg"
 	"regsat/internal/ir"
 	"regsat/internal/reduce"
@@ -251,6 +252,10 @@ func SourcePaths(paths ...string) (GraphSource, error) { return batch.Paths(path
 // SourceGraphs streams already-built graphs (finalized in place).
 func SourceGraphs(gs ...*Graph) GraphSource { return batch.Graphs(gs...) }
 
+// SourceLoops streams already-built cyclic loop kernels; the batch engine
+// analyzes them with the periodic pipeline (BatchOptions.Cyclic).
+func SourceLoops(ls ...*Loop) GraphSource { return batch.Loops(ls...) }
+
 // SourceConcat chains sources into one stream.
 func SourceConcat(sources ...GraphSource) GraphSource { return batch.Concat(sources...) }
 
@@ -262,6 +267,10 @@ type (
 	// are looked up in — and written through to — this layer, keyed by
 	// (structural fingerprint, register type, canonicalized options).
 	BatchResultCache = batch.ResultCache
+	// BatchCyclicCache is the optional loop-kernel extension of
+	// BatchResultCache: an L2 cache that also implements it serves and
+	// stores periodic loop results (the rsd store does).
+	BatchCyclicCache = batch.CyclicCache
 	// ResultStore is the persistent on-disk BatchResultCache used by rsd:
 	// content-addressed, atomically written, corruption-tolerant, safe to
 	// share across processes.
@@ -343,6 +352,67 @@ type (
 
 // NewCFG creates an empty acyclic CFG.
 func NewCFG(name string, machine MachineKind) *CFG { return cfg.New(name, machine) }
+
+// Periodic register saturation for loops (internal/cyclic): cyclic DDGs
+// whose loop-carried dependences carry iteration distances, analyzed by
+// unrolled-window convergence and certified by an exact periodic MILP on
+// small kernels — see docs/CYCLIC.md.
+type (
+	// Loop is a cyclic data dependence graph of one loop body.
+	Loop = cyclic.Loop
+	// LoopEdge is one dependence of a Loop, with its iteration distance.
+	LoopEdge = cyclic.Edge
+	// CyclicOptions configures AnalyzeLoop (window bounds, convergence
+	// stability, the periodic certificate, and the per-window RS options).
+	CyclicOptions = cyclic.Options
+	// CyclicResult is the per-type outcome: the RS(k) window sequence, its
+	// converged per-iteration delta and slope, and the optional periodic
+	// certificate.
+	CyclicResult = cyclic.Result
+	// PeriodicResult is the exact periodic MILP certificate (II, PRS, and
+	// solver accounting).
+	PeriodicResult = cyclic.Periodic
+)
+
+// NewLoop creates an empty cyclic DDG for the given machine kind. Add
+// operations and dependences (each with an iteration distance), then
+// Validate.
+func NewLoop(name string, machine MachineKind) *Loop {
+	return cyclic.New(name, machine)
+}
+
+// DetectLoop reports whether a textual DDG is in the cyclic loop format
+// (its header carries the `loop` flag). Loaders use it to route a file to
+// ParseLoop or ParseGraph; file-based batch sources do this automatically.
+func DetectLoop(text string) bool { return cyclic.Detect(text) }
+
+// ParseLoop reads a cyclic DDG in the textual loop format. Syntax errors
+// carry their position (*GraphParseError).
+func ParseLoop(r io.Reader) (*Loop, error) { return cyclic.Parse(r) }
+
+// ParseLoopString is ParseLoop over a string.
+func ParseLoopString(s string) (*Loop, error) { return cyclic.ParseString(s) }
+
+// AnalyzeLoop computes the periodic register saturation of one register
+// type: RS(k) over growing unrolled windows until the per-iteration growth
+// stabilizes, plus the exact periodic MILP certificate when
+// CyclicOptions.Certify is set and the kernel is small enough.
+func AnalyzeLoop(l *Loop, t RegType, opts CyclicOptions) (*CyclicResult, error) {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper; AnalyzeLoopContext is the threaded form
+	return cyclic.Analyze(context.Background(), l, t, opts)
+}
+
+// AnalyzeLoopContext is AnalyzeLoop under a context: cancellation interrupts
+// the per-window solves and the periodic MILP.
+func AnalyzeLoopContext(ctx context.Context, l *Loop, t RegType, opts CyclicOptions) (*CyclicResult, error) {
+	return cyclic.Analyze(ctx, l, t, opts)
+}
+
+// AnalyzeLoopAll analyzes every register type the loop writes.
+func AnalyzeLoopAll(l *Loop, opts CyclicOptions) (map[RegType]*CyclicResult, error) {
+	//rsvet:allow ctxthread -- deliberate context-free convenience wrapper over AnalyzeLoopContext per type
+	return cyclic.AnalyzeAll(context.Background(), l, opts)
+}
 
 // Spill insertion at the DDG level (the paper's stated future work).
 type (
